@@ -1,0 +1,14 @@
+//! Ablations of Ergo's design constants (paper Sections 9.3, 13.3) and
+//! failure injection at the model's boundaries (purge-round departures).
+
+use sybil_bench::ablation_exp;
+
+fn main() {
+    println!("=== Ablations: Ergo's constants and model boundaries ===");
+    let start = std::time::Instant::now();
+    let rows = ablation_exp::run();
+    let table = ablation_exp::to_table(&rows);
+    println!("{}", table.render());
+    table.write_csv("ablation");
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,17 @@
+//! Validates Theorem 4 / Lemma 18 (paper Section 12): the decentralized
+//! variant matches centralized Ergo's costs while its committee keeps a
+//! >= 7/8 good fraction and Theta(log n) size.
+
+use sybil_bench::committee_exp;
+
+fn main() {
+    println!("=== Decentralized Ergo: committee invariants (Theorem 4) ===");
+    let start = std::time::Instant::now();
+    let outcomes = committee_exp::run();
+    let table = committee_exp::to_table(&outcomes);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("committee") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 10: plain Ergo versus the heuristic
+//! variants ERGO-CH1, ERGO-CH2, ERGO-SF(92), ERGO-SF(98).
+
+use sybil_bench::figure10;
+
+fn main() {
+    println!("=== Figure 10: Ergo heuristics (Section 10.3) ===");
+    let start = std::time::Instant::now();
+    let points = figure10::run();
+    let table = figure10::to_table(&points);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("figure10") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figure 8: good spend rate `A` vs adversary spend
+//! rate `T` for ERGO, CCOM, SybilControl, REMP-1e7, ERGO-SF(98) over the
+//! four evaluation networks.
+//!
+//! Full scale (default) ≈ paper scale: 10 000 s horizons, `T ∈ 2⁰…2²⁰`.
+//! Set `SYBIL_BENCH_FAST=1` for a smoke run.
+
+use sybil_bench::figure8;
+
+fn main() {
+    println!("=== Figure 8: good spend rate A vs adversary spend rate T ===");
+    println!("(paper Section 10.1; kappa = 1/18, 10 000 s per point)");
+    let start = std::time::Instant::now();
+    let points = figure8::run();
+    let table = figure8::to_table(&points);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("figure8") {
+        println!("csv: {}", path.display());
+    }
+    let summary = figure8::improvement_summary(&points);
+    println!("\n--- baseline cost relative to ERGO at the largest attack ---");
+    println!("{}", summary.render());
+    summary.write_csv("figure8_summary");
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 9: GoodJEst estimate / true good join
+//! rate, versus persistent Sybil fraction, with and without a `T = 10 000`
+//! injection attack, over the four evaluation networks.
+
+use sybil_bench::figure9;
+
+fn main() {
+    println!("=== Figure 9: GoodJEst estimate accuracy ===");
+    println!("(paper Section 10.2; expected bands: (0.08, 1.2) at T=0, (0.08, 4) at T=10^4)");
+    let start = std::time::Instant::now();
+    let cells = figure9::run();
+    let table = figure9::to_table(&cells);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("figure9") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,21 @@
+//! Validates Theorem 1 beyond the plotted figures: the Lemma 9 invariant
+//! (bad fraction < 3k) against four adversary strategies, and the sqrt(T)
+//! scaling of Ergo's spend rate (vs CCom's linear scaling).
+
+use sybil_bench::invariants_exp;
+
+fn main() {
+    println!("=== Lemma 9 invariant under adversarial strategies ===");
+    let start = std::time::Instant::now();
+    let inv = invariants_exp::run_invariants();
+    let table = invariants_exp::invariants_table(&inv);
+    println!("{}", table.render());
+    table.write_csv("invariants");
+
+    println!("\n=== Spend-rate scaling: A ~ T^e ===");
+    let fits = invariants_exp::run_scaling();
+    let table = invariants_exp::scaling_table(&fits);
+    println!("{}", table.render());
+    table.write_csv("scaling");
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,18 @@
+//! Validates Theorem 3 (paper Section 11): every B1-B3 algorithm spends at
+//! rate Omega(sqrt(T*J) + J) against the uniform-join / abandon-at-purge
+//! adversary, across entrance cost functions.
+
+use sybil_bench::lower_bound_exp;
+
+fn main() {
+    println!("=== Theorem 3 lower bound: spend rate vs sqrt(TJ)+J ===");
+    println!("(J = 2 IDs/s, n0 = 10 000, delta = 1/11)");
+    let start = std::time::Instant::now();
+    let outcomes = lower_bound_exp::run();
+    let table = lower_bound_exp::to_table(&outcomes);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("lower_bound") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+}

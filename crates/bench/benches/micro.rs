@@ -1,0 +1,170 @@
+//! Criterion micro-benchmarks for the substrates: SHA-256 throughput,
+//! proof-of-work solving, entrance-window operations, GoodJEst event
+//! processing, symmetric-difference tracking, SMR proposals, and end-to-end
+//! engine throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ergo_core::goodjest::GoodJEst;
+use ergo_core::params::{ErgoConfig, GoodJEstConfig};
+use ergo_core::symdiff::SymdiffTracker;
+use ergo_core::window::JoinWindow;
+use ergo_core::Ergo;
+use std::hint::black_box;
+use sybil_committee::smr::SmrCluster;
+use sybil_crypto::pow::{Challenge, Solver};
+use sybil_crypto::sha256::Sha256;
+use sybil_sim::adversary::BudgetJoiner;
+use sybil_sim::cost::Cost;
+use sybil_sim::defense::Defense;
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+use sybil_sim::workload::{Session, Workload};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16_384] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| Sha256::digest(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pow");
+    for hardness in [1u64, 16, 256] {
+        group.bench_function(format!("solve_k{hardness}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let challenge = Challenge::new(&i.to_be_bytes(), b"bench", hardness);
+                Solver::new().solve(black_box(&challenge))
+            })
+        });
+    }
+    group.bench_function("verify", |b| {
+        let challenge = Challenge::new(b"nonce", b"bench", 64);
+        let solution = Solver::new().solve(&challenge);
+        b.iter(|| challenge.verify(black_box(&solution)))
+    });
+    group.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_window");
+    group.bench_function("record_and_count_10k", |b| {
+        b.iter_batched(
+            JoinWindow::new,
+            |mut w| {
+                for i in 0..10_000u64 {
+                    w.record(Time(i as f64 * 0.01), 1);
+                }
+                black_box(w.count_within(Time(100.0), 1.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_goodjest(c: &mut Criterion) {
+    c.bench_function("goodjest_100k_events", |b| {
+        b.iter_batched(
+            || GoodJEst::new(GoodJEstConfig::default(), Time::ZERO, 10_000),
+            |mut est| {
+                for i in 0..50_000u64 {
+                    let t = Time(i as f64 * 0.1);
+                    est.on_join(t, 1);
+                    est.on_depart(t, i % 3 == 0, 1);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_symdiff(c: &mut Criterion) {
+    c.bench_function("symdiff_1m_events", |b| {
+        b.iter(|| {
+            let mut t = SymdiffTracker::new();
+            for i in 0..500_000u64 {
+                t.on_join(1);
+                if i % 2 == 0 {
+                    t.on_depart_new(1);
+                } else {
+                    t.on_depart_old(1);
+                }
+            }
+            black_box(t.symdiff())
+        })
+    });
+}
+
+fn bench_ergo_defense(c: &mut Criterion) {
+    c.bench_function("ergo_bad_batches_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Ergo::new(ErgoConfig::default());
+                e.init(Time::ZERO, 1_000_000, 0);
+                e
+            },
+            |mut e| {
+                for i in 0..1000u64 {
+                    black_box(e.bad_join_batch(Time(i as f64), Cost(1000.0), u64::MAX));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_gnutella_like_200s", |b| {
+        let workload = Workload::new(
+            vec![Time(1e9); 5000],
+            (0..400)
+                .map(|i| Session::new(Time(i as f64 * 0.5), Time(i as f64 * 0.5 + 100.0)))
+                .collect(),
+        );
+        let cfg = SimConfig { horizon: Time(200.0), adv_rate: 1000.0, ..SimConfig::default() };
+        b.iter(|| {
+            Simulation::new(
+                cfg,
+                Ergo::new(ErgoConfig::default()),
+                BudgetJoiner::new(1000.0),
+                workload.clone(),
+            )
+            .run()
+        })
+    });
+}
+
+fn bench_smr(c: &mut Criterion) {
+    c.bench_function("smr_propose_10_replicas", |b| {
+        b.iter_batched(
+            || SmrCluster::new(7, &[sybil_committee::ByzantineMode::RejectAll; 3], b"bench"),
+            |mut cluster| {
+                for e in 0..10 {
+                    black_box(cluster.propose(e));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_pow,
+    bench_window,
+    bench_goodjest,
+    bench_symdiff,
+    bench_ergo_defense,
+    bench_engine,
+    bench_smr
+);
+criterion_main!(benches);

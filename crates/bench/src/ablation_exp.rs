@@ -1,0 +1,184 @@
+//! Extension experiment E8 — ablations of Ergo's design constants
+//! (paper Sections 9.3 and 13.3) and failure injection at the model's
+//! boundaries.
+//!
+//! * **Iteration threshold** (`1/11`): larger fractions purge less often
+//!   (cheaper) but let the Sybil fraction climb higher between purges; the
+//!   sweep exposes the safety/cost dial the paper's constants pin down.
+//! * **Interval threshold** (`5/12`, with Section 13.3's `1/2` variant):
+//!   changes estimator cadence and with it entrance-window sizing.
+//! * **Estimator initialization** (`|S(0)|/init_duration`): the cold-start
+//!   estimate the spec prescribes is wildly high; the sweep quantifies how
+//!   much of Ergo's cost comes from the warm-up phase.
+//! * **Purge round duration**: with non-instant rounds, good IDs departing
+//!   mid-round exercise the `ε < 1/12` assumption.
+
+use crate::sweep::{default_workers, fast_mode, run_parallel};
+use crate::table::{fmt_num, Table};
+use ergo_core::params::{ErgoConfig, GoodJEstConfig, Ratio};
+use ergo_core::Ergo;
+use sybil_churn::networks;
+use sybil_sim::adversary::BudgetJoiner;
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// What was varied.
+    pub knob: String,
+    /// The varied value.
+    pub value: String,
+    /// Good spend rate.
+    pub good_rate: f64,
+    /// Purges executed.
+    pub purges: u64,
+    /// Max bad fraction (bound: 1/6).
+    pub max_bad_fraction: f64,
+}
+
+fn run_cfg(cfg: ErgoConfig, round_duration: f64, t: f64, horizon: f64, seed: u64) -> (f64, u64, f64) {
+    let workload = networks::gnutella().generate(Time(horizon), seed);
+    let sim = SimConfig {
+        horizon: Time(horizon),
+        adv_rate: t,
+        round_duration,
+        ..SimConfig::default()
+    };
+    let r = Simulation::new(sim, Ergo::new(cfg), BudgetJoiner::new(t), workload).run();
+    (r.good_spend_rate(), r.purges, r.max_bad_fraction)
+}
+
+/// Runs all ablations and returns the rows.
+pub fn run() -> Vec<AblationRow> {
+    let (horizon, t) = if fast_mode() { (400.0, 5_000.0) } else { (5_000.0, 20_000.0) };
+    let mut jobs: Vec<Box<dyn FnOnce() -> AblationRow + Send>> = Vec::new();
+
+    // 1. Iteration (purge) threshold.
+    for (num, den) in [(1u64, 7u64), (1, 11), (1, 15), (1, 22)] {
+        jobs.push(Box::new(move || {
+            let cfg = ErgoConfig {
+                iteration_threshold: Ratio::new(num, den),
+                ..ErgoConfig::default()
+            };
+            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
+            AblationRow {
+                knob: "iteration threshold".into(),
+                value: format!("{num}/{den}"),
+                good_rate: a,
+                purges,
+                max_bad_fraction: frac,
+            }
+        }));
+    }
+
+    // 2. Interval (estimator) threshold, incl. the Section 13.3 variant.
+    for (num, den) in [(5u64, 12u64), (1, 2), (1, 4)] {
+        jobs.push(Box::new(move || {
+            let mut cfg = ErgoConfig::default();
+            cfg.estimator.interval_threshold = Ratio::new(num, den);
+            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
+            AblationRow {
+                knob: "interval threshold".into(),
+                value: format!("{num}/{den}"),
+                good_rate: a,
+                purges,
+                max_bad_fraction: frac,
+            }
+        }));
+    }
+
+    // 3. Estimator initialization duration (cold-start cost).
+    for init in [1.0f64, 100.0, 10_000.0] {
+        jobs.push(Box::new(move || {
+            let cfg = ErgoConfig {
+                estimator: GoodJEstConfig { init_duration: init, ..GoodJEstConfig::default() },
+                ..ErgoConfig::default()
+            };
+            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
+            AblationRow {
+                knob: "estimator init duration".into(),
+                value: format!("{init}s"),
+                good_rate: a,
+                purges,
+                max_bad_fraction: frac,
+            }
+        }));
+    }
+
+    // 4. Purge round duration (ε exposure: departures during the round).
+    for round in [0.0f64, 1.0, 5.0] {
+        jobs.push(Box::new(move || {
+            let (a, purges, frac) = run_cfg(ErgoConfig::default(), round, t, horizon, 61);
+            AblationRow {
+                knob: "purge round duration".into(),
+                value: format!("{round}s"),
+                good_rate: a,
+                purges,
+                max_bad_fraction: frac,
+            }
+        }));
+    }
+
+    run_parallel(jobs, default_workers())
+}
+
+/// Formats the ablation table.
+pub fn to_table(rows: &[AblationRow]) -> Table {
+    let mut table = Table::new(vec![
+        "knob",
+        "value",
+        "A (good spend rate)",
+        "purges",
+        "max bad frac",
+        "bound",
+    ]);
+    for r in rows {
+        table.push(vec![
+            r.knob.clone(),
+            r.value.clone(),
+            fmt_num(r.good_rate),
+            r.purges.to_string(),
+            fmt_num(r.max_bad_fraction),
+            "0.167".to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn looser_purge_threshold_purges_less_but_risks_more() {
+        let tight = {
+            let cfg = ErgoConfig {
+                iteration_threshold: Ratio::new(1, 11),
+                ..ErgoConfig::default()
+            };
+            run_cfg(cfg, 0.0, 5_000.0, 300.0, 3)
+        };
+        let loose = {
+            let cfg = ErgoConfig {
+                iteration_threshold: Ratio::new(1, 4),
+                ..ErgoConfig::default()
+            };
+            run_cfg(cfg, 0.0, 5_000.0, 300.0, 3)
+        };
+        assert!(loose.1 < tight.1, "loose threshold should purge less");
+        assert!(
+            loose.2 > tight.2,
+            "loose threshold should peak higher: {} vs {}",
+            loose.2,
+            tight.2
+        );
+    }
+
+    #[test]
+    fn nonzero_round_duration_still_bounded() {
+        let (_, purges, frac) = run_cfg(ErgoConfig::default(), 1.0, 5_000.0, 300.0, 5);
+        assert!(purges > 0);
+        assert!(frac < 1.0 / 6.0 + 0.02, "fraction {frac} with 1 s purge rounds");
+    }
+}

@@ -1,0 +1,148 @@
+//! Experiment E5 — the decentralized variant (paper Section 12, Theorem 4
+//! and Lemma 18): committee size stays `Θ(log n)` and its good fraction
+//! stays ≥ 7/8 across iterations, under attack, while membership decisions
+//! and costs match centralized Ergo exactly.
+
+use crate::sweep::{default_workers, fast_mode, run_parallel};
+use crate::table::{fmt_num, Table};
+use ergo_core::{Ergo, ErgoConfig};
+use sybil_churn::model::ChurnModel;
+use sybil_churn::networks;
+use sybil_committee::{DecentralConfig, DecentralizedErgo};
+use sybil_sim::adversary::PurgeSurvivor;
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+
+/// One decentralization run's summary.
+#[derive(Clone, Debug)]
+pub struct CommitteeOutcome {
+    /// Network name.
+    pub network: String,
+    /// Adversary spend rate.
+    pub t: f64,
+    /// Committees elected over the run.
+    pub elections: usize,
+    /// Mean committee size.
+    pub mean_size: f64,
+    /// Smallest good fraction any committee held (incl. attrition).
+    pub min_good_fraction: f64,
+    /// Lemma 18's bound (7/8).
+    pub bound: f64,
+    /// SMR messages exchanged.
+    pub messages: u64,
+    /// Good spend rate (must match centralized Ergo).
+    pub good_rate: f64,
+    /// Centralized Ergo's good spend rate on the identical run.
+    pub centralized_rate: f64,
+    /// Max bad fraction over the run.
+    pub max_bad_fraction: f64,
+}
+
+/// Runs one (network, T) decentralization experiment.
+///
+/// Uses the purge-surviving adversary: it pays to retain the full
+/// `⌊κ·N⌋` cap at every purge, so each election samples from a membership
+/// with the worst-case post-purge Sybil fraction — the regime Lemma 18's
+/// 7/8 bound is about.
+pub fn run_cell(network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> CommitteeOutcome {
+    let workload = network.generate(Time(horizon), seed);
+    let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+
+    let (report, defense) = Simulation::new(
+        cfg,
+        DecentralizedErgo::new(DecentralConfig::default()),
+        PurgeSurvivor::new(t),
+        workload.clone(),
+    )
+    .run_with_defense();
+
+    let central = Simulation::new(
+        cfg,
+        Ergo::new(ErgoConfig::default()),
+        PurgeSurvivor::new(t),
+        workload,
+    )
+    .run();
+
+    let history = defense.history();
+    let mean_size = if history.is_empty() {
+        defense.committee().size() as f64
+    } else {
+        history.iter().map(|r| r.elected.size() as f64).sum::<f64>() / history.len() as f64
+    };
+    CommitteeOutcome {
+        network: network.name.to_string(),
+        t,
+        elections: history.len(),
+        mean_size,
+        min_good_fraction: defense.min_committee_good_fraction(),
+        bound: 7.0 / 8.0,
+        messages: defense.messages(),
+        good_rate: report.good_spend_rate(),
+        centralized_rate: central.good_spend_rate(),
+        max_bad_fraction: report.max_bad_fraction,
+    }
+}
+
+/// Runs the full committee experiment grid.
+pub fn run() -> Vec<CommitteeOutcome> {
+    let horizon = if fast_mode() { 300.0 } else { 10_000.0 };
+    let mut jobs: Vec<Box<dyn FnOnce() -> CommitteeOutcome + Send>> = Vec::new();
+    for net in networks::all_networks() {
+        for t in [0.0, 10_000.0] {
+            jobs.push(Box::new(move || run_cell(&net, t, horizon, 17)));
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Formats the outcomes as a table.
+pub fn to_table(outcomes: &[CommitteeOutcome]) -> Table {
+    let mut table = Table::new(vec![
+        "network",
+        "T",
+        "elections",
+        "mean size",
+        "min good frac",
+        "bound",
+        "SMR msgs",
+        "A decentralized",
+        "A centralized",
+        "max bad frac",
+    ]);
+    for o in outcomes {
+        table.push(vec![
+            o.network.clone(),
+            fmt_num(o.t),
+            o.elections.to_string(),
+            fmt_num(o.mean_size),
+            fmt_num(o.min_good_fraction),
+            fmt_num(o.bound),
+            o.messages.to_string(),
+            fmt_num(o.good_rate),
+            fmt_num(o.centralized_rate),
+            fmt_num(o.max_bad_fraction),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decentralized_matches_centralized_costs_and_keeps_committee() {
+        let out = run_cell(&networks::gnutella(), 5_000.0, 400.0, 5);
+        assert!(
+            (out.good_rate - out.centralized_rate).abs() / out.centralized_rate < 1e-9,
+            "decentralized {} vs centralized {}",
+            out.good_rate,
+            out.centralized_rate
+        );
+        assert!(out.elections > 0);
+        assert!(out.min_good_fraction >= out.bound, "{}", out.min_good_fraction);
+        assert!(out.messages > 0);
+        assert!(out.max_bad_fraction < 1.0 / 6.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment E3 — the paper's **Figure 10**: Ergo versus its cost-reduction
+//! heuristics (Section 10.3).
+//!
+//! Same setup as Figure 8, with the roster ERGO, ERGO-CH1 (Heuristics 1+2),
+//! ERGO-CH2 (Heuristics 1+2+3), ERGO-SF(92), and ERGO-SF(98) (Heuristics
+//! 1–4 with classifier accuracies 0.92 / 0.98).
+//!
+//! Expected shape (paper): the classifier variants dominate for large `T`
+//! (up to three orders of magnitude better than plain Ergo), with ERGO-SF
+//! curves pulling further ahead as `T` grows; CH1/CH2 give modest
+//! improvements concentrated at small `T` (purge-frequency effects).
+
+use crate::sweep::{
+    default_workers, fast_mode, run_parallel, run_point, t_grid, Algo, RunParams, SpendPoint,
+};
+use crate::table::{fmt_num, Table};
+use sybil_churn::networks;
+
+/// The Figure 10 roster.
+pub fn roster() -> Vec<Algo> {
+    vec![
+        Algo::Ergo,
+        Algo::ErgoCh1,
+        Algo::ErgoCh2,
+        Algo::ErgoSfFull(0.92),
+        Algo::ErgoSfFull(0.98),
+    ]
+}
+
+/// Runs the full Figure 10 sweep.
+pub fn run() -> Vec<SpendPoint> {
+    let (horizon, grid) = if fast_mode() {
+        (500.0, vec![0.0, 16.0, 1024.0, 65_536.0])
+    } else {
+        (10_000.0, t_grid())
+    };
+    let networks = networks::all_networks();
+    let mut jobs: Vec<Box<dyn FnOnce() -> SpendPoint + Send>> = Vec::new();
+    for net in &networks {
+        for algo in roster() {
+            for &t in &grid {
+                let net = *net;
+                let params = RunParams { horizon, ..RunParams::default() };
+                jobs.push(Box::new(move || run_point(&net, algo, t, params)));
+            }
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Formats the sweep as the paper's per-panel series.
+pub fn to_table(points: &[SpendPoint]) -> Table {
+    let mut table = Table::new(vec![
+        "network",
+        "variant",
+        "T",
+        "A (good spend rate)",
+        "vs ERGO",
+        "max bad frac",
+        "purges",
+    ]);
+    for p in points {
+        let ergo_a = points
+            .iter()
+            .find(|q| q.network == p.network && q.t == p.t && q.algo == "ERGO")
+            .map(|q| q.good_rate);
+        table.push(vec![
+            p.network.clone(),
+            p.algo.clone(),
+            fmt_num(p.t),
+            fmt_num(p.good_rate),
+            ergo_a.map_or("-".into(), |a| {
+                if a > 0.0 {
+                    format!("{:.2}x", p.good_rate / a)
+                } else {
+                    "-".into()
+                }
+            }),
+            fmt_num(p.max_bad_fraction),
+            p.purges.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunParams;
+
+    #[test]
+    fn roster_matches_figure10_legend() {
+        let labels: Vec<String> = roster().iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["ERGO", "ERGO-CH1", "ERGO-CH2", "ERGO-SF(92)", "ERGO-SF(98)"]
+        );
+    }
+
+    #[test]
+    fn classifier_variant_beats_plain_ergo_under_attack() {
+        let net = networks::gnutella();
+        let params = RunParams { horizon: 300.0, ..RunParams::default() };
+        let t = 50_000.0;
+        let plain = run_point(&net, Algo::Ergo, t, params);
+        let sf = run_point(&net, Algo::ErgoSfFull(0.98), t, params);
+        assert!(
+            sf.good_rate < plain.good_rate,
+            "ERGO-SF {} vs ERGO {}",
+            sf.good_rate,
+            plain.good_rate
+        );
+        // Invariant still holds with heuristics + gate.
+        assert!(sf.max_bad_fraction < 1.0 / 6.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Experiment E2 — the paper's **Figure 9**: accuracy of GoodJEst.
+//!
+//! For each network, a persistent population of Sybil IDs is held at a
+//! fixed fraction ∈ {1/1536, 1/384, 1/96, 1/24, 1/6} (the last exceeds the
+//! theory's 1/6 bound on purpose, as in the paper), with and without an
+//! additional injection attack affordable at `T = 10 000`. For every
+//! GoodJEst interval we record the ratio of the estimate `J̃` to the true
+//! good join rate over that interval.
+//!
+//! Expected shape (paper Section 10.2): all ratios within `(0.08, 1.2)` for
+//! `T = 0` and within `(0.08, 4)` under attack — i.e. the estimate is always
+//! within about a factor of 10, usually much closer.
+
+use crate::sweep::{default_workers, fast_mode, run_parallel};
+use crate::table::{fmt_num, Table};
+use ergo_core::{Ergo, ErgoConfig};
+use sybil_churn::model::ChurnModel;
+use sybil_churn::networks;
+use sybil_sim::adversary::FractionKeeper;
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+
+/// The persistent Sybil fractions on Figure 9's x-axis.
+pub fn fractions() -> Vec<(String, f64)> {
+    vec![
+        ("1/1536".into(), 1.0 / 1536.0),
+        ("1/384".into(), 1.0 / 384.0),
+        ("1/96".into(), 1.0 / 96.0),
+        ("1/24".into(), 1.0 / 24.0),
+        ("1/6".into(), 1.0 / 6.0),
+    ]
+}
+
+/// One cell of the Figure 9 grid.
+#[derive(Clone, Debug)]
+pub struct EstimateQuality {
+    /// Network name.
+    pub network: String,
+    /// Persistent Sybil fraction label.
+    pub fraction: String,
+    /// Injection spend rate (0 or 10 000).
+    pub t: f64,
+    /// Number of estimator intervals observed.
+    pub intervals: usize,
+    /// Minimum of `J̃ / true rate` over intervals.
+    pub min_ratio: f64,
+    /// Median ratio.
+    pub median_ratio: f64,
+    /// Maximum ratio.
+    pub max_ratio: f64,
+}
+
+/// Runs one (network, fraction, T) cell.
+pub fn run_cell(network: &ChurnModel, fraction: f64, t: f64, horizon: f64, seed: u64) -> EstimateQuality {
+    let workload = network.generate(Time(horizon), seed);
+    let n0 = workload.initial_size();
+    let initial_bad = ((fraction / (1.0 - fraction)) * n0 as f64).round() as u64;
+    let cfg = SimConfig {
+        horizon: Time(horizon),
+        // The experiment *fixes* the persistent fraction, so the purge cap
+        // must allow retaining it (the paper's 1/6 case deliberately exceeds
+        // the κ ≤ 1/18 theory regime).
+        kappa: (fraction * 1.5).clamp(1.0 / 18.0, 0.5),
+        adv_rate: t,
+        initial_bad,
+        record_good_joins: true,
+        ..SimConfig::default()
+    };
+    let report = Simulation::new(
+        cfg,
+        Ergo::new(ErgoConfig::default()),
+        FractionKeeper::new(fraction, t),
+        workload,
+    )
+    .run();
+
+    // True good join rate per estimator interval, via the recorded join times.
+    let joins = &report.good_join_times;
+    let mut ratios: Vec<f64> = Vec::new();
+    for est in &report.estimates {
+        let len = est.end - est.start;
+        if len <= 0.0 {
+            continue;
+        }
+        let lo = joins.partition_point(|&j| j < est.start);
+        let hi = joins.partition_point(|&j| j < est.end);
+        let true_rate = (hi - lo) as f64 / len;
+        if true_rate > 0.0 {
+            ratios.push(est.estimate / true_rate);
+        }
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let (min, med, max) = if ratios.is_empty() {
+        (f64::NAN, f64::NAN, f64::NAN)
+    } else {
+        (
+            ratios[0],
+            ratios[ratios.len() / 2],
+            ratios[ratios.len() - 1],
+        )
+    };
+    EstimateQuality {
+        network: network.name.to_string(),
+        fraction: String::new(),
+        t,
+        intervals: ratios.len(),
+        min_ratio: min,
+        median_ratio: med,
+        max_ratio: max,
+    }
+}
+
+/// Runs the full Figure 9 grid.
+pub fn run() -> Vec<EstimateQuality> {
+    let horizon = if fast_mode() { 5_000.0 } else { 100_000.0 };
+    let mut jobs: Vec<Box<dyn FnOnce() -> EstimateQuality + Send>> = Vec::new();
+    for net in networks::all_networks() {
+        for (label, fraction) in fractions() {
+            for t in [0.0, 10_000.0] {
+                let label = label.clone();
+                jobs.push(Box::new(move || {
+                    let mut cell = run_cell(&net, fraction, t, horizon, 11);
+                    cell.fraction = label;
+                    cell
+                }));
+            }
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Formats the grid as the paper's per-panel series.
+pub fn to_table(cells: &[EstimateQuality]) -> Table {
+    let mut table = Table::new(vec![
+        "network",
+        "bad fraction",
+        "T",
+        "intervals",
+        "min est/true",
+        "median est/true",
+        "max est/true",
+    ]);
+    for c in cells {
+        table.push(vec![
+            c.network.clone(),
+            c.fraction.clone(),
+            fmt_num(c.t),
+            c.intervals.to_string(),
+            fmt_num(c.min_ratio),
+            fmt_num(c.median_ratio),
+            fmt_num(c.max_ratio),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_grid_matches_paper_axis() {
+        let f = fractions();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[0].0, "1/1536");
+        assert_eq!(f[4].0, "1/6");
+    }
+
+    #[test]
+    fn estimates_are_within_factor_ten_on_gnutella() {
+        // A reduced-horizon version of the paper's claim: GoodJEst stays
+        // within a factor of 10 of the true good join rate.
+        let mut cell = run_cell(&networks::gnutella(), 1.0 / 96.0, 0.0, 20_000.0, 3);
+        cell.fraction = "1/96".into();
+        assert!(cell.intervals > 0, "no intervals completed");
+        assert!(
+            cell.min_ratio > 0.05 && cell.max_ratio < 20.0,
+            "ratios [{}, {}] outside plausible band",
+            cell.min_ratio,
+            cell.max_ratio
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Experiment E6 — validating Theorem 1's two guarantees beyond the plotted
+//! figures:
+//!
+//! 1. **Invariant** (Lemma 9): the Sybil fraction stays below `3κ ≤ 1/6`
+//!    against *every* adversary strategy — steady joiners, savers that burst,
+//!    churn-forcers (join/depart cycles), and purge-survivors that pay to
+//!    retain the full κ-fraction at every purge.
+//! 2. **Scaling**: Ergo's good spend rate grows like `√T` — we fit the
+//!    log-log slope of `A(T)` over the attack regime and expect ≈ 0.5
+//!    (CCom's, for contrast, is ≈ 1).
+
+use crate::sweep::{default_workers, fast_mode, run_parallel, Algo, RunParams};
+use crate::table::{fmt_num, Table};
+use ergo_core::{Ergo, ErgoConfig};
+use sybil_churn::model::ChurnModel;
+use sybil_churn::networks;
+use sybil_sim::adversary::{BudgetJoiner, BurstJoiner, ChurnForcer, PurgeSurvivor};
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+use sybil_sim::SimReport;
+
+/// Adversary strategies exercised by the invariant sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Steady entrance-cost spender (the Figure 8 adversary).
+    Budget,
+    /// Saves budget, bursts every 60 s (stress-tests β-burstiness handling).
+    Burst,
+    /// Join-and-depart cycles to force purges.
+    ChurnForce,
+    /// Pays to retain the κ-fraction cap at every purge (Lemma 9 worst case).
+    PurgeSurvive,
+}
+
+impl Strategy {
+    /// All strategies.
+    pub fn all() -> Vec<Strategy> {
+        vec![Strategy::Budget, Strategy::Burst, Strategy::ChurnForce, Strategy::PurgeSurvive]
+    }
+
+    /// Label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Budget => "budget-joiner",
+            Strategy::Burst => "burst-joiner",
+            Strategy::ChurnForce => "churn-forcer",
+            Strategy::PurgeSurvive => "purge-survivor",
+        }
+    }
+
+    fn run(&self, network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> SimReport {
+        let workload = network.generate(Time(horizon), seed);
+        let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+        let ergo = Ergo::new(ErgoConfig::default());
+        match self {
+            Strategy::Budget => {
+                Simulation::new(cfg, ergo, BudgetJoiner::new(t), workload).run()
+            }
+            Strategy::Burst => {
+                Simulation::new(cfg, ergo, BurstJoiner::new(t, 60.0), workload).run()
+            }
+            Strategy::ChurnForce => {
+                Simulation::new(cfg, ergo, ChurnForcer::new(t), workload).run()
+            }
+            Strategy::PurgeSurvive => {
+                Simulation::new(cfg, ergo, PurgeSurvivor::new(t), workload).run()
+            }
+        }
+    }
+}
+
+/// One invariant-sweep row.
+#[derive(Clone, Debug)]
+pub struct InvariantOutcome {
+    /// Network.
+    pub network: String,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Adversary spend rate.
+    pub t: f64,
+    /// Maximum instantaneous Sybil fraction.
+    pub max_bad_fraction: f64,
+    /// The Lemma 9 bound `3κ = 1/6`.
+    pub bound: f64,
+    /// Whether the invariant held throughout.
+    pub held: bool,
+    /// Good spend rate.
+    pub good_rate: f64,
+}
+
+/// Runs the invariant sweep.
+pub fn run_invariants() -> Vec<InvariantOutcome> {
+    let horizon = if fast_mode() { 300.0 } else { 5_000.0 };
+    let t_values = if fast_mode() { vec![1e3] } else { vec![1e2, 1e4, 1e6] };
+    let bound = 1.0 / 6.0;
+    let mut jobs: Vec<Box<dyn FnOnce() -> InvariantOutcome + Send>> = Vec::new();
+    for net in [networks::gnutella(), networks::ethereum()] {
+        for strat in Strategy::all() {
+            for &t in &t_values {
+                jobs.push(Box::new(move || {
+                    let r = strat.run(&net, t, horizon, 23);
+                    InvariantOutcome {
+                        network: net.name.to_string(),
+                        strategy: strat.label(),
+                        t,
+                        max_bad_fraction: r.max_bad_fraction,
+                        bound,
+                        held: r.max_bad_fraction < bound,
+                        good_rate: r.good_spend_rate(),
+                    }
+                }));
+            }
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Log-log slope fit of `A(T)` for an algorithm over the attack regime.
+#[derive(Clone, Debug)]
+pub struct ScalingFit {
+    /// Network.
+    pub network: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Fitted exponent of `A ∝ T^e`.
+    pub exponent: f64,
+    /// Points used in the fit.
+    pub points: usize,
+}
+
+/// Fits the spend-rate scaling exponents for Ergo and CCom (Theorem 1 says
+/// ≈ 0.5 for Ergo; CCom's `O(T+J)` gives ≈ 1).
+pub fn run_scaling() -> Vec<ScalingFit> {
+    let horizon = if fast_mode() { 500.0 } else { 10_000.0 };
+    let exponents: Vec<u32> = if fast_mode() { vec![12, 14, 16] } else { vec![10, 12, 14, 16, 18, 20] };
+    let mut jobs: Vec<Box<dyn FnOnce() -> ScalingFit + Send>> = Vec::new();
+    for net in [networks::gnutella(), networks::bittorrent()] {
+        for algo in [Algo::Ergo, Algo::CCom] {
+            let ts: Vec<f64> = exponents.iter().map(|&e| (1u64 << e) as f64).collect();
+            jobs.push(Box::new(move || {
+                let params = RunParams { horizon, ..RunParams::default() };
+                let pts: Vec<(f64, f64)> = ts
+                    .iter()
+                    .map(|&t| {
+                        let p = crate::sweep::run_point(&net, algo, t, params);
+                        (t.ln(), p.good_rate.max(1e-12).ln())
+                    })
+                    .collect();
+                ScalingFit {
+                    network: net.name.to_string(),
+                    algo: algo.label(),
+                    exponent: slope(&pts),
+                    points: pts.len(),
+                }
+            }));
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Least-squares slope of `(x, y)` pairs.
+fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Formats the invariant sweep.
+pub fn invariants_table(outcomes: &[InvariantOutcome]) -> Table {
+    let mut table = Table::new(vec![
+        "network",
+        "adversary",
+        "T",
+        "max bad frac",
+        "bound (3k)",
+        "held",
+        "A",
+    ]);
+    for o in outcomes {
+        table.push(vec![
+            o.network.clone(),
+            o.strategy.to_string(),
+            fmt_num(o.t),
+            fmt_num(o.max_bad_fraction),
+            fmt_num(o.bound),
+            if o.held { "yes".into() } else { "VIOLATED".to_string() },
+            fmt_num(o.good_rate),
+        ]);
+    }
+    table
+}
+
+/// Formats the scaling fits.
+pub fn scaling_table(fits: &[ScalingFit]) -> Table {
+    let mut table = Table::new(vec!["network", "algorithm", "A~T^e fit", "points", "theory"]);
+    for f in fits {
+        let theory = if f.algo == "ERGO" { "0.5 (Thm 1)" } else { "1.0 (O(T+J))" };
+        table.push(vec![
+            f.network.clone(),
+            f.algo.clone(),
+            fmt_num(f.exponent),
+            f.points.to_string(),
+            theory.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_line_is_exact() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        assert!((slope(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_holds_for_all_strategies_small() {
+        for strat in Strategy::all() {
+            let r = strat.run(&networks::gnutella(), 2_000.0, 200.0, 29);
+            assert!(
+                r.max_bad_fraction < 1.0 / 6.0,
+                "{}: fraction {}",
+                strat.label(),
+                r.max_bad_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn purge_survivor_pays_purge_costs() {
+        let r = Strategy::PurgeSurvive.run(&networks::gnutella(), 5_000.0, 200.0, 31);
+        assert!(r.ledger.adversary_purge().value() > 0.0);
+        // Still bounded, despite retention at the cap.
+        assert!(r.max_bad_fraction < 1.0 / 6.0, "{}", r.max_bad_fraction);
+    }
+}

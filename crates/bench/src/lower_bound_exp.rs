@@ -1,0 +1,71 @@
+//! Experiment E4 — the Theorem 3 lower bound (paper Section 11): every
+//! B1–B3 algorithm, across entrance cost functions, spends at rate
+//! `Ω(√(T·J) + J)` against the uniform-join / abandon-at-purge adversary.
+
+use crate::sweep::{default_workers, fast_mode, run_parallel};
+use crate::table::{fmt_num, Table};
+use sybil_defenses::lower_bound::{run_lower_bound, CostFunction, LowerBoundOutcome};
+
+/// The cost-function family swept by the experiment.
+pub fn cost_functions() -> Vec<CostFunction> {
+    vec![
+        CostFunction::Constant(1.0),
+        CostFunction::RatioTotalGood,
+        CostFunction::SqrtRatio,
+        CostFunction::ScaledBad(0.1),
+    ]
+}
+
+/// Runs the lower-bound sweep.
+pub fn run() -> Vec<LowerBoundOutcome> {
+    let horizon = if fast_mode() { 1_000.0 } else { 10_000.0 };
+    let t_values: Vec<f64> =
+        if fast_mode() { vec![1e2, 1e4] } else { vec![0.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7] };
+    let mut jobs: Vec<Box<dyn FnOnce() -> LowerBoundOutcome + Send>> = Vec::new();
+    for f in cost_functions() {
+        for &t in &t_values {
+            jobs.push(Box::new(move || {
+                run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, horizon)
+            }));
+        }
+    }
+    run_parallel(jobs, default_workers())
+}
+
+/// Formats the sweep.
+pub fn to_table(outcomes: &[LowerBoundOutcome]) -> Table {
+    let mut table = Table::new(vec![
+        "cost function",
+        "T",
+        "J",
+        "J_B (fixed point)",
+        "spend rate",
+        "sqrt(TJ)+J",
+        "spend/bound",
+    ]);
+    for o in outcomes {
+        table.push(vec![
+            o.label.clone(),
+            fmt_num(o.t),
+            fmt_num(o.j),
+            fmt_num(o.j_bad),
+            fmt_num(o.spend_rate),
+            fmt_num(o.bound),
+            fmt_num(o.ratio),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_respected_across_family() {
+        for f in cost_functions() {
+            let out = run_lower_bound(f, 1e5, 2.0, 10_000, 1.0 / 11.0, 2_000.0);
+            assert!(out.ratio > 0.5, "{}: ratio {}", out.label, out.ratio);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Shared experiment machinery: algorithm roster, spend-rate sweeps, and a
+//! small deterministic thread pool.
+
+use ergo_core::defid::DefIdChecker;
+use sybil_churn::model::ChurnModel;
+use sybil_defenses as defs;
+use sybil_sim::adversary::BudgetJoiner;
+use sybil_sim::defense::Defense;
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::time::Time;
+use sybil_sim::SimReport;
+
+/// Every algorithm appearing in the paper's Figures 8 and 10.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algo {
+    /// Plain Ergo (Figure 4).
+    Ergo,
+    /// CCom: constant entrance cost 1 (paper reference 98).
+    CCom,
+    /// SybilControl (paper reference 67).
+    SybilControl,
+    /// REMP with the given `Tmax` (paper reference 99, run with 10⁷).
+    Remp(f64),
+    /// ERGO-SF with the given classifier accuracy (Figure 8 variant: plain
+    /// Ergo + classifier gate).
+    ErgoSf(f64),
+    /// ERGO-CH1 (Heuristics 1+2, Figure 10).
+    ErgoCh1,
+    /// ERGO-CH2 (Heuristics 1+2+3, Figure 10).
+    ErgoCh2,
+    /// ERGO-SF(x) as in Figure 10: Heuristics 1–4.
+    ErgoSfFull(f64),
+}
+
+impl Algo {
+    /// Builds the defense instance.
+    pub fn build(&self, seed: u64) -> Box<dyn Defense> {
+        match *self {
+            Algo::Ergo => Box::new(defs::ergo()),
+            Algo::CCom => Box::new(defs::ccom()),
+            Algo::SybilControl => Box::new(defs::SybilControl::default()),
+            Algo::Remp(t_max) => Box::new(defs::Remp::new(defs::RempConfig {
+                t_max,
+                ..defs::RempConfig::default()
+            })),
+            Algo::ErgoSf(acc) => Box::new(defs::ergo_sf(acc, seed)),
+            Algo::ErgoCh1 => Box::new(defs::ergo_ch1()),
+            Algo::ErgoCh2 => Box::new(defs::ergo_ch2()),
+            Algo::ErgoSfFull(acc) => Box::new(defs::ergo_sf_full(acc, seed)),
+        }
+    }
+
+    /// Display name (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match *self {
+            Algo::Ergo => "ERGO".into(),
+            Algo::CCom => "CCOM".into(),
+            Algo::SybilControl => "SybilControl".into(),
+            Algo::Remp(t_max) => format!("REMP-{t_max:.0e}"),
+            Algo::ErgoSf(acc) => format!("ERGO-SF({:.0})", acc * 100.0),
+            Algo::ErgoCh1 => "ERGO-CH1".into(),
+            Algo::ErgoCh2 => "ERGO-CH2".into(),
+            Algo::ErgoSfFull(acc) => format!("ERGO-SF({:.0})", acc * 100.0),
+        }
+    }
+
+    /// Whether this algorithm's bad-fraction guarantee covers adversary
+    /// spend rate `t` at good population `n_good` (the Figure 8 curve
+    /// cutoffs: SybilControl breaks past its test capacity; REMP past Tmax;
+    /// the Ergo family holds for all `T` by Theorem 1).
+    pub fn guarantee_covers(&self, t: f64, n_good: u64) -> bool {
+        match *self {
+            Algo::SybilControl => {
+                t < defs::SybilControl::default().breakdown_rate(n_good, 1.0 / 6.0)
+            }
+            Algo::Remp(t_max) => t <= t_max,
+            _ => true,
+        }
+    }
+}
+
+/// One measured point of a spend-rate sweep.
+#[derive(Clone, Debug)]
+pub struct SpendPoint {
+    /// Network name.
+    pub network: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Configured adversary spend rate `T`.
+    pub t: f64,
+    /// Measured good spend rate `A`.
+    pub good_rate: f64,
+    /// Measured adversary spend rate (≤ configured `T`).
+    pub adv_rate: f64,
+    /// Maximum instantaneous Sybil fraction.
+    pub max_bad_fraction: f64,
+    /// Purges executed.
+    pub purges: u64,
+    /// Whether the algorithm's guarantee covers this `T` (curve cutoff).
+    pub guarantee: bool,
+}
+
+/// Parameters for one spend-rate run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunParams {
+    /// Simulated seconds (paper: 10 000).
+    pub horizon: f64,
+    /// Adversary power fraction κ (paper: 1/18).
+    pub kappa: f64,
+    /// Workload / defense seed.
+    pub seed: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams { horizon: 10_000.0, kappa: 1.0 / 18.0, seed: 1 }
+    }
+}
+
+/// Runs one (network, algorithm, T) cell and returns the measured point.
+pub fn run_point(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SpendPoint {
+    let report = run_report(network, algo, t, params);
+    SpendPoint {
+        network: network.name.to_string(),
+        algo: algo.label(),
+        t,
+        good_rate: report.good_spend_rate(),
+        adv_rate: report.adv_spend_rate(),
+        max_bad_fraction: report.max_bad_fraction,
+        purges: report.purges,
+        guarantee: algo.guarantee_covers(t, network.initial_size),
+    }
+}
+
+/// Runs one cell and returns the full simulation report.
+pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SimReport {
+    let workload = network.generate(Time(params.horizon), params.seed);
+    let cfg = SimConfig {
+        horizon: Time(params.horizon),
+        kappa: params.kappa,
+        adv_rate: t,
+        ..SimConfig::default()
+    };
+    let defense = algo.build(params.seed.wrapping_mul(7919).wrapping_add(13));
+    Simulation::new(cfg, defense, BudgetJoiner::new(t), workload).run()
+}
+
+/// Validates the DefID invariant over a report (bad fraction < 3κ for the
+/// Ergo family).
+pub fn check_invariant(report: &SimReport, kappa: f64) -> bool {
+    let checker = DefIdChecker::with_kappa(kappa);
+    report.max_bad_fraction < checker.bound()
+}
+
+/// The Figure 8/10 adversary spend grid: `T = 2⁰ … 2²⁰` (even exponents),
+/// with 0 prepended for the no-attack baseline.
+pub fn t_grid() -> Vec<f64> {
+    let mut grid = vec![0.0];
+    grid.extend((0..=20).step_by(2).map(|e| (1u64 << e) as f64));
+    grid
+}
+
+/// Runs `jobs` on `workers` threads, preserving input order of results.
+pub fn run_parallel<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = jobs.len();
+    let queue: std::sync::Mutex<Vec<(usize, F)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                let Some((idx, f)) = job else { break };
+                let out = f();
+                results.lock().expect("results poisoned")[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
+}
+
+/// Number of worker threads to use (`SYBIL_BENCH_WORKERS` overrides).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("SYBIL_BENCH_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// True when `SYBIL_BENCH_FAST=1`: benches shrink grids/horizons so the
+/// whole suite completes in about a minute (CI mode). The full paper-scale
+/// run is the default.
+pub fn fast_mode() -> bool {
+    std::env::var("SYBIL_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_churn::networks;
+
+    #[test]
+    fn t_grid_shape() {
+        let g = t_grid();
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[1], 1.0);
+        assert_eq!(*g.last().unwrap(), (1u64 << 20) as f64);
+        assert_eq!(g.len(), 12);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..20usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..20usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Algo::Ergo.label(), "ERGO");
+        assert_eq!(Algo::Remp(1e7).label(), "REMP-1e7");
+        assert_eq!(Algo::ErgoSf(0.98).label(), "ERGO-SF(98)");
+    }
+
+    #[test]
+    fn guarantee_cutoffs() {
+        assert!(Algo::Ergo.guarantee_covers(1e9, 10_000));
+        assert!(!Algo::Remp(1e7).guarantee_covers(2e7, 10_000));
+        assert!(Algo::SybilControl.guarantee_covers(100.0, 10_000));
+        assert!(!Algo::SybilControl.guarantee_covers(1e6, 10_000));
+    }
+
+    #[test]
+    fn small_point_runs_end_to_end() {
+        let net = networks::gnutella();
+        let p = RunParams { horizon: 50.0, ..RunParams::default() };
+        let point = run_point(&net, Algo::Ergo, 10.0, p);
+        assert_eq!(point.algo, "ERGO");
+        assert!(point.good_rate > 0.0);
+        assert!(point.max_bad_fraction < 1.0 / 6.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text table and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` under the repo root,
+    /// returning the path written. Errors are reported, not fatal — the
+    /// printed table is the primary artifact.
+    pub fn write_csv(&self, name: &str) -> Option<PathBuf> {
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path).ok()?;
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut write_line = |cells: &[String]| -> std::io::Result<()> {
+            writeln!(file, "{}", cells.iter().map(esc).collect::<Vec<_>>().join(","))
+        };
+        write_line(&self.header).ok()?;
+        for row in &self.rows {
+            write_line(row).ok()?;
+        }
+        Some(path)
+    }
+}
+
+/// The directory experiment CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    raw.canonicalize().unwrap_or(raw).join("results")
+}
+
+/// Formats a float compactly for tables (3 significant digits, scientific
+/// above 10⁵).
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
+        format!("{x:.2e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.push(vec!["1", "2"]);
+        t.push(vec!["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.push(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(4.84848), "4.848");
+        assert_eq!(fmt_num(1234.0), "1234");
+        assert_eq!(fmt_num(1.0e6), "1.00e6");
+        assert_eq!(fmt_num(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn csv_writes() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push(vec!["1", "va,lue"]);
+        let path = t.write_csv("test_table_output").expect("csv written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"va,lue\""));
+        std::fs::remove_file(path).ok();
+    }
+}

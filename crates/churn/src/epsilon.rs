@@ -1,0 +1,139 @@
+//! Validating the `ε`-departure assumption.
+//!
+//! The model (paper Section 2) assumes no more than an `ε`-fraction of good
+//! IDs depart in any single round, for `ε < 1/12` — without it, no bound on
+//! the post-purge bad fraction is possible (Section 9.3). This module
+//! measures the *empirical* ε of a workload: the maximum fraction of the
+//! live good population departing within any round-length window.
+
+use crate::abc::{event_stream, ChurnEvent};
+use sybil_sim::time::Time;
+use sybil_sim::workload::Workload;
+
+/// The measured departure burstiness of a workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpsilonReport {
+    /// Largest fraction of live good IDs departing within one round.
+    pub max_epsilon: f64,
+    /// When that worst window started.
+    pub worst_window_start: Time,
+    /// Departures in the worst window.
+    pub worst_window_departures: u64,
+    /// The model's bound (1/12).
+    pub bound: f64,
+}
+
+impl EpsilonReport {
+    /// True if the workload satisfies the model assumption `ε < 1/12`.
+    pub fn satisfies_model(&self) -> bool {
+        self.max_epsilon < self.bound
+    }
+}
+
+/// Measures the empirical ε of `workload` for rounds of `round_duration`
+/// seconds, up to `horizon`.
+///
+/// Uses a sliding window over the departure events; the denominator is the
+/// live population at each window's start.
+///
+/// # Panics
+///
+/// Panics if `round_duration` is not positive.
+pub fn measure_epsilon(workload: &Workload, horizon: Time, round_duration: f64) -> EpsilonReport {
+    assert!(round_duration > 0.0, "round duration must be positive");
+    let events = event_stream(workload, horizon);
+    // Population over time (prefix): replay once, recording sizes.
+    let mut population = workload.initial_size() as i64;
+    // Departure timestamps plus the population just before each departure.
+    let mut departures: Vec<(f64, i64)> = Vec::new();
+    for ev in &events {
+        match ev {
+            ChurnEvent::Join(_) => population += 1,
+            ChurnEvent::Depart { at, .. } => {
+                departures.push((at.as_secs(), population));
+                population -= 1;
+            }
+        }
+    }
+
+    let mut worst = EpsilonReport {
+        max_epsilon: 0.0,
+        worst_window_start: Time::ZERO,
+        worst_window_departures: 0,
+        bound: 1.0 / 12.0,
+    };
+    let mut lo = 0usize;
+    for hi in 0..departures.len() {
+        let (t_hi, _) = departures[hi];
+        while departures[lo].0 < t_hi - round_duration {
+            lo += 1;
+        }
+        let count = (hi - lo + 1) as u64;
+        let pop_at_window_start = departures[lo].1.max(1) as f64;
+        let eps = count as f64 / pop_at_window_start;
+        if eps > worst.max_epsilon {
+            worst.max_epsilon = eps;
+            worst.worst_window_start = Time(departures[lo].0);
+            worst.worst_window_departures = count;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+    use sybil_sim::workload::Session;
+
+    #[test]
+    fn evaluation_networks_satisfy_epsilon() {
+        // All four networks' churn is far below the ε = 1/12 per-round
+        // bound at 1 s rounds — the model assumption is realistic.
+        for net in networks::all_networks() {
+            let w = net.generate(Time(3_000.0), 5);
+            let report = measure_epsilon(&w, Time(3_000.0), 1.0);
+            assert!(
+                report.satisfies_model(),
+                "{}: measured epsilon {}",
+                net.name,
+                report.max_epsilon
+            );
+            assert!(report.max_epsilon > 0.0, "{}: no departures measured", net.name);
+        }
+    }
+
+    #[test]
+    fn synchronized_mass_departure_violates_epsilon() {
+        // 30% of the population leaving in one instant breaks the model
+        // (the other 70 members persist beyond the horizon).
+        let w = Workload::new(
+            (0..30)
+                .map(|_| Time(500.0))
+                .chain((0..70).map(|_| Time(1e9)))
+                .collect(),
+            vec![],
+        );
+        let report = measure_epsilon(&w, Time(2_000.0), 1.0);
+        assert!(!report.satisfies_model(), "epsilon {}", report.max_epsilon);
+        assert_eq!(report.worst_window_departures, 30);
+        assert_eq!(report.worst_window_start, Time(500.0));
+        assert!((report.max_epsilon - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_scales_with_round_duration() {
+        let w = networks::ethereum().generate(Time(2_000.0), 7);
+        let short = measure_epsilon(&w, Time(2_000.0), 0.5);
+        let long = measure_epsilon(&w, Time(2_000.0), 10.0);
+        assert!(long.max_epsilon > short.max_epsilon);
+    }
+
+    #[test]
+    fn empty_workload_has_zero_epsilon() {
+        let w = Workload::new(vec![Time(1e9); 10], vec![Session::new(Time(1.0), Time(1e9))]);
+        let report = measure_epsilon(&w, Time(100.0), 1.0);
+        assert_eq!(report.max_epsilon, 0.0);
+        assert!(report.satisfies_model());
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic social graphs with a Sybil region.
+//!
+//! Graph-based Sybil classifiers (SybilGuard, SybilFuse — paper Section 6)
+//! exploit the structure of social networks under Sybil attack: the good
+//! region is fast-mixing, the Sybil region is internally well-connected, and
+//! the two are joined by a *limited number of attack edges* (creating real
+//! social ties to honest users is expensive for an attacker).
+//!
+//! This module generates that topology: a preferential-attachment good
+//! region, a preferential-attachment Sybil region, and a bounded set of
+//! random attack edges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected social graph with ground-truth labels.
+#[derive(Clone, Debug)]
+pub struct SocialGraph {
+    /// Adjacency lists; node `i`'s neighbors.
+    adjacency: Vec<Vec<usize>>,
+    /// Ground truth: `true` = Sybil.
+    labels: Vec<bool>,
+    n_good: usize,
+}
+
+impl SocialGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of good (honest) nodes; good nodes have indices `0..n_good()`.
+    pub fn n_good(&self) -> usize {
+        self.n_good
+    }
+
+    /// Neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Ground-truth label of node `i` (`true` = Sybil).
+    pub fn is_sybil(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Number of attack edges (edges crossing the good/Sybil cut).
+    pub fn attack_edge_count(&self) -> usize {
+        let mut count = 0;
+        for (i, neigh) in self.adjacency.iter().enumerate() {
+            for &j in neigh {
+                if self.labels[i] != self.labels[j] {
+                    count += 1;
+                }
+            }
+        }
+        count / 2
+    }
+}
+
+/// Parameters for [`generate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphParams {
+    /// Honest nodes.
+    pub n_good: usize,
+    /// Sybil nodes.
+    pub n_sybil: usize,
+    /// Edges each new node attaches with (preferential attachment `m`).
+    pub edges_per_node: usize,
+    /// Attack edges joining the two regions.
+    pub attack_edges: usize,
+}
+
+impl Default for GraphParams {
+    fn default() -> Self {
+        GraphParams { n_good: 1000, n_sybil: 200, edges_per_node: 4, attack_edges: 20 }
+    }
+}
+
+/// Generates a labeled social graph with a Sybil region.
+///
+/// # Panics
+///
+/// Panics if either region is smaller than `edges_per_node + 1`.
+pub fn generate(params: GraphParams, seed: u64) -> SocialGraph {
+    let GraphParams { n_good, n_sybil, edges_per_node, attack_edges } = params;
+    assert!(n_good > edges_per_node && n_sybil > edges_per_node, "regions too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n_good + n_sybil;
+    let mut adjacency = vec![Vec::new(); n];
+    let mut labels = vec![false; n];
+    for label in labels.iter_mut().skip(n_good) {
+        *label = true;
+    }
+
+    // Preferential attachment within a region [lo, hi): each new node links
+    // to `m` targets sampled proportionally to degree (approximated by
+    // sampling endpoints of existing edges).
+    let attach = |adjacency: &mut Vec<Vec<usize>>, lo: usize, hi: usize, rng: &mut StdRng| {
+        let m = edges_per_node;
+        // Seed clique on the first m+1 nodes of the region.
+        for i in lo..lo + m + 1 {
+            for j in lo..i {
+                adjacency[i].push(j);
+                adjacency[j].push(i);
+            }
+        }
+        // Endpoint pool for degree-proportional sampling.
+        let mut pool: Vec<usize> = Vec::new();
+        for neighbors in adjacency.iter().take(lo + m + 1).skip(lo) {
+            for &j in neighbors {
+                if j >= lo {
+                    pool.push(j);
+                }
+            }
+        }
+        for i in lo + m + 1..hi {
+            let mut targets = Vec::with_capacity(m);
+            let mut guard = 0;
+            while targets.len() < m && guard < 100 * m {
+                guard += 1;
+                let t = pool[rng.gen_range(0..pool.len())];
+                if t != i && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                adjacency[i].push(t);
+                adjacency[t].push(i);
+                pool.push(t);
+                pool.push(i);
+            }
+        }
+    };
+
+    attach(&mut adjacency, 0, n_good, &mut rng);
+    attach(&mut adjacency, n_good, n, &mut rng);
+
+    // Attack edges: random good–Sybil pairs.
+    for _ in 0..attack_edges {
+        let g = rng.gen_range(0..n_good);
+        let s = rng.gen_range(n_good..n);
+        if !adjacency[g].contains(&s) {
+            adjacency[g].push(s);
+            adjacency[s].push(g);
+        }
+    }
+
+    SocialGraph { adjacency, labels, n_good }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let g = generate(GraphParams::default(), 1);
+        assert_eq!(g.len(), 1200);
+        assert_eq!(g.n_good(), 1000);
+        assert!(!g.is_empty());
+        assert!(!g.is_sybil(0));
+        assert!(g.is_sybil(1100));
+    }
+
+    #[test]
+    fn attack_edges_are_bounded() {
+        let g = generate(GraphParams { attack_edges: 15, ..Default::default() }, 2);
+        let cut = g.attack_edge_count();
+        assert!(cut <= 15, "cut {cut}");
+        assert!(cut >= 10, "cut {cut} suspiciously small");
+    }
+
+    #[test]
+    fn every_node_has_neighbors() {
+        let g = generate(GraphParams::default(), 3);
+        for i in 0..g.len() {
+            assert!(!g.neighbors(i).is_empty(), "node {i} isolated");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = generate(GraphParams::default(), 4);
+        for i in 0..g.len() {
+            for &j in g.neighbors(i) {
+                assert!(g.neighbors(j).contains(&i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(GraphParams::default(), 5);
+        let b = generate(GraphParams::default(), 5);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.attack_edge_count(), b.attack_edge_count());
+    }
+}

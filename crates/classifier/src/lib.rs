@@ -1,0 +1,36 @@
+//! Sybil classification (the SybilFuse stand-in for ERGO-SF, Heuristic 4).
+//!
+//! The paper's ERGO-SF experiments reduce the SybilFuse classifier (reference 41) to
+//! its measured accuracy (0.98), refusing entry to joiners classified as
+//! Sybil. This crate grounds that number:
+//!
+//! * [`graph`] — synthetic social graphs with a bounded attack-edge cut;
+//! * [`sybilfuse`] — a local-score + propagation classifier in SybilFuse's
+//!   style whose measured accuracy lands where the paper's citation does;
+//! * [`metrics`] — confusion matrices, accuracy/precision/recall/F1, AUC.
+//!
+//! The measured accuracy feeds `ergo_core::gate::ClassifierGate`, which is
+//! what the Ergo defense consults per join.
+//!
+//! # Example
+//!
+//! ```
+//! use sybil_classifier::graph::{generate, GraphParams};
+//! use sybil_classifier::sybilfuse::{SybilFuse, SybilFuseConfig};
+//!
+//! let graph = generate(GraphParams::default(), 7);
+//! let clf = SybilFuse::train(&graph, SybilFuseConfig::default(), 8);
+//! let accuracy = clf.evaluate(&graph).accuracy();
+//! assert!(accuracy > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod metrics;
+pub mod sybilfuse;
+
+pub use graph::{generate, GraphParams, SocialGraph};
+pub use metrics::{auc, Confusion};
+pub use sybilfuse::{SybilFuse, SybilFuseConfig};

@@ -1,0 +1,150 @@
+//! Classifier evaluation metrics.
+
+/// A binary confusion matrix where the positive class is "Sybil".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Sybil classified Sybil.
+    pub true_positive: u64,
+    /// Good classified good.
+    pub true_negative: u64,
+    /// Good classified Sybil (a refused honest user).
+    pub false_positive: u64,
+    /// Sybil classified good (an admitted attacker).
+    pub false_negative: u64,
+}
+
+impl Confusion {
+    /// Records one labeled prediction.
+    pub fn record(&mut self, actual_sybil: bool, predicted_sybil: bool) {
+        match (actual_sybil, predicted_sybil) {
+            (true, true) => self.true_positive += 1,
+            (false, false) => self.true_negative += 1,
+            (false, true) => self.false_positive += 1,
+            (true, false) => self.false_negative += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    }
+
+    /// Fraction of correct predictions (0 if empty).
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / t as f64
+    }
+
+    /// Of predicted Sybils, the fraction that are Sybil (1 if none predicted).
+    pub fn precision(&self) -> f64 {
+        let p = self.true_positive + self.false_positive;
+        if p == 0 {
+            return 1.0;
+        }
+        self.true_positive as f64 / p as f64
+    }
+
+    /// Of actual Sybils, the fraction caught (1 if there are none).
+    pub fn recall(&self) -> f64 {
+        let p = self.true_positive + self.false_negative;
+        if p == 0 {
+            return 1.0;
+        }
+        self.true_positive as f64 / p as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// The false-negative rate: admitted Sybils over actual Sybils — the
+    /// quantity that drives ERGO-SF's residual attack flow.
+    pub fn false_negative_rate(&self) -> f64 {
+        1.0 - self.recall()
+    }
+}
+
+/// Area under the ROC curve for scored predictions.
+///
+/// `scored` holds `(score, is_sybil)` pairs; higher scores should indicate
+/// Sybil. Returns 0.5 for degenerate inputs (single class).
+pub fn auc(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|&&(_, y)| y).count() as f64;
+    let negatives = scored.len() as f64 - positives;
+    if positives == 0.0 || negatives == 0.0 {
+        return 0.5;
+    }
+    // Rank-sum (Mann–Whitney) formulation with midranks for ties.
+    let mut sorted: Vec<&(f64, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut rank_sum = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in sorted.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum - positives * (positives + 1.0) / 2.0) / (positives * negatives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_rates() {
+        let mut c = Confusion::default();
+        c.record(true, true); // tp
+        c.record(true, true);
+        c.record(true, false); // fn
+        c.record(false, false); // tn
+        c.record(false, true); // fp
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.accuracy(), 3.0 / 5.0);
+        assert_eq!(c.precision(), 2.0 / 3.0);
+        assert_eq!(c.recall(), 2.0 / 3.0);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_negative_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let perfect = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(auc(&perfect), 1.0);
+        let inverted = [(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert_eq!(auc(&inverted), 0.0);
+        let single_class = [(0.5, true), (0.6, true)];
+        assert_eq!(auc(&single_class), 0.5);
+    }
+
+    #[test]
+    fn auc_with_ties() {
+        let tied = [(0.5, true), (0.5, false)];
+        assert_eq!(auc(&tied), 0.5);
+    }
+}

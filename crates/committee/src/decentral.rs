@@ -1,0 +1,303 @@
+//! Decentralized Ergo (paper Section 12, Theorem 4).
+//!
+//! Replaces the coordinating server with a `Θ(log n)` committee holding a
+//! good majority: the committee sequences membership events through SMR,
+//! runs GoodJEst and Ergo on the agreed order, and elects its successor at
+//! the end of every iteration. Theorem 4: the spend-rate bound of Theorem 1
+//! carries over, the system keeps a `< 1/6` bad fraction, and the committee
+//! keeps a `≤ 1/8` bad fraction (Lemma 18).
+//!
+//! [`DecentralizedErgo`] wraps the core [`Ergo`] defense: membership logic
+//! is byte-identical to the centralized version (the committee agrees on
+//! the same event order the server would have seen), while this wrapper
+//! tracks the committee's evolution — per-iteration attrition of good seats
+//! (departing good IDs are uniform over good IDs, so seats fall with them)
+//! and re-election from the post-purge membership — plus the SMR message
+//! complexity.
+
+use crate::election::{attrition, committee_size, elect, Committee};
+use ergo_core::ergo::Ergo;
+use ergo_core::params::ErgoConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sybil_sim::cost::Cost;
+use sybil_sim::defense::{
+    Admission, BatchAdmission, Defense, DefenseEvent, PeriodicReport, PurgeReport,
+};
+use sybil_sim::time::Time;
+
+/// Configuration for [`DecentralizedErgo`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecentralConfig {
+    /// Core Ergo configuration.
+    pub ergo: ErgoConfig,
+    /// Committee-size constant `C` in `C·log N` (Lemma 18 requires it large
+    /// enough; 30 keeps the 7/8 bound comfortably at n ≈ 10⁴).
+    pub committee_c: f64,
+    /// RNG seed for elections (models the committee's Rabin–Ben-Or coin).
+    pub seed: u64,
+}
+
+impl Default for DecentralConfig {
+    fn default() -> Self {
+        DecentralConfig { ergo: ErgoConfig::default(), committee_c: 30.0, seed: 0 }
+    }
+}
+
+/// A committee snapshot taken at an iteration boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommitteeRecord {
+    /// When the new committee was elected.
+    pub at: Time,
+    /// The committee as elected.
+    pub elected: Committee,
+    /// The *outgoing* committee after its within-iteration attrition — the
+    /// low-water mark the 7/8 bound must survive.
+    pub outgoing: Committee,
+}
+
+/// Committee-coordinated Ergo.
+pub struct DecentralizedErgo {
+    inner: Ergo,
+    cfg: DecentralConfig,
+    rng: StdRng,
+    committee: Committee,
+    n_good_at_iter_start: u64,
+    iter_good_departs: u64,
+    history: Vec<CommitteeRecord>,
+    messages: u64,
+}
+
+impl DecentralizedErgo {
+    /// Creates an instance; call [`Defense::init`] before use.
+    pub fn new(cfg: DecentralConfig) -> Self {
+        DecentralizedErgo {
+            inner: Ergo::new(cfg.ergo),
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            committee: Committee { good: 0, bad: 0 },
+            n_good_at_iter_start: 0,
+            iter_good_departs: 0,
+            history: Vec::new(),
+            messages: 0,
+        }
+    }
+
+    /// The current committee composition.
+    pub fn committee(&self) -> Committee {
+        self.committee
+    }
+
+    /// Committee snapshots at every iteration boundary.
+    pub fn history(&self) -> &[CommitteeRecord] {
+        &self.history
+    }
+
+    /// Total SMR messages exchanged (each sequenced event or batch costs
+    /// one broadcast-and-vote round: `O(committee²)` messages).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// The smallest good fraction any (possibly attrited) committee held.
+    pub fn min_committee_good_fraction(&self) -> f64 {
+        self.history
+            .iter()
+            .map(|r| r.outgoing.good_fraction())
+            .fold(self.committee.good_fraction(), f64::min)
+    }
+
+    fn sequence_event(&mut self) {
+        // One SMR propose+vote round over the committee.
+        let s = self.committee.size();
+        self.messages += s + s * s;
+    }
+
+    fn elect_new_committee(&mut self, at: Time) {
+        // Within-iteration attrition: each good seat departed with the same
+        // probability as any good ID (departures are u.a.r. over good IDs).
+        let depart_prob = if self.n_good_at_iter_start == 0 {
+            0.0
+        } else {
+            (self.iter_good_departs as f64 / self.n_good_at_iter_start as f64).min(1.0)
+        };
+        let outgoing = attrition(self.committee, depart_prob, &mut self.rng);
+        let seats = committee_size(self.inner.n_members(), self.cfg.committee_c);
+        let elected = elect(self.inner.n_good(), self.inner.n_bad(), seats, &mut self.rng);
+        self.history.push(CommitteeRecord { at, elected, outgoing });
+        self.committee = elected;
+        self.n_good_at_iter_start = self.inner.n_good();
+        self.iter_good_departs = 0;
+    }
+}
+
+impl Defense for DecentralizedErgo {
+    fn name(&self) -> String {
+        format!("decentralized-{}", self.inner.name())
+    }
+
+    fn init(&mut self, now: Time, n_good: u64, n_bad: u64) -> Cost {
+        let cost = self.inner.init(now, n_good, n_bad);
+        let seats = committee_size(self.inner.n_members(), self.cfg.committee_c);
+        self.committee = elect(n_good, n_bad, seats, &mut self.rng);
+        self.n_good_at_iter_start = n_good;
+        self.iter_good_departs = 0;
+        cost
+    }
+
+    fn quote(&self, now: Time) -> Cost {
+        self.inner.quote(now)
+    }
+
+    fn good_join(&mut self, now: Time) -> Admission {
+        self.sequence_event();
+        self.inner.good_join(now)
+    }
+
+    fn good_depart(&mut self, now: Time, joined_at: Time) {
+        self.sequence_event();
+        self.iter_good_departs += 1;
+        self.inner.good_depart(now, joined_at);
+    }
+
+    fn bad_join_batch(&mut self, now: Time, budget: Cost, max_attempts: u64) -> BatchAdmission {
+        self.sequence_event();
+        self.inner.bad_join_batch(now, budget, max_attempts)
+    }
+
+    fn bad_depart(&mut self, now: Time, n: u64) -> u64 {
+        self.sequence_event();
+        self.inner.bad_depart(now, n)
+    }
+
+    fn purge_due(&self, now: Time) -> bool {
+        self.inner.purge_due(now)
+    }
+
+    fn purge(&mut self, now: Time, retain_bad: u64) -> PurgeReport {
+        self.sequence_event();
+        let report = self.inner.purge(now, retain_bad);
+        if !report.skipped {
+            self.elect_new_committee(now);
+        }
+        report
+    }
+
+    fn next_periodic(&self) -> Option<Time> {
+        self.inner.next_periodic()
+    }
+
+    fn periodic_cost_per_member(&self, now: Time) -> Cost {
+        self.inner.periodic_cost_per_member(now)
+    }
+
+    fn periodic_apply(&mut self, now: Time, bad_retained: u64) -> PeriodicReport {
+        self.inner.periodic_apply(now, bad_retained)
+    }
+
+    fn n_members(&self) -> u64 {
+        self.inner.n_members()
+    }
+
+    fn n_bad(&self) -> u64 {
+        self.inner.n_bad()
+    }
+
+    fn drain_events(&mut self) -> Vec<DefenseEvent> {
+        self.inner.drain_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_sim::adversary::BudgetJoiner;
+    use sybil_sim::engine::{SimConfig, Simulation};
+    use sybil_sim::workload::{Session, Workload};
+
+    fn workload() -> Workload {
+        Workload::new(
+            (0..2000).map(|i| Time(1.0 + i as f64)).collect(),
+            (0..2000)
+                .map(|i| Session::new(Time(i as f64 * 0.5), Time(i as f64 * 0.5 + 500.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn behaves_like_centralized_ergo() {
+        // Same workload, same adversary, same seed: the decentralized
+        // variant must make identical membership decisions.
+        let cfg = SimConfig { horizon: Time(500.0), adv_rate: 200.0, ..SimConfig::default() };
+        let central = Simulation::new(
+            cfg,
+            Ergo::new(ErgoConfig::default()),
+            BudgetJoiner::new(200.0),
+            workload(),
+        )
+        .run();
+        let decentral = Simulation::new(
+            cfg,
+            DecentralizedErgo::new(DecentralConfig::default()),
+            BudgetJoiner::new(200.0),
+            workload(),
+        )
+        .run();
+        assert_eq!(central.bad_joins_admitted, decentral.bad_joins_admitted);
+        assert_eq!(central.purges, decentral.purges);
+        assert_eq!(central.final_members, decentral.final_members);
+        assert_eq!(
+            central.ledger.good_total(),
+            decentral.ledger.good_total()
+        );
+    }
+
+    #[test]
+    fn committee_maintains_good_supermajority_under_attack() {
+        let cfg = SimConfig { horizon: Time(1000.0), adv_rate: 500.0, ..SimConfig::default() };
+        let mut defense = DecentralizedErgo::new(DecentralConfig::default());
+        // Run via the engine by moving the defense in, then inspect history
+        // through a second instance... instead drive the defense directly:
+        defense.init(Time::ZERO, 10_000, 0);
+        // Burst joins and purges across many iterations.
+        let _ = cfg;
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += 1.0;
+            let now = Time(t);
+            let _ = defense.bad_join_batch(now, Cost(1e12), u64::MAX);
+            // Some good departures within the iteration.
+            for _ in 0..50 {
+                defense.good_depart(now, Time::ZERO);
+            }
+            if defense.purge_due(now) {
+                defense.purge(now, defense.n_bad().min(defense.n_members() / 18));
+            }
+        }
+        assert!(!defense.history().is_empty());
+        let min_frac = defense.min_committee_good_fraction();
+        assert!(min_frac >= 7.0 / 8.0, "min committee good fraction {min_frac}");
+        assert!(defense.messages() > 0);
+    }
+
+    #[test]
+    fn committee_size_is_logarithmic() {
+        let mut d = DecentralizedErgo::new(DecentralConfig::default());
+        d.init(Time::ZERO, 10_000, 0);
+        let size = d.committee().size();
+        // 30·ln(10000) ≈ 277.
+        assert!((250..=300).contains(&size), "size {size}");
+    }
+
+    #[test]
+    fn elections_happen_at_purges() {
+        let mut d = DecentralizedErgo::new(DecentralConfig::default());
+        d.init(Time::ZERO, 110, 0);
+        let before = d.history().len();
+        let _ = d.bad_join_batch(Time(1.0), Cost(1e9), u64::MAX);
+        d.purge(Time(1.0), 0);
+        assert_eq!(d.history().len(), before + 1);
+        let rec = d.history().last().unwrap();
+        assert!(rec.elected.size() > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Committee election (paper Section 12.2).
+//!
+//! At the end of each iteration the old committee elects a new one of size
+//! `C·log N` by selecting IDs "independently and uniformly at random from
+//! the set `S_i`" — implementable with the Rabin–Ben-Or secure multiparty
+//! coin (the paper's suggestion) whose output we model as a seeded RNG.
+//! Lemma 18: with `C` large enough the committee keeps a ≥ 7/8 good
+//! fraction and Θ(log n₀) size throughout, w.h.p.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The composition of an elected committee (seat counts).
+///
+/// Seats are sampled independently with replacement, exactly as Lemma 18
+/// analyzes; a seat is good with probability equal to the good fraction of
+/// the current membership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Committee {
+    /// Seats held by good IDs.
+    pub good: u64,
+    /// Seats held by Sybil IDs.
+    pub bad: u64,
+}
+
+impl Committee {
+    /// Total seats.
+    pub fn size(&self) -> u64 {
+        self.good + self.bad
+    }
+
+    /// Fraction of seats held by good IDs (1.0 for an empty committee).
+    pub fn good_fraction(&self) -> f64 {
+        if self.size() == 0 {
+            return 1.0;
+        }
+        self.good as f64 / self.size() as f64
+    }
+
+    /// True if good IDs hold a strict majority.
+    pub fn good_majority(&self) -> bool {
+        2 * self.good > self.size()
+    }
+}
+
+/// The committee size rule `⌈C·ln N⌉` (paper: `C log N_i` for constant C).
+pub fn committee_size(n_members: u64, c: f64) -> u64 {
+    assert!(c > 0.0, "C must be positive");
+    let n = n_members.max(2) as f64;
+    (c * n.ln()).ceil() as u64
+}
+
+/// Elects a committee of `seats` from a population with `n_good` good and
+/// `n_bad` Sybil members, sampling seats independently and uniformly.
+pub fn elect(n_good: u64, n_bad: u64, seats: u64, rng: &mut StdRng) -> Committee {
+    let n = n_good + n_bad;
+    if n == 0 || seats == 0 {
+        return Committee { good: 0, bad: 0 };
+    }
+    let p_good = n_good as f64 / n as f64;
+    let mut good = 0;
+    for _ in 0..seats {
+        if rng.gen::<f64>() < p_good {
+            good += 1;
+        }
+    }
+    Committee { good, bad: seats - good }
+}
+
+/// Applies within-iteration attrition: each good seat departs independently
+/// with probability `depart_prob` (good departures are uniform over good
+/// IDs, so a seat departs with the same probability as any good ID).
+pub fn attrition(committee: Committee, depart_prob: f64, rng: &mut StdRng) -> Committee {
+    assert!((0.0..=1.0).contains(&depart_prob), "probability out of range");
+    let mut departed = 0;
+    for _ in 0..committee.good {
+        if rng.gen::<f64>() < depart_prob {
+            departed += 1;
+        }
+    }
+    Committee { good: committee.good - departed, bad: committee.bad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn size_rule_is_logarithmic() {
+        let s10k = committee_size(10_000, 30.0);
+        let s100k = committee_size(100_000, 30.0);
+        assert!((270..=285).contains(&s10k), "{s10k}");
+        // 10x population → additive log growth, not multiplicative.
+        assert!(s100k < s10k + 100, "{s100k}");
+    }
+
+    #[test]
+    fn election_tracks_population_composition() {
+        let mut r = rng(1);
+        // 6% bad population, 276 seats: expect ~6% bad seats.
+        let c = elect(9400, 600, 276, &mut r);
+        assert_eq!(c.size(), 276);
+        let bad_frac = 1.0 - c.good_fraction();
+        assert!(bad_frac < 0.12, "bad fraction {bad_frac}");
+        assert!(c.good_majority());
+    }
+
+    #[test]
+    fn lemma18_good_fraction_holds_across_many_elections() {
+        // Post-purge bad fraction ≤ κ/(1−ε) ≈ 6%; Lemma 18 claims the
+        // committee keeps ≥ 7/8 good w.h.p. Run 2000 elections and check
+        // every one (276 seats ⇒ the tail is tiny).
+        let mut r = rng(2);
+        let mut min_frac = 1.0f64;
+        for _ in 0..2000 {
+            let c = elect(9400, 600, 276, &mut r);
+            min_frac = min_frac.min(c.good_fraction());
+        }
+        assert!(min_frac >= 7.0 / 8.0, "min good fraction {min_frac}");
+    }
+
+    #[test]
+    fn attrition_only_removes_good_seats() {
+        let mut r = rng(3);
+        let before = Committee { good: 200, bad: 20 };
+        let after = attrition(before, 1.0 / 11.0, &mut r);
+        assert_eq!(after.bad, 20);
+        assert!(after.good <= 200);
+        // ~18 departures expected; stay within generous bounds.
+        assert!(after.good >= 160, "good {}", after.good);
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let mut r = rng(4);
+        let c = elect(0, 0, 10, &mut r);
+        assert_eq!(c.size(), 0);
+        assert_eq!(c.good_fraction(), 1.0);
+        let c = elect(10, 0, 0, &mut r);
+        assert_eq!(c.size(), 0);
+        let all_bad = elect(0, 10, 8, &mut r);
+        assert_eq!(all_bad.good, 0);
+        assert!(!all_bad.good_majority());
+    }
+}

@@ -1,0 +1,321 @@
+//! The GoodJEst good-join-rate estimator (paper Figure 5, Section 8).
+//!
+//! GoodJEst divides time into *intervals*: an interval ends at the first
+//! time `t'` with `|S(t') △ S(t)| ≥ 5/12·|S(t')|`, where `t` is the interval
+//! start. At that point the estimate is set to `J̃ ← |S(t')| / (t' − t)` and
+//! a new interval begins.
+//!
+//! The estimator never learns which IDs are good: it observes only the join
+//! and departure stream over *all* IDs. Theorem 2 proves that as long as the
+//! fraction of bad IDs stays below 1/6 (which Ergo guarantees), `J̃` is
+//! within `α,β`-polynomial factors of the true good join rate.
+//!
+//! # Example
+//!
+//! ```
+//! use ergo_core::goodjest::GoodJEst;
+//! use ergo_core::params::GoodJEstConfig;
+//! use sybil_sim::time::Time;
+//!
+//! // 100 IDs at start; the initial estimate is |S(0)| / init_duration.
+//! let mut est = GoodJEst::new(GoodJEstConfig::default(), Time::ZERO, 100);
+//! assert_eq!(est.estimate(), 100.0);
+//!
+//! // Joins accumulate symmetric difference; with k joins the interval ends
+//! // once 12·k ≥ 5·(100+k), i.e. at the 72nd join.
+//! for i in 0..80 {
+//!     est.on_join(Time(i as f64 + 1.0), 1);
+//! }
+//! // The interval rolled: the estimate now reflects ~2.4 IDs/s (172 IDs
+//! // over 72 s) instead of the wild initialization guess.
+//! assert!(est.estimate() < 10.0);
+//! ```
+
+use crate::params::GoodJEstConfig;
+use crate::symdiff::SymdiffTracker;
+use sybil_sim::time::Time;
+
+/// A completed estimator interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalRecord {
+    /// Interval start `t`.
+    pub start: Time,
+    /// Interval end `t'`.
+    pub end: Time,
+    /// The estimate set at the end: `|S(t')| / (t' − t)`.
+    pub estimate: f64,
+}
+
+/// The GoodJEst estimator state machine.
+#[derive(Clone, Debug)]
+pub struct GoodJEst {
+    cfg: GoodJEstConfig,
+    /// Interval start `t` (the last estimate-update time).
+    t_start: Time,
+    /// Symmetric difference vs membership at `t_start`.
+    tracker: SymdiffTracker,
+    /// Current system size `|S(t')|`.
+    size: u64,
+    /// Current estimate `J̃`.
+    estimate: f64,
+    /// Heuristic 1: the threshold has been crossed and the update is
+    /// deferred until the iteration ends (post-purge).
+    pending: bool,
+    /// Intervals completed so far (estimate updates performed).
+    updates: u64,
+    /// Completed intervals, drained by the caller for analysis.
+    log: Vec<IntervalRecord>,
+}
+
+impl GoodJEst {
+    /// Initializes the estimator at time `now` with `initial_size` members.
+    ///
+    /// The initial estimate is `initial_size / cfg.init_duration`, mirroring
+    /// the paper's "number of IDs at system initialization divided by the
+    /// total time taken for initialization".
+    pub fn new(cfg: GoodJEstConfig, now: Time, initial_size: u64) -> Self {
+        assert!(cfg.init_duration > 0.0, "init duration must be positive");
+        GoodJEst {
+            cfg,
+            t_start: now,
+            tracker: SymdiffTracker::new(),
+            size: initial_size,
+            estimate: initial_size as f64 / cfg.init_duration,
+            pending: false,
+            updates: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of completed intervals (estimate updates) so far. Zero means
+    /// the current estimate is still the initialization guess.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current estimate `J̃` of the good join rate (IDs/second).
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Start time of the current interval.
+    pub fn interval_start(&self) -> Time {
+        self.t_start
+    }
+
+    /// Current tracked system size `|S(t')|`.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Current symmetric difference vs the interval-start membership.
+    pub fn symdiff(&self) -> u64 {
+        self.tracker.symdiff()
+    }
+
+    /// True if a departure of an ID that joined at `joined_at` counts as an
+    /// *old* member (present at the interval start) for this estimator.
+    pub fn classify_old(&self, joined_at: Time) -> bool {
+        joined_at <= self.t_start
+    }
+
+    /// Records `n` simultaneous joins.
+    pub fn on_join(&mut self, now: Time, n: u64) {
+        self.size += n;
+        self.tracker.on_join(n);
+        self.maybe_roll(now);
+    }
+
+    /// Records `n` simultaneous departures; `old` says whether the departing
+    /// IDs were members at the interval start (see [`classify_old`]).
+    ///
+    /// [`classify_old`]: GoodJEst::classify_old
+    pub fn on_depart(&mut self, now: Time, old: bool, n: u64) {
+        debug_assert!(self.size >= n, "departure underflow");
+        self.size = self.size.saturating_sub(n);
+        if old {
+            self.tracker.on_depart_old(n);
+        } else {
+            self.tracker.on_depart_new(n);
+        }
+        self.maybe_roll(now);
+    }
+
+    /// Heuristic 1 hook: called at each iteration end (after the purge, or
+    /// after a Heuristic-3 skip decision) so a deferred update uses the
+    /// iteration-boundary membership. Skipped purges must still release
+    /// deferred updates — otherwise Heuristics 1 and 3 deadlock, freezing
+    /// the estimate and skipping purges forever.
+    pub fn on_purge_complete(&mut self, now: Time) {
+        if self.cfg.align_to_iterations && self.pending && now > self.t_start {
+            self.roll(now);
+        }
+    }
+
+    /// True if the interval-end condition `|S(t')△S(t)| ≥ 5/12·|S(t')|` holds.
+    pub fn threshold_met(&self) -> bool {
+        self.cfg
+            .interval_threshold
+            .le_scaled(self.tracker.symdiff(), self.size)
+    }
+
+    fn maybe_roll(&mut self, now: Time) {
+        if !self.threshold_met() {
+            return;
+        }
+        if self.cfg.align_to_iterations {
+            self.pending = true;
+        } else if now > self.t_start {
+            self.roll(now);
+        }
+        // If now == t_start the update waits for time to advance (a zero-
+        // length interval would produce an infinite estimate); the threshold
+        // re-fires on the next event.
+    }
+
+    fn roll(&mut self, now: Time) {
+        let dt = now - self.t_start;
+        debug_assert!(dt > 0.0);
+        self.estimate = self.size as f64 / dt;
+        self.log.push(IntervalRecord { start: self.t_start, end: now, estimate: self.estimate });
+        self.t_start = now;
+        self.tracker.reset();
+        self.pending = false;
+        self.updates += 1;
+    }
+
+    /// Drains the completed-interval log.
+    pub fn drain_intervals(&mut self) -> Vec<IntervalRecord> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Ratio;
+
+    fn cfg() -> GoodJEstConfig {
+        GoodJEstConfig::default()
+    }
+
+    #[test]
+    fn initial_estimate_uses_init_duration() {
+        let est = GoodJEst::new(
+            GoodJEstConfig { init_duration: 2.0, ..cfg() },
+            Time::ZERO,
+            100,
+        );
+        assert_eq!(est.estimate(), 50.0);
+    }
+
+    #[test]
+    fn interval_rolls_at_symdiff_threshold() {
+        // Size 12; threshold 5/12 → symdiff 5 with size fixed... but size
+        // grows with joins. Use joins only: after k joins size = 12 + k,
+        // symdiff = k; roll when 12·k ≥ 5·(12+k) → 7k ≥ 60 → k = 9
+        // (12·9=108 ≥ 5·21=105).
+        let mut est = GoodJEst::new(cfg(), Time::ZERO, 12);
+        for k in 1..=8 {
+            est.on_join(Time(k as f64), 1);
+            assert!(est.drain_intervals().is_empty(), "rolled early at k={k}");
+        }
+        est.on_join(Time(9.0), 1);
+        let log = est.drain_intervals();
+        assert_eq!(log.len(), 1);
+        // |S(t')| = 21 over 9 seconds.
+        assert!((log[0].estimate - 21.0 / 9.0).abs() < 1e-12);
+        assert_eq!(est.interval_start(), Time(9.0));
+        assert_eq!(est.symdiff(), 0);
+    }
+
+    #[test]
+    fn departures_of_old_ids_count_once() {
+        // Old departures keep inflating the symmetric difference even after
+        // the IDs are gone; new-join + new-depart pairs cancel.
+        let mut est = GoodJEst::new(cfg(), Time::ZERO, 100);
+        est.on_join(Time(1.0), 1);
+        assert_eq!(est.symdiff(), 1);
+        est.on_depart(Time(2.0), false, 1); // the new ID leaves: cancels
+        assert_eq!(est.symdiff(), 0);
+        est.on_depart(Time(3.0), true, 1); // an old ID leaves: sticks
+        assert_eq!(est.symdiff(), 1);
+        assert_eq!(est.size(), 99);
+    }
+
+    #[test]
+    fn classify_old_uses_interval_start() {
+        let mut est = GoodJEst::new(cfg(), Time(10.0), 50);
+        assert!(est.classify_old(Time(10.0)));
+        assert!(est.classify_old(Time(3.0)));
+        assert!(!est.classify_old(Time(11.0)));
+        // Roll the interval; the boundary moves.
+        for k in 0..40 {
+            est.on_join(Time(20.0 + k as f64), 1);
+        }
+        assert!(est.interval_start() > Time(10.0));
+        assert!(est.classify_old(est.interval_start()));
+    }
+
+    #[test]
+    fn heuristic1_defers_until_purge() {
+        let mut est = GoodJEst::new(
+            GoodJEstConfig { align_to_iterations: true, ..cfg() },
+            Time::ZERO,
+            12,
+        );
+        for k in 1..=20 {
+            est.on_join(Time(k as f64), 1);
+        }
+        // Threshold long since crossed, but no roll yet.
+        assert!(est.drain_intervals().is_empty());
+        let before = est.estimate();
+        est.on_purge_complete(Time(25.0));
+        let log = est.drain_intervals();
+        assert_eq!(log.len(), 1);
+        assert_ne!(est.estimate(), before);
+        assert_eq!(log[0].end, Time(25.0));
+    }
+
+    #[test]
+    fn zero_length_interval_deferred() {
+        // All events at t=0: threshold crossing must not divide by zero.
+        let mut est = GoodJEst::new(cfg(), Time::ZERO, 12);
+        for _ in 0..30 {
+            est.on_join(Time::ZERO, 1);
+        }
+        assert_eq!(est.estimate(), 12.0); // unchanged
+        // Time advances: the next event rolls the interval.
+        est.on_join(Time(2.0), 1);
+        assert!(est.drain_intervals().len() == 1);
+    }
+
+    #[test]
+    fn batch_events_are_counted() {
+        let mut est = GoodJEst::new(cfg(), Time::ZERO, 1000);
+        est.on_join(Time(1.0), 500);
+        // 12·500 ≥ 5·1500 → 6000 ≥ 7500: not yet.
+        assert_eq!(est.drain_intervals().len(), 0);
+        est.on_join(Time(2.0), 200);
+        // symdiff 700, size 1700: 8400 ≥ 8500? No.
+        est.on_join(Time(3.0), 50);
+        // symdiff 750, size 1750: 9000 ≥ 8750 → rolls.
+        let log = est.drain_intervals();
+        assert_eq!(log.len(), 1);
+        assert!((log[0].estimate - 1750.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        // Section 13.3 variant: interval threshold 1/2.
+        let c = GoodJEstConfig { interval_threshold: Ratio::new(1, 2), ..cfg() };
+        let mut est = GoodJEst::new(c, Time::ZERO, 10);
+        for k in 1..=9 {
+            est.on_join(Time(k as f64), 1);
+        }
+        // After k joins: 2k ≥ 10 + k → k ≥ 10.
+        assert!(est.drain_intervals().is_empty());
+        est.on_join(Time(10.0), 1);
+        assert_eq!(est.drain_intervals().len(), 1);
+    }
+}

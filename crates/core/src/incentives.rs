@@ -1,0 +1,253 @@
+//! Incentivizing puzzle solving (paper Sections 3.1 and 13.1).
+//!
+//! Ergo requires good IDs to solve 1-hard challenges at every purge; the
+//! paper sketches how to motivate this with cryptocurrency-style rewards:
+//! *"during the purge, competition for a reward could be used... the ID
+//! that finds the smallest solution during this period could receive units
+//! of cryptocurrency"*, and *"the difficulty of a 1-hard puzzle could be
+//! tuned, based on measured computational effort, to automatically adjust
+//! to new, faster hardware"*. This module builds both sketches:
+//!
+//! * [`PurgeLottery`] — a verifiable smallest-digest competition: every
+//!   purge participant's solution digest enters; the smallest wins the
+//!   reward. Any party can re-verify the winner from public data.
+//! * [`expected_profit`] / [`is_individually_rational`] — the
+//!   participation calculus: solving costs 1 unit; a reward of at least
+//!   `n` units makes participation a positive-expectation bet for each of
+//!   `n` members.
+//! * [`DifficultyController`] — Bitcoin-style retargeting of the "1-hard"
+//!   unit: keeps the measured round duration near a target as hardware
+//!   speeds change, with bounded per-step swing.
+
+use sybil_crypto::sha256::{Digest, Sha256};
+
+/// A purge-round lottery entry: a participant and its solution digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LotteryEntry {
+    /// Participant identifier bytes (e.g. `Id::to_bytes`).
+    pub participant: Vec<u8>,
+    /// The digest of the participant's challenge solution.
+    pub digest: Digest,
+}
+
+/// The smallest-digest purge lottery.
+///
+/// # Example
+///
+/// ```
+/// use ergo_core::incentives::PurgeLottery;
+///
+/// let lottery = PurgeLottery::new(b"purge-round-812");
+/// let entries: Vec<_> = (0u64..50)
+///     .map(|i| lottery.enter(&i.to_be_bytes(), i))
+///     .collect();
+/// let winner = PurgeLottery::winner(&entries).unwrap();
+/// // Anyone can re-verify the winner from public data.
+/// assert!(entries.iter().all(|e| winner.digest <= e.digest));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PurgeLottery {
+    round_nonce: Vec<u8>,
+}
+
+impl PurgeLottery {
+    /// A lottery for the purge round identified by `round_nonce`.
+    pub fn new(round_nonce: &[u8]) -> Self {
+        PurgeLottery { round_nonce: round_nonce.to_vec() }
+    }
+
+    /// Computes a participant's entry from its solution nonce.
+    ///
+    /// Binding the round nonce and the participant identity means entries
+    /// cannot be precomputed or stolen — the same properties as the
+    /// challenges themselves.
+    pub fn enter(&self, participant: &[u8], solution_nonce: u64) -> LotteryEntry {
+        let mut h = Sha256::new();
+        h.update(&self.round_nonce);
+        h.update(participant);
+        h.update(&solution_nonce.to_be_bytes());
+        LotteryEntry { participant: participant.to_vec(), digest: h.finalize() }
+    }
+
+    /// The winning entry: smallest digest (ties broken by participant
+    /// bytes, deterministically). `None` on an empty round.
+    pub fn winner(entries: &[LotteryEntry]) -> Option<&LotteryEntry> {
+        entries
+            .iter()
+            .min_by(|a, b| a.digest.cmp(&b.digest).then(a.participant.cmp(&b.participant)))
+    }
+}
+
+/// Expected profit of participating in a purge lottery: the reward is won
+/// uniformly (digests are uniform), so `E[profit] = reward/n − cost`.
+pub fn expected_profit(reward: f64, participants: u64, solve_cost: f64) -> f64 {
+    assert!(participants > 0, "no participants");
+    reward / participants as f64 - solve_cost
+}
+
+/// True if solving is a non-negative-expectation action for each of `n`
+/// members — the individual-rationality condition for honest participation.
+pub fn is_individually_rational(reward: f64, participants: u64, solve_cost: f64) -> bool {
+    expected_profit(reward, participants, solve_cost) >= 0.0
+}
+
+/// Retargets the hardness of a "1-hard" challenge to hold a target solve
+/// duration as hardware throughput drifts, like Bitcoin's difficulty
+/// adjustment: `new = old · target/measured`, with the per-step swing
+/// clamped to a factor of [`DifficultyController::MAX_STEP`].
+#[derive(Clone, Debug)]
+pub struct DifficultyController {
+    target_duration: f64,
+    hardness: f64,
+    /// EWMA of measured durations (smoothing factor 0.3).
+    smoothed: Option<f64>,
+}
+
+impl DifficultyController {
+    /// Maximum per-retarget swing factor (Bitcoin uses 4).
+    pub const MAX_STEP: f64 = 4.0;
+
+    /// A controller holding solve time at `target_duration` seconds,
+    /// starting from `initial_hardness` hash units.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive inputs.
+    pub fn new(target_duration: f64, initial_hardness: f64) -> Self {
+        assert!(target_duration > 0.0 && initial_hardness > 0.0);
+        DifficultyController { target_duration, hardness: initial_hardness, smoothed: None }
+    }
+
+    /// The current hardness of a "1-hard" challenge, in hash units.
+    pub fn hardness(&self) -> f64 {
+        self.hardness
+    }
+
+    /// The integer hardness to issue (at least 1).
+    pub fn issue_hardness(&self) -> u64 {
+        (self.hardness.round() as u64).max(1)
+    }
+
+    /// Feeds one measured solve duration and retargets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured_duration` is not positive.
+    pub fn observe(&mut self, measured_duration: f64) {
+        assert!(measured_duration > 0.0, "duration must be positive");
+        let s = match self.smoothed {
+            Some(prev) => 0.7 * prev + 0.3 * measured_duration,
+            None => measured_duration,
+        };
+        self.smoothed = Some(s);
+        let raw = self.target_duration / s;
+        let factor = raw.clamp(1.0 / Self::MAX_STEP, Self::MAX_STEP);
+        self.hardness = (self.hardness * factor).max(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lottery_winner_is_minimum_and_deterministic() {
+        let lottery = PurgeLottery::new(b"round-1");
+        let entries: Vec<_> = (0u64..200).map(|i| lottery.enter(&i.to_be_bytes(), i)).collect();
+        let w1 = PurgeLottery::winner(&entries).unwrap().clone();
+        let w2 = PurgeLottery::winner(&entries).unwrap().clone();
+        assert_eq!(w1, w2);
+        assert!(entries.iter().all(|e| w1.digest <= e.digest));
+    }
+
+    #[test]
+    fn lottery_is_fair_across_rounds() {
+        // Each participant should win roughly uniformly over many rounds.
+        let n = 10u64;
+        let rounds = 3000;
+        let mut wins = vec![0u32; n as usize];
+        for r in 0..rounds {
+            let lottery = PurgeLottery::new(&(r as u64).to_be_bytes());
+            let entries: Vec<_> =
+                (0..n).map(|i| lottery.enter(&i.to_be_bytes(), r as u64)).collect();
+            let w = PurgeLottery::winner(&entries).unwrap();
+            let idx = u64::from_be_bytes(w.participant.clone().try_into().unwrap());
+            wins[idx as usize] += 1;
+        }
+        let expect = rounds as f64 / n as f64;
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                (w as f64 - expect).abs() < expect * 0.35,
+                "participant {i} won {w} of ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_lottery_has_no_winner() {
+        assert!(PurgeLottery::winner(&[]).is_none());
+    }
+
+    #[test]
+    fn different_rounds_give_different_winners_sometimes() {
+        let entries = |nonce: &[u8]| -> Vec<LotteryEntry> {
+            let l = PurgeLottery::new(nonce);
+            (0u64..20).map(|i| l.enter(&i.to_be_bytes(), 0)).collect()
+        };
+        let winners: std::collections::HashSet<Vec<u8>> = (0u64..20)
+            .map(|r| {
+                PurgeLottery::winner(&entries(&r.to_be_bytes()))
+                    .unwrap()
+                    .participant
+                    .clone()
+            })
+            .collect();
+        assert!(winners.len() > 3, "winners too concentrated: {}", winners.len());
+    }
+
+    #[test]
+    fn rationality_threshold() {
+        assert!(is_individually_rational(100.0, 100, 1.0));
+        assert!(!is_individually_rational(99.0, 100, 1.0));
+        assert_eq!(expected_profit(200.0, 100, 1.0), 1.0);
+    }
+
+    #[test]
+    fn difficulty_converges_to_target() {
+        // Hardware solves 1000 hash units/second; target round = 2 s.
+        let hash_rate = 1000.0;
+        let mut ctl = DifficultyController::new(2.0, 100.0);
+        for _ in 0..60 {
+            let duration = ctl.hardness() / hash_rate;
+            ctl.observe(duration);
+        }
+        let settled = ctl.hardness() / hash_rate;
+        assert!((settled - 2.0).abs() < 0.2, "settled at {settled}s");
+        assert!(ctl.issue_hardness() >= 1);
+    }
+
+    #[test]
+    fn difficulty_tracks_hardware_speedup() {
+        let mut ctl = DifficultyController::new(1.0, 1000.0);
+        let mut rate = 1000.0;
+        for round in 0..200 {
+            if round == 100 {
+                rate *= 8.0; // new ASICs arrive
+            }
+            ctl.observe(ctl.hardness() / rate);
+        }
+        let settled = ctl.hardness() / rate;
+        assert!((settled - 1.0).abs() < 0.15, "settled at {settled}s after speedup");
+        assert!(ctl.hardness() > 4000.0, "hardness should have risen: {}", ctl.hardness());
+    }
+
+    #[test]
+    fn retarget_swing_is_clamped() {
+        let mut ctl = DifficultyController::new(1.0, 100.0);
+        ctl.observe(1e-6); // absurdly fast measurement
+        assert!(ctl.hardness() <= 400.0 + 1e-9, "clamped to 4x: {}", ctl.hardness());
+        let mut ctl = DifficultyController::new(1.0, 100.0);
+        ctl.observe(1e6); // absurdly slow
+        assert!(ctl.hardness() >= 25.0 - 1e-9, "clamped to 1/4: {}", ctl.hardness());
+    }
+}

@@ -1,0 +1,205 @@
+//! Sliding-window join counting for the entrance cost.
+//!
+//! Ergo's Step 1 (paper Figure 4) quotes each joiner a challenge of hardness
+//! "1 plus the number of IDs that have joined in the last `1/J̃` seconds of
+//! the current iteration". This module maintains the join history of the
+//! current iteration as a cumulative-count array, so the windowed count is a
+//! binary search and admitting a *batch* of `n` simultaneous joins has a
+//! closed-form total cost
+//!
+//! ```text
+//! cost(n) = n·q₀ + n(n−1)/2      where q₀ is the current quote,
+//! ```
+//!
+//! because each admission raises the next joiner's quote by one. This is the
+//! arithmetic-series escalation behind the paper's `Θ(x²)` adversary cost
+//! intuition (Section 7.1).
+
+use sybil_sim::time::Time;
+
+/// Join history of the current iteration, supporting O(log n) windowed
+/// counts and O(1) amortized appends.
+#[derive(Clone, Debug, Default)]
+pub struct JoinWindow {
+    /// `(time, cumulative joins up to and including time)`, time-sorted.
+    entries: Vec<(f64, u64)>,
+}
+
+impl JoinWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        JoinWindow::default()
+    }
+
+    /// Records `n` joins at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `now` precedes the last recorded join.
+    pub fn record(&mut self, now: Time, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let t = now.as_secs();
+        let total = self.total() + n;
+        if let Some(last) = self.entries.last_mut() {
+            debug_assert!(t >= last.0, "joins must be recorded in time order");
+            if last.0 == t {
+                last.1 = total;
+                return;
+            }
+        }
+        self.entries.push((t, total));
+    }
+
+    /// Total joins recorded this iteration.
+    pub fn total(&self) -> u64 {
+        self.entries.last().map_or(0, |&(_, c)| c)
+    }
+
+    /// Number of joins in the half-open window `(now − width, now]`.
+    ///
+    /// A non-positive or non-finite `width` counts nothing / everything
+    /// respectively consistent with `1/J̃` semantics: `width = ∞` (estimate
+    /// 0) counts the whole iteration; `width = 0` counts only joins at
+    /// exactly `now`.
+    pub fn count_within(&self, now: Time, width: f64) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let cutoff = now.as_secs() - width;
+        // Joins strictly after `cutoff` are inside the window.
+        let idx = self.entries.partition_point(|&(t, _)| t <= cutoff);
+        let before = if idx == 0 { 0 } else { self.entries[idx - 1].1 };
+        self.total() - before
+    }
+
+    /// Clears the history (called at each purge: the entrance rule reads
+    /// "of the current iteration").
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Total cost of `n` simultaneous admissions starting from quote `q0`:
+/// `n·q0 + n(n−1)/2`.
+pub fn batch_cost(q0: f64, n: u64) -> f64 {
+    let n = n as f64;
+    n * q0 + n * (n - 1.0) / 2.0
+}
+
+/// The largest `n` with [`batch_cost`]`(q0, n) ≤ budget`.
+pub fn max_affordable(q0: f64, budget: f64) -> u64 {
+    if budget < q0 {
+        return 0;
+    }
+    // Solve n²/2 + n(q0 − 1/2) − budget = 0 for the positive root.
+    let b = q0 - 0.5;
+    let root = (-b + (b * b + 2.0 * budget).sqrt()).max(0.0);
+    let mut n = root.floor() as u64;
+    // Floating-point safety: adjust to the exact integer boundary.
+    while batch_cost(q0, n + 1) <= budget {
+        n += 1;
+    }
+    while n > 0 && batch_cost(q0, n) > budget {
+        n -= 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_window_counts_zero() {
+        let w = JoinWindow::new();
+        assert_eq!(w.count_within(Time(10.0), 5.0), 0);
+        assert_eq!(w.total(), 0);
+    }
+
+    #[test]
+    fn windowed_count() {
+        let mut w = JoinWindow::new();
+        w.record(Time(1.0), 2);
+        w.record(Time(2.0), 3);
+        w.record(Time(5.0), 1);
+        assert_eq!(w.total(), 6);
+        // Window (4, 5]: only the join at t=5.
+        assert_eq!(w.count_within(Time(5.0), 1.0), 1);
+        // Window (2, 5]: join at 5 only (t=2 is excluded: strictly after cutoff).
+        assert_eq!(w.count_within(Time(5.0), 3.0), 1);
+        // Window (1.5, 5]: joins at 2 and 5.
+        assert_eq!(w.count_within(Time(5.0), 3.5), 4);
+        // Whole history.
+        assert_eq!(w.count_within(Time(5.0), 100.0), 6);
+        // Zero width: only joins exactly at now... cutoff = now, t <= cutoff
+        // excludes everything at or before now.
+        assert_eq!(w.count_within(Time(5.0), 0.0), 0);
+    }
+
+    #[test]
+    fn same_time_joins_merge() {
+        let mut w = JoinWindow::new();
+        w.record(Time(1.0), 1);
+        w.record(Time(1.0), 2);
+        assert_eq!(w.total(), 3);
+        assert_eq!(w.count_within(Time(1.0), 0.5), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = JoinWindow::new();
+        w.record(Time(1.0), 5);
+        w.clear();
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.count_within(Time(2.0), 10.0), 0);
+    }
+
+    #[test]
+    fn batch_cost_matches_series() {
+        // q0=3, n=4: 3+4+5+6 = 18.
+        assert_eq!(batch_cost(3.0, 4), 18.0);
+        assert_eq!(batch_cost(1.0, 1), 1.0);
+        assert_eq!(batch_cost(5.0, 0), 0.0);
+    }
+
+    #[test]
+    fn max_affordable_boundaries() {
+        // q0=1: cost(n) = n(n+1)/2. budget 10 → n=4 (cost 10).
+        assert_eq!(max_affordable(1.0, 10.0), 4);
+        assert_eq!(max_affordable(1.0, 9.99), 3);
+        assert_eq!(max_affordable(1.0, 0.5), 0);
+        assert_eq!(max_affordable(10.0, 9.0), 0);
+        assert_eq!(max_affordable(10.0, 10.0), 1);
+    }
+
+    proptest! {
+        /// Closed-form affordability agrees with the greedy series sum.
+        #[test]
+        fn max_affordable_is_exact(q0 in 1.0f64..1000.0, budget in 0.0f64..100_000.0) {
+            let n = max_affordable(q0, budget);
+            prop_assert!(batch_cost(q0, n) <= budget || n == 0);
+            prop_assert!(batch_cost(q0, n + 1) > budget);
+        }
+
+        /// Windowed counts agree with brute force over the raw history.
+        #[test]
+        fn count_matches_brute_force(
+            joins in proptest::collection::vec((0.0f64..100.0, 1u64..5), 0..50),
+            width in 0.0f64..50.0,
+        ) {
+            let mut sorted = joins.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut w = JoinWindow::new();
+            for &(t, n) in &sorted {
+                w.record(Time(t), n);
+            }
+            let now = Time(100.0);
+            let cutoff = 100.0 - width;
+            let expect: u64 = sorted.iter().filter(|&&(t, _)| t > cutoff).map(|&(_, n)| n).sum();
+            prop_assert_eq!(w.count_within(now, width), expect);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! `k`-hard resource-burning challenges backed by SHA-256 proof-of-work.
+//!
+//! Paper Section 2: *"a `k`-hard RB challenge for any integer `k >= 1`
+//! imposes a resource cost of `k` on the challenge solver"*, and solutions
+//! *"cannot be stolen or pre-computed"*.
+//!
+//! We realize this as hash preimage search: a solution is a nonce `s` such
+//! that `SHA256(challenge-nonce || solver-id || s)` has a 128-bit big-endian
+//! prefix below `u128::MAX / k`. The expected number of hash evaluations is
+//! exactly `k`, so hash evaluations are the burned resource unit:
+//!
+//! * binding the **challenge nonce** prevents pre-computation (the server
+//!   draws a fresh nonce per challenge);
+//! * binding the **solver identity** prevents theft (a solution found for
+//!   one ID does not verify for another).
+//!
+//! Simulations use the abstract cost model (cost `k` for a `k`-hard
+//! challenge, exactly as the paper's experiments do); this module is the
+//! concrete backend a deployment would use, and the micro-benchmarks measure
+//! its real cost scaling.
+
+use crate::sha256::Sha256;
+
+/// A resource-burning challenge of integer hardness `k >= 1`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Challenge {
+    nonce: Vec<u8>,
+    solver_id: Vec<u8>,
+    hardness: u64,
+}
+
+/// A solution to a [`Challenge`]: the nonce found by the solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Solution {
+    /// The solving nonce; feeding it back into the challenge hash meets the target.
+    pub nonce: u64,
+}
+
+impl Challenge {
+    /// Creates a challenge binding `nonce` (challenger randomness) and
+    /// `solver_id` (the identity that must do the work) at the given
+    /// `hardness`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hardness == 0`; a 0-hard challenge is meaningless.
+    pub fn new(nonce: &[u8], solver_id: &[u8], hardness: u64) -> Self {
+        assert!(hardness >= 1, "challenge hardness must be >= 1");
+        Challenge { nonce: nonce.to_vec(), solver_id: solver_id.to_vec(), hardness }
+    }
+
+    /// The hardness `k` of this challenge.
+    pub fn hardness(&self) -> u64 {
+        self.hardness
+    }
+
+    /// The target threshold: digests with a 128-bit prefix strictly below
+    /// this value are valid solutions.
+    pub fn target(&self) -> u128 {
+        // floor(2^128 / k) so that success probability is ~1/k per attempt.
+        u128::MAX / self.hardness as u128
+    }
+
+    fn attempt_digest(&self, solution_nonce: u64) -> u128 {
+        let mut h = Sha256::new();
+        h.update(&(self.nonce.len() as u64).to_be_bytes());
+        h.update(&self.nonce);
+        h.update(&(self.solver_id.len() as u64).to_be_bytes());
+        h.update(&self.solver_id);
+        h.update(&solution_nonce.to_be_bytes());
+        h.finalize().prefix_u128()
+    }
+
+    /// Checks whether `solution` solves this challenge.
+    pub fn verify(&self, solution: &Solution) -> bool {
+        self.attempt_digest(solution.nonce) < self.target()
+    }
+}
+
+/// A brute-force challenge solver.
+///
+/// Tracks the total number of hash evaluations performed, which is the
+/// "resource burned" in the concrete cost model.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    work: u64,
+}
+
+impl Solver {
+    /// Creates a solver with a zeroed work counter.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Total hash evaluations performed by this solver across all calls.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Solves `challenge` by iterating nonces from 0.
+    ///
+    /// Deterministic given the challenge; the expected number of hash
+    /// evaluations equals the challenge hardness.
+    pub fn solve(&mut self, challenge: &Challenge) -> Solution {
+        let target = challenge.target();
+        let mut nonce = 0u64;
+        loop {
+            self.work += 1;
+            if challenge.attempt_digest(nonce) < target {
+                return Solution { nonce };
+            }
+            nonce = nonce.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_verify_roundtrip() {
+        let c = Challenge::new(b"nonce", b"id-1", 4);
+        let s = Solver::new().solve(&c);
+        assert!(c.verify(&s));
+    }
+
+    #[test]
+    fn solution_bound_to_identity() {
+        let c1 = Challenge::new(b"n", b"alice", 8);
+        let sol = Solver::new().solve(&c1);
+        let c2 = Challenge::new(b"n", b"bob", 8);
+        // With overwhelming probability the stolen solution fails; hardness 8
+        // gives a 1/8 chance per nonce, so re-verify on failure tolerance:
+        // this is deterministic for the fixed inputs used here.
+        assert!(c1.verify(&sol));
+        assert!(!c2.verify(&sol));
+    }
+
+    #[test]
+    fn solution_bound_to_challenger_nonce() {
+        let c1 = Challenge::new(b"nonce-a", b"alice", 8);
+        let sol = Solver::new().solve(&c1);
+        let c2 = Challenge::new(b"nonce-b", b"alice", 8);
+        assert!(!c2.verify(&sol));
+    }
+
+    #[test]
+    fn one_hard_challenge_is_free() {
+        // hardness 1 => target = u128::MAX, every digest qualifies.
+        let c = Challenge::new(b"x", b"y", 1);
+        let mut solver = Solver::new();
+        let s = solver.solve(&c);
+        assert!(c.verify(&s));
+        assert_eq!(solver.work(), 1, "first attempt must succeed at k=1");
+    }
+
+    #[test]
+    fn expected_work_scales_with_hardness() {
+        // Average work over many challenges should be within a factor ~2 of k.
+        let k = 32u64;
+        let mut solver = Solver::new();
+        let trials = 60;
+        for i in 0..trials as u64 {
+            let c = Challenge::new(&i.to_be_bytes() as &[u8], b"scaling", k);
+            let s = solver.solve(&c);
+            assert!(c.verify(&s));
+        }
+        let avg = solver.work() as f64 / trials as f64;
+        assert!(
+            avg > k as f64 * 0.5 && avg < k as f64 * 2.0,
+            "avg work {avg} not within factor 2 of k={k}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hardness")]
+    fn zero_hardness_panics() {
+        let _ = Challenge::new(b"a", b"b", 0);
+    }
+
+    #[test]
+    fn target_monotone_in_hardness() {
+        let easy = Challenge::new(b"a", b"b", 2);
+        let hard = Challenge::new(b"a", b"b", 1000);
+        assert!(hard.target() < easy.target());
+    }
+}

@@ -1,0 +1,231 @@
+//! The Theorem 3 lower bound (paper Section 11).
+//!
+//! Theorem 3: any algorithm with properties **B1–B3** —
+//!
+//! * **B1** — entrance fees set by a cost function `f(J_B, J)` of the bad
+//!   and good join rates;
+//! * **B2** — iterations delimited by `a + d ≥ δn` (arrivals + departures
+//!   reaching a δ-fraction of membership);
+//! * **B3** — every ID pays `Ω(1)` at each iteration end to remain;
+//!
+//! — can be forced to spend at rate `Ω(√(T·J) + J)` by an adversary that
+//! joins Sybil IDs uniformly at the maximum affordable rate
+//! (`J_B = T / f(J_B, J)`, a fixed point in `J_B`) and lets them die at
+//! each purge.
+//!
+//! [`run_lower_bound`] simulates exactly that strategy against a pluggable
+//! B1–B3 algorithm and reports the measured spend rate next to the
+//! `√(T·J) + J` bound, so the benchmark can sweep cost functions and show
+//! the bound is respected by all of them — including Ergo-like
+//! (`f = J_B/J`), CCom-like (`f = 1`), and over-aggressive choices.
+
+/// The entrance cost function `f(J_B, J)` of a B1 algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostFunction {
+    /// Constant entrance fee (CCom's choice, `f = c`).
+    Constant(f64),
+    /// Ergo's choice: the total-to-good join-rate ratio `f = (J_B + J)/J`.
+    RatioTotalGood,
+    /// Geometric middle ground `f = √(J_B/J) + 1`.
+    SqrtRatio,
+    /// Aggressive linear-in-attack pricing `f = c·J_B + 1`.
+    ScaledBad(f64),
+}
+
+impl CostFunction {
+    /// Evaluates `f(J_B, J)`.
+    pub fn eval(&self, j_bad: f64, j_good: f64) -> f64 {
+        let j = j_good.max(1e-12);
+        match *self {
+            CostFunction::Constant(c) => c.max(1e-12),
+            CostFunction::RatioTotalGood => (j_bad + j) / j,
+            CostFunction::SqrtRatio => (j_bad / j).sqrt() + 1.0,
+            CostFunction::ScaledBad(c) => c * j_bad + 1.0,
+        }
+    }
+
+    /// Solves the Theorem 3 fixed point `J_B = T / f(J_B, J)` by bisection.
+    ///
+    /// `f` is non-decreasing in `J_B` for all variants here, so
+    /// `g(J_B) = J_B·f(J_B, J) − T` is increasing and has a unique root.
+    pub fn adversary_rate(&self, t: f64, j_good: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let g = |jb: f64| jb * self.eval(jb, j_good) - t;
+        let mut lo = 0.0f64;
+        let mut hi = t.max(1.0);
+        while g(hi) < 0.0 {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = (lo + hi) / 2.0;
+            if g(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+
+    /// Display name for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            CostFunction::Constant(c) => format!("f=const({c})"),
+            CostFunction::RatioTotalGood => "f=(J_B+J)/J (Ergo)".into(),
+            CostFunction::SqrtRatio => "f=sqrt(J_B/J)+1".into(),
+            CostFunction::ScaledBad(c) => format!("f={c}*J_B+1"),
+        }
+    }
+}
+
+/// Outcome of one lower-bound run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LowerBoundOutcome {
+    /// Cost function label.
+    pub label: String,
+    /// Adversary spend rate `T`.
+    pub t: f64,
+    /// Good join rate `J`.
+    pub j: f64,
+    /// Fixed-point Sybil join rate `J_B`.
+    pub j_bad: f64,
+    /// Measured algorithm (good-ID) spend rate.
+    pub spend_rate: f64,
+    /// The Theorem 3 bound `√(T·J) + J`.
+    pub bound: f64,
+    /// `spend_rate / bound` — Theorem 3 says this is `Ω(1)`.
+    pub ratio: f64,
+}
+
+/// Simulates a B1–B3 algorithm against the Theorem 3 adversary.
+///
+/// Good IDs join at rate `j`; Sybil IDs join at the fixed-point rate
+/// `J_B = T/f(J_B, J)` and abandon at purges; iterations end when arrivals
+/// reach `δ·n`; at each iteration end every remaining ID pays 1 (B3).
+///
+/// # Panics
+///
+/// Panics if rates or parameters are non-positive.
+pub fn run_lower_bound(
+    f: CostFunction,
+    t: f64,
+    j: f64,
+    n0: u64,
+    delta: f64,
+    horizon: f64,
+) -> LowerBoundOutcome {
+    assert!(j > 0.0 && horizon > 0.0 && delta > 0.0 && n0 > 0);
+    let j_bad = f.adversary_rate(t, j);
+    let fee = f.eval(j_bad, j);
+
+    let mut good_spend = 0.0f64;
+    let mut n_good = n0 as f64;
+    let mut now = 0.0f64;
+    // Event-free closed-iteration simulation: within an iteration the join
+    // mix is stationary, so we can step iteration by iteration.
+    while now < horizon {
+        let n = n_good; // Sybil population is zero right after each purge
+        let events_needed = (delta * n).max(1.0);
+        let total_rate = j + j_bad;
+        let iter_len = events_needed / total_rate;
+        let step = iter_len.min(horizon - now);
+        let frac = step / iter_len;
+        // B1: good entrance fees over the iteration.
+        good_spend += fee * j * step;
+        n_good += j * step;
+        if frac >= 1.0 {
+            // B3: every good ID pays 1 at the iteration end; Sybil IDs
+            // abandon (the Theorem 3 adversary strategy).
+            good_spend += n_good;
+        }
+        now += step;
+    }
+
+    let spend_rate = good_spend / horizon;
+    let bound = (t * j).sqrt() + j;
+    LowerBoundOutcome {
+        label: f.label(),
+        t,
+        j,
+        j_bad,
+        spend_rate,
+        bound,
+        ratio: spend_rate / bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_solves_jb_times_fee_equals_t() {
+        for f in [
+            CostFunction::Constant(1.0),
+            CostFunction::RatioTotalGood,
+            CostFunction::SqrtRatio,
+            CostFunction::ScaledBad(0.5),
+        ] {
+            let t = 1e5;
+            let j = 2.0;
+            let jb = f.adversary_rate(t, j);
+            let residual = (jb * f.eval(jb, j) - t).abs() / t;
+            assert!(residual < 1e-6, "{}: residual {residual}", f.label());
+        }
+    }
+
+    #[test]
+    fn ergo_cost_function_gives_sqrt_jb() {
+        // f = (J_B+J)/J ⇒ J_B(J_B+J)/J = T ⇒ J_B ≈ √(TJ) for T ≫ J.
+        let jb = CostFunction::RatioTotalGood.adversary_rate(1e8, 1.0);
+        assert!((jb - 1e4).abs() / 1e4 < 0.01, "jb {jb}");
+    }
+
+    #[test]
+    fn all_cost_functions_respect_the_bound() {
+        // Theorem 3: spend ≥ c·(√(TJ)+J). With δ = 1/11 the purge term alone
+        // gives spend ≳ 11·J_B ≥ 11·√(TJ) for f ≤ (J_B+J)/J.
+        for f in [
+            CostFunction::Constant(1.0),
+            CostFunction::RatioTotalGood,
+            CostFunction::SqrtRatio,
+            CostFunction::ScaledBad(0.1),
+        ] {
+            for t in [1e2, 1e4, 1e6] {
+                let out = run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+                assert!(
+                    out.ratio > 0.5,
+                    "{} at T={t}: ratio {}",
+                    out.label,
+                    out.ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_attack_costs_order_j() {
+        let out = run_lower_bound(CostFunction::RatioTotalGood, 0.0, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        assert_eq!(out.j_bad, 0.0);
+        // bound = J; spend is entrance (≈J) plus occasional purges.
+        assert!(out.ratio >= 1.0, "ratio {}", out.ratio);
+        assert!(out.spend_rate < 100.0 * out.j, "spend {}", out.spend_rate);
+    }
+
+    #[test]
+    fn ergo_choice_is_near_optimal_among_family() {
+        // At large T, the Ergo cost function should be within a constant of
+        // the best of the family, while f = const is far worse.
+        let t = 1e6;
+        let ergo = run_lower_bound(CostFunction::RatioTotalGood, t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        let constant = run_lower_bound(CostFunction::Constant(1.0), t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        assert!(
+            constant.spend_rate > 10.0 * ergo.spend_rate,
+            "const {} vs ergo {}",
+            constant.spend_rate,
+            ergo.spend_rate
+        );
+    }
+}

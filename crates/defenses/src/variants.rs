@@ -1,0 +1,65 @@
+//! Named constructors for every algorithm in the paper's evaluation
+//! (Sections 10.1 and 10.3).
+
+use ergo_core::ergo::Ergo;
+use ergo_core::gate::ClassifierGate;
+use ergo_core::params::{ErgoConfig, Heuristics};
+
+/// Plain Ergo as specified in Figure 4 ("ERGO" in the plots).
+pub fn ergo() -> Ergo {
+    Ergo::new(ErgoConfig::default())
+}
+
+/// The CCom baseline: Ergo's purges with constant entrance cost 1
+/// ("CCOM" in the plots; Gupta, Saia, Young, reference 98).
+pub fn ccom() -> Ergo {
+    Ergo::new(ErgoConfig::ccom())
+}
+
+/// ERGO-CH1: Heuristics 1 (estimate/iteration alignment) and 2
+/// (symmetric-difference purge trigger).
+pub fn ergo_ch1() -> Ergo {
+    Ergo::new(ErgoConfig::with_heuristics(Heuristics::ch1())).with_name("ERGO-CH1")
+}
+
+/// ERGO-CH2: Heuristics 1, 2, and 3 (conditional purge).
+pub fn ergo_ch2() -> Ergo {
+    Ergo::new(ErgoConfig::with_heuristics(Heuristics::ch2())).with_name("ERGO-CH2")
+}
+
+/// ERGO-SF: plain Ergo joined with a SybilFuse-style classifier gate of the
+/// given accuracy (the paper evaluates 0.98 and 0.92). Used for the
+/// Figure 8 ERGO-SF curve.
+pub fn ergo_sf(accuracy: f64, seed: u64) -> Ergo {
+    Ergo::new(ErgoConfig::default())
+        .with_gate(ClassifierGate::with_accuracy(accuracy, seed))
+        .with_name(format!("ERGO-SF({:.0})", accuracy * 100.0))
+}
+
+/// ERGO-SF(x) as evaluated in Figure 10: Heuristics 1–3 *plus* the
+/// classifier gate (the paper defines ERGO-SF(92)/(98) as Heuristics
+/// 1, 2, 3, and 4 combined).
+pub fn ergo_sf_full(accuracy: f64, seed: u64) -> Ergo {
+    Ergo::new(ErgoConfig::with_heuristics(Heuristics::ch2()))
+        .with_gate(ClassifierGate::with_accuracy(accuracy, seed))
+        .with_name(format!("ERGO-SF({:.0})", accuracy * 100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_sim::defense::Defense;
+    use sybil_sim::time::Time;
+
+    #[test]
+    fn names_match_the_paper() {
+        let mut e = ergo();
+        e.init(Time::ZERO, 10, 0);
+        assert_eq!(e.name(), "ERGO");
+        assert_eq!(ccom().name(), "CCOM");
+        assert_eq!(ergo_ch1().name(), "ERGO-CH1");
+        assert_eq!(ergo_ch2().name(), "ERGO-CH2");
+        assert_eq!(ergo_sf(0.98, 1).name(), "ERGO-SF(98)");
+        assert_eq!(ergo_sf_full(0.92, 1).name(), "ERGO-SF(92)");
+    }
+}

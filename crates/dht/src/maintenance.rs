@@ -1,0 +1,213 @@
+//! Ring maintenance under churn.
+//!
+//! Section 13.2 asks for a DHT that is both *built and maintained* under
+//! the paper's churn model. [`MaintainedRing`] replays a good-ID workload
+//! (plus adversary-driven Sybil joins bounded by Ergo's invariant) into the
+//! ring, and [`probe_under_churn`] interleaves lookups with the churn to
+//! measure routing health over the system's lifetime rather than on a
+//! static snapshot.
+
+use crate::lookup::lookup_wide;
+use crate::ring::Ring;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sybil_sim::id::Id;
+use sybil_sim::time::Time;
+use sybil_sim::workload::Workload;
+
+/// A ring kept in sync with a replayed churn schedule.
+#[derive(Clone, Debug)]
+pub struct MaintainedRing {
+    ring: Ring,
+    /// (event time, id, is_join) schedule, time-sorted.
+    schedule: Vec<(Time, Id, bool)>,
+    cursor: usize,
+    next_id: u64,
+}
+
+impl MaintainedRing {
+    /// Builds the initial ring from a workload's initial population and
+    /// prepares its join/departure schedule up to `horizon`.
+    pub fn new(workload: &Workload, horizon: Time) -> Self {
+        let mut next_id = 0u64;
+        let mut ring = Ring::new();
+        let mut schedule: Vec<(Time, Id, bool)> = Vec::new();
+        for &depart in &workload.initial_departures {
+            let id = Id(next_id);
+            next_id += 1;
+            ring.join(id, false);
+            if depart <= horizon {
+                schedule.push((depart, id, false));
+            }
+        }
+        for s in &workload.sessions {
+            if s.join > horizon {
+                continue;
+            }
+            let id = Id(next_id);
+            next_id += 1;
+            schedule.push((s.join, id, true));
+            if s.depart <= horizon {
+                schedule.push((s.depart, id, false));
+            }
+        }
+        schedule.sort_by_key(|e| e.0);
+        MaintainedRing { ring, schedule, cursor: 0, next_id }
+    }
+
+    /// Injects `n` Sybil nodes (e.g. the Ergo-bounded population).
+    pub fn inject_sybils(&mut self, n: u64) {
+        for _ in 0..n {
+            let id = Id((1 << 42) | self.next_id);
+            self.next_id += 1;
+            self.ring.join(id, true);
+        }
+    }
+
+    /// Advances the ring to time `now`, applying all scheduled events.
+    pub fn advance_to(&mut self, now: Time) {
+        while self.cursor < self.schedule.len() && self.schedule[self.cursor].0 <= now {
+            let (_, id, is_join) = self.schedule[self.cursor];
+            if is_join {
+                self.ring.join(id, false);
+            } else {
+                self.ring.leave(id);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// The ring at its current point in time.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Remaining scheduled events.
+    pub fn pending_events(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+}
+
+/// A probe measurement taken during churn replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbePoint {
+    /// When the probe ran.
+    pub at: Time,
+    /// Ring size at the probe.
+    pub ring_size: usize,
+    /// Sybil fraction at the probe.
+    pub bad_fraction: f64,
+    /// Wide-path lookup success rate at the probe.
+    pub success_rate: f64,
+}
+
+/// Replays churn while probing lookup health every `probe_interval`
+/// seconds with `lookups` random keys per probe (wide-path, width 8).
+pub fn probe_under_churn(
+    workload: &Workload,
+    horizon: Time,
+    sybils: u64,
+    probe_interval: f64,
+    lookups: u32,
+    seed: u64,
+) -> Vec<ProbePoint> {
+    assert!(probe_interval > 0.0 && lookups > 0);
+    let mut maintained = MaintainedRing::new(workload, horizon);
+    maintained.inject_sybils(sybils);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = probe_interval;
+    while t <= horizon.as_secs() {
+        maintained.advance_to(Time(t));
+        let ring = maintained.ring();
+        if ring.is_empty() || ring.any_good().is_none() {
+            break;
+        }
+        let ok = (0..lookups)
+            .filter(|_| lookup_wide(ring, rng.gen(), 8, &mut rng).is_success())
+            .count();
+        out.push(ProbePoint {
+            at: Time(t),
+            ring_size: ring.len(),
+            bad_fraction: ring.bad_fraction(),
+            success_rate: ok as f64 / lookups as f64,
+        });
+        t += probe_interval;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_sim::workload::Session;
+
+    /// Initial members churn out over [5, 405]; arrivals at 2/s with 150 s
+    /// sessions keep the good population in the 250-500 band throughout.
+    fn churny_workload() -> Workload {
+        Workload::new(
+            (0..400).map(|i| Time(5.0 + i as f64)).collect(),
+            (0..800)
+                .map(|i| Session::new(Time(i as f64 * 0.5), Time(i as f64 * 0.5 + 150.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn maintenance_applies_joins_and_departures_in_order() {
+        let w = churny_workload();
+        let mut m = MaintainedRing::new(&w, Time(500.0));
+        assert_eq!(m.ring().len(), 400);
+        let before = m.pending_events();
+        m.advance_to(Time(100.0));
+        assert!(m.pending_events() < before);
+        // ~95 initial departed (t in [5,100]), ~200 arrivals joined, none of
+        // which have departed yet (first session ends at t=150).
+        let size = m.ring().len();
+        assert!((480..=530).contains(&size), "size {size} at t=100");
+        m.advance_to(Time(500.0));
+        assert_eq!(m.pending_events(), 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_monotone() {
+        let w = churny_workload();
+        let mut m = MaintainedRing::new(&w, Time(500.0));
+        m.advance_to(Time(200.0));
+        let size = m.ring().len();
+        m.advance_to(Time(200.0));
+        assert_eq!(m.ring().len(), size);
+        m.advance_to(Time(150.0)); // going "back" is a no-op
+        assert_eq!(m.ring().len(), size);
+    }
+
+    #[test]
+    fn lookups_stay_healthy_under_churn_with_bounded_sybils() {
+        let w = churny_workload();
+        // Sybil count held inside Ergo's bound at the population trough.
+        let probes = probe_under_churn(&w, Time(400.0), 45, 50.0, 60, 17);
+        assert!(probes.len() >= 6);
+        for p in &probes {
+            assert!(p.bad_fraction < 1.0 / 6.0, "fraction {} at {}", p.bad_fraction, p.at);
+            assert!(
+                p.success_rate > 0.95,
+                "success {} at {} (size {})",
+                p.success_rate,
+                p.at,
+                p.ring_size
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_sybils_degrade_lookups_under_churn() {
+        let w = churny_workload();
+        // Sybils piling up with no defense: fraction grows past 1/2 as good
+        // nodes churn away.
+        let probes = probe_under_churn(&w, Time(400.0), 450, 50.0, 60, 19);
+        let last = probes.last().expect("probes");
+        assert!(last.bad_fraction > 0.4, "fraction {}", last.bad_fraction);
+        let min_rate = probes.iter().map(|p| p.success_rate).fold(1.0, f64::min);
+        assert!(min_rate < 0.999, "no degradation observed: {min_rate}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Resource-burning cost accounting.
+//!
+//! The paper's experiments "assume a cost of `k` for solving a `k`-hard RB
+//! challenge" (Section 10.1); the [`Cost`] newtype carries that unit. The
+//! [`Ledger`] splits spending by who paid (good IDs vs the adversary) and
+//! why (entrance, purge, periodic work), which is exactly the decomposition
+//! the analysis in Section 9.2 performs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An amount of burned resource, in 1-hard-challenge units.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cost(pub f64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// The cost of a single 1-hard challenge.
+    pub const ONE: Cost = Cost(1.0);
+
+    /// Raw value in 1-hard units.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// True if this cost is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for Cost {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}rb", self.0)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cost {
+    fn sub_assign(&mut self, rhs: Cost) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: f64) -> Cost {
+        Cost(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Cost {
+    type Output = Cost;
+    fn div(self, rhs: f64) -> Cost {
+        Cost(self.0 / rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |a, b| a + b)
+    }
+}
+
+/// Why a cost was incurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Purpose {
+    /// Entrance challenge solved to join the system.
+    Entrance,
+    /// 1-hard challenge solved during a purge to remain in the system.
+    Purge,
+    /// Periodic work (SybilControl neighbor tests, REMP recurring puzzles).
+    Periodic,
+}
+
+/// Double-entry style ledger of resource burning.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Ledger {
+    good_entrance: Cost,
+    good_purge: Cost,
+    good_periodic: Cost,
+    adv_entrance: Cost,
+    adv_purge: Cost,
+    adv_periodic: Cost,
+}
+
+impl Ledger {
+    /// A ledger with all balances zero.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records spending by good IDs.
+    pub fn charge_good(&mut self, purpose: Purpose, amount: Cost) {
+        debug_assert!(amount.value() >= 0.0, "negative charge");
+        match purpose {
+            Purpose::Entrance => self.good_entrance += amount,
+            Purpose::Purge => self.good_purge += amount,
+            Purpose::Periodic => self.good_periodic += amount,
+        }
+    }
+
+    /// Records spending by the adversary.
+    pub fn charge_adversary(&mut self, purpose: Purpose, amount: Cost) {
+        debug_assert!(amount.value() >= 0.0, "negative charge");
+        match purpose {
+            Purpose::Entrance => self.adv_entrance += amount,
+            Purpose::Purge => self.adv_purge += amount,
+            Purpose::Periodic => self.adv_periodic += amount,
+        }
+    }
+
+    /// Total burned by good IDs across all purposes.
+    pub fn good_total(&self) -> Cost {
+        self.good_entrance + self.good_purge + self.good_periodic
+    }
+
+    /// Total burned by the adversary across all purposes.
+    pub fn adversary_total(&self) -> Cost {
+        self.adv_entrance + self.adv_purge + self.adv_periodic
+    }
+
+    /// Good spending on entrance challenges.
+    pub fn good_entrance(&self) -> Cost {
+        self.good_entrance
+    }
+
+    /// Good spending on purge challenges.
+    pub fn good_purge(&self) -> Cost {
+        self.good_purge
+    }
+
+    /// Good spending on periodic work.
+    pub fn good_periodic(&self) -> Cost {
+        self.good_periodic
+    }
+
+    /// Adversary spending on entrance challenges.
+    pub fn adversary_entrance(&self) -> Cost {
+        self.adv_entrance
+    }
+
+    /// Adversary spending on purge retention.
+    pub fn adversary_purge(&self) -> Cost {
+        self.adv_purge
+    }
+
+    /// Adversary spending on periodic retention.
+    pub fn adversary_periodic(&self) -> Cost {
+        self.adv_periodic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic() {
+        let c = Cost(2.0) + Cost(3.0);
+        assert_eq!(c, Cost(5.0));
+        assert_eq!(c - Cost(1.0), Cost(4.0));
+        assert_eq!(c * 2.0, Cost(10.0));
+        assert_eq!(c / 5.0, Cost(1.0));
+        assert_eq!(vec![Cost(1.0), Cost(2.0)].into_iter().sum::<Cost>(), Cost(3.0));
+        assert!(Cost::ZERO.is_zero());
+        assert!(!Cost::ONE.is_zero());
+        assert!(Cost(1.0) < Cost(2.0));
+    }
+
+    #[test]
+    fn ledger_splits_by_payer_and_purpose() {
+        let mut l = Ledger::new();
+        l.charge_good(Purpose::Entrance, Cost(2.0));
+        l.charge_good(Purpose::Purge, Cost(3.0));
+        l.charge_good(Purpose::Periodic, Cost(5.0));
+        l.charge_adversary(Purpose::Entrance, Cost(7.0));
+        l.charge_adversary(Purpose::Purge, Cost(11.0));
+        l.charge_adversary(Purpose::Periodic, Cost(13.0));
+        assert_eq!(l.good_total(), Cost(10.0));
+        assert_eq!(l.adversary_total(), Cost(31.0));
+        assert_eq!(l.good_entrance(), Cost(2.0));
+        assert_eq!(l.good_purge(), Cost(3.0));
+        assert_eq!(l.good_periodic(), Cost(5.0));
+        assert_eq!(l.adversary_entrance(), Cost(7.0));
+        assert_eq!(l.adversary_purge(), Cost(11.0));
+        assert_eq!(l.adversary_periodic(), Cost(13.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cost(1.5).to_string(), "1.50rb");
+    }
+}

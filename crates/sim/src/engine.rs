@@ -1,0 +1,558 @@
+//! The discrete-event simulation engine.
+//!
+//! Mirrors the paper's experimental setup (Section 10.1): a defense is fed a
+//! good-ID churn [`Workload`] while an [`Adversary`] with spend rate `T`
+//! schedules Sybil joins, departures, purge survival, and periodic-test
+//! retention. The engine owns ground truth, the cost ledger, and the
+//! bad-fraction invariant tracking.
+//!
+//! # Example
+//!
+//! ```
+//! use sybil_sim::adversary::NullAdversary;
+//! use sybil_sim::engine::{SimConfig, Simulation};
+//! use sybil_sim::testutil::UnitCostDefense;
+//! use sybil_sim::time::Time;
+//! use sybil_sim::workload::{Session, Workload};
+//!
+//! let workload = Workload::new(
+//!     vec![Time(50.0); 10],
+//!     vec![Session::new(Time(1.0), Time(20.0))],
+//! );
+//! let cfg = SimConfig { horizon: Time(100.0), ..SimConfig::default() };
+//! let report = Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, workload).run();
+//! assert_eq!(report.good_joins_admitted, 1);
+//! assert_eq!(report.final_bad, 0);
+//! ```
+
+use crate::adversary::{Adversary, DefenseView};
+use crate::cost::{Cost, Ledger, Purpose};
+use crate::defense::{BatchStop, Defense};
+use crate::queue::EventQueue;
+use crate::report::{SimReport, TimelinePoint};
+use crate::time::Time;
+use crate::workload::Workload;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Simulated duration in seconds (paper: 10 000 s per data point).
+    pub horizon: Time,
+    /// Fraction of challenges the adversary can solve in one round; caps
+    /// purge retention at `⌊κ·N⌋` (paper: κ = 1/18).
+    pub kappa: f64,
+    /// Adversary budget accrual rate `T` (resource units per second).
+    pub adv_rate: f64,
+    /// Sybil IDs present at initialization (used by the GoodJEst
+    /// experiments to seed a persistent bad population).
+    pub initial_bad: u64,
+    /// Duration of a purge round; 0 resolves purges instantaneously, which
+    /// is what the paper's simulations do.
+    pub round_duration: f64,
+    /// Record admitted good-ID join times in the report (needed to compute
+    /// true per-interval join rates for the Figure 9 analysis).
+    pub record_good_joins: bool,
+    /// If `Some(dt)`, sample a [`TimelinePoint`] every `dt` seconds.
+    pub timeline_resolution: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: Time(10_000.0),
+            kappa: 1.0 / 18.0,
+            adv_rate: 0.0,
+            initial_bad: 0,
+            round_duration: 0.0,
+            record_good_joins: false,
+            timeline_resolution: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Good arrival: index into `Workload::sessions`.
+    GoodJoin(usize),
+    /// Departure of an arrival session.
+    GoodDepart(usize),
+    /// Departure of an ID present at t=0.
+    InitialDepart,
+    /// Adversary wakeup.
+    AdvWake,
+    /// Periodic defense work is due.
+    Periodic,
+    /// A purge round resolves.
+    PurgeResolve,
+    /// Timeline sampling tick.
+    Sample,
+}
+
+/// A single simulation run binding a defense, an adversary, and a workload.
+pub struct Simulation<D, A> {
+    cfg: SimConfig,
+    defense: D,
+    adversary: A,
+    workload: Workload,
+    queue: EventQueue<Event>,
+    ledger: Ledger,
+    budget: f64,
+    last_budget_time: Time,
+    /// Admission status per arrival session (None = not yet processed).
+    admitted: Vec<Option<bool>>,
+    purge_pending: bool,
+    // Invariant tracking.
+    frac_integral: f64,
+    last_frac: f64,
+    last_frac_time: Time,
+    max_bad_fraction: f64,
+    // Counters.
+    good_joins_admitted: u64,
+    good_joins_refused: u64,
+    good_departures: u64,
+    bad_joins_admitted: u64,
+    bad_join_attempts: u64,
+    purges: u64,
+    purges_skipped: u64,
+    good_join_times: Vec<Time>,
+    timeline: Vec<TimelinePoint>,
+}
+
+impl<D: Defense, A: Adversary> Simulation<D, A> {
+    /// Creates a simulation; call [`run`](Self::run) to execute it.
+    pub fn new(cfg: SimConfig, defense: D, adversary: A, workload: Workload) -> Self {
+        assert!(cfg.horizon > Time::ZERO, "horizon must be positive");
+        assert!((0.0..1.0).contains(&cfg.kappa), "kappa must be in [0,1)");
+        assert!(cfg.adv_rate >= 0.0 && cfg.adv_rate.is_finite());
+        let n_sessions = workload.sessions.len();
+        Simulation {
+            cfg,
+            defense,
+            adversary,
+            workload,
+            queue: EventQueue::with_capacity(n_sessions * 2 + 16),
+            ledger: Ledger::new(),
+            budget: 0.0,
+            last_budget_time: Time::ZERO,
+            admitted: vec![None; n_sessions],
+            purge_pending: false,
+            frac_integral: 0.0,
+            last_frac: 0.0,
+            last_frac_time: Time::ZERO,
+            max_bad_fraction: 0.0,
+            good_joins_admitted: 0,
+            good_joins_refused: 0,
+            good_departures: 0,
+            bad_joins_admitted: 0,
+            bad_join_attempts: 0,
+            purges: 0,
+            purges_skipped: 0,
+            good_join_times: Vec::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    pub fn run(self) -> SimReport {
+        self.run_with_defense().0
+    }
+
+    /// Runs the simulation, returning both the report and the final defense
+    /// state (for inspecting defense-internal history such as committee
+    /// evolution).
+    pub fn run_with_defense(mut self) -> (SimReport, D) {
+        self.schedule_workload();
+        self.initialize();
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            self.accrue_budget(t);
+            self.dispatch(t, ev);
+            self.check_purge(t);
+        }
+        self.finish()
+    }
+
+    fn schedule_workload(&mut self) {
+        let horizon = self.cfg.horizon;
+        for (i, s) in self.workload.sessions.iter().enumerate() {
+            if s.join <= horizon {
+                self.queue.push(s.join, Event::GoodJoin(i));
+                if s.depart <= horizon {
+                    self.queue.push(s.depart, Event::GoodDepart(i));
+                }
+            }
+        }
+        for &d in &self.workload.initial_departures {
+            if d <= horizon {
+                self.queue.push(d, Event::InitialDepart);
+            }
+        }
+        if self.cfg.adv_rate > 0.0 {
+            self.queue.push(Time::ZERO, Event::AdvWake);
+        }
+        if let Some(dt) = self.cfg.timeline_resolution {
+            assert!(dt > 0.0, "timeline resolution must be positive");
+            self.queue.push(Time::ZERO, Event::Sample);
+        }
+    }
+
+    fn initialize(&mut self) {
+        let n_good = self.workload.initial_size();
+        let n_bad = self.cfg.initial_bad;
+        let per_id = self.defense.init(Time::ZERO, n_good, n_bad);
+        self.ledger
+            .charge_good(Purpose::Entrance, per_id * n_good as f64);
+        self.ledger
+            .charge_adversary(Purpose::Entrance, per_id * n_bad as f64);
+        if let Some(next) = self.defense.next_periodic() {
+            self.queue.push(next, Event::Periodic);
+        }
+        self.note_membership_change(Time::ZERO);
+    }
+
+    fn view(&self, now: Time) -> DefenseView {
+        DefenseView {
+            now,
+            n_members: self.defense.n_members(),
+            n_bad: self.defense.n_bad(),
+            quote: self.defense.quote(now),
+        }
+    }
+
+    fn accrue_budget(&mut self, now: Time) {
+        let dt = now - self.last_budget_time;
+        if dt > 0.0 {
+            self.budget += self.cfg.adv_rate * dt;
+            self.last_budget_time = now;
+        }
+    }
+
+    /// Updates the bad-fraction integral and max after any membership change.
+    fn note_membership_change(&mut self, now: Time) {
+        let dt = now - self.last_frac_time;
+        if dt > 0.0 {
+            self.frac_integral += self.last_frac * dt;
+            self.last_frac_time = now;
+        }
+        let members = self.defense.n_members();
+        let frac = if members == 0 {
+            0.0
+        } else {
+            self.defense.n_bad() as f64 / members as f64
+        };
+        self.last_frac = frac;
+        if frac > self.max_bad_fraction {
+            self.max_bad_fraction = frac;
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::GoodJoin(i) => {
+                let admission = self.defense.good_join(now);
+                self.ledger.charge_good(Purpose::Entrance, admission.cost());
+                if admission.is_admitted() {
+                    self.admitted[i] = Some(true);
+                    self.good_joins_admitted += 1;
+                    if self.cfg.record_good_joins {
+                        self.good_join_times.push(now);
+                    }
+                } else {
+                    self.admitted[i] = Some(false);
+                    self.good_joins_refused += 1;
+                }
+                self.note_membership_change(now);
+            }
+            Event::GoodDepart(i) => {
+                if self.admitted[i] == Some(true) {
+                    let joined_at = self.workload.sessions[i].join;
+                    self.defense.good_depart(now, joined_at);
+                    self.good_departures += 1;
+                    self.note_membership_change(now);
+                }
+            }
+            Event::InitialDepart => {
+                self.defense.good_depart(now, Time::ZERO);
+                self.good_departures += 1;
+                self.note_membership_change(now);
+            }
+            Event::AdvWake => {
+                self.adversary_turn(now);
+                if let Some(next) = self.adversary.next_wakeup(now) {
+                    if next <= self.cfg.horizon {
+                        self.queue.push(next, Event::AdvWake);
+                    }
+                }
+            }
+            Event::Periodic => {
+                self.periodic_charge(now);
+                if let Some(next) = self.defense.next_periodic() {
+                    if next <= self.cfg.horizon {
+                        self.queue.push(next, Event::Periodic);
+                    }
+                }
+            }
+            Event::PurgeResolve => {
+                self.purge_pending = false;
+                self.resolve_purge(now);
+            }
+            Event::Sample => {
+                let dt = self.cfg.timeline_resolution.expect("sample without resolution");
+                self.timeline.push(TimelinePoint {
+                    at: now,
+                    members: self.defense.n_members(),
+                    bad: self.defense.n_bad(),
+                    good_spend: self.ledger.good_total().value(),
+                    adv_spend: self.ledger.adversary_total().value(),
+                });
+                let next = now + dt;
+                if next <= self.cfg.horizon {
+                    self.queue.push(next, Event::Sample);
+                }
+            }
+        }
+    }
+
+    /// Lets the adversary spend: departures, then batched joins, resolving
+    /// any purge its own joins trigger (instant rounds) before continuing.
+    fn adversary_turn(&mut self, now: Time) {
+        // Bounded loop: each pass either makes progress (joins/departs) or
+        // breaks, and purge resolution resets the defense's join counter.
+        for _ in 0..100_000 {
+            let view = self.view(now);
+            let action = self.adversary.act(&view, Cost(self.budget.max(0.0)));
+            let mut progressed = false;
+            if action.departs > 0 {
+                let departed = self.defense.bad_depart(now, action.departs);
+                progressed |= departed > 0;
+                self.note_membership_change(now);
+            }
+            if action.max_joins > 0 && action.join_budget > Cost::ZERO {
+                let batch =
+                    self.defense
+                        .bad_join_batch(now, action.join_budget, action.max_joins);
+                self.budget -= batch.spent.value();
+                self.ledger.charge_adversary(Purpose::Entrance, batch.spent);
+                self.bad_joins_admitted += batch.admitted;
+                self.bad_join_attempts += batch.attempts;
+                progressed |= batch.attempts > 0;
+                self.note_membership_change(now);
+                if batch.stop == BatchStop::PurgeTriggered {
+                    if self.cfg.round_duration == 0.0 {
+                        self.resolve_purge(now);
+                        continue;
+                    } else {
+                        if !self.purge_pending {
+                            self.purge_pending = true;
+                            self.queue
+                                .push(now + self.cfg.round_duration, Event::PurgeResolve);
+                        }
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            // Joins succeeded without tripping a purge: the batch consumed
+            // everything affordable, so yield until the next wakeup.
+            break;
+        }
+    }
+
+    /// Schedules or resolves a purge if the defense's condition holds.
+    fn check_purge(&mut self, now: Time) {
+        if self.purge_pending {
+            return;
+        }
+        // Loop defensively: a purge can (in principle) leave the condition
+        // true again; bail out after a few rounds to avoid live-lock.
+        for _ in 0..16 {
+            if !self.defense.purge_due(now) {
+                return;
+            }
+            if self.cfg.round_duration == 0.0 {
+                self.resolve_purge(now);
+            } else {
+                self.purge_pending = true;
+                self.queue
+                    .push(now + self.cfg.round_duration, Event::PurgeResolve);
+                return;
+            }
+        }
+    }
+
+    fn resolve_purge(&mut self, now: Time) {
+        let view = self.view(now);
+        let cap = (self.cfg.kappa * view.n_members as f64).floor() as u64;
+        let retain = self
+            .adversary
+            .purge_retention(&view, cap, Cost(self.budget.max(0.0)))
+            .min(cap)
+            .min(view.n_bad);
+        let report = self.defense.purge(now, retain);
+        self.ledger.charge_good(Purpose::Purge, report.good_cost);
+        self.ledger.charge_adversary(Purpose::Purge, report.adv_cost);
+        self.budget -= report.adv_cost.value();
+        if report.skipped {
+            self.purges_skipped += 1;
+        } else {
+            self.purges += 1;
+        }
+        self.note_membership_change(now);
+    }
+
+    fn periodic_charge(&mut self, now: Time) {
+        let cost_per = self.defense.periodic_cost_per_member(now);
+        let view = self.view(now);
+        let retain = self
+            .adversary
+            .periodic_retention(&view, cost_per, Cost(self.budget.max(0.0)))
+            .min(view.n_bad);
+        let report = self.defense.periodic_apply(now, retain);
+        self.ledger.charge_good(Purpose::Periodic, report.good_cost);
+        let adv_cost = cost_per * retain as f64;
+        self.ledger.charge_adversary(Purpose::Periodic, adv_cost);
+        self.budget -= adv_cost.value();
+        self.note_membership_change(now);
+    }
+
+    fn finish(mut self) -> (SimReport, D) {
+        // Close the bad-fraction integral at the horizon.
+        let dt = self.cfg.horizon - self.last_frac_time;
+        if dt > 0.0 {
+            self.frac_integral += self.last_frac * dt;
+        }
+        let mut report = SimReport {
+            defense: self.defense.name(),
+            adversary: self.adversary.name(),
+            horizon: self.cfg.horizon.as_secs(),
+            ledger: self.ledger,
+            good_joins_admitted: self.good_joins_admitted,
+            good_joins_refused: self.good_joins_refused,
+            good_departures: self.good_departures,
+            bad_joins_admitted: self.bad_joins_admitted,
+            bad_join_attempts: self.bad_join_attempts,
+            purges: self.purges,
+            purges_skipped: self.purges_skipped,
+            max_bad_fraction: self.max_bad_fraction,
+            mean_bad_fraction: self.frac_integral / self.cfg.horizon.as_secs(),
+            final_members: self.defense.n_members(),
+            final_bad: self.defense.n_bad(),
+            estimates: Vec::new(),
+            purge_times: Vec::new(),
+            good_join_times: self.good_join_times,
+            timeline: self.timeline,
+        };
+        report.absorb_events(self.defense.drain_events());
+        (report, self.defense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BudgetJoiner, NullAdversary};
+    use crate::testutil::UnitCostDefense;
+    use crate::workload::Session;
+
+    fn small_workload() -> Workload {
+        Workload::new(
+            vec![Time(1e9); 100],
+            (0..50)
+                .map(|i| Session::new(Time(i as f64 + 1.0), Time(i as f64 + 500.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn no_attack_run_admits_all_good() {
+        let cfg = SimConfig { horizon: Time(1000.0), ..SimConfig::default() };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert_eq!(report.good_joins_admitted, 50);
+        assert_eq!(report.bad_joins_admitted, 0);
+        assert_eq!(report.max_bad_fraction, 0.0);
+        // init (100) + joins (50) each cost 1.
+        assert_eq!(report.ledger.good_total().value(), 150.0);
+    }
+
+    #[test]
+    fn departures_are_processed() {
+        let w = Workload::new(vec![Time(10.0); 5], vec![Session::new(Time(1.0), Time(2.0))]);
+        let cfg = SimConfig { horizon: Time(100.0), ..SimConfig::default() };
+        let report = Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, w).run();
+        assert_eq!(report.good_departures, 6);
+        assert_eq!(report.final_members, 0);
+    }
+
+    #[test]
+    fn adversary_budget_limits_joins() {
+        // Unit cost, T=1: over 100 s the adversary can afford ~100 joins.
+        let cfg = SimConfig { horizon: Time(100.0), adv_rate: 1.0, ..SimConfig::default() };
+        let report = Simulation::new(
+            cfg,
+            UnitCostDefense::new(),
+            BudgetJoiner::new(1.0),
+            small_workload(),
+        )
+        .run();
+        assert!(report.bad_joins_admitted > 50, "{}", report.bad_joins_admitted);
+        assert!(report.bad_joins_admitted <= 101, "{}", report.bad_joins_admitted);
+        let spent = report.ledger.adversary_total().value();
+        assert!(spent <= 100.0 + 1e-9, "overspent: {spent}");
+    }
+
+    #[test]
+    fn bad_fraction_tracked() {
+        let cfg = SimConfig { horizon: Time(100.0), adv_rate: 5.0, ..SimConfig::default() };
+        let report = Simulation::new(
+            cfg,
+            UnitCostDefense::new(),
+            BudgetJoiner::new(5.0),
+            small_workload(),
+        )
+        .run();
+        assert!(report.max_bad_fraction > 0.0);
+        assert!(report.mean_bad_fraction > 0.0);
+        assert!(report.max_bad_fraction <= 1.0);
+        assert!(report.mean_bad_fraction <= report.max_bad_fraction);
+    }
+
+    #[test]
+    fn timeline_sampling() {
+        let cfg = SimConfig {
+            horizon: Time(10.0),
+            timeline_resolution: Some(1.0),
+            ..SimConfig::default()
+        };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert_eq!(report.timeline.len(), 11); // t = 0..=10
+        assert!(report.timeline.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn initial_bad_is_seeded() {
+        let cfg = SimConfig { horizon: Time(10.0), initial_bad: 20, ..SimConfig::default() };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert_eq!(report.final_bad, 20);
+        assert!(report.max_bad_fraction > 0.1);
+    }
+
+    #[test]
+    fn record_good_joins_flag() {
+        let cfg = SimConfig {
+            horizon: Time(1000.0),
+            record_good_joins: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert_eq!(report.good_join_times.len(), 50);
+        assert!(report.good_join_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

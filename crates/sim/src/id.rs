@@ -1,0 +1,81 @@
+//! Identifiers.
+//!
+//! Every joining ID is treated as new (paper Section 2.1.1: a join-event
+//! counter is concatenated to the chosen name, guaranteeing uniqueness).
+//! The simulation mirrors this with a monotone allocator.
+
+/// An opaque identifier for a (virtual) participant.
+///
+/// Defenses treat IDs as opaque; whether an ID is good or Sybil is ground
+/// truth known only to the simulation engine and the adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(pub u64);
+
+impl std::fmt::Display for Id {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+impl Id {
+    /// Serializes the ID for use as a PoW solver identity.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+}
+
+/// Ground truth about an ID, known to the engine but never to defenses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Obeys the protocol; join/departure driven by the churn trace.
+    Good,
+    /// Controlled by the Sybil adversary.
+    Bad,
+}
+
+/// Monotone allocator implementing the paper's join-event counter.
+#[derive(Clone, Debug, Default)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// A fresh allocator starting at `id0`.
+    pub fn new() -> Self {
+        IdAllocator::default()
+    }
+
+    /// Allocates the next unique ID.
+    pub fn fresh(&mut self) -> Id {
+        let id = Id(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of IDs allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_monotone_and_unique() {
+        let mut alloc = IdAllocator::new();
+        let a = alloc.fresh();
+        let b = alloc.fresh();
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(alloc.allocated(), 2);
+    }
+
+    #[test]
+    fn id_bytes_roundtrip() {
+        let id = Id(0xdead_beef);
+        assert_eq!(u64::from_be_bytes(id.to_bytes()), 0xdead_beef);
+        assert_eq!(id.to_string(), "id3735928559");
+    }
+}

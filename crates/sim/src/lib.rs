@@ -1,0 +1,59 @@
+//! Discrete-event simulation substrate for Sybil-defense experiments.
+//!
+//! This crate provides everything the experiments in *Bankrupting Sybil
+//! Despite Churn* (ICDCS 2021) need below the defense algorithms themselves:
+//!
+//! * [`time`], [`id`], [`cost`] — core vocabulary types (virtual seconds,
+//!   opaque identifiers, resource-burning units and the split ledger);
+//! * [`queue`] — a deterministic, FIFO-tie-broken event queue;
+//! * [`dist`] — from-scratch Weibull/exponential/Pareto/log-normal samplers
+//!   and a Poisson counter, driving the churn workloads;
+//! * [`workload`] — good-ID session schedules replayed by the engine;
+//! * [`defense`] / [`adversary`] — the traits every simulated defense and
+//!   attack strategy implement;
+//! * [`engine`] — the simulation loop with budgeted adversaries, purge
+//!   rounds, periodic charges, and invariant tracking;
+//! * [`report`] / [`stats`] — run outputs and summary statistics.
+//!
+//! Ground truth (which IDs are Sybil) lives in the engine and the adversary;
+//! defenses observe only event streams, as the paper's server does.
+//!
+//! # Example
+//!
+//! ```
+//! use sybil_sim::adversary::BudgetJoiner;
+//! use sybil_sim::engine::{SimConfig, Simulation};
+//! use sybil_sim::testutil::UnitCostDefense;
+//! use sybil_sim::time::Time;
+//! use sybil_sim::workload::{Session, Workload};
+//!
+//! let workload = Workload::new(vec![Time(1e9); 50], vec![]);
+//! let cfg = SimConfig { horizon: Time(100.0), adv_rate: 2.0, ..SimConfig::default() };
+//! let report = Simulation::new(cfg, UnitCostDefense::new(), BudgetJoiner::new(2.0), workload).run();
+//! // At unit entrance cost and T = 2, about 200 Sybil IDs join over 100 s.
+//! assert!(report.bad_joins_admitted > 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod cost;
+pub mod defense;
+pub mod dist;
+pub mod engine;
+pub mod id;
+pub mod queue;
+pub mod report;
+pub mod stats;
+pub mod testutil;
+pub mod time;
+pub mod workload;
+
+pub use cost::{Cost, Ledger, Purpose};
+pub use defense::{Admission, BatchAdmission, BatchStop, Defense};
+pub use engine::{SimConfig, Simulation};
+pub use id::{Id, IdAllocator, Kind};
+pub use report::SimReport;
+pub use time::Time;
+pub use workload::{Session, Workload};

@@ -1,0 +1,159 @@
+//! A stable discrete-event queue.
+//!
+//! Events fire in time order; ties break by insertion order, which makes
+//! whole simulations deterministic given seeds. The paper assumes "every
+//! join and departure event occurs at a unique point in time" with the
+//! server ordering apparent ties (Section 2.1.1) — the insertion sequence
+//! number plays that role here.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use sybil_sim::queue::EventQueue;
+/// use sybil_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time(2.0), "b");
+/// q.push(Time(1.0), "a");
+/// q.push(Time(2.0), "c");
+/// assert_eq!(q.pop(), Some((Time(1.0), "a")));
+/// assert_eq!(q.pop(), Some((Time(2.0), "b")));
+/// assert_eq!(q.pop(), Some((Time(2.0), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Creates an empty queue with capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(n), seq: 0 }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Extend<(Time, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (Time, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.push(at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time(3.0), 30);
+        q.push(Time(1.0), 10);
+        q.push(Time(1.0), 11);
+        q.push(Time(2.0), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(5.0), ());
+        assert_eq!(q.peek_time(), Some(Time(5.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut q = EventQueue::new();
+        q.extend(vec![(Time(2.0), 'b'), (Time(1.0), 'a')]);
+        assert_eq!(q.pop().unwrap().1, 'a');
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time(10.0), 1);
+        q.push(Time(5.0), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(Time(7.0), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulation outputs.
+
+use crate::cost::Ledger;
+use crate::defense::DefenseEvent;
+use crate::time::Time;
+
+/// A point-in-time sample of system state, for timeline plots.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample time.
+    pub at: Time,
+    /// Total membership.
+    pub members: u64,
+    /// Sybil members (ground truth).
+    pub bad: u64,
+    /// Cumulative good spending.
+    pub good_spend: f64,
+    /// Cumulative adversary spending.
+    pub adv_spend: f64,
+}
+
+/// A join-rate estimate produced by the defense's estimator over an interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EstimateRecord {
+    /// Interval start.
+    pub start: Time,
+    /// Interval end (when the estimate was set).
+    pub end: Time,
+    /// Estimated good join rate (IDs/second).
+    pub estimate: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Defense name.
+    pub defense: String,
+    /// Adversary strategy name.
+    pub adversary: String,
+    /// Simulated horizon in seconds.
+    pub horizon: f64,
+    /// Full cost ledger.
+    pub ledger: Ledger,
+    /// Good IDs admitted over the run.
+    pub good_joins_admitted: u64,
+    /// Good IDs refused entry (classifier false positives).
+    pub good_joins_refused: u64,
+    /// Good departures processed.
+    pub good_departures: u64,
+    /// Sybil IDs admitted over the run.
+    pub bad_joins_admitted: u64,
+    /// Sybil join attempts (including classifier-refused ones).
+    pub bad_join_attempts: u64,
+    /// Purges executed.
+    pub purges: u64,
+    /// Purges skipped by Heuristic 3.
+    pub purges_skipped: u64,
+    /// Maximum instantaneous fraction of Sybil members observed.
+    pub max_bad_fraction: f64,
+    /// Time-weighted mean fraction of Sybil members.
+    pub mean_bad_fraction: f64,
+    /// Membership size at the end of the run.
+    pub final_members: u64,
+    /// Sybil members at the end of the run.
+    pub final_bad: u64,
+    /// Estimator updates logged by the defense (empty when not applicable).
+    pub estimates: Vec<EstimateRecord>,
+    /// Times at which purges completed (iteration boundaries).
+    pub purge_times: Vec<Time>,
+    /// Join times of admitted good IDs (populated when
+    /// [`crate::engine::SimConfig::record_good_joins`] is set).
+    pub good_join_times: Vec<Time>,
+    /// Periodic timeline samples (populated when
+    /// [`crate::engine::SimConfig::timeline_resolution`] is set).
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl SimReport {
+    /// Good spend rate `A`: total good resource burning per second.
+    pub fn good_spend_rate(&self) -> f64 {
+        self.ledger.good_total().value() / self.horizon
+    }
+
+    /// Adversary spend rate: total adversary resource burning per second.
+    pub fn adv_spend_rate(&self) -> f64 {
+        self.ledger.adversary_total().value() / self.horizon
+    }
+
+    /// Good join rate `J` over the run (admitted IDs per second).
+    pub fn good_join_rate(&self) -> f64 {
+        self.good_joins_admitted as f64 / self.horizon
+    }
+
+    /// True if the `< bound` bad-fraction invariant held throughout.
+    pub fn invariant_held(&self, bound: f64) -> bool {
+        self.max_bad_fraction < bound
+    }
+
+    /// Folds a batch of defense events into the report.
+    pub(crate) fn absorb_events(&mut self, events: Vec<DefenseEvent>) {
+        for ev in events {
+            match ev {
+                DefenseEvent::EstimateUpdated { start, end, estimate } => {
+                    self.estimates.push(EstimateRecord { start, end, estimate });
+                }
+                DefenseEvent::PurgeCompleted { at, .. } => self.purge_times.push(at),
+                DefenseEvent::PurgeSkipped { .. } => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Summary statistics for experiment reporting.
+
+/// Summary of a sample: count, extremes, mean, and selected quantiles.
+///
+/// # Example
+///
+/// ```
+/// use sybil_sim::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Median (interpolated, 0 if empty).
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `data`. An empty slice yields zeros.
+    pub fn of(data: &[f64]) -> Summary {
+        if data.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                median: 0.0,
+                p05: 0.0,
+                p95: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Summary {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            median: quantile_sorted(&sorted, 0.5),
+            p05: quantile_sorted(&sorted, 0.05),
+            p95: quantile_sorted(&sorted, 0.95),
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Linear-interpolated quantile of pre-sorted data.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or `sorted` is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Geometric mean of positive data. Returns 0 for empty input.
+///
+/// Useful for the order-of-magnitude cost ratios the paper reports.
+pub fn geometric_mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = data
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive data");
+            x.ln()
+        })
+        .sum();
+    (log_sum / data.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        quantile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn geometric_mean_works() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

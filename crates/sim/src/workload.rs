@@ -1,0 +1,133 @@
+//! Good-ID workloads: the churn schedule a simulation replays.
+//!
+//! A workload is the sessions of *good* IDs only — the adversary schedules
+//! its own Sybil IDs reactively. Workloads come from `sybil-churn`'s trace
+//! generators or are constructed directly in tests.
+
+use crate::time::Time;
+
+/// One good ID's session: present from `join` until `depart`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Session {
+    /// When the ID requests to join.
+    pub join: Time,
+    /// When the ID departs (may exceed the simulation horizon).
+    pub depart: Time,
+}
+
+impl Session {
+    /// Creates a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depart < join`.
+    pub fn new(join: Time, depart: Time) -> Self {
+        assert!(depart >= join, "session departs before it joins");
+        Session { join, depart }
+    }
+
+    /// Session length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.depart - self.join
+    }
+}
+
+/// The good-ID churn schedule for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Workload {
+    /// Departure times of the IDs present at `t = 0`.
+    pub initial_departures: Vec<Time>,
+    /// Sessions of IDs arriving after `t = 0`, sorted by join time.
+    pub sessions: Vec<Session>,
+}
+
+impl Workload {
+    /// An empty workload (no good IDs at all).
+    pub fn empty() -> Self {
+        Workload::default()
+    }
+
+    /// Creates a workload, sorting sessions by join time.
+    pub fn new(initial_departures: Vec<Time>, mut sessions: Vec<Session>) -> Self {
+        sessions.sort_by_key(|s| s.join);
+        Workload { initial_departures, sessions }
+    }
+
+    /// Number of good IDs present at `t = 0`.
+    pub fn initial_size(&self) -> u64 {
+        self.initial_departures.len() as u64
+    }
+
+    /// Good join rate over `[0, horizon)`: arrivals per second.
+    pub fn join_rate(&self, horizon: Time) -> f64 {
+        if horizon.as_secs() <= 0.0 {
+            return 0.0;
+        }
+        let joins = self.sessions.iter().filter(|s| s.join < horizon).count();
+        joins as f64 / horizon.as_secs()
+    }
+
+    /// Validates internal consistency; used by generators and tests.
+    ///
+    /// Checks that sessions are sorted and non-negative-length.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.sessions.windows(2) {
+            if w[1].join < w[0].join {
+                return Err(format!(
+                    "sessions out of order: {} after {}",
+                    w[1].join, w[0].join
+                ));
+            }
+        }
+        for (i, s) in self.sessions.iter().enumerate() {
+            if s.depart < s.join {
+                return Err(format!("session {i} departs before joining"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sorts_sessions() {
+        let w = Workload::new(
+            vec![Time(100.0)],
+            vec![
+                Session::new(Time(5.0), Time(6.0)),
+                Session::new(Time(1.0), Time(9.0)),
+            ],
+        );
+        assert_eq!(w.sessions[0].join, Time(1.0));
+        assert_eq!(w.initial_size(), 1);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn join_rate_counts_in_horizon() {
+        let w = Workload::new(
+            vec![],
+            vec![
+                Session::new(Time(1.0), Time(2.0)),
+                Session::new(Time(3.0), Time(9.0)),
+                Session::new(Time(50.0), Time(60.0)),
+            ],
+        );
+        assert_eq!(w.join_rate(Time(10.0)), 0.2);
+        assert_eq!(w.join_rate(Time(0.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "departs before")]
+    fn bad_session_panics() {
+        let _ = Session::new(Time(2.0), Time(1.0));
+    }
+
+    #[test]
+    fn session_duration() {
+        assert_eq!(Session::new(Time(1.0), Time(4.5)).duration(), 3.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: defend a churning peer-to-peer system with Ergo.
+//!
+//! Runs the Ergo defense and the CCom baseline against the same Sybil
+//! attack on the paper's Gnutella workload, then prints the two guarantees
+//! of Theorem 1: the Sybil fraction never reaches 1/6, and good IDs burn
+//! far less than they would under a constant-entrance-cost defense.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bankrupting_sybil::prelude::*;
+
+fn main() {
+    // 1. A churn workload: Gnutella-like (10 000 initial IDs, Poisson
+    //    arrivals at 1 ID/s, exponential 2.3 h sessions).
+    let horizon = Time(2_000.0);
+    let workload = networks::gnutella().generate(horizon, 42);
+    println!(
+        "workload: {} initial IDs, {} arrivals over {}",
+        workload.initial_size(),
+        workload.sessions.len(),
+        horizon
+    );
+
+    // 2. An adversary spending T = 50 000 resource units per second on
+    //    entrance challenges.
+    let t = 50_000.0;
+    let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
+
+    // 3. Run Ergo and the CCom baseline on identical inputs.
+    let ergo = Simulation::new(
+        cfg,
+        Ergo::new(ErgoConfig::default()),
+        BudgetJoiner::new(t),
+        workload.clone(),
+    )
+    .run();
+    let ccom =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::ccom()), BudgetJoiner::new(t), workload).run();
+
+    // 4. The guarantees.
+    println!("\n--- DefID invariant (Lemma 9): Sybil fraction < 1/6 at all times ---");
+    for r in [&ergo, &ccom] {
+        println!(
+            "{:>6}: max bad fraction {:.4} (bound {:.4}) -> {}",
+            r.defense,
+            r.max_bad_fraction,
+            1.0 / 6.0,
+            if r.max_bad_fraction < 1.0 / 6.0 { "HELD" } else { "VIOLATED" }
+        );
+    }
+
+    println!("\n--- resource burning (A = good spend rate, T = adversary spend rate) ---");
+    for r in [&ergo, &ccom] {
+        println!(
+            "{:>6}: A = {:>10.1}/s   T = {:>9.1}/s   Sybil joins admitted: {:>9}   purges: {}",
+            r.defense,
+            r.good_spend_rate(),
+            r.adv_spend_rate(),
+            r.bad_joins_admitted,
+            r.purges,
+        );
+    }
+    let factor = ccom.good_spend_rate() / ergo.good_spend_rate();
+    println!(
+        "\nErgo's escalating entrance costs throttle the attack: good IDs spend {factor:.1}x \
+         less than under CCom.\n(At the paper's Figure-8 scale the gap reaches two orders of \
+         magnitude; see `cargo bench --bench figure8`.)"
+    );
+}

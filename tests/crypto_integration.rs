@@ -1,0 +1,78 @@
+//! Integration tests binding the concrete PoW backend to the defense layer:
+//! Ergo's abstract quotes are realizable as real SHA-256 challenges whose
+//! expected work equals the quoted cost.
+
+use bankrupting_sybil::prelude::*;
+use sybil_crypto::pow::{Challenge, Solver};
+use sybil_crypto::sha256::Sha256;
+use sybil_net::auth::AuthKeys;
+use sybil_net::network::NodeId;
+
+#[test]
+fn quoted_entrance_costs_are_solvable_pow_challenges() {
+    use sybil_sim::Defense;
+    let mut ergo = Ergo::new(ErgoConfig::default());
+    ergo.init(Time::ZERO, 5_000, 0);
+
+    // A burst of joiners within one window: quotes escalate 1, 2, 3, ...
+    let mut total_work = 0u64;
+    let mut total_quoted = 0u64;
+    for j in 0..20u64 {
+        let now = Time(1.0 + j as f64 * 1e-6);
+        let quote = ergo.quote(now).value() as u64;
+        assert_eq!(quote, j + 1, "arithmetic escalation");
+        let challenge = Challenge::new(b"server-round-7", &j.to_be_bytes(), quote);
+        let mut solver = Solver::new();
+        let solution = solver.solve(&challenge);
+        assert!(challenge.verify(&solution));
+        total_work += solver.work();
+        total_quoted += quote;
+        ergo.good_join(now);
+    }
+    // Expected work equals the quoted series (1+2+...+20 = 210) within
+    // stochastic slack; this seals the abstract-cost ↔ real-work bridge.
+    let ratio = total_work as f64 / total_quoted as f64;
+    assert!((0.3..3.0).contains(&ratio), "work {total_work} vs quoted {total_quoted}");
+}
+
+#[test]
+fn purge_challenges_are_fresh_per_round() {
+    // Solutions from a previous purge round must not verify in the next.
+    // (At hardness 1 any nonce qualifies — the deterrent there is the work
+    // itself — so freshness is demonstrated at hardness 16.)
+    let round1 = Challenge::new(b"purge-round-1", b"member-42", 16);
+    let solution = Solver::new().solve(&round1);
+    let round2 = Challenge::new(b"purge-round-2", b"member-42", 16);
+    assert!(round1.verify(&solution));
+    assert!(!round2.verify(&solution));
+}
+
+#[test]
+fn committee_channel_authentication_end_to_end() {
+    // Committee members derive pairwise keys from the GenID master secret;
+    // a Sybil member cannot forge inter-member traffic.
+    let master = Sha256::digest(b"genid-agreed-randomness");
+    let keys = AuthKeys::new(master.as_bytes());
+    let alice = NodeId(1);
+    let bob = NodeId(2);
+    let sealed = keys.seal(alice, bob, b"vote: purge at t=812.5");
+    assert!(keys.open(&sealed).is_some());
+
+    // Sybil with a different (guessed) master secret:
+    let sybil_keys = AuthKeys::new(b"wrong-guess");
+    let forged = sybil_keys.seal(alice, bob, b"vote: skip the purge");
+    assert!(keys.open(&forged).is_none(), "forged message must not verify");
+}
+
+#[test]
+fn hardness_one_purge_cost_matches_model() {
+    // The simulation charges cost 1 per purge survivor; a 1-hard challenge
+    // takes exactly one hash attempt (any digest beats target u128::MAX).
+    let mut solver = Solver::new();
+    for member in 0..100u64 {
+        let c = Challenge::new(b"purge-nonce", &member.to_be_bytes(), 1);
+        let s = solver.solve(&c);
+        assert!(c.verify(&s));
+    }
+    assert_eq!(solver.work(), 100);
+}

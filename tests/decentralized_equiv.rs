@@ -1,0 +1,116 @@
+//! Integration tests for the decentralized variant (Section 12 / Theorem 4):
+//! committee-coordinated Ergo makes byte-identical membership decisions to
+//! the centralized version, and the committee invariants of Lemma 18 hold
+//! under attack.
+
+use bankrupting_sybil::prelude::*;
+use sybil_committee::{ByzantineMode, DecentralConfig, DecentralizedErgo, SmrCluster};
+
+const HORIZON: Time = Time(700.0);
+
+#[test]
+fn decentralized_matches_centralized_across_adversaries() {
+    let workload = networks::bittorrent().generate(HORIZON, 81);
+    for t in [0.0, 8_000.0] {
+        let cfg = SimConfig { horizon: HORIZON, adv_rate: t, ..SimConfig::default() };
+        let central = Simulation::new(
+            cfg,
+            Ergo::new(ErgoConfig::default()),
+            PurgeSurvivor::new(t),
+            workload.clone(),
+        )
+        .run();
+        let decentral = Simulation::new(
+            cfg,
+            DecentralizedErgo::new(DecentralConfig::default()),
+            PurgeSurvivor::new(t),
+            workload.clone(),
+        )
+        .run();
+        assert_eq!(central.ledger, decentral.ledger, "T={t}");
+        assert_eq!(central.purges, decentral.purges, "T={t}");
+        assert_eq!(central.bad_joins_admitted, decentral.bad_joins_admitted, "T={t}");
+        assert_eq!(central.final_members, decentral.final_members, "T={t}");
+    }
+}
+
+#[test]
+fn committee_bound_holds_under_worst_case_retention() {
+    let workload = networks::gnutella().generate(HORIZON, 83);
+    let t = 20_000.0;
+    let cfg = SimConfig { horizon: HORIZON, adv_rate: t, ..SimConfig::default() };
+    let (report, defense) = Simulation::new(
+        cfg,
+        DecentralizedErgo::new(DecentralConfig::default()),
+        PurgeSurvivor::new(t),
+        workload,
+    )
+    .run_with_defense();
+    assert!(report.max_bad_fraction < 1.0 / 6.0);
+    assert!(defense.history().len() > 10, "too few elections");
+    assert!(
+        defense.min_committee_good_fraction() >= 7.0 / 8.0,
+        "Lemma 18 violated: {}",
+        defense.min_committee_good_fraction()
+    );
+    // Committee size stays Θ(log n): within [200, 350] for n ≈ 10⁴.
+    for rec in defense.history() {
+        let size = rec.elected.size();
+        assert!((200..=350).contains(&size), "committee size {size}");
+    }
+}
+
+#[test]
+fn smr_is_safe_across_byzantine_mixes() {
+    for byz in [
+        vec![],
+        vec![ByzantineMode::RejectAll; 4],
+        vec![ByzantineMode::Silent; 4],
+        vec![ByzantineMode::Equivocate; 4],
+        vec![ByzantineMode::RejectAll, ByzantineMode::Silent, ByzantineMode::Equivocate],
+    ] {
+        let mut cluster = SmrCluster::new(9, &byz, b"integration-secret");
+        let mut committed = 0;
+        for entry in 0..30 {
+            if cluster.propose(entry) {
+                committed += 1;
+            }
+        }
+        assert!(cluster.honest_logs_consistent(), "split logs with {byz:?}");
+        assert_eq!(committed, 30, "honest majority must commit everything ({byz:?})");
+    }
+}
+
+#[test]
+fn smr_liveness_fails_without_majority_but_safety_holds() {
+    let mut cluster = SmrCluster::new(4, &[ByzantineMode::RejectAll; 6], b"secret");
+    for entry in 0..10 {
+        assert!(!cluster.propose(entry), "minority cluster must not commit");
+    }
+    assert!(cluster.honest_logs_consistent());
+    assert_eq!(cluster.honest_log_len(), 0);
+}
+
+#[test]
+fn genid_plus_decentralized_pipeline() {
+    // Bootstrap via GenID, seed the engine with its κ-bounded Sybil
+    // population, and run the decentralized defense on top.
+    let outcome = sybil_committee::bootstrap(10_000, 1.0 / 18.0, 30.0, 89);
+    assert!(outcome.committee.good_majority());
+    let workload = networks::gnutella().generate(HORIZON, 89);
+    let cfg = SimConfig {
+        horizon: HORIZON,
+        adv_rate: 5_000.0,
+        initial_bad: outcome.n_bad,
+        ..SimConfig::default()
+    };
+    let (report, defense) = Simulation::new(
+        cfg,
+        DecentralizedErgo::new(DecentralConfig::default()),
+        PurgeSurvivor::new(5_000.0),
+        workload,
+    )
+    .run_with_defense();
+    assert!(report.max_bad_fraction < 1.0 / 6.0, "{}", report.max_bad_fraction);
+    assert!(defense.min_committee_good_fraction() >= 7.0 / 8.0);
+}

@@ -1,0 +1,120 @@
+//! Integration tests for GoodJEst against the ABC model (Theorem 2): the
+//! estimate tracks the true per-epoch good join rate within bounded factors,
+//! across smoothness regimes and under attack.
+
+use bankrupting_sybil::prelude::*;
+use sybil_churn::detect_epochs;
+
+/// Replays a workload through Ergo and returns (estimate, true-epoch-rate)
+/// pairs sampled at each estimator update.
+fn estimate_vs_epoch_rate(workload: Workload, horizon: Time, t: f64) -> Vec<(f64, f64)> {
+    let epochs = detect_epochs(&workload, horizon, (1, 2));
+    let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
+    let report = Simulation::new(
+        cfg,
+        Ergo::new(ErgoConfig::default()),
+        BudgetJoiner::new(t),
+        workload,
+    )
+    .run();
+    assert!(report.max_bad_fraction < 1.0 / 6.0, "Theorem 2 precondition");
+    report
+        .estimates
+        .iter()
+        .filter_map(|e| {
+            // The epoch containing the interval's end.
+            let rho = epochs
+                .iter()
+                .find(|ep| ep.start <= e.end && e.end <= ep.end)
+                .map(sybil_churn::Epoch::rho)?;
+            (rho > 0.0).then_some((e.estimate, rho))
+        })
+        .collect()
+}
+
+#[test]
+fn estimates_track_epoch_rates_on_abc_traces() {
+    // Theorem 2's envelope is ρ/(88α⁴β³) … 1867α⁴β⁵ρ; empirically the
+    // estimate stays within a factor ~25 on smooth traces (the paper
+    // observes "within a factor of 10, often much closer" on its data).
+    for (alpha, beta) in [(1.0, 1.0), (2.0, 1.0), (1.5, 2.0)] {
+        let gen = AbcTraceGenerator { n0: 1500, rho0: 5.0, alpha, beta, epochs: 12 };
+        let workload = gen.generate(61);
+        let horizon = workload.sessions.last().map_or(Time(10.0), |s| s.join + 1.0);
+        let pairs = estimate_vs_epoch_rate(workload, horizon, 0.0);
+        assert!(pairs.len() >= 3, "too few samples (alpha={alpha}, beta={beta})");
+        for (est, rho) in pairs {
+            let ratio = est / rho;
+            assert!(
+                (1.0 / 25.0..25.0).contains(&ratio),
+                "alpha={alpha} beta={beta}: est {est} vs rho {rho} (ratio {ratio})"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimates_survive_attack_within_theorem2_regime() {
+    // "This theorem holds no matter how the adversary injects bad IDs."
+    let gen = AbcTraceGenerator { n0: 1500, rho0: 5.0, alpha: 1.5, beta: 1.0, epochs: 12 };
+    let workload = gen.generate(67);
+    let horizon = workload.sessions.last().map_or(Time(10.0), |s| s.join + 1.0);
+    let pairs = estimate_vs_epoch_rate(workload, horizon, 2_000.0);
+    assert!(!pairs.is_empty());
+    for (est, rho) in pairs {
+        let ratio = est / rho;
+        assert!(
+            (1.0 / 40.0..40.0).contains(&ratio),
+            "under attack: est {est} vs rho {rho} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn estimate_adapts_to_exponentially_growing_rate() {
+    // α-smoothness allows ρ to double per epoch; the estimator must follow.
+    // Build a trace with deterministic doubling via back-to-back generators.
+    let gen = AbcTraceGenerator { n0: 1000, rho0: 2.0, alpha: 2.0, beta: 1.0, epochs: 14 };
+    let workload = gen.generate(71);
+    let horizon = workload.sessions.last().map_or(Time(10.0), |s| s.join + 1.0);
+    let cfg = SimConfig { horizon, ..SimConfig::default() };
+    let report = Simulation::new(
+        cfg,
+        Ergo::new(ErgoConfig::default()),
+        NullAdversary,
+        workload.clone(),
+    )
+    .run();
+    let epochs = detect_epochs(&workload, horizon, (1, 2));
+    let rates: Vec<f64> = epochs.iter().map(sybil_churn::Epoch::rho).collect();
+    let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+        / rates.iter().cloned().fold(f64::MAX, f64::min);
+    // The estimator's updates must span a comparable dynamic range when the
+    // true rate really moved.
+    if spread > 4.0 {
+        let ests: Vec<f64> = report.estimates.iter().map(|e| e.estimate).collect();
+        let est_spread = ests.iter().cloned().fold(f64::MIN, f64::max)
+            / ests.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            est_spread > spread / 8.0,
+            "estimates too static: spread {est_spread} vs true {spread}"
+        );
+    }
+}
+
+#[test]
+fn update_count_grows_with_churn() {
+    let slow = AbcTraceGenerator { n0: 1000, rho0: 1.0, alpha: 1.0, beta: 1.0, epochs: 4 }
+        .generate(73);
+    let fast = AbcTraceGenerator { n0: 1000, rho0: 16.0, alpha: 1.0, beta: 1.0, epochs: 4 }
+        .generate(73);
+    // Same logical epochs, 16x the rate: the fast trace is 16x shorter in
+    // wall time but completes the same number of intervals.
+    let h_slow = slow.sessions.last().map(|s| s.join + 1.0).expect("sessions");
+    let h_fast = fast.sessions.last().map(|s| s.join + 1.0).expect("sessions");
+    assert!(h_fast.as_secs() < h_slow.as_secs() / 8.0);
+    let slow_pairs = estimate_vs_epoch_rate(slow, h_slow, 0.0);
+    let fast_pairs = estimate_vs_epoch_rate(fast, h_fast, 0.0);
+    let diff = (slow_pairs.len() as i64 - fast_pairs.len() as i64).abs();
+    assert!(diff <= 2, "interval counts diverge: {} vs {}", slow_pairs.len(), fast_pairs.len());
+}

@@ -1,0 +1,124 @@
+//! End-to-end pipeline tests: determinism, conservation laws, and
+//! cross-defense cost orderings on identical inputs.
+
+use bankrupting_sybil::prelude::*;
+use sybil_defenses::{Remp, RempConfig, SybilControl};
+
+const HORIZON: Time = Time(600.0);
+
+fn gnutella_run<D: Defense>(defense: D, t: f64, seed: u64) -> SimReport {
+    let workload = networks::gnutella().generate(HORIZON, seed);
+    let cfg = SimConfig { horizon: HORIZON, adv_rate: t, ..SimConfig::default() };
+    Simulation::new(cfg, defense, BudgetJoiner::new(t), workload).run()
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let a = gnutella_run(Ergo::new(ErgoConfig::default()), 5_000.0, 7);
+    let b = gnutella_run(Ergo::new(ErgoConfig::default()), 5_000.0, 7);
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.bad_joins_admitted, b.bad_joins_admitted);
+    assert_eq!(a.purges, b.purges);
+    assert_eq!(a.final_members, b.final_members);
+    let c = gnutella_run(Ergo::new(ErgoConfig::default()), 5_000.0, 8);
+    assert_ne!(a.ledger, c.ledger, "different seeds should differ");
+}
+
+#[test]
+fn adversary_never_overspends_its_budget() {
+    for t in [10.0, 1_000.0, 100_000.0] {
+        let r = gnutella_run(Ergo::new(ErgoConfig::default()), t, 11);
+        let budget = t * HORIZON.as_secs();
+        assert!(
+            r.ledger.adversary_total().value() <= budget * 1.0001,
+            "T={t}: spent {} of {budget}",
+            r.ledger.adversary_total().value()
+        );
+    }
+}
+
+#[test]
+fn membership_conservation() {
+    let r = gnutella_run(Ergo::new(ErgoConfig::default()), 2_000.0, 13);
+    let workload = networks::gnutella().generate(HORIZON, 13);
+    // Good members: initial + admitted - departed == final good.
+    let expected_good =
+        workload.initial_size() + r.good_joins_admitted - r.good_departures;
+    assert_eq!(r.final_members - r.final_bad, expected_good);
+    // Every admitted good join cost at least 1.
+    assert!(r.ledger.good_entrance().value() >= r.good_joins_admitted as f64);
+}
+
+#[test]
+fn cost_ordering_under_attack() {
+    let t = 30_000.0;
+    let ergo = gnutella_run(Ergo::new(ErgoConfig::default()), t, 17);
+    let ccom = gnutella_run(Ergo::new(ErgoConfig::ccom()), t, 17);
+    let sf = gnutella_run(sybil_defenses::ergo_sf(0.98, 3), t, 17);
+    assert!(
+        ergo.good_spend_rate() < 0.5 * ccom.good_spend_rate(),
+        "ERGO {} vs CCOM {}",
+        ergo.good_spend_rate(),
+        ccom.good_spend_rate()
+    );
+    assert!(
+        sf.good_spend_rate() < 0.8 * ergo.good_spend_rate(),
+        "ERGO-SF {} vs ERGO {}",
+        sf.good_spend_rate(),
+        ergo.good_spend_rate()
+    );
+}
+
+#[test]
+fn remp_cost_is_flat_across_attack_rates() {
+    let low = gnutella_run(Remp::new(RempConfig { t_max: 1e5, ..RempConfig::default() }), 10.0, 19);
+    let high =
+        gnutella_run(Remp::new(RempConfig { t_max: 1e5, ..RempConfig::default() }), 50_000.0, 19);
+    let ratio = high.good_spend_rate() / low.good_spend_rate();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "REMP should be flat: {} vs {}",
+        low.good_spend_rate(),
+        high.good_spend_rate()
+    );
+}
+
+#[test]
+fn sybilcontrol_cost_is_always_on() {
+    // With NO attack, SybilControl still burns ~2 units/s per good ID,
+    // while Ergo burns only on joins and occasional churn-driven purges.
+    let sc = gnutella_run(SybilControl::default(), 0.0, 23);
+    let ergo = gnutella_run(Ergo::new(ErgoConfig::default()), 0.0, 23);
+    assert!(
+        sc.good_spend_rate() > 100.0 * ergo.good_spend_rate(),
+        "SybilControl {} vs Ergo {} at T=0",
+        sc.good_spend_rate(),
+        ergo.good_spend_rate()
+    );
+}
+
+#[test]
+fn no_attack_cost_scales_with_join_rate_not_system_size() {
+    // Theorem 1's no-attack regime: A = O(J). Ethereum churns ~9x faster
+    // than Gnutella at the same size; its no-attack cost should be higher,
+    // but both should be in the tens-of-units/s range, far below system size.
+    let gnutella = gnutella_run(Ergo::new(ErgoConfig::default()), 0.0, 29);
+    let workload = networks::ethereum().generate(HORIZON, 29);
+    let cfg = SimConfig { horizon: HORIZON, ..SimConfig::default() };
+    let ethereum =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), NullAdversary, workload).run();
+    assert!(ethereum.good_spend_rate() > gnutella.good_spend_rate());
+    assert!(gnutella.good_spend_rate() < 100.0, "{}", gnutella.good_spend_rate());
+    assert!(ethereum.good_spend_rate() < 1_000.0, "{}", ethereum.good_spend_rate());
+}
+
+#[test]
+fn refused_good_joins_only_occur_with_a_gate() {
+    let plain = gnutella_run(Ergo::new(ErgoConfig::default()), 1_000.0, 31);
+    assert_eq!(plain.good_joins_refused, 0);
+    let gated = gnutella_run(sybil_defenses::ergo_sf(0.9, 5), 1_000.0, 31);
+    assert!(gated.good_joins_refused > 0, "a 0.9-accuracy gate refuses ~10% of good");
+    let total = gated.good_joins_admitted + gated.good_joins_refused;
+    let refusal_rate = gated.good_joins_refused as f64 / total as f64;
+    assert!((refusal_rate - 0.1).abs() < 0.05, "refusal rate {refusal_rate}");
+}

@@ -1,0 +1,235 @@
+//! Property-based tests pinning the algorithmic cores against independent
+//! reference implementations and algebraic identities.
+
+use bankrupting_sybil::prelude::*;
+use proptest::prelude::*;
+use sybil_sim::Defense;
+
+// ---------------------------------------------------------------------------
+// Ergo batch pricing ≡ sequential pricing
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A Sybil batch at one instant must admit exactly as many IDs, at
+    /// exactly the same total cost, as greedy one-at-a-time joins with the
+    /// same budget — the closed-form series is an optimization, not a
+    /// semantic change.
+    #[test]
+    fn batch_join_equals_sequential_joins(
+        n_good in 500u64..50_000,
+        budget in 0.0f64..5_000.0,
+    ) {
+        let now = Time(1.0);
+        let mut batched = Ergo::new(ErgoConfig::default());
+        batched.init(Time::ZERO, n_good, 0);
+        let b = batched.bad_join_batch(now, Cost(budget), u64::MAX);
+
+        let mut sequential = Ergo::new(ErgoConfig::default());
+        sequential.init(Time::ZERO, n_good, 0);
+        let mut remaining = budget;
+        let mut admitted = 0u64;
+        let mut spent = 0.0f64;
+        loop {
+            let s = sequential.bad_join_batch(now, Cost(remaining), 1);
+            if s.admitted == 0 {
+                break;
+            }
+            admitted += s.admitted;
+            spent += s.spent.value();
+            remaining -= s.spent.value();
+            if !matches!(s.stop, sybil_sim::BatchStop::MaxAttempts) {
+                break;
+            }
+        }
+        prop_assert_eq!(b.admitted, admitted);
+        prop_assert!((b.spent.value() - spent).abs() < 1e-6,
+            "batch {} vs sequential {}", b.spent.value(), spent);
+        prop_assert_eq!(batched.n_bad(), sequential.n_bad());
+        prop_assert_eq!(batched.quote(now), sequential.quote(now));
+    }
+
+    /// The quote after any batch equals 1 + (IDs admitted in-window).
+    #[test]
+    fn quote_reflects_window_contents(
+        n_good in 10_000u64..1_000_000,
+        budget in 1.0f64..2_000.0,
+    ) {
+        let now = Time(5.0);
+        let mut e = Ergo::new(ErgoConfig::default());
+        e.init(Time::ZERO, n_good, 0);
+        let before = e.quote(now).value();
+        prop_assert_eq!(before, 1.0);
+        let b = e.bad_join_batch(now, Cost(budget), u64::MAX);
+        // All admissions happened at `now`, inside any positive window.
+        prop_assert_eq!(e.quote(now).value(), 1.0 + b.admitted as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GoodJEst vs a brute-force reference implementation
+// ---------------------------------------------------------------------------
+
+/// Reference GoodJEst: literal sets and from-scratch symmetric differences.
+struct ReferenceEstimator {
+    start_set: std::collections::BTreeSet<u64>,
+    current: std::collections::BTreeSet<u64>,
+    t_start: f64,
+    estimate: f64,
+    next_id: u64,
+}
+
+impl ReferenceEstimator {
+    fn new(initial: u64, init_duration: f64) -> Self {
+        let set: std::collections::BTreeSet<u64> = (0..initial).collect();
+        ReferenceEstimator {
+            start_set: set.clone(),
+            current: set,
+            t_start: 0.0,
+            estimate: initial as f64 / init_duration,
+            next_id: initial,
+        }
+    }
+
+    fn symdiff(&self) -> u64 {
+        self.start_set.symmetric_difference(&self.current).count() as u64
+    }
+
+    fn maybe_roll(&mut self, now: f64) {
+        if 12 * self.symdiff() >= 5 * self.current.len() as u64 && now > self.t_start {
+            self.estimate = self.current.len() as f64 / (now - self.t_start);
+            self.t_start = now;
+            self.start_set = self.current.clone();
+        }
+    }
+
+    fn join(&mut self, now: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.current.insert(id);
+        self.maybe_roll(now);
+        id
+    }
+
+    fn depart(&mut self, now: f64, id: u64) {
+        self.current.remove(&id);
+        self.maybe_roll(now);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The O(1)-per-event GoodJEst agrees with a set-based reference on
+    /// random event sequences (estimates, interval starts, and sizes).
+    #[test]
+    fn goodjest_matches_brute_force(
+        ops in proptest::collection::vec((0u8..2, 1u64..50), 1..300),
+        initial in 12u64..200,
+    ) {
+        use ergo_core::goodjest::GoodJEst;
+        use ergo_core::params::GoodJEstConfig;
+
+        let mut fast = GoodJEst::new(GoodJEstConfig::default(), Time::ZERO, initial);
+        let mut reference = ReferenceEstimator::new(initial, 1.0);
+        // Track (id, join_time) of live IDs to drive departures.
+        let mut live: Vec<(u64, f64)> = (0..initial).map(|i| (i, 0.0)).collect();
+        let mut t = 0.0f64;
+        for (op, step) in ops {
+            t += step as f64 * 0.1;
+            match op {
+                0 => {
+                    let id = reference.join(t);
+                    fast.on_join(Time(t), 1);
+                    live.push((id, t));
+                }
+                _ => {
+                    if live.len() <= 1 { continue; }
+                    // Deterministic pseudo-random victim.
+                    let idx = (step as usize * 7919) % live.len();
+                    let (id, joined_at) = live.swap_remove(idx);
+                    let old = fast.classify_old(Time(joined_at));
+                    fast.on_depart(Time(t), old, 1);
+                    reference.depart(t, id);
+                }
+            }
+            prop_assert_eq!(fast.size(), reference.current.len() as u64);
+            prop_assert_eq!(fast.symdiff(), reference.symdiff());
+            prop_assert!((fast.estimate() - reference.estimate).abs() < 1e-9,
+                "estimate {} vs reference {}", fast.estimate(), reference.estimate);
+            prop_assert!((fast.interval_start().as_secs() - reference.t_start).abs() < 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine conservation on random workloads
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On arbitrary small workloads: determinism, budget conservation, and
+    /// the invariant hold.
+    #[test]
+    fn engine_conservation_on_random_workloads(
+        n_init in 200u64..800,
+        n_sessions in 0usize..200,
+        t in 0.0f64..2_000.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let horizon = 120.0;
+        let initial: Vec<Time> =
+            (0..n_init).map(|_| Time(rng.gen_range(1.0..400.0))).collect();
+        let sessions: Vec<Session> = (0..n_sessions)
+            .map(|_| {
+                let join = rng.gen_range(0.0..horizon);
+                Session::new(Time(join), Time(join + rng.gen_range(0.1..300.0)))
+            })
+            .collect();
+        let workload = Workload::new(initial, sessions);
+        let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+        let r1 = Simulation::new(
+            cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload.clone(),
+        ).run();
+        let r2 = Simulation::new(
+            cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload,
+        ).run();
+        prop_assert_eq!(&r1.ledger, &r2.ledger);
+        prop_assert!(r1.ledger.adversary_total().value() <= t * horizon + 1e-6);
+        prop_assert!(r1.max_bad_fraction < 1.0 / 6.0, "fraction {}", r1.max_bad_fraction);
+        // Good membership closes.
+        let expected_good = n_init + r1.good_joins_admitted - r1.good_departures;
+        prop_assert_eq!(r1.final_members - r1.final_bad, expected_good);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DHT: clean-ring completeness over arbitrary membership sets
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On a Sybil-free ring of arbitrary membership, greedy lookup reaches
+    /// the owner of every key.
+    #[test]
+    fn dht_greedy_is_complete_on_clean_rings(
+        ids in proptest::collection::btree_set(0u64..1_000_000, 2..200),
+        keys in proptest::collection::vec(proptest::num::u64::ANY, 1..20),
+    ) {
+        use sybil_dht::{lookup_greedy, Ring};
+        use sybil_sim::id::Id;
+        let ring = Ring::from_members(ids.iter().map(|&i| (Id(i), false)));
+        let origin = ring.any_good().expect("nonempty");
+        for key in keys {
+            prop_assert!(
+                lookup_greedy(&ring, origin, key).is_success(),
+                "failed key {key} on ring of {}", ring.len()
+            );
+        }
+    }
+}
