@@ -37,14 +37,16 @@ pub struct AblationRow {
     pub max_bad_fraction: f64,
 }
 
-fn run_cfg(cfg: ErgoConfig, round_duration: f64, t: f64, horizon: f64, seed: u64) -> (f64, u64, f64) {
+fn run_cfg(
+    cfg: ErgoConfig,
+    round_duration: f64,
+    t: f64,
+    horizon: f64,
+    seed: u64,
+) -> (f64, u64, f64) {
     let workload = networks::gnutella().generate(Time(horizon), seed);
-    let sim = SimConfig {
-        horizon: Time(horizon),
-        adv_rate: t,
-        round_duration,
-        ..SimConfig::default()
-    };
+    let sim =
+        SimConfig { horizon: Time(horizon), adv_rate: t, round_duration, ..SimConfig::default() };
     let r = Simulation::new(sim, Ergo::new(cfg), BudgetJoiner::new(t), workload).run();
     (r.good_spend_rate(), r.purges, r.max_bad_fraction)
 }
@@ -57,10 +59,8 @@ pub fn run() -> Vec<AblationRow> {
     // 1. Iteration (purge) threshold.
     for (num, den) in [(1u64, 7u64), (1, 11), (1, 15), (1, 22)] {
         jobs.push(Box::new(move || {
-            let cfg = ErgoConfig {
-                iteration_threshold: Ratio::new(num, den),
-                ..ErgoConfig::default()
-            };
+            let cfg =
+                ErgoConfig { iteration_threshold: Ratio::new(num, den), ..ErgoConfig::default() };
             let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
             AblationRow {
                 knob: "iteration threshold".into(),
@@ -125,14 +125,8 @@ pub fn run() -> Vec<AblationRow> {
 
 /// Formats the ablation table.
 pub fn to_table(rows: &[AblationRow]) -> Table {
-    let mut table = Table::new(vec![
-        "knob",
-        "value",
-        "A (good spend rate)",
-        "purges",
-        "max bad frac",
-        "bound",
-    ]);
+    let mut table =
+        Table::new(vec!["knob", "value", "A (good spend rate)", "purges", "max bad frac", "bound"]);
     for r in rows {
         table.push(vec![
             r.knob.clone(),
@@ -153,17 +147,12 @@ mod tests {
     #[test]
     fn looser_purge_threshold_purges_less_but_risks_more() {
         let tight = {
-            let cfg = ErgoConfig {
-                iteration_threshold: Ratio::new(1, 11),
-                ..ErgoConfig::default()
-            };
+            let cfg =
+                ErgoConfig { iteration_threshold: Ratio::new(1, 11), ..ErgoConfig::default() };
             run_cfg(cfg, 0.0, 5_000.0, 300.0, 3)
         };
         let loose = {
-            let cfg = ErgoConfig {
-                iteration_threshold: Ratio::new(1, 4),
-                ..ErgoConfig::default()
-            };
+            let cfg = ErgoConfig { iteration_threshold: Ratio::new(1, 4), ..ErgoConfig::default() };
             run_cfg(cfg, 0.0, 5_000.0, 300.0, 3)
         };
         assert!(loose.1 < tight.1, "loose threshold should purge less");

@@ -1,0 +1,33 @@
+//! `bench_report` — the engine performance baseline.
+//!
+//! Runs a fixed micro/macro suite (queue throughput for both backends, plus
+//! deterministic full-engine sweep scenarios) and writes the results to
+//! `BENCH_engine.json` so subsequent PRs have a trajectory to beat.
+//!
+//! ```text
+//! Usage: bench_report [OUTPUT_PATH]
+//!
+//!   OUTPUT_PATH   where to write the JSON (default: BENCH_engine.json;
+//!                 the SYBIL_BENCH_REPORT_PATH env var overrides both)
+//!   SYBIL_BENCH_FAST=1 shrinks the queue micro-benches for CI smoke runs
+//! ```
+
+use std::io::Write;
+use sybil_bench::perf;
+
+fn main() {
+    let path = std::env::var("SYBIL_BENCH_REPORT_PATH")
+        .ok()
+        .or_else(|| std::env::args().nth(1))
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    println!("=== Engine performance baseline ===");
+    let started = std::time::Instant::now();
+    let report = perf::run_suite();
+    print!("{}", perf::render(&report));
+    let json = perf::to_json(&report);
+    let mut file =
+        std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    file.write_all(json.as_bytes()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+    println!("elapsed: {:.1?}", started.elapsed());
+}

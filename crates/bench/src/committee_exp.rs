@@ -56,13 +56,9 @@ pub fn run_cell(network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> Commit
     )
     .run_with_defense();
 
-    let central = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        PurgeSurvivor::new(t),
-        workload,
-    )
-    .run();
+    let central =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), PurgeSurvivor::new(t), workload)
+            .run();
 
     let history = defense.history();
     let mean_size = if history.is_empty() {

@@ -57,29 +57,22 @@ pub fn run_end_to_end(t: f64, seed: u64) -> EndToEnd {
     let horizon = if fast_mode() { Time(300.0) } else { Time(2_000.0) };
     let workload = networks::gnutella().generate(horizon, seed);
     let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        PurgeSurvivor::new(t),
-        workload,
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), PurgeSurvivor::new(t), workload)
+            .run();
 
     // Materialize the final membership as ring nodes. Identities are
     // opaque; only counts matter for the ring's composition.
     let n_bad = report.final_bad;
     let n_good = report.final_members - n_bad;
     let ring = Ring::from_members(
-        (0..n_good)
-            .map(|i| (Id(i), false))
-            .chain((0..n_bad).map(|i| (Id((1 << 41) | i), true))),
+        (0..n_good).map(|i| (Id(i), false)).chain((0..n_bad).map(|i| (Id((1 << 41) | i), true))),
     );
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD417);
     let trials = if fast_mode() { 150 } else { 500 };
-    let ok = (0..trials)
-        .filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success())
-        .count();
+    let ok =
+        (0..trials).filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success()).count();
     EndToEnd {
         t,
         ring_size: ring.len(),

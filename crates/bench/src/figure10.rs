@@ -18,22 +18,13 @@ use sybil_churn::networks;
 
 /// The Figure 10 roster.
 pub fn roster() -> Vec<Algo> {
-    vec![
-        Algo::Ergo,
-        Algo::ErgoCh1,
-        Algo::ErgoCh2,
-        Algo::ErgoSfFull(0.92),
-        Algo::ErgoSfFull(0.98),
-    ]
+    vec![Algo::Ergo, Algo::ErgoCh1, Algo::ErgoCh2, Algo::ErgoSfFull(0.92), Algo::ErgoSfFull(0.98)]
 }
 
 /// Runs the full Figure 10 sweep.
 pub fn run() -> Vec<SpendPoint> {
-    let (horizon, grid) = if fast_mode() {
-        (500.0, vec![0.0, 16.0, 1024.0, 65_536.0])
-    } else {
-        (10_000.0, t_grid())
-    };
+    let (horizon, grid) =
+        if fast_mode() { (500.0, vec![0.0, 16.0, 1024.0, 65_536.0]) } else { (10_000.0, t_grid()) };
     let networks = networks::all_networks();
     let mut jobs: Vec<Box<dyn FnOnce() -> SpendPoint + Send>> = Vec::new();
     for net in &networks {
@@ -91,10 +82,7 @@ mod tests {
     #[test]
     fn roster_matches_figure10_legend() {
         let labels: Vec<String> = roster().iter().map(|a| a.label()).collect();
-        assert_eq!(
-            labels,
-            vec!["ERGO", "ERGO-CH1", "ERGO-CH2", "ERGO-SF(92)", "ERGO-SF(98)"]
-        );
+        assert_eq!(labels, vec!["ERGO", "ERGO-CH1", "ERGO-CH2", "ERGO-SF(92)", "ERGO-SF(98)"]);
     }
 
     #[test]

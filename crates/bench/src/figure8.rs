@@ -20,22 +20,13 @@ use sybil_churn::networks;
 
 /// The Figure 8 algorithm roster.
 pub fn roster() -> Vec<Algo> {
-    vec![
-        Algo::Ergo,
-        Algo::CCom,
-        Algo::SybilControl,
-        Algo::Remp(1e7),
-        Algo::ErgoSf(0.98),
-    ]
+    vec![Algo::Ergo, Algo::CCom, Algo::SybilControl, Algo::Remp(1e7), Algo::ErgoSf(0.98)]
 }
 
 /// Runs the full Figure 8 sweep and returns the measured points.
 pub fn run() -> Vec<SpendPoint> {
-    let (horizon, grid) = if fast_mode() {
-        (500.0, vec![0.0, 16.0, 1024.0, 65_536.0])
-    } else {
-        (10_000.0, t_grid())
-    };
+    let (horizon, grid) =
+        if fast_mode() { (500.0, vec![0.0, 16.0, 1024.0, 65_536.0]) } else { (10_000.0, t_grid()) };
     let networks = networks::all_networks();
     let mut jobs: Vec<Box<dyn FnOnce() -> SpendPoint + Send>> = Vec::new();
     for net in &networks {
@@ -110,10 +101,7 @@ mod tests {
     #[test]
     fn roster_matches_figure8_legend() {
         let labels: Vec<String> = roster().iter().map(|a| a.label()).collect();
-        assert_eq!(
-            labels,
-            vec!["ERGO", "CCOM", "SybilControl", "REMP-1e7", "ERGO-SF(98)"]
-        );
+        assert_eq!(labels, vec!["ERGO", "CCOM", "SybilControl", "REMP-1e7", "ERGO-SF(98)"]);
     }
 
     #[test]

@@ -51,7 +51,13 @@ pub struct EstimateQuality {
 }
 
 /// Runs one (network, fraction, T) cell.
-pub fn run_cell(network: &ChurnModel, fraction: f64, t: f64, horizon: f64, seed: u64) -> EstimateQuality {
+pub fn run_cell(
+    network: &ChurnModel,
+    fraction: f64,
+    t: f64,
+    horizon: f64,
+    seed: u64,
+) -> EstimateQuality {
     let workload = network.generate(Time(horizon), seed);
     let n0 = workload.initial_size();
     let initial_bad = ((fraction / (1.0 - fraction)) * n0 as f64).round() as u64;
@@ -93,11 +99,7 @@ pub fn run_cell(network: &ChurnModel, fraction: f64, t: f64, horizon: f64, seed:
     let (min, med, max) = if ratios.is_empty() {
         (f64::NAN, f64::NAN, f64::NAN)
     } else {
-        (
-            ratios[0],
-            ratios[ratios.len() / 2],
-            ratios[ratios.len() - 1],
-        )
+        (ratios[0], ratios[ratios.len() / 2], ratios[ratios.len() - 1])
     };
     EstimateQuality {
         network: network.name.to_string(),

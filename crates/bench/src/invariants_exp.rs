@@ -53,15 +53,11 @@ impl Strategy {
         let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
         let ergo = Ergo::new(ErgoConfig::default());
         match self {
-            Strategy::Budget => {
-                Simulation::new(cfg, ergo, BudgetJoiner::new(t), workload).run()
-            }
+            Strategy::Budget => Simulation::new(cfg, ergo, BudgetJoiner::new(t), workload).run(),
             Strategy::Burst => {
                 Simulation::new(cfg, ergo, BurstJoiner::new(t, 60.0), workload).run()
             }
-            Strategy::ChurnForce => {
-                Simulation::new(cfg, ergo, ChurnForcer::new(t), workload).run()
-            }
+            Strategy::ChurnForce => Simulation::new(cfg, ergo, ChurnForcer::new(t), workload).run(),
             Strategy::PurgeSurvive => {
                 Simulation::new(cfg, ergo, PurgeSurvivor::new(t), workload).run()
             }
@@ -132,7 +128,8 @@ pub struct ScalingFit {
 /// ≈ 0.5 for Ergo; CCom's `O(T+J)` gives ≈ 1).
 pub fn run_scaling() -> Vec<ScalingFit> {
     let horizon = if fast_mode() { 500.0 } else { 10_000.0 };
-    let exponents: Vec<u32> = if fast_mode() { vec![12, 14, 16] } else { vec![10, 12, 14, 16, 18, 20] };
+    let exponents: Vec<u32> =
+        if fast_mode() { vec![12, 14, 16] } else { vec![10, 12, 14, 16, 18, 20] };
     let mut jobs: Vec<Box<dyn FnOnce() -> ScalingFit + Send>> = Vec::new();
     for net in [networks::gnutella(), networks::bittorrent()] {
         for algo in [Algo::Ergo, Algo::CCom] {
@@ -170,15 +167,8 @@ fn slope(points: &[(f64, f64)]) -> f64 {
 
 /// Formats the invariant sweep.
 pub fn invariants_table(outcomes: &[InvariantOutcome]) -> Table {
-    let mut table = Table::new(vec![
-        "network",
-        "adversary",
-        "T",
-        "max bad frac",
-        "bound (3k)",
-        "held",
-        "A",
-    ]);
+    let mut table =
+        Table::new(vec!["network", "adversary", "T", "max bad frac", "bound (3k)", "held", "A"]);
     for o in outcomes {
         table.push(vec![
             o.network.clone(),

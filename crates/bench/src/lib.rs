@@ -30,6 +30,7 @@ pub mod figure8;
 pub mod figure9;
 pub mod invariants_exp;
 pub mod lower_bound_exp;
+pub mod perf;
 pub mod sweep;
 pub mod table;
 

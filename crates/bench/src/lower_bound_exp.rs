@@ -24,9 +24,7 @@ pub fn run() -> Vec<LowerBoundOutcome> {
     let mut jobs: Vec<Box<dyn FnOnce() -> LowerBoundOutcome + Send>> = Vec::new();
     for f in cost_functions() {
         for &t in &t_values {
-            jobs.push(Box::new(move || {
-                run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, horizon)
-            }));
+            jobs.push(Box::new(move || run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, horizon)));
         }
     }
     run_parallel(jobs, default_workers())

@@ -1,0 +1,334 @@
+//! The engine performance baseline: a fixed micro/macro suite whose results
+//! are written to `BENCH_engine.json` so every subsequent PR has a
+//! trajectory to beat.
+//!
+//! Two layers:
+//!
+//! * **Queue micro-benches** — raw [`EventQueue`] push/pop throughput for
+//!   both backends (binary heap vs calendar buckets) under an engine-like
+//!   access pattern (time advances monotonically, events land near-future).
+//! * **Macro scenarios** — full [`Simulation`] runs through the same
+//!   [`crate::sweep::run_report`] path the figure sweeps use, measured in
+//!   engine events per wall second. `macro_sweep` is the headline number: a
+//!   miniature Figure-8-style sweep cell grid.
+//!
+//! Every scenario is deterministic (fixed seeds); the JSON also records the
+//! run's counter fingerprint so regressions in *behavior* (not just speed)
+//! are visible in the artifact diff.
+
+use crate::sweep::{run_report, Algo, RunParams};
+use std::time::Instant;
+use sybil_churn::networks;
+use sybil_sim::queue::EventQueue;
+use sybil_sim::time::Time;
+
+/// One measured macro scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Scenario name (stable across PRs; used as the JSON key).
+    pub name: String,
+    /// Engine events dispatched.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Events per wall second — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Peak pending-event count across the runs.
+    pub peak_queue_len: usize,
+    /// Behavior fingerprint: counters that must not change for identical
+    /// seeds when only performance work happens.
+    pub fingerprint: Fingerprint,
+}
+
+/// Counter fingerprint of a deterministic run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fingerprint {
+    /// Total good joins admitted.
+    pub good_joins_admitted: u64,
+    /// Total Sybil joins admitted.
+    pub bad_joins_admitted: u64,
+    /// Total purges executed.
+    pub purges: u64,
+    /// Total good spend.
+    pub good_spend: f64,
+    /// Total adversary spend.
+    pub adv_spend: f64,
+}
+
+/// One measured queue micro-bench.
+#[derive(Clone, Debug)]
+pub struct QueueBenchResult {
+    /// Bench name (`queue_heap` / `queue_calendar`).
+    pub name: String,
+    /// Push+pop operations performed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Operations per wall second.
+    pub ops_per_sec: f64,
+}
+
+/// The full suite result.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Queue micro-bench results.
+    pub queue: Vec<QueueBenchResult>,
+    /// Macro scenario results.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// The macro scenario grid. `macro_sweep` (the acceptance headline)
+/// aggregates a miniature Figure-8-style cell grid; the single-cell
+/// scenarios isolate heavy-churn and heavy-periodic defenses.
+/// One scenario cell: `(algo, T, horizon, seed)`.
+type Cell = (Algo, f64, f64, u64);
+
+fn scenario_specs() -> Vec<(&'static str, Vec<Cell>)> {
+    let sweep_cells: Vec<Cell> = {
+        let mut cells = Vec::new();
+        for algo in [Algo::Ergo, Algo::CCom, Algo::SybilControl] {
+            for t in [0.0, 64.0, 4096.0, 65_536.0] {
+                cells.push((algo, t, 1000.0, 1));
+            }
+        }
+        cells
+    };
+    vec![
+        ("macro_sweep", sweep_cells),
+        ("gnutella_ergo_t1024", vec![(Algo::Ergo, 1024.0, 2000.0, 1)]),
+        ("gnutella_sybilcontrol_t64", vec![(Algo::SybilControl, 64.0, 500.0, 2)]),
+    ]
+}
+
+/// Repetitions per measurement; the fastest rep is reported. Machine
+/// noise (scheduler, frequency scaling, cache pollution from sibling
+/// containers) only ever *adds* time, so best-of-K is the stable estimator
+/// of intrinsic cost.
+fn reps() -> u32 {
+    std::env::var("SYBIL_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(5)
+}
+
+/// Runs one named scenario (a list of `(algo, T, horizon, seed)` cells,
+/// executed sequentially on the calling thread) and measures aggregate
+/// engine throughput, best-of-[`reps`].
+fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
+    let net = networks::gnutella();
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let mut fp = Fingerprint::default();
+    for rep in 0..reps() {
+        let started = Instant::now();
+        let mut rep_events = 0u64;
+        let mut rep_peak = 0usize;
+        let mut rep_fp = Fingerprint::default();
+        for &(algo, t, horizon, seed) in cells {
+            let params = RunParams { horizon, seed, ..RunParams::default() };
+            let report = run_report(&net, algo, t, params);
+            rep_events += report.events_processed;
+            rep_peak = rep_peak.max(report.peak_queue_len);
+            rep_fp.good_joins_admitted += report.good_joins_admitted;
+            rep_fp.bad_joins_admitted += report.bad_joins_admitted;
+            rep_fp.purges += report.purges;
+            rep_fp.good_spend += report.ledger.good_total().value();
+            rep_fp.adv_spend += report.ledger.adversary_total().value();
+        }
+        let wall = started.elapsed().as_secs_f64();
+        if rep == 0 {
+            (events, peak, fp) = (rep_events, rep_peak, rep_fp);
+        } else {
+            assert_eq!(rep_events, events, "{name}: nondeterministic event count");
+            assert_eq!(rep_fp, fp, "{name}: nondeterministic fingerprint");
+        }
+        best_wall = best_wall.min(wall);
+    }
+    ScenarioResult {
+        name: name.to_string(),
+        events,
+        wall_secs: best_wall,
+        events_per_sec: events as f64 / best_wall.max(1e-12),
+        peak_queue_len: peak,
+        fingerprint: fp,
+    }
+}
+
+/// Engine-like queue access pattern: a standing population of pending
+/// events over the horizon, advancing time by pop-then-push-near-future.
+fn run_queue_bench(name: &str, mut q: EventQueue<u64>, n_ops: u64) -> QueueBenchResult {
+    let horizon = 10_000.0;
+    let standing = 5_000u64;
+    let mut state = 0x00dd_c0de_5eed_1234u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let started = Instant::now();
+    // Seed the standing population.
+    for i in 0..standing {
+        q.push(Time(next() as f64 % horizon), i);
+    }
+    let mut ops = standing;
+    let mut acc = 0u64;
+    while ops < n_ops {
+        let (now, v) = q.pop().expect("standing population");
+        acc = acc.wrapping_add(v);
+        // Reschedule near-future relative to the popped time, mimicking
+        // depart/periodic/adversary pushes; occasionally far-future.
+        let dt = if ops.is_multiple_of(17) {
+            (next() % 1000) as f64
+        } else {
+            (next() % 64) as f64 * 0.25
+        };
+        q.push(Time((now.as_secs() + dt).min(horizon * 2.0)), v);
+        ops += 2;
+    }
+    std::hint::black_box(acc);
+    let wall_secs = started.elapsed().as_secs_f64();
+    QueueBenchResult {
+        name: name.to_string(),
+        ops,
+        wall_secs,
+        ops_per_sec: ops as f64 / wall_secs.max(1e-12),
+    }
+}
+
+/// Runs the full suite. All measurements are single-threaded so the
+/// numbers compare engine work, not scheduling luck.
+pub fn run_suite() -> PerfReport {
+    let n_ops = if crate::sweep::fast_mode() { 400_000 } else { 2_000_000 };
+    let best_queue = |name: &str, make: &dyn Fn() -> EventQueue<u64>| {
+        (0..reps())
+            .map(|_| run_queue_bench(name, make(), n_ops))
+            .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+            .expect("at least one rep")
+    };
+    let queue = vec![
+        best_queue("queue_heap", &|| EventQueue::with_capacity(8192)),
+        best_queue("queue_calendar", &|| EventQueue::with_horizon(Time(20_000.0), 8192)),
+    ];
+    let scenarios =
+        scenario_specs().iter().map(|(name, cells)| run_scenario(name, cells)).collect();
+    PerfReport { queue, scenarios }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the report as pretty-printed JSON (hand-rolled; the build
+/// environment has no serde).
+pub fn to_json(report: &PerfReport) -> String {
+    let mut out = String::from("{\n");
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    out.push_str(&format!("  \"generated_unix_secs\": {unix_secs},\n"));
+    out.push_str("  \"queue\": {\n");
+    for (i, q) in report.queue.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"ops\": {}, \"wall_secs\": {}, \"ops_per_sec\": {}}}{}\n",
+            q.name,
+            q.ops,
+            json_f64(q.wall_secs),
+            json_f64(q.ops_per_sec),
+            if i + 1 < report.queue.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"scenarios\": {\n");
+    for (i, s) in report.scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
+            s.name,
+            s.events,
+            json_f64(s.wall_secs),
+            json_f64(s.events_per_sec),
+            s.peak_queue_len,
+            s.fingerprint.good_joins_admitted,
+            s.fingerprint.bad_joins_admitted,
+            s.fingerprint.purges,
+            json_f64(s.fingerprint.good_spend),
+            json_f64(s.fingerprint.adv_spend),
+            if i + 1 < report.scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders a human-readable summary table.
+pub fn render(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>14} {:>10} {:>16} {:>12}\n",
+        "benchmark", "events/ops", "wall (s)", "throughput/s", "peak queue"
+    ));
+    for q in &report.queue {
+        out.push_str(&format!(
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12}\n",
+            q.name, q.ops, q.wall_secs, q.ops_per_sec, "-"
+        ));
+    }
+    for s in &report.scenarios {
+        out.push_str(&format!(
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12}\n",
+            s.name, s.events, s.wall_secs, s.events_per_sec, s.peak_queue_len
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cells = [(Algo::Ergo, 64.0, 50.0, 3u64)];
+        let a = run_scenario("det", &cells);
+        let b = run_scenario("det", &cells);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.events, b.events);
+        assert!(a.events > 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = PerfReport {
+            queue: vec![QueueBenchResult {
+                name: "queue_heap".into(),
+                ops: 10,
+                wall_secs: 0.1,
+                ops_per_sec: 100.0,
+            }],
+            scenarios: vec![ScenarioResult {
+                name: "s".into(),
+                events: 5,
+                wall_secs: 0.5,
+                events_per_sec: 10.0,
+                peak_queue_len: 3,
+                fingerprint: Fingerprint::default(),
+            }],
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"queue_heap\""));
+        assert!(json.contains("\"events_per_sec\": 10"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn queue_bench_runs() {
+        let r = run_queue_bench("q", EventQueue::new(), 10_000);
+        assert!(r.ops >= 10_000);
+        assert!(r.ops_per_sec > 0.0);
+    }
+}

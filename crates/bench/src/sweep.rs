@@ -32,21 +32,51 @@ pub enum Algo {
     ErgoSfFull(f64),
 }
 
+/// A generic consumer of a concretely-typed defense.
+///
+/// This is the monomorphized dispatch point for sweeps: [`Algo::dispatch`]
+/// matches once on the algorithm and hands the visitor a *concrete*
+/// defense value, so `Simulation::run` (and every per-event defense
+/// callback in its inner loop) compiles as direct, inlinable calls instead
+/// of virtual dispatch through `Box<dyn Defense>`.
+pub trait AlgoVisitor {
+    /// The result produced for the defense.
+    type Out;
+
+    /// Runs on the built, concretely-typed defense.
+    fn visit<D: Defense + 'static>(self, defense: D) -> Self::Out;
+}
+
 impl Algo {
-    /// Builds the defense instance.
+    /// Builds the defense instance, type-erased.
+    ///
+    /// Prefer [`dispatch`](Self::dispatch) on hot paths — the boxed form
+    /// pays a virtual call per defense callback in the engine's inner
+    /// loop. This remains for callers that genuinely need runtime
+    /// polymorphism (e.g. the CLI's mixed-strategy plumbing).
     pub fn build(&self, seed: u64) -> Box<dyn Defense> {
+        struct Boxer;
+        impl AlgoVisitor for Boxer {
+            type Out = Box<dyn Defense>;
+            fn visit<D: Defense + 'static>(self, defense: D) -> Box<dyn Defense> {
+                Box::new(defense)
+            }
+        }
+        self.dispatch(seed, Boxer)
+    }
+
+    /// Builds the defense and passes it, concretely typed, to `visitor`.
+    pub fn dispatch<V: AlgoVisitor>(&self, seed: u64, visitor: V) -> V::Out {
         match *self {
-            Algo::Ergo => Box::new(defs::ergo()),
-            Algo::CCom => Box::new(defs::ccom()),
-            Algo::SybilControl => Box::new(defs::SybilControl::default()),
-            Algo::Remp(t_max) => Box::new(defs::Remp::new(defs::RempConfig {
-                t_max,
-                ..defs::RempConfig::default()
-            })),
-            Algo::ErgoSf(acc) => Box::new(defs::ergo_sf(acc, seed)),
-            Algo::ErgoCh1 => Box::new(defs::ergo_ch1()),
-            Algo::ErgoCh2 => Box::new(defs::ergo_ch2()),
-            Algo::ErgoSfFull(acc) => Box::new(defs::ergo_sf_full(acc, seed)),
+            Algo::Ergo => visitor.visit(defs::ergo()),
+            Algo::CCom => visitor.visit(defs::ccom()),
+            Algo::SybilControl => visitor.visit(defs::SybilControl::default()),
+            Algo::Remp(t_max) => visitor
+                .visit(defs::Remp::new(defs::RempConfig { t_max, ..defs::RempConfig::default() })),
+            Algo::ErgoSf(acc) => visitor.visit(defs::ergo_sf(acc, seed)),
+            Algo::ErgoCh1 => visitor.visit(defs::ergo_ch1()),
+            Algo::ErgoCh2 => visitor.visit(defs::ergo_ch2()),
+            Algo::ErgoSfFull(acc) => visitor.visit(defs::ergo_sf_full(acc, seed)),
         }
     }
 
@@ -132,17 +162,68 @@ pub fn run_point(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) ->
     }
 }
 
+/// Returns the (deterministic) workload for `(network, horizon, seed)`,
+/// generating it on first use and cloning it from a process-wide cache
+/// afterwards.
+///
+/// Sweeps run every algorithm and every spend rate against the *same*
+/// good-ID schedule — Figure 8 alone replays each network's workload 60
+/// times — and trace generation (tens of thousands of inverse-transform
+/// samples) is a measurable slice of a sweep cell. The cache key hashes
+/// the full model debug representation, so two models that merely share a
+/// name cannot collide. Cloning is a flat memcpy of the session vectors;
+/// the result is byte-identical to regenerating.
+pub fn cached_workload(network: &ChurnModel, horizon: f64, seed: u64) -> sybil_sim::Workload {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    type WorkloadCache = Mutex<HashMap<(String, u64, u64), sybil_sim::Workload>>;
+    static CACHE: OnceLock<WorkloadCache> = OnceLock::new();
+    let key = (format!("{network:?}"), horizon.to_bits(), seed);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(w) = cache.lock().expect("workload cache poisoned").get(&key) {
+        return w.clone();
+    }
+    // Generate OUTSIDE the lock: first-touch generation is the expensive
+    // part, and worker threads warming different keys must not serialize
+    // on it. Racing generators produce identical deterministic workloads,
+    // so a duplicated generation is wasted work, never wrong data.
+    let generated = network.generate(Time(horizon), seed);
+    let mut cache = cache.lock().expect("workload cache poisoned");
+    if cache.len() > 64 {
+        // Sweeps touch a handful of keys; a runaway caller (scripted
+        // horizon scans) must not grow this without bound.
+        cache.clear();
+    }
+    cache.entry(key).or_insert(generated).clone()
+}
+
 /// Runs one cell and returns the full simulation report.
+///
+/// The run is monomorphized per defense type via [`Algo::dispatch`]: the
+/// engine's inner loop compiles with direct calls into the concrete
+/// defense instead of `Box<dyn Defense>` virtual dispatch. Workloads come
+/// from [`cached_workload`].
 pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SimReport {
-    let workload = network.generate(Time(params.horizon), params.seed);
+    struct Runner {
+        cfg: SimConfig,
+        t: f64,
+        workload: sybil_sim::Workload,
+    }
+    impl AlgoVisitor for Runner {
+        type Out = SimReport;
+        fn visit<D: Defense + 'static>(self, defense: D) -> SimReport {
+            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.workload).run()
+        }
+    }
+    let workload = cached_workload(network, params.horizon, params.seed);
     let cfg = SimConfig {
         horizon: Time(params.horizon),
         kappa: params.kappa,
         adv_rate: t,
         ..SimConfig::default()
     };
-    let defense = algo.build(params.seed.wrapping_mul(7919).wrapping_add(13));
-    Simulation::new(cfg, defense, BudgetJoiner::new(t), workload).run()
+    algo.dispatch(params.seed.wrapping_mul(7919).wrapping_add(13), Runner { cfg, t, workload })
 }
 
 /// Validates the DefID invariant over a report (bad fraction < 3κ for the
@@ -161,43 +242,122 @@ pub fn t_grid() -> Vec<f64> {
 }
 
 /// Runs `jobs` on `workers` threads, preserving input order of results.
+///
+/// Scheduling is chunked work-stealing: workers claim contiguous chunks of
+/// roughly `n / (workers · 8)` jobs off a shared atomic cursor, so fast
+/// workers steal the slack of slow ones at chunk granularity while the
+/// claim itself is a single uncontended `fetch_add` (the old
+/// implementation took a global mutex per job). Results land in
+/// per-worker buffers; no lock is held while a job runs.
+///
+/// Determinism: a job closure must depend only on what it captured (the
+/// experiment drivers capture fixed seeds; multi-trial drivers should
+/// derive theirs from [`trial_seed`]) and never on which worker runs it,
+/// so the returned vector is identical regardless of `workers` or
+/// scheduling.
 pub fn run_parallel<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     assert!(workers > 0, "need at least one worker");
     let n = jobs.len();
-    let queue: std::sync::Mutex<Vec<(usize, F)>> =
-        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results: std::sync::Mutex<Vec<Option<T>>> =
-        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n);
+    // Chunks small enough that a slow chunk can be compensated by steals,
+    // large enough to amortize the atomic claim.
+    let chunk = (n / (workers * 8)).max(1);
+    let jobs: Vec<std::sync::Mutex<Option<F>>> =
+        jobs.into_iter().map(|f| std::sync::Mutex::new(Some(f))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, T)>> = Vec::new();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue poisoned").pop();
-                let Some((idx, f)) = job else { break };
-                let out = f();
-                results.lock().expect("results poisoned")[idx] = Some(out);
-            });
-        }
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (slot, idx) in jobs[start..end].iter().zip(start..end) {
+                            let f = slot
+                                .lock()
+                                .expect("job slot poisoned")
+                                .take()
+                                .expect("job claimed twice");
+                            local.push((idx, f()));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        buffers = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
     });
-    results
-        .into_inner()
-        .expect("results poisoned")
-        .into_iter()
-        .map(|r| r.expect("job completed"))
-        .collect()
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (idx, value) in buffers.into_iter().flatten() {
+        results[idx] = Some(value);
+    }
+    results.into_iter().map(|r| r.expect("job completed")).collect()
 }
 
-/// Number of worker threads to use (`SYBIL_BENCH_WORKERS` overrides).
+/// Derives the deterministic seed for trial `index` of a sweep anchored at
+/// `base`. Pure function of its inputs (SplitMix64 finalizer), so results
+/// never depend on worker count or scheduling order.
+///
+/// The current figure drivers replicate the paper's single-seed setup and
+/// do not take multiple trials yet; this is the seeding API for the
+/// multi-trial error-bar work queued in ROADMAP "Open items".
+pub fn trial_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parses a worker-count override from `SYBIL_BENCH_WORKERS`.
+///
+/// Returns `Ok(None)` when the variable is unset, `Err` (with an
+/// actionable message) when it is set to zero or garbage — silent
+/// fallbacks here used to mask typos like `SYBIL_BENCH_WORKERS=all`.
+pub fn workers_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("SYBIL_BENCH_WORKERS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("SYBIL_BENCH_WORKERS is not valid unicode: {e}")),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err("SYBIL_BENCH_WORKERS=0 is invalid: need at least one worker \
+                 (unset the variable to use all cores)"
+                .to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "SYBIL_BENCH_WORKERS={v:?} is not a positive integer \
+                 (example: SYBIL_BENCH_WORKERS=8)"
+            )),
+        },
+    }
+}
+
+/// Number of worker threads to use (`SYBIL_BENCH_WORKERS` overrides; an
+/// invalid override aborts with the parse error rather than being
+/// silently ignored).
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("SYBIL_BENCH_WORKERS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+    match workers_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
     }
-    std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
 /// True when `SYBIL_BENCH_FAST=1`: benches shrink grids/horizons so the
@@ -227,6 +387,50 @@ mod tests {
             (0..20usize).map(|i| Box::new(move || i * i) as _).collect();
         let out = run_parallel(jobs, 4);
         assert_eq!(out, (0..20usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_handles_edge_shapes() {
+        // Empty job list.
+        let none: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+        assert!(run_parallel(none, 4).is_empty());
+        // More workers than jobs.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..3usize).map(|i| Box::new(move || i) as _).collect();
+        assert_eq!(run_parallel(jobs, 64), vec![0, 1, 2]);
+        // Single worker degrades to sequential.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..7usize).map(|i| Box::new(move || i + 1) as _).collect();
+        assert_eq!(run_parallel(jobs, 1), (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "collisions in trial seeds");
+        // Pure function: stable across calls and independent of ordering.
+        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
+        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+    }
+
+    #[test]
+    fn workers_env_validation() {
+        // NOTE: env mutation — these cases run in one test to avoid racing
+        // parallel test threads on the same variable.
+        let key = "SYBIL_BENCH_WORKERS";
+        let old = std::env::var(key).ok();
+        std::env::remove_var(key);
+        assert_eq!(workers_from_env(), Ok(None));
+        std::env::set_var(key, "8");
+        assert_eq!(workers_from_env(), Ok(Some(8)));
+        std::env::set_var(key, "0");
+        assert!(workers_from_env().unwrap_err().contains("at least one worker"));
+        std::env::set_var(key, "all");
+        assert!(workers_from_env().unwrap_err().contains("not a positive integer"));
+        match old {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
     }
 
     #[test]

@@ -122,8 +122,17 @@ pub fn detect_epochs(workload: &Workload, horizon: Time, threshold: (u64, u64)) 
                 new_present += 1;
                 joins += 1;
                 maybe_close(
-                    &mut epochs, &mut start, &mut start_size, size, &mut old_departed,
-                    &mut new_present, &mut joins, &mut departs, t, num, den,
+                    &mut epochs,
+                    &mut start,
+                    &mut start_size,
+                    size,
+                    &mut old_departed,
+                    &mut new_present,
+                    &mut joins,
+                    &mut departs,
+                    t,
+                    num,
+                    den,
                 );
             }
             ChurnEvent::Depart { at, joined_at } => {
@@ -135,8 +144,17 @@ pub fn detect_epochs(workload: &Workload, horizon: Time, threshold: (u64, u64)) 
                     new_present = new_present.saturating_sub(1);
                 }
                 maybe_close(
-                    &mut epochs, &mut start, &mut start_size, size, &mut old_departed,
-                    &mut new_present, &mut joins, &mut departs, at, num, den,
+                    &mut epochs,
+                    &mut start,
+                    &mut start_size,
+                    size,
+                    &mut old_departed,
+                    &mut new_present,
+                    &mut joins,
+                    &mut departs,
+                    at,
+                    num,
+                    den,
                 );
             }
         }
@@ -316,9 +334,7 @@ impl AbcTraceGenerator {
                     let depart = Time(t);
                     match member {
                         Member::Initial(i) => initial_departures[i] = depart,
-                        Member::Arrival(i) => {
-                            sessions[i] = Session::new(sessions[i].join, depart)
-                        }
+                        Member::Arrival(i) => sessions[i] = Session::new(sessions[i].join, depart),
                     }
                     if joined_at <= epoch_start {
                         old_departed += 1;
@@ -374,11 +390,7 @@ mod tests {
         let epochs = detect_epochs(&w, horizon, (1, 2));
         // The generator stops mid-way through its final epoch's boundary
         // condition, so we see ≈ the configured number.
-        assert!(
-            (epochs.len() as i64 - 6).unsigned_abs() <= 1,
-            "found {} epochs",
-            epochs.len()
-        );
+        assert!((epochs.len() as i64 - 6).unsigned_abs() <= 1, "found {} epochs", epochs.len());
         for ep in &epochs {
             assert!(ep.len() > 0.0);
             assert!(!ep.is_empty());
@@ -395,11 +407,7 @@ mod tests {
         let w = AbcTraceGenerator { alpha: 1.0, ..generator() }.generate(3);
         let epochs = detect_epochs(&w, Time(1e6), (1, 2));
         for ep in &epochs {
-            assert!(
-                (ep.rho() - 2.0).abs() < 0.5,
-                "epoch rho {} vs configured 2.0",
-                ep.rho()
-            );
+            assert!((ep.rho() - 2.0).abs() < 0.5, "epoch rho {} vs configured 2.0", ep.rho());
         }
     }
 
@@ -421,10 +429,7 @@ mod tests {
         let h = Time(1e6);
         let b_smooth = estimate_beta(&smooth, &detect_epochs(&smooth, h, (1, 2)), h);
         let b_bursty = estimate_beta(&bursty, &detect_epochs(&bursty, h, (1, 2)), h);
-        assert!(
-            b_bursty > b_smooth,
-            "bursty {b_bursty} should exceed smooth {b_smooth}"
-        );
+        assert!(b_bursty > b_smooth, "bursty {b_bursty} should exceed smooth {b_smooth}");
         assert!(b_smooth < 4.0, "smooth trace measured beta {b_smooth}");
     }
 

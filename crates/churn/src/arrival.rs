@@ -130,10 +130,7 @@ mod tests {
         // the second.
         let first = a.iter().filter(|&&t| t < period / 2.0).count();
         let second = a.len() - first;
-        assert!(
-            first as f64 > 1.3 * second as f64,
-            "first {first} second {second}"
-        );
+        assert!(first as f64 > 1.3 * second as f64, "first {first} second {second}");
     }
 
     #[test]

@@ -108,10 +108,7 @@ mod tests {
         // 30% of the population leaving in one instant breaks the model
         // (the other 70 members persist beyond the horizon).
         let w = Workload::new(
-            (0..30)
-                .map(|_| Time(500.0))
-                .chain((0..70).map(|_| Time(1e9)))
-                .collect(),
+            (0..30).map(|_| Time(500.0)).chain((0..70).map(|_| Time(1e9))).collect(),
             vec![],
         );
         let report = measure_epsilon(&w, Time(2_000.0), 1.0);

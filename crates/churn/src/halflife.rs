@@ -107,9 +107,7 @@ mod tests {
     fn workload() -> Workload {
         Workload::new(
             (0..10).map(|i| Time(20.0 + i as f64)).collect(),
-            (0..10)
-                .map(|i| Session::new(Time(1.0 + i as f64), Time(1000.0)))
-                .collect(),
+            (0..10).map(|i| Session::new(Time(1.0 + i as f64), Time(1000.0))).collect(),
         )
     }
 
@@ -142,8 +140,8 @@ mod tests {
         // Paper Section 4.2: "There is always at least one epoch in every
         // half-life." Check on a generated ABC trace.
         use crate::abc::{detect_epochs, AbcTraceGenerator};
-        let w = AbcTraceGenerator { n0: 200, rho0: 4.0, alpha: 1.5, beta: 1.0, epochs: 4 }
-            .generate(11);
+        let w =
+            AbcTraceGenerator { n0: 200, rho0: 4.0, alpha: 1.5, beta: 1.0, epochs: 4 }.generate(11);
         let horizon = Time(1e6);
         let epochs = detect_epochs(&w, horizon, (1, 2));
         let hl = half_life_from(&w, Time::ZERO, horizon);

@@ -55,9 +55,8 @@ impl ChurnModel {
     pub fn generate(&self, horizon: Time, seed: u64) -> Workload {
         let mut rng = StdRng::seed_from_u64(seed);
         let residual = self.session.residual_sampler();
-        let initial_departures: Vec<Time> = (0..self.initial_size)
-            .map(|_| Time(residual.sample(&mut rng)))
-            .collect();
+        let initial_departures: Vec<Time> =
+            (0..self.initial_size).map(|_| Time(residual.sample(&mut rng))).collect();
         let sessions: Vec<Session> = self
             .arrival
             .arrivals(horizon.as_secs(), &mut rng)
@@ -116,9 +115,6 @@ mod tests {
         let mut pop: i64 = 0;
         pop += w.initial_departures.iter().filter(|&&d| d > end).count() as i64;
         pop += w.sessions.iter().filter(|s| s.join <= end && s.depart > end).count() as i64;
-        assert!(
-            (pop - 500).abs() < 150,
-            "population {pop} far from steady state 500"
-        );
+        assert!((pop - 500).abs() < 150, "population {pop} far from steady state 500");
     }
 }

@@ -56,9 +56,7 @@ pub fn bittorrent() -> ChurnModel {
     ChurnModel {
         name: "bittorrent",
         initial_size: DEFAULT_INITIAL,
-        arrival: ArrivalProcess::Poisson {
-            rate: DEFAULT_INITIAL as f64 / session.mean(),
-        },
+        arrival: ArrivalProcess::Poisson { rate: DEFAULT_INITIAL as f64 / session.mean() },
         session,
     }
 }
@@ -69,9 +67,7 @@ pub fn ethereum() -> ChurnModel {
     ChurnModel {
         name: "ethereum",
         initial_size: DEFAULT_INITIAL,
-        arrival: ArrivalProcess::Poisson {
-            rate: DEFAULT_INITIAL as f64 / session.mean(),
-        },
+        arrival: ArrivalProcess::Poisson { rate: DEFAULT_INITIAL as f64 / session.mean() },
         session,
     }
 }
@@ -110,11 +106,7 @@ mod tests {
     fn bittorrent_session_mean_is_about_an_hour() {
         // Weibull(0.59, 41 min): mean = 41·Γ(1+1/0.59) ≈ 63 min.
         let mean = bittorrent().session.mean();
-        assert!(
-            mean > 50.0 * 60.0 && mean < 80.0 * 60.0,
-            "mean {} s",
-            mean
-        );
+        assert!(mean > 50.0 * 60.0 && mean < 80.0 * 60.0, "mean {} s", mean);
     }
 
     #[test]
@@ -128,11 +120,7 @@ mod tests {
     fn populations_are_stationary() {
         for n in [bittorrent(), ethereum(), gnutella()] {
             let ss = n.steady_state_size();
-            assert!(
-                (ss - 10_000.0).abs() / 10_000.0 < 0.25,
-                "{}: steady state {ss}",
-                n.name
-            );
+            assert!((ss - 10_000.0).abs() / 10_000.0 < 0.25, "{}: steady state {ss}", n.name);
         }
     }
 

@@ -144,10 +144,7 @@ mod tests {
         let cfg = SybilFuseConfig::default();
         let acc_few = SybilFuse::train(&few, cfg, 42).evaluate(&few).accuracy();
         let acc_many = SybilFuse::train(&many, cfg, 42).evaluate(&many).accuracy();
-        assert!(
-            acc_few > acc_many,
-            "few-edges {acc_few} should beat many-edges {acc_many}"
-        );
+        assert!(acc_few > acc_many, "few-edges {acc_few} should beat many-edges {acc_many}");
     }
 
     #[test]

@@ -246,10 +246,7 @@ mod tests {
         assert_eq!(central.bad_joins_admitted, decentral.bad_joins_admitted);
         assert_eq!(central.purges, decentral.purges);
         assert_eq!(central.final_members, decentral.final_members);
-        assert_eq!(
-            central.ledger.good_total(),
-            decentral.ledger.good_total()
-        );
+        assert_eq!(central.ledger.good_total(), decentral.ledger.good_total());
     }
 
     #[test]

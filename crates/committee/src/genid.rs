@@ -62,13 +62,7 @@ pub fn bootstrap(n_good: u64, kappa: f64, c: f64, seed: u64) -> GenIdOutcome {
     let n_bad = ((kappa / (1.0 - kappa)) * n_good as f64).floor() as u64;
     let n = n_good + n_bad;
     let committee = elect(n_good, n_bad, committee_size(n, c), &mut rng);
-    GenIdOutcome {
-        n_good,
-        n_bad,
-        committee,
-        good_cost: n_good as f64,
-        adv_cost: n_bad as f64,
-    }
+    GenIdOutcome { n_good, n_bad, committee, good_cost: n_good as f64, adv_cost: n_bad as f64 }
 }
 
 /// Demonstrates the bootstrap's challenge round with *real* proof-of-work:

@@ -213,10 +213,7 @@ impl SmrCluster {
 
     /// The log length agreed by honest replicas (0 if inconsistent).
     pub fn honest_log_len(&self) -> usize {
-        self.replicas
-            .iter()
-            .find(|r| r.byzantine.is_none())
-            .map_or(0, |r| r.log.len())
+        self.replicas.iter().find(|r| r.byzantine.is_none()).map_or(0, |r| r.log.len())
     }
 }
 

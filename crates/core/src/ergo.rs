@@ -81,6 +81,8 @@ pub struct Ergo {
     iter_start: Time,
     iter_start_stamp: Stamp,
     iter_start_size: u64,
+    /// Cached `⌊iter_start_size · num/den⌋` (see `recompute_admission_cap`).
+    iter_admission_cap: u64,
     iter_events: u64,
     iter_joins: u64,
     iter_tracker: SymdiffTracker,
@@ -105,6 +107,7 @@ impl Ergo {
             iter_start: Time::ZERO,
             iter_start_stamp: (Time::ZERO, 0),
             iter_start_size: 0,
+            iter_admission_cap: 0,
             iter_events: 0,
             iter_joins: 0,
             iter_tracker: SymdiffTracker::new(),
@@ -182,18 +185,31 @@ impl Ergo {
 
     /// Admissions remaining before the purge condition trips
     /// (`progress · den > size · num`). Zero means it already has.
+    ///
+    /// Uses the per-iteration cached threshold `iter_admission_cap =
+    /// ⌊size·num/den⌋` (see [`recompute_admission_cap`]): the condition
+    /// `progress·den > size·num` is exactly `progress > cap`, so the hot
+    /// path — this is consulted on every Sybil batch, and [`purge_due`]
+    /// via the engine on every event — is a compare instead of 128-bit
+    /// multiply/divide.
+    ///
+    /// [`recompute_admission_cap`]: Ergo::recompute_admission_cap
+    /// [`purge_due`]: Defense::purge_due
     fn admissions_until_purge(&self) -> u64 {
-        let th = self.cfg.iteration_threshold;
-        let progress = self.iter_progress() as u128;
-        let size = self.iter_start_size as u128;
-        let den = th.den as u128;
-        let num = th.num as u128;
-        if progress * den > size * num {
+        let progress = self.iter_progress();
+        if progress > self.iter_admission_cap {
             return 0;
         }
-        // Smallest k with (progress + k)·den > size·num.
-        let k = (size * num - progress * den) / den + 1;
-        k.min(u64::MAX as u128) as u64
+        // Smallest k with progress + k > cap.
+        (self.iter_admission_cap - progress).saturating_add(1)
+    }
+
+    /// Recomputes the cached `⌊iter_start_size·num/den⌋` threshold; must be
+    /// called whenever `iter_start_size` changes (iteration resets).
+    fn recompute_admission_cap(&mut self) {
+        let th = self.cfg.iteration_threshold;
+        let cap = (self.iter_start_size as u128 * th.num as u128) / th.den.max(1) as u128;
+        self.iter_admission_cap = cap.min((u64::MAX - 1) as u128) as u64;
     }
 
     /// Records one admitted join in every counter that observes joins.
@@ -202,7 +218,12 @@ impl Ergo {
             return;
         }
         let stamp = self.next_stamp(now);
-        self.window.record(now, n);
+        // The join-history window only feeds the rate-based quote; under a
+        // constant entrance policy (CCom) recording it would be pure
+        // overhead on the hottest path.
+        if matches!(self.cfg.entrance, EntrancePolicy::RateBased) {
+            self.window.record(now, n);
+        }
         self.iter_events += n;
         self.iter_joins += n;
         self.iter_tracker.on_join(n);
@@ -275,6 +296,7 @@ impl Ergo {
         self.iter_start = now;
         self.iter_start_stamp = (now, self.seq);
         self.iter_start_size = self.n_members();
+        self.recompute_admission_cap();
         self.iter_events = 0;
         self.iter_joins = 0;
         self.iter_tracker.reset();
@@ -458,9 +480,9 @@ impl Defense for Ergo {
     }
 
     fn purge_due(&self, _now: Time) -> bool {
-        self.cfg
-            .iteration_threshold
-            .lt_scaled(self.iter_progress(), self.iter_start_size)
+        // Equivalent to `iteration_threshold.lt_scaled(progress, size)`
+        // via the cached cap — this runs on every engine event.
+        self.iter_progress() > self.iter_admission_cap
     }
 
     fn purge(&mut self, now: Time, retain_bad: u64) -> PurgeReport {
@@ -630,7 +652,12 @@ mod tests {
                 e.bad_join_batch(t, Cost(2.0), 1);
                 e.bad_depart(t, 1);
             }
-            assert_eq!(e.purge_due(Time(20.0)), expect_due, "h2={}", cfg.heuristics.h2_symdiff_trigger);
+            assert_eq!(
+                e.purge_due(Time(20.0)),
+                expect_due,
+                "h2={}",
+                cfg.heuristics.h2_symdiff_trigger
+            );
         }
     }
 
@@ -664,8 +691,8 @@ mod tests {
 
     #[test]
     fn gate_refuses_bad_probabilistically() {
-        let mut e = Ergo::new(ErgoConfig::default())
-            .with_gate(ClassifierGate::with_accuracy(0.98, 42));
+        let mut e =
+            Ergo::new(ErgoConfig::default()).with_gate(ClassifierGate::with_accuracy(0.98, 42));
         e.init(Time::ZERO, 1_000_000, 0); // huge so no purge interferes
         let b = e.bad_join_batch(Time(1.0), Cost(10_000.0), u64::MAX);
         // ~2% of attempts admitted; refusal runs pay the current quote, which
@@ -678,8 +705,8 @@ mod tests {
 
     #[test]
     fn gate_refuses_some_good() {
-        let mut e = Ergo::new(ErgoConfig::default())
-            .with_gate(ClassifierGate::with_accuracy(0.5, 7));
+        let mut e =
+            Ergo::new(ErgoConfig::default()).with_gate(ClassifierGate::with_accuracy(0.5, 7));
         e.init(Time::ZERO, 1000, 0);
         let outcomes: Vec<bool> =
             (0..200).map(|i| e.good_join(Time(i as f64)).is_admitted()).collect();
@@ -696,10 +723,8 @@ mod tests {
             e.good_join(Time(k as f64));
         }
         let events = e.drain_events();
-        let estimates: Vec<_> = events
-            .iter()
-            .filter(|ev| matches!(ev, DefenseEvent::EstimateUpdated { .. }))
-            .collect();
+        let estimates: Vec<_> =
+            events.iter().filter(|ev| matches!(ev, DefenseEvent::EstimateUpdated { .. })).collect();
         assert!(!estimates.is_empty());
     }
 
@@ -709,9 +734,7 @@ mod tests {
         e.bad_join_batch(Time(1.0), Cost(1e9), u64::MAX);
         e.purge(Time(1.0), 0);
         let events = e.drain_events();
-        assert!(events
-            .iter()
-            .any(|ev| matches!(ev, DefenseEvent::PurgeCompleted { .. })));
+        assert!(events.iter().any(|ev| matches!(ev, DefenseEvent::PurgeCompleted { .. })));
     }
 
     #[test]

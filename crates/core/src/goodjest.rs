@@ -154,9 +154,7 @@ impl GoodJEst {
 
     /// True if the interval-end condition `|S(t')△S(t)| ≥ 5/12·|S(t')|` holds.
     pub fn threshold_met(&self) -> bool {
-        self.cfg
-            .interval_threshold
-            .le_scaled(self.tracker.symdiff(), self.size)
+        self.cfg.interval_threshold.le_scaled(self.tracker.symdiff(), self.size)
     }
 
     fn maybe_roll(&mut self, now: Time) {
@@ -201,11 +199,7 @@ mod tests {
 
     #[test]
     fn initial_estimate_uses_init_duration() {
-        let est = GoodJEst::new(
-            GoodJEstConfig { init_duration: 2.0, ..cfg() },
-            Time::ZERO,
-            100,
-        );
+        let est = GoodJEst::new(GoodJEstConfig { init_duration: 2.0, ..cfg() }, Time::ZERO, 100);
         assert_eq!(est.estimate(), 50.0);
     }
 
@@ -259,11 +253,8 @@ mod tests {
 
     #[test]
     fn heuristic1_defers_until_purge() {
-        let mut est = GoodJEst::new(
-            GoodJEstConfig { align_to_iterations: true, ..cfg() },
-            Time::ZERO,
-            12,
-        );
+        let mut est =
+            GoodJEst::new(GoodJEstConfig { align_to_iterations: true, ..cfg() }, Time::ZERO, 12);
         for k in 1..=20 {
             est.on_join(Time(k as f64), 1);
         }
@@ -285,7 +276,7 @@ mod tests {
             est.on_join(Time::ZERO, 1);
         }
         assert_eq!(est.estimate(), 12.0); // unchanged
-        // Time advances: the next event rolls the interval.
+                                          // Time advances: the next event rolls the interval.
         est.on_join(Time(2.0), 1);
         assert!(est.drain_intervals().len() == 1);
     }

@@ -195,12 +195,7 @@ mod tests {
             (0u64..20).map(|i| l.enter(&i.to_be_bytes(), 0)).collect()
         };
         let winners: std::collections::HashSet<Vec<u8>> = (0u64..20)
-            .map(|r| {
-                PurgeLottery::winner(&entries(&r.to_be_bytes()))
-                    .unwrap()
-                    .participant
-                    .clone()
-            })
+            .map(|r| PurgeLottery::winner(&entries(&r.to_be_bytes())).unwrap().participant.clone())
             .collect();
         assert!(winners.len() > 3, "winners too concentrated: {}", winners.len());
     }

@@ -32,13 +32,25 @@ impl Ratio {
     }
 
     /// True if `lhs ≥ (num/den)·rhs`, computed exactly in integers.
+    ///
+    /// Takes a single-width multiply fast path when the products fit in
+    /// `u64` (they essentially always do: realistic counters and the
+    /// paper's small ratio constants); the exact 128-bit form remains the
+    /// overflow fallback. These compares sit on the estimator's
+    /// per-event path.
     pub fn le_scaled(&self, lhs: u64, rhs: u64) -> bool {
-        (lhs as u128) * (self.den as u128) >= (rhs as u128) * (self.num as u128)
+        match (lhs.checked_mul(self.den), rhs.checked_mul(self.num)) {
+            (Some(l), Some(r)) => l >= r,
+            _ => (lhs as u128) * (self.den as u128) >= (rhs as u128) * (self.num as u128),
+        }
     }
 
     /// True if `lhs > (num/den)·rhs`, computed exactly in integers.
     pub fn lt_scaled(&self, lhs: u64, rhs: u64) -> bool {
-        (lhs as u128) * (self.den as u128) > (rhs as u128) * (self.num as u128)
+        match (lhs.checked_mul(self.den), rhs.checked_mul(self.num)) {
+            (Some(l), Some(r)) => l > r,
+            _ => (lhs as u128) * (self.den as u128) > (rhs as u128) * (self.num as u128),
+        }
     }
 
     /// The ratio as a float.

@@ -1,0 +1,243 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate (the build environment is offline).
+//!
+//! Provides the subset used by this workspace's benches: [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurements are a
+//! simple warmup-then-sample loop printing mean time per iteration (plus
+//! derived throughput); there is no statistical analysis or HTML output.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility, the shim
+/// always materializes one input per routine call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measures one closure: short warmup, then timed samples.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher { measured: None, iters: 0, measure_for }
+    }
+
+    /// Times `f` in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count filling the window.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.measure_for / 4 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let n = ((self.measure_for.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let timed = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.measured = Some(timed.elapsed());
+        self.iters = n;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while start.elapsed() < self.measure_for / 4 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (spent.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let n = ((self.measure_for.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.measured = Some(total);
+        self.iters = n;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let Some(total) = b.measured else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter = total.as_secs_f64() / b.iters.max(1) as f64;
+    let time_str = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {time_str:>12}/iter{extra}  [{} iters]", b.iters);
+}
+
+/// Benchmark driver; collects and prints measurements.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this shim is for trend-spotting, not statistics.
+        let ms = std::env::var("CRITERION_SHIM_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion { measure_for: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Measures a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(&name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 8],
+                |v| {
+                    ran += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

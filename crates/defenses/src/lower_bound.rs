@@ -195,19 +195,15 @@ mod tests {
         ] {
             for t in [1e2, 1e4, 1e6] {
                 let out = run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
-                assert!(
-                    out.ratio > 0.5,
-                    "{} at T={t}: ratio {}",
-                    out.label,
-                    out.ratio
-                );
+                assert!(out.ratio > 0.5, "{} at T={t}: ratio {}", out.label, out.ratio);
             }
         }
     }
 
     #[test]
     fn zero_attack_costs_order_j() {
-        let out = run_lower_bound(CostFunction::RatioTotalGood, 0.0, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        let out =
+            run_lower_bound(CostFunction::RatioTotalGood, 0.0, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
         assert_eq!(out.j_bad, 0.0);
         // bound = J; spend is entrance (≈J) plus occasional purges.
         assert!(out.ratio >= 1.0, "ratio {}", out.ratio);
@@ -219,8 +215,10 @@ mod tests {
         // At large T, the Ergo cost function should be within a constant of
         // the best of the family, while f = const is far worse.
         let t = 1e6;
-        let ergo = run_lower_bound(CostFunction::RatioTotalGood, t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
-        let constant = run_lower_bound(CostFunction::Constant(1.0), t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        let ergo =
+            run_lower_bound(CostFunction::RatioTotalGood, t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
+        let constant =
+            run_lower_bound(CostFunction::Constant(1.0), t, 2.0, 10_000, 1.0 / 11.0, 10_000.0);
         assert!(
             constant.spend_rate > 10.0 * ergo.spend_rate,
             "const {} vs ergo {}",

@@ -188,18 +188,9 @@ mod tests {
         // recurring tests; SybilControl never removes paying members.
         let w = Workload::new(vec![Time(1e9); 1000], vec![]);
         let cfg = SimConfig { horizon: Time(50.0), adv_rate: 100.0, ..SimConfig::default() };
-        let r = Simulation::new(
-            cfg,
-            SybilControl::default(),
-            FractionKeeper::new(0.02, 0.0),
-            w,
-        )
-        .run();
-        assert!(
-            r.final_bad >= 15 && r.final_bad <= 25,
-            "sustained {} Sybil IDs",
-            r.final_bad
-        );
+        let r =
+            Simulation::new(cfg, SybilControl::default(), FractionKeeper::new(0.02, 0.0), w).run();
+        assert!(r.final_bad >= 15 && r.final_bad <= 25, "sustained {} Sybil IDs", r.final_bad);
         // Upkeep was charged to the adversary, not the good IDs.
         assert!(r.ledger.adversary_periodic().value() > 0.0);
     }

@@ -63,9 +63,7 @@ pub fn build_ring(n: u64, bad_fraction: f64) -> Ring {
     let n_bad = (n as f64 * bad_fraction).round() as u64;
     let n_good = n - n_bad;
     Ring::from_members(
-        (0..n_good)
-            .map(|i| (Id(i), false))
-            .chain((0..n_bad).map(|i| (Id(1 << 40 | i), true))),
+        (0..n_good).map(|i| (Id(i), false)).chain((0..n_bad).map(|i| (Id(1 << 40 | i), true))),
     )
 }
 
@@ -73,9 +71,8 @@ pub fn build_ring(n: u64, bad_fraction: f64) -> Ring {
 pub fn run_cell(n: u64, bad_fraction: f64, strategy: Strategy, trials: u32, seed: u64) -> DhtCell {
     let ring = build_ring(n, bad_fraction);
     let mut rng = StdRng::seed_from_u64(seed);
-    let successes = (0..trials)
-        .filter(|_| strategy.run(&ring, rng.gen(), &mut rng).is_success())
-        .count();
+    let successes =
+        (0..trials).filter(|_| strategy.run(&ring, rng.gen(), &mut rng).is_success()).count();
     DhtCell {
         bad_fraction: ring.bad_fraction(),
         strategy: strategy.label(),
@@ -87,8 +84,7 @@ pub fn run_cell(n: u64, bad_fraction: f64, strategy: Strategy, trials: u32, seed
 /// "defense-less majority", for all three strategies.
 pub fn run_grid(n: u64, trials: u32, seed: u64) -> Vec<DhtCell> {
     let fractions = [0.0, 0.05, 1.0 / 6.0 - 0.01, 0.30, 0.50];
-    let strategies =
-        [Strategy::Greedy, Strategy::RedundantPaths(8), Strategy::WidePath(8)];
+    let strategies = [Strategy::Greedy, Strategy::RedundantPaths(8), Strategy::WidePath(8)];
     let mut out = Vec::new();
     for &f in &fractions {
         for &s in &strategies {

@@ -56,9 +56,7 @@ fn replica_positions(ring: &Ring, key: u64, r: usize) -> Vec<u64> {
     let first = ring.successor_of(key);
     let mut out = vec![first.position];
     out.extend(
-        ring.successors_after(first.position, r.saturating_sub(1))
-            .iter()
-            .map(|e| e.position),
+        ring.successors_after(first.position, r.saturating_sub(1)).iter().map(|e| e.position),
     );
     out
 }
@@ -167,10 +165,7 @@ pub fn lookup_wide(ring: &Ring, key: u64, width: usize, rng: &mut StdRng) -> Loo
 
     let dist = |p: u64| Ring::distance(p, key);
     for hops in 0..MAX_HOPS {
-        if frontier
-            .iter()
-            .any(|n| !n.is_bad && can_finish(ring, n, &replicas, r))
-        {
+        if frontier.iter().any(|n| !n.is_bad && can_finish(ring, n, &replicas, r)) {
             return LookupOutcome::Success { hops };
         }
         let mut candidates: Vec<NodeEntry> = Vec::new();
@@ -280,9 +275,8 @@ mod tests {
         let ring = mixed_ring(1000, 180);
         let mut rng = StdRng::seed_from_u64(5);
         let trials = 400;
-        let ok = (0..trials)
-            .filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success())
-            .count();
+        let ok =
+            (0..trials).filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success()).count();
         let rate = ok as f64 / trials as f64;
         assert!(rate > 0.99, "wide-path success rate {rate} under the bound");
     }
@@ -292,9 +286,8 @@ mod tests {
         let ring = mixed_ring(200, 800);
         let mut rng = StdRng::seed_from_u64(6);
         let trials = 200;
-        let ok = (0..trials)
-            .filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success())
-            .count();
+        let ok =
+            (0..trials).filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success()).count();
         let rate = ok as f64 / trials as f64;
         assert!(rate < 0.95, "even wide paths degrade at 80% bad: {rate}");
     }

@@ -123,9 +123,8 @@ pub fn probe_under_churn(
         if ring.is_empty() || ring.any_good().is_none() {
             break;
         }
-        let ok = (0..lookups)
-            .filter(|_| lookup_wide(ring, rng.gen(), 8, &mut rng).is_success())
-            .count();
+        let ok =
+            (0..lookups).filter(|_| lookup_wide(ring, rng.gen(), 8, &mut rng).is_success()).count();
         out.push(ProbePoint {
             at: Time(t),
             ring_size: ring.len(),

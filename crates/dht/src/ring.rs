@@ -57,9 +57,7 @@ impl Ring {
     /// Adds a node.
     pub fn join(&mut self, id: Id, is_bad: bool) {
         let position = position_of(id);
-        self.nodes
-            .entry(position)
-            .or_insert(NodeEntry { id, position, is_bad });
+        self.nodes.entry(position).or_insert(NodeEntry { id, position, is_bad });
     }
 
     /// Removes a node by ID; returns true if it was present.
@@ -111,10 +109,8 @@ impl Ring {
     /// The `count` nodes clockwise after `position` (exclusive), wrapping.
     pub fn successors_after(&self, position: u64, count: usize) -> Vec<NodeEntry> {
         let mut out = Vec::with_capacity(count);
-        for (_, e) in self
-            .nodes
-            .range(position.wrapping_add(1)..)
-            .chain(self.nodes.range(..=position))
+        for (_, e) in
+            self.nodes.range(position.wrapping_add(1)..).chain(self.nodes.range(..=position))
         {
             if out.len() >= count {
                 break;

@@ -145,10 +145,7 @@ impl<M> Network<M> {
                 continue;
             }
             self.delivered += 1;
-            self.inboxes
-                .get_mut(&env.to)
-                .expect("recipient validated at send")
-                .push(env);
+            self.inboxes.get_mut(&env.to).expect("recipient validated at send").push(env);
         }
         self.round += 1;
     }

@@ -53,6 +53,19 @@ pub trait Adversary {
     /// to purge/periodic decision points.
     fn next_wakeup(&self, now: Time) -> Option<Time>;
 
+    /// Whether this strategy ever reads [`DefenseView::quote`].
+    ///
+    /// Computing the quote is the most expensive part of assembling a
+    /// [`DefenseView`] (a windowed count inside the defense), and the
+    /// engine assembles one on every adversary wakeup — the hottest event
+    /// class in attack sweeps. Strategies that ignore the quote (most of
+    /// them: they spend whatever the budget allows) should return `false`;
+    /// the engine then passes [`Cost::ZERO`] in the view's quote field.
+    /// Purely an optimization hint — returning `true` is always correct.
+    fn needs_quote(&self) -> bool {
+        true
+    }
+
     /// Decides what to do at a wakeup, given the current `view` and
     /// available `budget`.
     fn act(&mut self, view: &DefenseView, budget: Cost) -> AdversaryAction;
@@ -75,6 +88,10 @@ pub struct NullAdversary;
 impl Adversary for NullAdversary {
     fn name(&self) -> String {
         "none".into()
+    }
+
+    fn needs_quote(&self) -> bool {
+        false
     }
 
     fn next_wakeup(&self, _now: Time) -> Option<Time> {
@@ -106,13 +123,18 @@ pub struct BudgetJoiner {
     min_step: f64,
     /// Largest wakeup step, so quotes are re-checked as windows decay.
     max_step: f64,
+    /// Precomputed `clamp(1/rate, min_step, max_step)` — the wakeup step
+    /// is consulted once per adversary event, the hottest event class.
+    step: f64,
 }
 
 impl BudgetJoiner {
     /// Creates a joiner for spend rate `rate` (may be 0, which idles).
     pub fn new(rate: f64) -> Self {
         assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative");
-        BudgetJoiner { rate, min_step: 0.01, max_step: 0.5 }
+        let mut j = BudgetJoiner { rate, min_step: 0.01, max_step: 0.5, step: 0.0 };
+        j.recompute_step();
+        j
     }
 
     /// Overrides the wakeup step bounds (testing/precision control).
@@ -120,7 +142,16 @@ impl BudgetJoiner {
         assert!(min_step > 0.0 && max_step >= min_step);
         self.min_step = min_step;
         self.max_step = max_step;
+        self.recompute_step();
         self
+    }
+
+    fn recompute_step(&mut self) {
+        self.step = if self.rate == 0.0 {
+            f64::INFINITY
+        } else {
+            self.min_step.max(1.0 / self.rate).min(self.max_step)
+        };
     }
 }
 
@@ -129,11 +160,15 @@ impl Adversary for BudgetJoiner {
         format!("budget-joiner(T={})", self.rate)
     }
 
+    fn needs_quote(&self) -> bool {
+        false
+    }
+
     fn next_wakeup(&self, now: Time) -> Option<Time> {
         if self.rate == 0.0 {
             None
         } else {
-            Some(now + self.min_step.max(1.0 / self.rate).min(self.max_step))
+            Some(now + self.step)
         }
     }
 
@@ -242,6 +277,10 @@ impl Adversary for BurstJoiner {
         format!("burst-joiner(T={}, every {}s)", self.rate, self.period)
     }
 
+    fn needs_quote(&self) -> bool {
+        false
+    }
+
     fn next_wakeup(&self, now: Time) -> Option<Time> {
         if self.rate == 0.0 {
             None
@@ -285,6 +324,10 @@ impl ChurnForcer {
 impl Adversary for ChurnForcer {
     fn name(&self) -> String {
         format!("churn-forcer(T={})", self.rate)
+    }
+
+    fn needs_quote(&self) -> bool {
+        false
     }
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {
@@ -331,6 +374,10 @@ impl PurgeSurvivor {
 impl Adversary for PurgeSurvivor {
     fn name(&self) -> String {
         format!("purge-survivor(T={})", self.rate)
+    }
+
+    fn needs_quote(&self) -> bool {
+        false
     }
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {

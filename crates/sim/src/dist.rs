@@ -284,10 +284,7 @@ mod tests {
         let d = Weibull::new(0.59, 41.0);
         let analytic = d.mean();
         let m = sample_mean(&d, 400_000, 2);
-        assert!(
-            (m - analytic).abs() / analytic < 0.03,
-            "sample mean {m} vs analytic {analytic}"
-        );
+        assert!((m - analytic).abs() / analytic < 0.03, "sample mean {m} vs analytic {analytic}");
         // Heavy-tailed shape <1 means mean > scale.
         assert!(analytic > 41.0);
     }
@@ -322,10 +319,7 @@ mod tests {
             let n = 40_000;
             let total: u64 = (0..n).map(|_| poisson_count(&mut rng, mean)).sum();
             let m = total as f64 / n as f64;
-            assert!(
-                (m - mean).abs() / mean < 0.05,
-                "poisson mean {mean}: sample {m}"
-            );
+            assert!((m - mean).abs() / mean < 0.05, "poisson mean {mean}: sample {m}");
         }
         assert_eq!(poisson_count(&mut rng, 0.0), 0);
     }

@@ -54,6 +54,19 @@ pub struct SimConfig {
     pub record_good_joins: bool,
     /// If `Some(dt)`, sample a [`TimelinePoint`] every `dt` seconds.
     pub timeline_resolution: Option<f64>,
+    /// Upper bound on act/join/purge rounds within a single adversary
+    /// wakeup. Each round either makes progress (joins or departures) or
+    /// ends the turn, so well-behaved adversaries never get near this; it
+    /// exists to bound a buggy or adversarially pathological strategy that
+    /// keeps triggering instant purges. Hitting the bound is counted in
+    /// [`SimReport::adversary_turn_truncations`] rather than silently
+    /// swallowed.
+    pub max_adversary_turn_rounds: u32,
+    /// Upper bound on back-to-back instant purge rounds resolved at one
+    /// event time. A purge can (in principle) leave the purge condition
+    /// true again; this bound prevents live-lock. Hitting it is counted in
+    /// [`SimReport::purge_cascade_truncations`].
+    pub max_purge_cascade_rounds: u32,
 }
 
 impl Default for SimConfig {
@@ -66,6 +79,8 @@ impl Default for SimConfig {
             round_duration: 0.0,
             record_good_joins: false,
             timeline_resolution: None,
+            max_adversary_turn_rounds: 100_000,
+            max_purge_cascade_rounds: 16,
         }
     }
 }
@@ -73,9 +88,9 @@ impl Default for SimConfig {
 #[derive(Clone, Copy, Debug)]
 enum Event {
     /// Good arrival: index into `Workload::sessions`.
-    GoodJoin(usize),
+    GoodJoin(u32),
     /// Departure of an arrival session.
-    GoodDepart(usize),
+    GoodDepart(u32),
     /// Departure of an ID present at t=0.
     InitialDepart,
     /// Adversary wakeup.
@@ -88,6 +103,37 @@ enum Event {
     Sample,
 }
 
+/// Streaming-scheduler cursor state.
+///
+/// The workload is *not* loaded into the event queue up front. Sessions are
+/// already sorted by join time, so the scheduler keeps exactly one pending
+/// good join in the queue and feeds the next one in when it pops; a
+/// session's departure is queued only once its join has been processed.
+/// Initial departures are sorted once and streamed the same way. The queue
+/// therefore holds O(active sessions) entries instead of O(workload).
+///
+/// Determinism: each streamed event carries the exact sequence number the
+/// old eager scheduler would have assigned (sessions in order: join then
+/// depart; then initial departures in input order), so tie-breaking — and
+/// with it every simulation counter — is bit-identical to eager scheduling.
+struct WorkloadCursor {
+    /// `(session index, join seq)` in descending join order, popped from
+    /// the tail — only built when the workload's sessions arrive unsorted
+    /// (hand-constructed); sorted workloads stream straight off the vector
+    /// via `next_session`/`next_session_seq`.
+    permutation: Option<Vec<(usize, u64)>>,
+    /// Index of the next session whose join has not been queued.
+    next_session: usize,
+    /// Sequence number for the next session event to be streamed.
+    next_session_seq: u64,
+    /// Departure `(time, seq)` of the session whose join is currently
+    /// queued, if that departure falls within the horizon.
+    pending_depart: Option<(Time, u64)>,
+    /// Initial departures within the horizon, as `(time, seq)`, sorted
+    /// descending so the next one pops off the tail.
+    initial: Vec<(Time, u64)>,
+}
+
 /// A single simulation run binding a defense, an adversary, and a workload.
 pub struct Simulation<D, A> {
     cfg: SimConfig,
@@ -95,6 +141,7 @@ pub struct Simulation<D, A> {
     adversary: A,
     workload: Workload,
     queue: EventQueue<Event>,
+    cursor: WorkloadCursor,
     ledger: Ledger,
     budget: f64,
     last_budget_time: Time,
@@ -114,6 +161,10 @@ pub struct Simulation<D, A> {
     bad_join_attempts: u64,
     purges: u64,
     purges_skipped: u64,
+    events_processed: u64,
+    peak_queue_len: usize,
+    adversary_turn_truncations: u64,
+    purge_cascade_truncations: u64,
     good_join_times: Vec<Time>,
     timeline: Vec<TimelinePoint>,
 }
@@ -125,12 +176,22 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
         assert!((0.0..1.0).contains(&cfg.kappa), "kappa must be in [0,1)");
         assert!(cfg.adv_rate >= 0.0 && cfg.adv_rate.is_finite());
         let n_sessions = workload.sessions.len();
+        assert!(n_sessions <= u32::MAX as usize, "workloads are capped at u32::MAX sessions");
         Simulation {
             cfg,
             defense,
             adversary,
             workload,
-            queue: EventQueue::with_capacity(n_sessions * 2 + 16),
+            // Streaming scheduling keeps the queue at O(active sessions);
+            // bucket count scales with the workload for O(1) occupancy.
+            queue: EventQueue::with_horizon(cfg.horizon, n_sessions + 1024),
+            cursor: WorkloadCursor {
+                permutation: None,
+                next_session: 0,
+                next_session_seq: 0,
+                pending_depart: None,
+                initial: Vec::new(),
+            },
             ledger: Ledger::new(),
             budget: 0.0,
             last_budget_time: Time::ZERO,
@@ -147,6 +208,10 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             bad_join_attempts: 0,
             purges: 0,
             purges_skipped: 0,
+            events_processed: 0,
+            peak_queue_len: 0,
+            adversary_turn_truncations: 0,
+            purge_cascade_truncations: 0,
             good_join_times: Vec::new(),
             timeline: Vec::new(),
         }
@@ -163,32 +228,72 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
     pub fn run_with_defense(mut self) -> (SimReport, D) {
         self.schedule_workload();
         self.initialize();
+        // Loop-local counters: `dispatch(&mut self)` would otherwise force
+        // these through memory on every event.
+        let mut events_processed = 0u64;
+        let mut peak_queue_len = self.queue.len();
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.cfg.horizon {
                 break;
             }
+            events_processed += 1;
             self.accrue_budget(t);
             self.dispatch(t, ev);
             self.check_purge(t);
+            peak_queue_len = peak_queue_len.max(self.queue.len());
         }
+        self.events_processed = events_processed;
+        self.peak_queue_len = peak_queue_len;
         self.finish()
     }
 
+    /// Prepares the streaming workload cursors.
+    ///
+    /// One O(n) pass assigns every in-horizon workload event the sequence
+    /// number an eager scheduler (all events pushed up front) would have
+    /// used, then primes the queue with just the *first* good join and the
+    /// *first* initial departure; the rest stream in lazily as their
+    /// predecessors pop. See [`WorkloadCursor`] for the determinism
+    /// argument.
     fn schedule_workload(&mut self) {
         let horizon = self.cfg.horizon;
-        for (i, s) in self.workload.sessions.iter().enumerate() {
+        let sessions = &self.workload.sessions;
+        // Workload::new sorts sessions; hand-built workloads may not be.
+        // The sorted fast path streams straight off the vector, the
+        // fallback walks a join-sorted permutation — seq assignment is by
+        // input order either way, exactly as the eager scheduler did it.
+        let sorted = sessions.windows(2).all(|w| w[0].join <= w[1].join);
+        let mut seq = 0u64;
+        let mut perm: Vec<(usize, u64)> = Vec::new();
+        for (i, s) in sessions.iter().enumerate() {
             if s.join <= horizon {
-                self.queue.push(s.join, Event::GoodJoin(i));
+                if !sorted {
+                    perm.push((i, seq));
+                }
+                seq += 1;
                 if s.depart <= horizon {
-                    self.queue.push(s.depart, Event::GoodDepart(i));
+                    seq += 1;
                 }
             }
         }
+        if !sorted {
+            // Descending (join, seq): the next session pops off the tail.
+            perm.sort_by(|a, b| (sessions[b.0].join, b.1).cmp(&(sessions[a.0].join, a.1)));
+            self.cursor.permutation = Some(perm);
+        }
+        let mut initial: Vec<(Time, u64)> =
+            Vec::with_capacity(self.workload.initial_departures.len());
         for &d in &self.workload.initial_departures {
             if d <= horizon {
-                self.queue.push(d, Event::InitialDepart);
+                initial.push((d, seq));
+                seq += 1;
             }
         }
+        initial.sort_by(|a, b| b.cmp(a));
+        self.cursor.initial = initial;
+        self.queue.advance_seq_to(seq);
+        self.stream_next_session();
+        self.stream_next_initial_depart();
         if self.cfg.adv_rate > 0.0 {
             self.queue.push(Time::ZERO, Event::AdvWake);
         }
@@ -198,14 +303,48 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
         }
     }
 
+    /// Feeds the next good join into the queue, remembering its departure
+    /// so [`Event::GoodJoin`] handling can stream it in turn.
+    fn stream_next_session(&mut self) {
+        let horizon = self.cfg.horizon;
+        let (i, join_seq) = if let Some(perm) = &mut self.cursor.permutation {
+            match perm.pop() {
+                Some(entry) => entry,
+                None => return,
+            }
+        } else {
+            let i = self.cursor.next_session;
+            let Some(s) = self.workload.sessions.get(i).copied() else {
+                return;
+            };
+            if s.join > horizon {
+                // Sessions are sorted: everything further is out too.
+                self.cursor.next_session = self.workload.sessions.len();
+                return;
+            }
+            let join_seq = self.cursor.next_session_seq;
+            self.cursor.next_session = i + 1;
+            self.cursor.next_session_seq = join_seq + if s.depart <= horizon { 2 } else { 1 };
+            (i, join_seq)
+        };
+        let s = self.workload.sessions[i];
+        self.cursor.pending_depart = (s.depart <= horizon).then_some((s.depart, join_seq + 1));
+        self.queue.push_with_seq(s.join, join_seq, Event::GoodJoin(i as u32));
+    }
+
+    /// Feeds the next initial departure into the queue.
+    fn stream_next_initial_depart(&mut self) {
+        if let Some((at, seq)) = self.cursor.initial.pop() {
+            self.queue.push_with_seq(at, seq, Event::InitialDepart);
+        }
+    }
+
     fn initialize(&mut self) {
         let n_good = self.workload.initial_size();
         let n_bad = self.cfg.initial_bad;
         let per_id = self.defense.init(Time::ZERO, n_good, n_bad);
-        self.ledger
-            .charge_good(Purpose::Entrance, per_id * n_good as f64);
-        self.ledger
-            .charge_adversary(Purpose::Entrance, per_id * n_bad as f64);
+        self.ledger.charge_good(Purpose::Entrance, per_id * n_good as f64);
+        self.ledger.charge_adversary(Purpose::Entrance, per_id * n_bad as f64);
         if let Some(next) = self.defense.next_periodic() {
             self.queue.push(next, Event::Periodic);
         }
@@ -213,12 +352,10 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
     }
 
     fn view(&self, now: Time) -> DefenseView {
-        DefenseView {
-            now,
-            n_members: self.defense.n_members(),
-            n_bad: self.defense.n_bad(),
-            quote: self.defense.quote(now),
-        }
+        // The quote is a windowed count inside the defense — by far the
+        // most expensive view field — and most strategies never read it.
+        let quote = if self.adversary.needs_quote() { self.defense.quote(now) } else { Cost::ZERO };
+        DefenseView { now, n_members: self.defense.n_members(), n_bad: self.defense.n_bad(), quote }
     }
 
     fn accrue_budget(&mut self, now: Time) {
@@ -237,11 +374,7 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             self.last_frac_time = now;
         }
         let members = self.defense.n_members();
-        let frac = if members == 0 {
-            0.0
-        } else {
-            self.defense.n_bad() as f64 / members as f64
-        };
+        let frac = if members == 0 { 0.0 } else { self.defense.n_bad() as f64 / members as f64 };
         self.last_frac = frac;
         if frac > self.max_bad_fraction {
             self.max_bad_fraction = frac;
@@ -251,6 +384,14 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
     fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
             Event::GoodJoin(i) => {
+                // Stream first: this session's departure (the pending one
+                // is always ours — only one workload join is queued at a
+                // time), then the next session's join.
+                if let Some((at, seq)) = self.cursor.pending_depart.take() {
+                    self.queue.push_with_seq(at, seq, Event::GoodDepart(i));
+                }
+                let i = i as usize;
+                self.stream_next_session();
                 let admission = self.defense.good_join(now);
                 self.ledger.charge_good(Purpose::Entrance, admission.cost());
                 if admission.is_admitted() {
@@ -266,6 +407,7 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                 self.note_membership_change(now);
             }
             Event::GoodDepart(i) => {
+                let i = i as usize;
                 if self.admitted[i] == Some(true) {
                     let joined_at = self.workload.sessions[i].join;
                     self.defense.good_depart(now, joined_at);
@@ -274,6 +416,7 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                 }
             }
             Event::InitialDepart => {
+                self.stream_next_initial_depart();
                 self.defense.good_depart(now, Time::ZERO);
                 self.good_departures += 1;
                 self.note_membership_change(now);
@@ -320,7 +463,13 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
     fn adversary_turn(&mut self, now: Time) {
         // Bounded loop: each pass either makes progress (joins/departs) or
         // breaks, and purge resolution resets the defense's join counter.
-        for _ in 0..100_000 {
+        let mut rounds_left = self.cfg.max_adversary_turn_rounds;
+        loop {
+            if rounds_left == 0 {
+                self.adversary_turn_truncations += 1;
+                break;
+            }
+            rounds_left -= 1;
             let view = self.view(now);
             let action = self.adversary.act(&view, Cost(self.budget.max(0.0)));
             let mut progressed = false;
@@ -330,9 +479,7 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                 self.note_membership_change(now);
             }
             if action.max_joins > 0 && action.join_budget > Cost::ZERO {
-                let batch =
-                    self.defense
-                        .bad_join_batch(now, action.join_budget, action.max_joins);
+                let batch = self.defense.bad_join_batch(now, action.join_budget, action.max_joins);
                 self.budget -= batch.spent.value();
                 self.ledger.charge_adversary(Purpose::Entrance, batch.spent);
                 self.bad_joins_admitted += batch.admitted;
@@ -346,8 +493,7 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                     } else {
                         if !self.purge_pending {
                             self.purge_pending = true;
-                            self.queue
-                                .push(now + self.cfg.round_duration, Event::PurgeResolve);
+                            self.queue.push(now + self.cfg.round_duration, Event::PurgeResolve);
                         }
                         break;
                     }
@@ -368,8 +514,9 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             return;
         }
         // Loop defensively: a purge can (in principle) leave the condition
-        // true again; bail out after a few rounds to avoid live-lock.
-        for _ in 0..16 {
+        // true again; bail out after a bounded number of rounds to avoid
+        // live-lock, counting the truncation in the report.
+        for _ in 0..self.cfg.max_purge_cascade_rounds {
             if !self.defense.purge_due(now) {
                 return;
             }
@@ -377,10 +524,12 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                 self.resolve_purge(now);
             } else {
                 self.purge_pending = true;
-                self.queue
-                    .push(now + self.cfg.round_duration, Event::PurgeResolve);
+                self.queue.push(now + self.cfg.round_duration, Event::PurgeResolve);
                 return;
             }
+        }
+        if self.defense.purge_due(now) {
+            self.purge_cascade_truncations += 1;
         }
     }
 
@@ -441,6 +590,10 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             mean_bad_fraction: self.frac_integral / self.cfg.horizon.as_secs(),
             final_members: self.defense.n_members(),
             final_bad: self.defense.n_bad(),
+            events_processed: self.events_processed,
+            peak_queue_len: self.peak_queue_len,
+            adversary_turn_truncations: self.adversary_turn_truncations,
+            purge_cascade_truncations: self.purge_cascade_truncations,
             estimates: Vec::new(),
             purge_times: Vec::new(),
             good_join_times: self.good_join_times,
@@ -461,9 +614,7 @@ mod tests {
     fn small_workload() -> Workload {
         Workload::new(
             vec![Time(1e9); 100],
-            (0..50)
-                .map(|i| Session::new(Time(i as f64 + 1.0), Time(i as f64 + 500.0)))
-                .collect(),
+            (0..50).map(|i| Session::new(Time(i as f64 + 1.0), Time(i as f64 + 500.0))).collect(),
         )
     }
 
@@ -492,13 +643,9 @@ mod tests {
     fn adversary_budget_limits_joins() {
         // Unit cost, T=1: over 100 s the adversary can afford ~100 joins.
         let cfg = SimConfig { horizon: Time(100.0), adv_rate: 1.0, ..SimConfig::default() };
-        let report = Simulation::new(
-            cfg,
-            UnitCostDefense::new(),
-            BudgetJoiner::new(1.0),
-            small_workload(),
-        )
-        .run();
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), BudgetJoiner::new(1.0), small_workload())
+                .run();
         assert!(report.bad_joins_admitted > 50, "{}", report.bad_joins_admitted);
         assert!(report.bad_joins_admitted <= 101, "{}", report.bad_joins_admitted);
         let spent = report.ledger.adversary_total().value();
@@ -508,13 +655,9 @@ mod tests {
     #[test]
     fn bad_fraction_tracked() {
         let cfg = SimConfig { horizon: Time(100.0), adv_rate: 5.0, ..SimConfig::default() };
-        let report = Simulation::new(
-            cfg,
-            UnitCostDefense::new(),
-            BudgetJoiner::new(5.0),
-            small_workload(),
-        )
-        .run();
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), BudgetJoiner::new(5.0), small_workload())
+                .run();
         assert!(report.max_bad_fraction > 0.0);
         assert!(report.mean_bad_fraction > 0.0);
         assert!(report.max_bad_fraction <= 1.0);
@@ -545,11 +688,8 @@ mod tests {
 
     #[test]
     fn record_good_joins_flag() {
-        let cfg = SimConfig {
-            horizon: Time(1000.0),
-            record_good_joins: true,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { horizon: Time(1000.0), record_good_joins: true, ..SimConfig::default() };
         let report =
             Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
         assert_eq!(report.good_join_times.len(), 50);

@@ -5,6 +5,26 @@
 //! join and departure event occurs at a unique point in time" with the
 //! server ordering apparent ties (Section 2.1.1) — the insertion sequence
 //! number plays that role here.
+//!
+//! # Two backends, one contract
+//!
+//! The queue has two interchangeable backends sharing the exact ordering
+//! contract (strictly increasing `(time, seq)` pop order):
+//!
+//! * **Heap** (default): a plain binary heap, `O(log n)` push/pop for any
+//!   time distribution. [`EventQueue::new`] and
+//!   [`EventQueue::with_capacity`] build this.
+//! * **Calendar** ([`EventQueue::with_horizon`]): a static calendar over
+//!   `[0, horizon]` divided into fixed-width buckets, each a small vector
+//!   kept sorted. Simulation time only moves forward, so push and pop are
+//!   `O(bucket occupancy)` — amortized `O(1)` when events spread over the
+//!   horizon, which is exactly the engine's workload. Events past the
+//!   horizon share one overflow bucket (the engine stops at the first such
+//!   event anyway).
+//!
+//! Because every entry's `(time, seq)` key is unique, both backends pop the
+//! same total order; `tests::backends_agree_with_reference_model` pins this
+//! against a reference model.
 
 use crate::time::Time;
 use std::cmp::Reverse;
@@ -22,6 +42,7 @@ use std::collections::BinaryHeap;
 /// q.push(Time(2.0), "b");
 /// q.push(Time(1.0), "a");
 /// q.push(Time(2.0), "c");
+/// assert_eq!(q.peek(), Some((Time(1.0), &"a")));
 /// assert_eq!(q.pop(), Some((Time(1.0), "a")));
 /// assert_eq!(q.pop(), Some((Time(2.0), "b")));
 /// assert_eq!(q.pop(), Some((Time(2.0), "c")));
@@ -29,8 +50,14 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    backend: Backend<E>,
     seq: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Reverse<Entry<E>>>),
+    Calendar(Calendar<E>),
 }
 
 #[derive(Clone, Debug)]
@@ -38,6 +65,12 @@ struct Entry<E> {
     at: Time,
     seq: u64,
     event: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -60,6 +93,116 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The calendar backend: fixed-width buckets over `[0, horizon]`, plus one
+/// overflow bucket for times past the horizon.
+///
+/// Each bucket is a [`Bucket`]: an ascending-sorted vector consumed
+/// through a head index. The engine's dominant pattern — pop the minimum,
+/// then push a successor with the largest key in the bucket — is O(1) at
+/// both ends (`items.push` / `head += 1`); only out-of-order pushes pay a
+/// binary-search insert over the bucket's O(total / n_buckets) live
+/// entries. Amortized O(1) for horizon-spread workloads.
+#[derive(Clone, Debug)]
+struct Calendar<E> {
+    buckets: Vec<Bucket<E>>,
+    /// Buckets per second (`n_buckets / horizon`).
+    inv_width: f64,
+    /// Index of the lowest possibly-nonempty bucket.
+    cursor: usize,
+    len: usize,
+}
+
+/// One calendar bucket: `slots[head..]` hold the live entries, ascending
+/// by `(time, seq)`. Entries are taken out of their `Option` slot in O(1)
+/// as the head advances; the dead prefix is reclaimed when the bucket
+/// drains (buckets drain completely as simulation time passes them).
+#[derive(Clone, Debug)]
+struct Bucket<E> {
+    slots: Vec<Option<Entry<E>>>,
+    head: usize,
+}
+
+impl<E> Bucket<E> {
+    fn live(&self) -> usize {
+        self.slots.len() - self.head
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        match self.slots.last() {
+            // Fast path: new bucket maximum (the monotone engine pattern)
+            // or empty bucket.
+            Some(last) if last.as_ref().expect("tail slot is live").key() > entry.key() => {
+                let pos = self.slots[self.head..]
+                    .partition_point(|e| e.as_ref().expect("live slot").key() < entry.key())
+                    + self.head;
+                self.slots.insert(pos, Some(entry));
+            }
+            _ => self.slots.push(Some(entry)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        let entry = self.slots.get_mut(self.head)?.take();
+        self.head += 1;
+        if self.head == self.slots.len() {
+            // Drained: reset, keeping the allocation for reuse.
+            self.slots.clear();
+            self.head = 0;
+        }
+        entry
+    }
+
+    fn peek(&self) -> Option<&Entry<E>> {
+        self.slots.get(self.head)?.as_ref()
+    }
+}
+
+impl<E> Calendar<E> {
+    fn new(horizon: Time, n_buckets: usize) -> Self {
+        let n = n_buckets.max(1);
+        Calendar {
+            buckets: (0..=n).map(|_| Bucket { slots: Vec::new(), head: 0 }).collect(),
+            inv_width: n as f64 / horizon.as_secs().max(f64::MIN_POSITIVE),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn bucket_index(&self, at: Time) -> usize {
+        // Times before 0 clamp to bucket 0, times past the horizon to the
+        // overflow bucket (last index).
+        let raw = at.as_secs().max(0.0) * self.inv_width;
+        (raw as usize).min(self.buckets.len() - 1)
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        let idx = self.bucket_index(entry.at);
+        // Pushes at or after the current simulation time are the norm, but
+        // arbitrary interleavings stay correct: the cursor backs up.
+        self.cursor = self.cursor.min(idx);
+        self.buckets[idx].push(entry);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].live() == 0 {
+            self.cursor += 1;
+        }
+        self.len -= 1;
+        self.buckets[self.cursor].pop()
+    }
+
+    fn peek(&self) -> Option<&Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buckets[self.cursor..].iter().find(|b| b.live() > 0).and_then(|b| b.peek())
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
@@ -67,49 +210,116 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue (heap backend).
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue { backend: Backend::Heap(BinaryHeap::new()), seq: 0 }
     }
 
-    /// Creates an empty queue with capacity for `n` events.
+    /// Creates an empty queue with capacity for `n` events (heap backend).
     pub fn with_capacity(n: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(n), seq: 0 }
+        EventQueue { backend: Backend::Heap(BinaryHeap::with_capacity(n)), seq: 0 }
+    }
+
+    /// Creates a calendar-backed queue for a simulation over
+    /// `[0, horizon]`.
+    ///
+    /// `expected_events` sizes the bucket array (one bucket per expected
+    /// event, clamped to a sane range) so that average bucket occupancy
+    /// stays O(1) and push/pop are amortized constant-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive.
+    pub fn with_horizon(horizon: Time, expected_events: usize) -> Self {
+        assert!(horizon > Time::ZERO, "calendar queue needs a positive horizon");
+        let n_buckets = expected_events.clamp(64, 65_536);
+        EventQueue { backend: Backend::Calendar(Calendar::new(horizon, n_buckets)), seq: 0 }
     }
 
     /// Schedules `event` at time `at`.
     pub fn push(&mut self, at: Time, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        self.push_entry(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` at time `at` with an explicit tie-breaking
+    /// sequence number.
+    ///
+    /// This exists so schedulers can *stream* events into the queue lazily
+    /// while reproducing the exact FIFO order an eager scheduler would have
+    /// produced: the caller precomputes each event's sequence number and
+    /// reserves the range via [`advance_seq_to`](Self::advance_seq_to).
+    /// Pushing a seq at or above the reserved floor would collide with
+    /// future [`push`](Self::push) assignments and panics.
+    pub fn push_with_seq(&mut self, at: Time, seq: u64, event: E) {
+        assert!(
+            seq < self.seq,
+            "push_with_seq: seq {seq} not below the reserved floor {}",
+            self.seq
+        );
+        self.push_entry(Entry { at, seq, event });
+    }
+
+    /// Raises the internal sequence counter to at least `floor`, reserving
+    /// `0..floor` for [`push_with_seq`](Self::push_with_seq).
+    pub fn advance_seq_to(&mut self, floor: u64) {
+        self.seq = self.seq.max(floor);
+    }
+
+    /// Schedules a batch of `(time, event)` pairs in FIFO order (equivalent
+    /// to repeated [`push`](Self::push), one sequence number each).
+    pub fn push_many<I: IntoIterator<Item = (Time, E)>>(&mut self, items: I) {
+        for (at, event) in items {
+            self.push(at, event);
+        }
+    }
+
+    fn push_entry(&mut self, entry: Entry<E>) {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Reverse(entry)),
+            Backend::Calendar(cal) => cal.push(entry),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|Reverse(e)| (e.at, e.event)),
+            Backend::Calendar(cal) => cal.pop().map(|e| (e.at, e.event)),
+        }
+    }
+
+    /// The earliest pending event, if any, without removing it.
+    pub fn peek(&self) -> Option<(Time, &E)> {
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|Reverse(e)| (e.at, &e.event)),
+            Backend::Calendar(cal) => cal.peek().map(|e| (e.at, &e.event)),
+        }
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.peek().map(|(at, _)| at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Calendar(cal) => cal.len,
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
 impl<E> Extend<(Time, E)> for EventQueue<E> {
     fn extend<I: IntoIterator<Item = (Time, E)>>(&mut self, iter: I) {
-        for (at, event) in iter {
-            self.push(at, event);
-        }
+        self.push_many(iter);
     }
 }
 
@@ -117,25 +327,32 @@ impl<E> Extend<(Time, E)> for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both_backends() -> Vec<EventQueue<i32>> {
+        vec![EventQueue::new(), EventQueue::with_horizon(Time(100.0), 64)]
+    }
+
     #[test]
     fn orders_by_time_then_fifo() {
-        let mut q = EventQueue::new();
-        q.push(Time(3.0), 30);
-        q.push(Time(1.0), 10);
-        q.push(Time(1.0), 11);
-        q.push(Time(2.0), 20);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![10, 11, 20, 30]);
+        for mut q in both_backends() {
+            q.push(Time(3.0), 30);
+            q.push(Time(1.0), 10);
+            q.push(Time(1.0), 11);
+            q.push(Time(2.0), 20);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![10, 11, 20, 30]);
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(Time(5.0), ());
-        assert_eq!(q.peek_time(), Some(Time(5.0)));
-        assert_eq!(q.len(), 1);
+        for mut q in both_backends() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(Time(5.0), 0);
+            assert_eq!(q.peek_time(), Some(Time(5.0)));
+            assert_eq!(q.peek(), Some((Time(5.0), &0)));
+            assert_eq!(q.len(), 1);
+        }
     }
 
     #[test]
@@ -146,14 +363,115 @@ mod tests {
     }
 
     #[test]
+    fn push_many_is_fifo() {
+        for mut q in both_backends() {
+            q.push_many([(Time(1.0), 1), (Time(1.0), 2), (Time(0.5), 0)]);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(Time(10.0), 1);
-        q.push(Time(5.0), 0);
-        assert_eq!(q.pop().unwrap().1, 0);
-        q.push(Time(7.0), 2);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert!(q.pop().is_none());
+        for mut q in both_backends() {
+            q.push(Time(10.0), 1);
+            q.push(Time(5.0), 0);
+            assert_eq!(q.pop().unwrap().1, 0);
+            q.push(Time(7.0), 2);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn push_with_seq_reproduces_eager_order() {
+        for make in [(|| EventQueue::new()) as fn() -> EventQueue<u32>, || {
+            EventQueue::with_horizon(Time(10.0), 64)
+        }] {
+            // Eager: everything pushed up front.
+            let mut eager = make();
+            for (t, e) in [(2.0, 0u32), (2.0, 1), (1.0, 2), (2.0, 3)] {
+                eager.push(Time(t), e);
+            }
+            // Streaming: seqs 0..4 reserved, events fed in late and out of
+            // seq order.
+            let mut streaming = make();
+            streaming.advance_seq_to(4);
+            streaming.push_with_seq(Time(1.0), 2, 2);
+            assert_eq!(streaming.pop(), Some((Time(1.0), 2)));
+            assert_eq!(eager.pop(), Some((Time(1.0), 2)));
+            streaming.push_with_seq(Time(2.0), 3, 3);
+            streaming.push_with_seq(Time(2.0), 0, 0);
+            streaming.push_with_seq(Time(2.0), 1, 1);
+            for _ in 0..3 {
+                assert_eq!(streaming.pop(), eager.pop());
+            }
+            assert!(streaming.pop().is_none() && eager.pop().is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not below the reserved floor")]
+    fn push_with_seq_rejects_unreserved() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push_with_seq(Time(1.0), 0, ());
+    }
+
+    #[test]
+    fn calendar_handles_past_horizon_and_negative_times() {
+        let mut q = EventQueue::with_horizon(Time(10.0), 64);
+        q.push(Time(25.0), 2); // past the horizon → overflow bucket
+        q.push(Time(-1.0), 0); // clamps to bucket 0
+        q.push(Time(5.0), 1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    /// Reference model: a sorted vector popped from the front. Both
+    /// backends must agree with it on interleaved push/pop sequences
+    /// (FIFO tie-breaking included).
+    #[test]
+    fn backends_agree_with_reference_model() {
+        // Deterministic pseudo-random op stream.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..50u64 {
+            let mut heap_q: EventQueue<u64> = EventQueue::new();
+            let mut cal_q: EventQueue<u64> = EventQueue::with_horizon(Time(64.0), 128);
+            let mut reference: Vec<(Time, u64, u64)> = Vec::new(); // (at, seq, payload)
+            let mut seq = 0u64;
+            let mut payload = 0u64;
+            for _ in 0..400 {
+                let r = next();
+                if r % 3 != 0 || reference.is_empty() {
+                    // Coarse times force plenty of exact ties.
+                    let at = Time(((r / 7) % 64) as f64);
+                    heap_q.push(at, payload);
+                    cal_q.push(at, payload);
+                    reference.push((at, seq, payload));
+                    seq += 1;
+                    payload += 1;
+                } else {
+                    reference.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                    let (at, _, want) = reference.remove(0);
+                    assert_eq!(heap_q.pop(), Some((at, want)), "trial {trial}");
+                    assert_eq!(cal_q.pop(), Some((at, want)), "trial {trial}");
+                }
+                assert_eq!(heap_q.len(), reference.len());
+                assert_eq!(cal_q.len(), reference.len());
+            }
+            // Drain; all three must agree to the end.
+            reference.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (at, _, want) in reference {
+                assert_eq!(heap_q.pop(), Some((at, want)), "trial {trial}");
+                assert_eq!(cal_q.pop(), Some((at, want)), "trial {trial}");
+            }
+            assert!(heap_q.pop().is_none());
+            assert!(cal_q.pop().is_none());
+        }
     }
 }

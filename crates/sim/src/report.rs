@@ -63,6 +63,20 @@ pub struct SimReport {
     pub final_members: u64,
     /// Sybil members at the end of the run.
     pub final_bad: u64,
+    /// Events dispatched by the engine over the run (the denominator of
+    /// engine-throughput measurements).
+    pub events_processed: u64,
+    /// Largest number of pending events the queue ever held. With streaming
+    /// workload scheduling this is O(active sessions), not O(workload).
+    pub peak_queue_len: usize,
+    /// Times an adversary wakeup was cut off by
+    /// [`crate::engine::SimConfig::max_adversary_turn_rounds`]. Nonzero
+    /// values mean adversary turns were truncated and spend totals may
+    /// undercount what the strategy wanted to do.
+    pub adversary_turn_truncations: u64,
+    /// Times an instant-purge cascade was cut off by
+    /// [`crate::engine::SimConfig::max_purge_cascade_rounds`].
+    pub purge_cascade_truncations: u64,
     /// Estimator updates logged by the defense (empty when not applicable).
     pub estimates: Vec<EstimateRecord>,
     /// Times at which purges completed (iteration boundaries).

@@ -73,10 +73,7 @@ impl Workload {
     pub fn validate(&self) -> Result<(), String> {
         for w in self.sessions.windows(2) {
             if w[1].join < w[0].join {
-                return Err(format!(
-                    "sessions out of order: {} after {}",
-                    w[1].join, w[0].join
-                ));
+                return Err(format!("sessions out of order: {} after {}", w[1].join, w[0].join));
             }
         }
         for (i, s) in self.sessions.iter().enumerate() {
@@ -96,10 +93,7 @@ mod tests {
     fn workload_sorts_sessions() {
         let w = Workload::new(
             vec![Time(100.0)],
-            vec![
-                Session::new(Time(5.0), Time(6.0)),
-                Session::new(Time(1.0), Time(9.0)),
-            ],
+            vec![Session::new(Time(5.0), Time(6.0)), Session::new(Time(1.0), Time(9.0))],
         );
         assert_eq!(w.sessions[0].join, Time(1.0));
         assert_eq!(w.initial_size(), 1);

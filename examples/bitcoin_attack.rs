@@ -28,13 +28,9 @@ fn main() {
         let t = if exp == 0 { 0.0 } else { (1u64 << exp) as f64 };
         let workload = network.generate(horizon, 1);
         let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
-        let report = Simulation::new(
-            cfg,
-            Ergo::new(ErgoConfig::default()),
-            BudgetJoiner::new(t),
-            workload,
-        )
-        .run();
+        let report =
+            Simulation::new(cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload)
+                .run();
         println!(
             "{:>10.0}  {:>12.1}  {:>12}  {:>10}  {:>12}",
             t,

@@ -23,10 +23,7 @@ fn main() {
         let workload = gen.generate(17);
         // Analyze up to the last generated arrival (members that never
         // depart get a sentinel departure far beyond this).
-        let horizon = workload
-            .sessions
-            .last()
-            .map_or(Time(1.0), |s| s.join + 1.0);
+        let horizon = workload.sessions.last().map_or(Time(1.0), |s| s.join + 1.0);
         let epochs = detect_epochs(&workload, horizon, (1, 2));
         let a = measure_alpha(&epochs);
         let b = estimate_beta(&workload, &epochs, horizon);

@@ -17,12 +17,7 @@ use sybil_classifier::{generate, GraphParams, SybilFuse, SybilFuseConfig};
 
 fn main() {
     // --- 1. Train and evaluate the classifier on a social graph ---
-    let params = GraphParams {
-        n_good: 3000,
-        n_sybil: 600,
-        edges_per_node: 4,
-        attack_edges: 450,
-    };
+    let params = GraphParams { n_good: 3000, n_sybil: 600, edges_per_node: 4, attack_edges: 450 };
     let graph = generate(params, 21);
     let clf = SybilFuse::train(&graph, SybilFuseConfig::default(), 22);
     let confusion = clf.evaluate(&graph);

@@ -20,10 +20,7 @@ fn main() {
     let work = sybil_committee::genid::solve_bootstrap_challenges(n_good, b"genesis-nonce");
     let outcome = bootstrap(n_good, kappa, 30.0, 7);
     println!("--- GenID bootstrap ---");
-    println!(
-        "{} good IDs solved 1-hard PoW challenges ({} total hash units burned)",
-        n_good, work
-    );
+    println!("{} good IDs solved 1-hard PoW challenges ({} total hash units burned)", n_good, work);
     println!(
         "agreed set: {} members ({:.1}% Sybil, kappa bound {:.1}%)",
         outcome.n_members(),
@@ -68,13 +65,9 @@ fn main() {
         workload.clone(),
     )
     .run_with_defense();
-    let central_report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        PurgeSurvivor::new(t),
-        workload,
-    )
-    .run();
+    let central_report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), PurgeSurvivor::new(t), workload)
+            .run();
 
     println!(
         "good spend rate: decentralized {:.1}/s vs centralized {:.1}/s (identical decisions)",

@@ -26,10 +26,7 @@ fn main() {
         .collect();
     let winner = PurgeLottery::winner(&entries).expect("nonempty round");
     println!("--- purge lottery (round 4711, {members} participants) ---");
-    println!(
-        "winning digest: {}...",
-        &winner.digest.to_string()[..16]
-    );
+    println!("winning digest: {}...", &winner.digest.to_string()[..16]);
     println!(
         "winner: participant {}",
         u64::from_be_bytes(winner.participant.clone().try_into().expect("8 bytes"))
@@ -70,11 +67,7 @@ fn main() {
         let solve_time = ctl.hardness() / rate;
         ctl.observe(solve_time);
         if round % 3 == 0 || (14..20).contains(&round) {
-            println!(
-                "{round:>7} {rate:>12.0} {:>12.0} {:>11.3}s",
-                ctl.hardness(),
-                solve_time
-            );
+            println!("{round:>7} {rate:>12.0} {:>12.0} {:>11.3}s", ctl.hardness(), solve_time);
         }
     }
     let settled = ctl.hardness() / rate;

@@ -36,16 +36,14 @@ fn main() {
     // --- 2. End to end: membership from an Ergo run under attack ---
     let horizon = Time(1_500.0);
     let t = 50_000.0;
-    println!("\n--- DHT over an Ergo-defended membership (T = {t}/s, purge-surviving attacker) ---");
+    println!(
+        "\n--- DHT over an Ergo-defended membership (T = {t}/s, purge-surviving attacker) ---"
+    );
     let workload = networks::gnutella().generate(horizon, 13);
     let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        PurgeSurvivor::new(t),
-        workload,
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), PurgeSurvivor::new(t), workload)
+            .run();
     let n_bad = report.final_bad;
     let n_good = report.final_members - n_bad;
     println!(
@@ -55,15 +53,12 @@ fn main() {
     );
 
     let ring = Ring::from_members(
-        (0..n_good)
-            .map(|i| (Id(i), false))
-            .chain((0..n_bad).map(|i| (Id((1 << 41) | i), true))),
+        (0..n_good).map(|i| (Id(i), false)).chain((0..n_bad).map(|i| (Id((1 << 41) | i), true))),
     );
     let mut rng = StdRng::seed_from_u64(99);
     let trials = 500;
-    let ok = (0..trials)
-        .filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success())
-        .count();
+    let ok =
+        (0..trials).filter(|_| lookup_wide(&ring, rng.gen(), 8, &mut rng).is_success()).count();
     println!(
         "wide-8 lookups on that ring: {}/{} successful ({:.1}%)",
         ok,

@@ -54,9 +54,7 @@ fn parse_args() -> Result<Options, String> {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
         }
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("missing value for {flag}"))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
         match flag {
             "--network" => opts.network = value.clone(),
             "--defense" => opts.defense = value.clone(),
@@ -164,10 +162,7 @@ fn main() {
         report.bad_joins_admitted,
         report.bad_join_attempts
     );
-    println!(
-        "purges:                {} (skipped {})",
-        report.purges, report.purges_skipped
-    );
+    println!("purges:                {} (skipped {})", report.purges, report.purges_skipped);
     println!(
         "bad fraction:          max {:.4} | mean {:.4} | bound {:.4} -> {}",
         report.max_bad_fraction,
@@ -175,10 +170,7 @@ fn main() {
         1.0 / 6.0,
         if report.max_bad_fraction < 1.0 / 6.0 { "INVARIANT HELD" } else { "VIOLATED" }
     );
-    println!(
-        "final membership:      {} ({} Sybil)",
-        report.final_members, report.final_bad
-    );
+    println!("final membership:      {} ({} Sybil)", report.final_members, report.final_bad);
     if !report.estimates.is_empty() {
         let last = report.estimates.last().expect("nonempty");
         println!(

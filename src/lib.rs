@@ -66,7 +66,5 @@ pub mod prelude {
     pub use sybil_sim::adversary::{
         BudgetJoiner, BurstJoiner, ChurnForcer, FractionKeeper, NullAdversary, PurgeSurvivor,
     };
-    pub use sybil_sim::{
-        Cost, Defense, Session, SimConfig, SimReport, Simulation, Time, Workload,
-    };
+    pub use sybil_sim::{Cost, Defense, Session, SimConfig, SimReport, Simulation, Time, Workload};
 }

@@ -10,13 +10,9 @@ use sybil_churn::detect_epochs;
 fn estimate_vs_epoch_rate(workload: Workload, horizon: Time, t: f64) -> Vec<(f64, f64)> {
     let epochs = detect_epochs(&workload, horizon, (1, 2));
     let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        BudgetJoiner::new(t),
-        workload,
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload)
+            .run();
     assert!(report.max_bad_fraction < 1.0 / 6.0, "Theorem 2 precondition");
     report
         .estimates
@@ -78,13 +74,9 @@ fn estimate_adapts_to_exponentially_growing_rate() {
     let workload = gen.generate(71);
     let horizon = workload.sessions.last().map_or(Time(10.0), |s| s.join + 1.0);
     let cfg = SimConfig { horizon, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        NullAdversary,
-        workload.clone(),
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), NullAdversary, workload.clone())
+            .run();
     let epochs = detect_epochs(&workload, horizon, (1, 2));
     let rates: Vec<f64> = epochs.iter().map(sybil_churn::Epoch::rho).collect();
     let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
@@ -104,10 +96,10 @@ fn estimate_adapts_to_exponentially_growing_rate() {
 
 #[test]
 fn update_count_grows_with_churn() {
-    let slow = AbcTraceGenerator { n0: 1000, rho0: 1.0, alpha: 1.0, beta: 1.0, epochs: 4 }
-        .generate(73);
-    let fast = AbcTraceGenerator { n0: 1000, rho0: 16.0, alpha: 1.0, beta: 1.0, epochs: 4 }
-        .generate(73);
+    let slow =
+        AbcTraceGenerator { n0: 1000, rho0: 1.0, alpha: 1.0, beta: 1.0, epochs: 4 }.generate(73);
+    let fast =
+        AbcTraceGenerator { n0: 1000, rho0: 16.0, alpha: 1.0, beta: 1.0, epochs: 4 }.generate(73);
     // Same logical epochs, 16x the rate: the fast trace is 16x shorter in
     // wall time but completes the same number of intervals.
     let h_slow = slow.sessions.last().map(|s| s.join + 1.0).expect("sessions");

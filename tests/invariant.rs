@@ -41,11 +41,7 @@ fn invariant_holds_against_purge_survivor() {
     let net = networks::gnutella();
     for t in [1_000.0, 100_000.0] {
         let r = run_with(&net, PurgeSurvivor::new(t), t, 37);
-        assert!(
-            r.max_bad_fraction < 1.0 / 6.0,
-            "T={t}: fraction {}",
-            r.max_bad_fraction
-        );
+        assert!(r.max_bad_fraction < 1.0 / 6.0, "T={t}: fraction {}", r.max_bad_fraction);
         // The survivor actually paid purge retention.
         assert!(r.ledger.adversary_purge().value() > 0.0);
     }
@@ -91,12 +87,8 @@ fn invariant_holds_with_initial_bad_population() {
     let net = networks::bittorrent();
     let workload = net.generate(HORIZON, 43);
     let initial_bad = (workload.initial_size() as f64 / 18.0) as u64;
-    let cfg = SimConfig {
-        horizon: HORIZON,
-        adv_rate: 10_000.0,
-        initial_bad,
-        ..SimConfig::default()
-    };
+    let cfg =
+        SimConfig { horizon: HORIZON, adv_rate: 10_000.0, initial_bad, ..SimConfig::default() };
     let r = Simulation::new(
         cfg,
         Ergo::new(ErgoConfig::default()),
@@ -126,11 +118,7 @@ fn heuristic_variants_preserve_the_invariant() {
             defense.name()
         };
         let r = Simulation::new(cfg, defense, BudgetJoiner::new(t), workload.clone()).run();
-        assert!(
-            r.max_bad_fraction < 1.0 / 6.0,
-            "{name}: fraction {}",
-            r.max_bad_fraction
-        );
+        assert!(r.max_bad_fraction < 1.0 / 6.0, "{name}: fraction {}", r.max_bad_fraction);
     }
 }
 

@@ -42,8 +42,7 @@ fn membership_conservation() {
     let r = gnutella_run(Ergo::new(ErgoConfig::default()), 2_000.0, 13);
     let workload = networks::gnutella().generate(HORIZON, 13);
     // Good members: initial + admitted - departed == final good.
-    let expected_good =
-        workload.initial_size() + r.good_joins_admitted - r.good_departures;
+    let expected_good = workload.initial_size() + r.good_joins_admitted - r.good_departures;
     assert_eq!(r.final_members - r.final_bad, expected_good);
     // Every admitted good join cost at least 1.
     assert!(r.ledger.good_entrance().value() >= r.good_joins_admitted as f64);

@@ -1,26 +1,30 @@
 //! Property-based tests pinning the algorithmic cores against independent
 //! reference implementations and algebraic identities.
+//!
+//! The offline build environment has no `proptest`, so cases are generated
+//! by a hand-rolled loop over deterministic seeds: every case is a pure
+//! function of its iteration index, which makes failures directly
+//! reproducible (the panic message names the case number).
 
 use bankrupting_sybil::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sybil_sim::Defense;
 
 // ---------------------------------------------------------------------------
 // Ergo batch pricing ≡ sequential pricing
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A Sybil batch at one instant must admit exactly as many IDs, at exactly
+/// the same total cost, as greedy one-at-a-time joins with the same budget —
+/// the closed-form series is an optimization, not a semantic change.
+#[test]
+fn batch_join_equals_sequential_joins() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0x8a7c_0000 + case);
+        let n_good = rng.gen_range(500u64..50_000);
+        let budget = rng.gen_range(0.0f64..5_000.0);
 
-    /// A Sybil batch at one instant must admit exactly as many IDs, at
-    /// exactly the same total cost, as greedy one-at-a-time joins with the
-    /// same budget — the closed-form series is an optimization, not a
-    /// semantic change.
-    #[test]
-    fn batch_join_equals_sequential_joins(
-        n_good in 500u64..50_000,
-        budget in 0.0f64..5_000.0,
-    ) {
         let now = Time(1.0);
         let mut batched = Ergo::new(ErgoConfig::default());
         batched.init(Time::ZERO, n_good, 0);
@@ -43,27 +47,37 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(b.admitted, admitted);
-        prop_assert!((b.spent.value() - spent).abs() < 1e-6,
-            "batch {} vs sequential {}", b.spent.value(), spent);
-        prop_assert_eq!(batched.n_bad(), sequential.n_bad());
-        prop_assert_eq!(batched.quote(now), sequential.quote(now));
+        assert_eq!(b.admitted, admitted, "case {case} (n_good={n_good}, budget={budget})");
+        assert!(
+            (b.spent.value() - spent).abs() < 1e-6,
+            "case {case}: batch {} vs sequential {}",
+            b.spent.value(),
+            spent
+        );
+        assert_eq!(batched.n_bad(), sequential.n_bad(), "case {case}");
+        assert_eq!(batched.quote(now), sequential.quote(now), "case {case}");
     }
+}
 
-    /// The quote after any batch equals 1 + (IDs admitted in-window).
-    #[test]
-    fn quote_reflects_window_contents(
-        n_good in 10_000u64..1_000_000,
-        budget in 1.0f64..2_000.0,
-    ) {
+/// The quote after any batch equals 1 + (IDs admitted in-window).
+#[test]
+fn quote_reflects_window_contents() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0x9b3d_0000 + case);
+        let n_good = rng.gen_range(10_000u64..1_000_000);
+        let budget = rng.gen_range(1.0f64..2_000.0);
+
         let now = Time(5.0);
         let mut e = Ergo::new(ErgoConfig::default());
         e.init(Time::ZERO, n_good, 0);
-        let before = e.quote(now).value();
-        prop_assert_eq!(before, 1.0);
+        assert_eq!(e.quote(now).value(), 1.0, "case {case}");
         let b = e.bad_join_batch(now, Cost(budget), u64::MAX);
         // All admissions happened at `now`, inside any positive window.
-        prop_assert_eq!(e.quote(now).value(), 1.0 + b.admitted as f64);
+        assert_eq!(
+            e.quote(now).value(),
+            1.0 + b.admitted as f64,
+            "case {case} (n_good={n_good}, budget={budget})"
+        );
     }
 }
 
@@ -118,25 +132,26 @@ impl ReferenceEstimator {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The O(1)-per-event GoodJEst agrees with a set-based reference on random
+/// event sequences (estimates, interval starts, and sizes).
+#[test]
+fn goodjest_matches_brute_force() {
+    use ergo_core::goodjest::GoodJEst;
+    use ergo_core::params::GoodJEstConfig;
 
-    /// The O(1)-per-event GoodJEst agrees with a set-based reference on
-    /// random event sequences (estimates, interval starts, and sizes).
-    #[test]
-    fn goodjest_matches_brute_force(
-        ops in proptest::collection::vec((0u8..2, 1u64..50), 1..300),
-        initial in 12u64..200,
-    ) {
-        use ergo_core::goodjest::GoodJEst;
-        use ergo_core::params::GoodJEstConfig;
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0xc4f1_0000 + case);
+        let initial = rng.gen_range(12u64..200);
+        let n_ops = rng.gen_range(1usize..300);
 
         let mut fast = GoodJEst::new(GoodJEstConfig::default(), Time::ZERO, initial);
         let mut reference = ReferenceEstimator::new(initial, 1.0);
         // Track (id, join_time) of live IDs to drive departures.
         let mut live: Vec<(u64, f64)> = (0..initial).map(|i| (i, 0.0)).collect();
         let mut t = 0.0f64;
-        for (op, step) in ops {
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..2);
+            let step = rng.gen_range(1u64..50);
             t += step as f64 * 0.1;
             match op {
                 0 => {
@@ -145,7 +160,9 @@ proptest! {
                     live.push((id, t));
                 }
                 _ => {
-                    if live.len() <= 1 { continue; }
+                    if live.len() <= 1 {
+                        continue;
+                    }
                     // Deterministic pseudo-random victim.
                     let idx = (step as usize * 7919) % live.len();
                     let (id, joined_at) = live.swap_remove(idx);
@@ -154,11 +171,18 @@ proptest! {
                     reference.depart(t, id);
                 }
             }
-            prop_assert_eq!(fast.size(), reference.current.len() as u64);
-            prop_assert_eq!(fast.symdiff(), reference.symdiff());
-            prop_assert!((fast.estimate() - reference.estimate).abs() < 1e-9,
-                "estimate {} vs reference {}", fast.estimate(), reference.estimate);
-            prop_assert!((fast.interval_start().as_secs() - reference.t_start).abs() < 1e-12);
+            assert_eq!(fast.size(), reference.current.len() as u64, "case {case}");
+            assert_eq!(fast.symdiff(), reference.symdiff(), "case {case}");
+            assert!(
+                (fast.estimate() - reference.estimate).abs() < 1e-9,
+                "case {case}: estimate {} vs reference {}",
+                fast.estimate(),
+                reference.estimate
+            );
+            assert!(
+                (fast.interval_start().as_secs() - reference.t_start).abs() < 1e-12,
+                "case {case}"
+            );
         }
     }
 }
@@ -167,23 +191,18 @@ proptest! {
 // Engine conservation on random workloads
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// On arbitrary small workloads: determinism, budget conservation, and the
+/// invariant hold.
+#[test]
+fn engine_conservation_on_random_workloads() {
+    for case in 0u64..24 {
+        let mut rng = StdRng::seed_from_u64(0xe2a9_0000 + case);
+        let n_init = rng.gen_range(200u64..800);
+        let n_sessions = rng.gen_range(0usize..200);
+        let t = rng.gen_range(0.0f64..2_000.0);
 
-    /// On arbitrary small workloads: determinism, budget conservation, and
-    /// the invariant hold.
-    #[test]
-    fn engine_conservation_on_random_workloads(
-        n_init in 200u64..800,
-        n_sessions in 0usize..200,
-        t in 0.0f64..2_000.0,
-        seed in 0u64..1000,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let horizon = 120.0;
-        let initial: Vec<Time> =
-            (0..n_init).map(|_| Time(rng.gen_range(1.0..400.0))).collect();
+        let initial: Vec<Time> = (0..n_init).map(|_| Time(rng.gen_range(1.0..400.0))).collect();
         let sessions: Vec<Session> = (0..n_sessions)
             .map(|_| {
                 let join = rng.gen_range(0.0..horizon);
@@ -193,17 +212,21 @@ proptest! {
         let workload = Workload::new(initial, sessions);
         let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
         let r1 = Simulation::new(
-            cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload.clone(),
-        ).run();
-        let r2 = Simulation::new(
-            cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload,
-        ).run();
-        prop_assert_eq!(&r1.ledger, &r2.ledger);
-        prop_assert!(r1.ledger.adversary_total().value() <= t * horizon + 1e-6);
-        prop_assert!(r1.max_bad_fraction < 1.0 / 6.0, "fraction {}", r1.max_bad_fraction);
+            cfg,
+            Ergo::new(ErgoConfig::default()),
+            BudgetJoiner::new(t),
+            workload.clone(),
+        )
+        .run();
+        let r2 =
+            Simulation::new(cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload)
+                .run();
+        assert_eq!(&r1.ledger, &r2.ledger, "case {case}: nondeterministic ledger");
+        assert!(r1.ledger.adversary_total().value() <= t * horizon + 1e-6, "case {case}");
+        assert!(r1.max_bad_fraction < 1.0 / 6.0, "case {case}: fraction {}", r1.max_bad_fraction);
         // Good membership closes.
         let expected_good = n_init + r1.good_joins_admitted - r1.good_departures;
-        prop_assert_eq!(r1.final_members - r1.final_bad, expected_good);
+        assert_eq!(r1.final_members - r1.final_bad, expected_good, "case {case}");
     }
 }
 
@@ -211,24 +234,28 @@ proptest! {
 // DHT: clean-ring completeness over arbitrary membership sets
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// On a Sybil-free ring of arbitrary membership, greedy lookup reaches the
+/// owner of every key.
+#[test]
+fn dht_greedy_is_complete_on_clean_rings() {
+    use sybil_dht::{lookup_greedy, Ring};
+    use sybil_sim::id::Id;
 
-    /// On a Sybil-free ring of arbitrary membership, greedy lookup reaches
-    /// the owner of every key.
-    #[test]
-    fn dht_greedy_is_complete_on_clean_rings(
-        ids in proptest::collection::btree_set(0u64..1_000_000, 2..200),
-        keys in proptest::collection::vec(proptest::num::u64::ANY, 1..20),
-    ) {
-        use sybil_dht::{lookup_greedy, Ring};
-        use sybil_sim::id::Id;
+    for case in 0u64..32 {
+        let mut rng = StdRng::seed_from_u64(0xd715_0000 + case);
+        let n_ids = rng.gen_range(2usize..200);
+        let ids: std::collections::BTreeSet<u64> =
+            (0..n_ids).map(|_| rng.gen_range(0u64..1_000_000)).collect();
+        let n_keys = rng.gen_range(1usize..20);
+        let keys: Vec<u64> = (0..n_keys).map(|_| rng.gen()).collect();
+
         let ring = Ring::from_members(ids.iter().map(|&i| (Id(i), false)));
         let origin = ring.any_good().expect("nonempty");
         for key in keys {
-            prop_assert!(
+            assert!(
                 lookup_greedy(&ring, origin, key).is_success(),
-                "failed key {key} on ring of {}", ring.len()
+                "case {case}: failed key {key} on ring of {}",
+                ring.len()
             );
         }
     }

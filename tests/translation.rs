@@ -12,13 +12,9 @@ use sybil_sim::Time as T;
 /// Runs Ergo over a workload and returns (interval spans, purge times).
 fn replay(workload: Workload, horizon: T, t: f64) -> (Vec<(f64, f64)>, Vec<f64>) {
     let cfg = SimConfig { horizon, adv_rate: t, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        BudgetJoiner::new(t),
-        workload,
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), BudgetJoiner::new(t), workload)
+            .run();
     assert!(report.max_bad_fraction < 1.0 / 6.0, "invariant precondition violated");
     let intervals: Vec<(f64, f64)> =
         report.estimates.iter().map(|e| (e.start.as_secs(), e.end.as_secs())).collect();
@@ -80,10 +76,7 @@ fn lemma11_iteration_intersects_at_most_two_intervals() {
         let mut prev = 0.0;
         for &p in &purges {
             let n = overlapping(&intervals, prev, p);
-            assert!(
-                n <= 2,
-                "iteration ({prev:.1}, {p:.1}) intersects {n} intervals (seed {seed})"
-            );
+            assert!(n <= 2, "iteration ({prev:.1}, {p:.1}) intersects {n} intervals (seed {seed})");
             prev = p;
         }
     }
@@ -115,10 +108,7 @@ fn section13_3_alternative_constants_preserve_lemma1() {
         assert!(!intervals.is_empty(), "no intervals at the 1/2 threshold (seed {seed})");
         for &(lo, hi) in &intervals {
             let n = overlapping(&epochs, lo, hi);
-            assert!(
-                n <= 2,
-                "interval ({lo:.1}, {hi:.1}) intersects {n} 3/5-epochs (seed {seed})"
-            );
+            assert!(n <= 2, "interval ({lo:.1}, {hi:.1}) intersects {n} 3/5-epochs (seed {seed})");
         }
     }
 }
@@ -132,13 +122,8 @@ fn lemma2_interval_size_cannot_collapse() {
     let horizon = T(20_000.0);
     let workload = networks::ethereum().generate(horizon, 9);
     let cfg = SimConfig { horizon, ..SimConfig::default() };
-    let report = Simulation::new(
-        cfg,
-        Ergo::new(ErgoConfig::default()),
-        NullAdversary,
-        workload,
-    )
-    .run();
+    let report =
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), NullAdversary, workload).run();
     let estimates: Vec<f64> = report.estimates.iter().map(|e| e.estimate).collect();
     assert!(estimates.len() >= 3);
     for w in estimates.windows(2) {
