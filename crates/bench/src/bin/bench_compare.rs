@@ -1,0 +1,453 @@
+//! `bench_compare` — the CI bench-regression gate.
+//!
+//! Compares a freshly generated `BENCH_engine.json` against the committed
+//! baseline and fails (exit 1) when any scenario present in both
+//! regresses by more than the tolerance in events/sec, when a baseline
+//! scenario disappears, or when a shared scenario's behavior fingerprint
+//! drifts (fingerprints are seed-pinned counters, so drift means the
+//! simulation's *behavior* changed, not just its speed).
+//!
+//! ```text
+//! Usage: bench_compare BASELINE.json FRESH.json [--tolerance 0.25]
+//! ```
+//!
+//! Two sources of cross-machine noise are handled explicitly:
+//!
+//! * **Hardware speed.** The committed baseline is generated on a
+//!   developer workstation; CI runs on slower shared runners. The queue
+//!   micro-benches in the same JSON are a pure CPU/memory proxy that
+//!   regresses with the *machine*, not the engine, so the scenario floor
+//!   is scaled by the fresh/baseline queue-throughput ratio before the
+//!   tolerance applies. A genuinely slower engine still fails: it slows
+//!   relative to the queue proxy.
+//! * **libm rounding.** The spend fields of a fingerprint are f64 sums
+//!   whose `ln`/`powf` inputs are not correctly rounded and may differ by
+//!   ulps across libm versions; they are compared with a 1e-9 relative
+//!   tolerance. The integer counters are compared exactly.
+//!
+//! The JSON is the hand-rolled format `bench_report` writes (the build
+//! environment has no serde); the scanner below reads exactly that shape
+//! and tolerates added per-scenario keys, so the baseline may predate
+//! fields the fresh report has.
+
+use std::process::ExitCode;
+
+/// The seed-pinned behavior counters of one scenario.
+#[derive(Clone, Debug, PartialEq)]
+struct Fp {
+    good_joins_admitted: f64,
+    bad_joins_admitted: f64,
+    purges: f64,
+    good_spend: f64,
+    adv_spend: f64,
+}
+
+impl Fp {
+    /// True when `other` is behaviorally identical: exact on the integer
+    /// counters, within `REL_TOL` on the libm-dependent spend sums.
+    fn matches(&self, other: &Fp) -> bool {
+        const REL_TOL: f64 = 1e-9;
+        let close = |a: f64, b: f64| (a - b).abs() <= REL_TOL * a.abs().max(b.abs());
+        self.good_joins_admitted == other.good_joins_admitted
+            && self.bad_joins_admitted == other.bad_joins_admitted
+            && self.purges == other.purges
+            && close(self.good_spend, other.good_spend)
+            && close(self.adv_spend, other.adv_spend)
+    }
+}
+
+/// One scenario's comparable slice of the report.
+#[derive(Clone, Debug, PartialEq)]
+struct Scenario {
+    name: String,
+    events_per_sec: f64,
+    fingerprint: Fp,
+}
+
+/// Extracts the balanced `{...}` starting at `json[open..]` (which must
+/// point at a `{`).
+fn balanced_object(json: &str, open: usize) -> Option<&str> {
+    let bytes = json.as_bytes();
+    if bytes.get(open) != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks a `"name": { ... }` map block, yielding `(name, body)` pairs.
+fn object_entries(block: &str) -> Result<Vec<(String, &str)>, String> {
+    let inner = &block[1..block.len() - 1];
+    let mut out = Vec::new();
+    let mut rest = inner;
+    while let Some(q0) = rest.find('"') {
+        let q1 = q0 + 1 + rest[q0 + 1..].find('"').ok_or("unterminated entry name")?;
+        let name = rest[q0 + 1..q1].to_string();
+        let obj_at = q1 + rest[q1..].find('{').ok_or_else(|| format!("{name}: no object"))?;
+        let offset = inner.len() - rest.len();
+        let body = balanced_object(inner, offset + obj_at)
+            .ok_or_else(|| format!("{name}: unbalanced object"))?;
+        rest = &rest[obj_at + body.len()..];
+        out.push((name, body));
+    }
+    Ok(out)
+}
+
+/// Extracts the balanced object value of a top-level `"key"` section.
+fn section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let open = at + json[at..].find('{')?;
+    balanced_object(json, open)
+}
+
+/// Parses the `"scenarios"` section of a `BENCH_engine.json`.
+fn parse_scenarios(json: &str) -> Result<Vec<Scenario>, String> {
+    let block = section(json, "scenarios").ok_or("no \"scenarios\" section")?;
+    let mut out = Vec::new();
+    for (name, body) in object_entries(block)? {
+        let fp =
+            field_object(body, "fingerprint").ok_or_else(|| format!("{name}: no fingerprint"))?;
+        let fp_field = |key: &str| {
+            field_f64(fp, key).ok_or_else(|| format!("{name}: fingerprint lacks {key}"))
+        };
+        out.push(Scenario {
+            events_per_sec: field_f64(body, "events_per_sec")
+                .ok_or_else(|| format!("{name}: no events_per_sec"))?,
+            fingerprint: Fp {
+                good_joins_admitted: fp_field("good_joins_admitted")?,
+                bad_joins_admitted: fp_field("bad_joins_admitted")?,
+                purges: fp_field("purges")?,
+                good_spend: fp_field("good_spend")?,
+                adv_spend: fp_field("adv_spend")?,
+            },
+            name,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses the `"queue"` section into `(name, ops_per_sec)` pairs.
+fn parse_queue(json: &str) -> Vec<(String, f64)> {
+    let Some(block) = section(json, "queue") else { return Vec::new() };
+    let Ok(entries) = object_entries(block) else { return Vec::new() };
+    entries
+        .into_iter()
+        .filter_map(|(name, body)| Some((name, field_f64(body, "ops_per_sec")?)))
+        .collect()
+}
+
+/// The fresh/baseline machine-speed ratio, from the queue micro-benches
+/// shared by both reports (geometric mean). 1.0 when nothing is shared.
+fn speed_ratio(baseline: &[(String, f64)], fresh: &[(String, f64)]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for (name, base_ops) in baseline {
+        if let Some((_, fresh_ops)) = fresh.iter().find(|(f, _)| f == name) {
+            if *base_ops > 0.0 && *fresh_ops > 0.0 {
+                log_sum += (fresh_ops / base_ops).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Reads a numeric field `"key": <f64>` from an object body.
+fn field_f64(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let tail = body[at..].trim_start();
+    let end =
+        tail.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Reads a nested-object field `"key": {...}` from an object body.
+fn field_object<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let open = at + body[at..].find('{')?;
+    balanced_object(body, open)
+}
+
+/// Compares baseline vs fresh; returns human-readable failures.
+///
+/// `speed_ratio` rescales the baseline throughput to the fresh machine
+/// (see the module docs) before the tolerance applies.
+fn compare(
+    baseline: &[Scenario],
+    fresh: &[Scenario],
+    tolerance: f64,
+    speed_ratio: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|s| s.name == base.name) else {
+            failures.push(format!("scenario {:?} disappeared from the fresh report", base.name));
+            continue;
+        };
+        if !base.fingerprint.matches(&now.fingerprint) {
+            failures.push(format!(
+                "scenario {:?}: behavior fingerprint changed\n  baseline: {:?}\n  fresh:    {:?}",
+                base.name, base.fingerprint, now.fingerprint
+            ));
+        }
+        let expected = base.events_per_sec * speed_ratio;
+        let floor = expected * (1.0 - tolerance);
+        if now.events_per_sec < floor {
+            failures.push(format!(
+                "scenario {:?}: {:.0} events/s is a {:.0}% regression from the \
+                 machine-adjusted baseline {:.0} (raw baseline {:.0} × speed ratio {:.2}; \
+                 tolerance {:.0}%)",
+                base.name,
+                now.events_per_sec,
+                100.0 * (1.0 - now.events_per_sec / expected),
+                expected,
+                base.events_per_sec,
+                speed_ratio,
+                100.0 * tolerance,
+            ));
+        }
+    }
+    failures
+}
+
+fn usage() -> ! {
+    eprintln!("Usage: bench_compare BASELINE.json FRESH.json [--tolerance 0.25]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let Some(v) = it.next().and_then(|v| v.parse().ok()) else { usage() };
+            tolerance = v;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    if paths.len() != 2 || !(0.0..1.0).contains(&tolerance) {
+        usage();
+    }
+    let read = |path: &str| -> (Vec<Scenario>, Vec<(String, f64)>) {
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let scenarios =
+            parse_scenarios(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        (scenarios, parse_queue(&json))
+    };
+    let (baseline, base_queue) = read(&paths[0]);
+    let (fresh, fresh_queue) = read(&paths[1]);
+    let ratio = speed_ratio(&base_queue, &fresh_queue);
+    println!(
+        "comparing {} baseline scenario(s) against {} (machine speed ratio {ratio:.2})",
+        baseline.len(),
+        paths[1]
+    );
+    for base in &baseline {
+        if let Some(now) = fresh.iter().find(|s| s.name == base.name) {
+            println!(
+                "  {:<28} baseline {:>14.0} ev/s   fresh {:>14.0} ev/s   ({:+.1}%)",
+                base.name,
+                base.events_per_sec,
+                now.events_per_sec,
+                100.0 * (now.events_per_sec / base.events_per_sec - 1.0),
+            );
+        }
+    }
+    for s in &fresh {
+        if !baseline.iter().any(|b| b.name == s.name) {
+            println!("  {:<28} new scenario (no baseline), {:.0} ev/s", s.name, s.events_per_sec);
+        }
+    }
+    let failures = compare(&baseline, &fresh, tolerance, ratio);
+    if failures.is_empty() {
+        println!(
+            "OK: no scenario regressed more than {:.0}% (machine-adjusted)",
+            100.0 * tolerance
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(purges: f64) -> Fp {
+        Fp {
+            good_joins_admitted: 1.0,
+            bad_joins_admitted: 2.0,
+            purges,
+            good_spend: 1000.0,
+            adv_spend: 500.0,
+        }
+    }
+
+    fn sample_json(eps: f64, purges: u64) -> String {
+        let fp = |p: u64| {
+            format!(
+                "{{\"good_joins_admitted\": 1, \"bad_joins_admitted\": 2, \"purges\": {p}, \
+                 \"good_spend\": 1000, \"adv_spend\": 500}}"
+            )
+        };
+        format!(
+            "{{\n  \"queue\": {{\n    \"queue_heap\": {{\"ops\": 1, \"wall_secs\": 1, \
+             \"ops_per_sec\": 20000000}}\n  }},\n  \"scenarios\": {{\n    \"a\": {{\n      \
+             \"events\": 10,\n      \"events_per_sec\": {eps},\n      \"fingerprint\": {}\n    \
+             }},\n    \"b\": {{\n      \"events\": 5,\n      \"events_per_sec\": 50,\n      \
+             \"fingerprint\": {}\n    }}\n  }}\n}}\n",
+            fp(purges),
+            fp(1),
+        )
+    }
+
+    #[test]
+    fn parses_scenarios_and_queue() {
+        let json = sample_json(1234.5, 7);
+        let s = parse_scenarios(&json).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "a");
+        assert_eq!(s[0].events_per_sec, 1234.5);
+        assert_eq!(s[0].fingerprint, fp(7.0));
+        assert_eq!(s[1].name, "b");
+        assert_eq!(s[1].events_per_sec, 50.0);
+        assert_eq!(parse_queue(&json), vec![("queue_heap".to_string(), 20000000.0)]);
+    }
+
+    #[test]
+    fn parses_the_real_report_shape() {
+        use sybil_bench::perf::{Fingerprint, PerfReport, QueueBenchResult, ScenarioResult};
+        let report = PerfReport {
+            queue: vec![QueueBenchResult {
+                name: "queue_heap".into(),
+                ops: 10,
+                wall_secs: 0.1,
+                ops_per_sec: 100.0,
+            }],
+            scenarios: vec![ScenarioResult {
+                name: "macro_sweep".into(),
+                events: 1000,
+                wall_secs: 0.5,
+                events_per_sec: 2000.0,
+                peak_queue_len: 3,
+                resident_bytes: 64,
+                fingerprint: Fingerprint {
+                    good_joins_admitted: 1,
+                    bad_joins_admitted: 2,
+                    purges: 3,
+                    good_spend: 4.5,
+                    adv_spend: 6.0,
+                },
+            }],
+        };
+        let json = sybil_bench::perf::to_json(&report);
+        let parsed = parse_scenarios(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "macro_sweep");
+        assert_eq!(parsed[0].events_per_sec, 2000.0);
+        assert_eq!(parsed[0].fingerprint.purges, 3.0);
+        assert_eq!(parsed[0].fingerprint.good_spend, 4.5);
+        assert_eq!(parse_queue(&json), vec![("queue_heap".to_string(), 100.0)]);
+    }
+
+    #[test]
+    fn flags_regressions_and_disappearances_but_not_noise() {
+        let baseline = parse_scenarios(&sample_json(1000.0, 7)).unwrap();
+        let scenario = |eps: f64, p: f64| Scenario {
+            name: "a".into(),
+            events_per_sec: eps,
+            fingerprint: fp(p),
+        };
+        let b = Scenario { name: "b".into(), events_per_sec: 50.0, fingerprint: fp(1.0) };
+        // 10% slower: within a 25% tolerance.
+        assert!(compare(&baseline, &[scenario(900.0, 7.0), b.clone()], 0.25, 1.0).is_empty());
+        // 30% slower: flagged.
+        let failures = compare(&baseline, &[scenario(700.0, 7.0), b.clone()], 0.25, 1.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regression"), "{}", failures[0]);
+        // Missing scenario: flagged.
+        assert!(compare(&baseline, &[b], 0.25, 1.0)[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn speed_ratio_rescales_the_floor_for_slower_machines() {
+        let baseline = parse_scenarios(&sample_json(1000.0, 7)).unwrap();
+        let b = Scenario { name: "b".into(), events_per_sec: 25.0, fingerprint: fp(1.0) };
+        // Fresh machine runs the queue proxy at half speed: 500 ev/s on
+        // scenario "a" (and 25 on "b") is expected, not a regression.
+        let halved = vec![
+            Scenario { name: "a".into(), events_per_sec: 500.0, fingerprint: fp(7.0) },
+            b.clone(),
+        ];
+        assert!(compare(&baseline, &halved, 0.25, 0.5).is_empty());
+        // But at ratio 1.0 the same numbers fail.
+        assert!(!compare(&baseline, &halved, 0.25, 1.0).is_empty());
+        // And a real engine regression still fails under the scaled floor.
+        let engine_only =
+            vec![Scenario { name: "a".into(), events_per_sec: 300.0, fingerprint: fp(7.0) }, b];
+        assert_eq!(compare(&baseline, &engine_only, 0.25, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn speed_ratio_is_geometric_mean_of_shared_queue_benches() {
+        let base = vec![("queue_heap".to_string(), 100.0), ("queue_calendar".to_string(), 100.0)];
+        let fresh = vec![("queue_heap".to_string(), 50.0), ("queue_calendar".to_string(), 200.0)];
+        // sqrt(0.5 × 2.0) = 1.0
+        assert!((speed_ratio(&base, &fresh) - 1.0).abs() < 1e-12);
+        assert_eq!(speed_ratio(&[], &fresh), 1.0);
+        assert_eq!(speed_ratio(&base, &[]), 1.0);
+    }
+
+    #[test]
+    fn flags_fingerprint_drift_even_when_fast() {
+        let baseline = parse_scenarios(&sample_json(1000.0, 7)).unwrap();
+        let drifted = vec![
+            Scenario { name: "a".into(), events_per_sec: 5000.0, fingerprint: fp(8.0) },
+            Scenario { name: "b".into(), events_per_sec: 50.0, fingerprint: fp(1.0) },
+        ];
+        let failures = compare(&baseline, &drifted, 0.25, 1.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("fingerprint"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn spend_sums_tolerate_libm_ulp_drift_but_not_real_drift() {
+        let a = fp(7.0);
+        let mut ulp = a.clone();
+        ulp.good_spend = 1000.0 * (1.0 + 1e-12); // cross-libm rounding
+        assert!(a.matches(&ulp));
+        let mut real = a.clone();
+        real.good_spend = 1001.0; // an actual behavior change
+        assert!(!a.matches(&real));
+        let mut counter = a.clone();
+        counter.bad_joins_admitted += 1.0; // counters are exact
+        assert!(!a.matches(&counter));
+    }
+}

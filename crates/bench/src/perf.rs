@@ -16,11 +16,19 @@
 //! run's counter fingerprint so regressions in *behavior* (not just speed)
 //! are visible in the artifact diff.
 
-use crate::sweep::{run_report, Algo, RunParams};
+use crate::sweep::{run_report, Algo, AlgoVisitor, RunParams};
 use std::time::Instant;
+use sybil_churn::arrival::ArrivalProcess;
+use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
+use sybil_churn::session::SessionModel;
+use sybil_sim::adversary::BudgetJoiner;
+use sybil_sim::defense::Defense;
+use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::queue::EventQueue;
 use sybil_sim::time::Time;
+use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
+use sybil_sim::SimReport;
 
 /// One measured macro scenario.
 #[derive(Clone, Debug)]
@@ -35,6 +43,11 @@ pub struct ScenarioResult {
     pub events_per_sec: f64,
     /// Peak pending-event count across the runs.
     pub peak_queue_len: usize,
+    /// Peak resident workload + admission memory across the scenario's
+    /// cells: the engine's packed admission map plus whatever the workload
+    /// stream retains (for disk-streamed scenarios, two read buffers; for
+    /// in-memory ones, the schedule vectors).
+    pub resident_bytes: usize,
     /// Behavior fingerprint: counters that must not change for identical
     /// seeds when only performance work happens.
     pub fingerprint: Fingerprint,
@@ -120,17 +133,20 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
     let mut best_wall = f64::INFINITY;
     let mut events = 0u64;
     let mut peak = 0usize;
+    let mut resident = 0usize;
     let mut fp = Fingerprint::default();
     for rep in 0..reps() {
         let started = Instant::now();
         let mut rep_events = 0u64;
         let mut rep_peak = 0usize;
+        let mut rep_resident = 0usize;
         let mut rep_fp = Fingerprint::default();
         for &(algo, t, horizon, seed) in cells {
             let params = RunParams { horizon, seed, ..RunParams::default() };
             let report = run_report(&net, algo, t, params);
             rep_events += report.events_processed;
             rep_peak = rep_peak.max(report.peak_queue_len);
+            rep_resident = rep_resident.max(report.admission_bytes + report.workload_stream_bytes);
             rep_fp.good_joins_admitted += report.good_joins_admitted;
             rep_fp.bad_joins_admitted += report.bad_joins_admitted;
             rep_fp.purges += report.purges;
@@ -139,7 +155,7 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
         }
         let wall = started.elapsed().as_secs_f64();
         if rep == 0 {
-            (events, peak, fp) = (rep_events, rep_peak, rep_fp);
+            (events, peak, resident, fp) = (rep_events, rep_peak, rep_resident, rep_fp);
         } else {
             assert_eq!(rep_events, events, "{name}: nondeterministic event count");
             assert_eq!(rep_fp, fp, "{name}: nondeterministic fingerprint");
@@ -152,6 +168,92 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
         wall_secs: best_wall,
         events_per_sec: events as f64 / best_wall.max(1e-12),
         peak_queue_len: peak,
+        resident_bytes: resident,
+        fingerprint: fp,
+    }
+}
+
+/// The million-ID churn model behind `macro_millions`: Gnutella's session
+/// law scaled to a stationary population of 10⁶ (Little's law sets the
+/// arrival rate).
+fn millions_model() -> ChurnModel {
+    const MEAN_SESSION: f64 = 2.3 * 3600.0;
+    ChurnModel {
+        name: "millions",
+        initial_size: 1_000_000,
+        arrival: ArrivalProcess::Poisson { rate: 1_000_000.0 / MEAN_SESSION },
+        session: SessionModel::Exponential { mean: MEAN_SESSION },
+    }
+}
+
+/// The `macro_millions` scenario: a 1 000 000-initial-ID workload generated
+/// once, written to the on-disk format, and replayed through the
+/// disk-streaming [`DiskWorkload`] source — the in-memory schedule is
+/// dropped before any measured run, so the reported `resident_bytes`
+/// (packed admission map + stream read buffers) is the engine's actual
+/// workload footprint at million-ID scale.
+fn run_macro_millions() -> ScenarioResult {
+    let (algo, t, horizon, seed) = (Algo::Ergo, 4096.0, 500.0, 1u64);
+    let path =
+        std::env::temp_dir().join(format!("sybil_macro_millions_{}.wkld", std::process::id()));
+    {
+        let workload = millions_model().generate(Time(horizon), seed);
+        write_workload_file(&path, &workload)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    } // The resident schedule is dropped here; replays stream from disk.
+
+    struct DiskRunner {
+        cfg: SimConfig,
+        t: f64,
+        disk: DiskWorkload,
+    }
+    impl AlgoVisitor for DiskRunner {
+        type Out = SimReport;
+        fn visit<D: Defense + 'static>(self, defense: D) -> SimReport {
+            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.disk).run()
+        }
+    }
+
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let mut resident = 0usize;
+    let mut fp = Fingerprint::default();
+    for rep in 0..reps() {
+        let started = Instant::now();
+        let disk = DiskWorkload::open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+        let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+        // Same defense seeding as `run_report`, so the scenario is pinned
+        // the same way the sweep cells are.
+        let report = algo.dispatch(crate::sweep::defense_seed(seed), DiskRunner { cfg, t, disk });
+        let wall = started.elapsed().as_secs_f64();
+        let rep_fp = Fingerprint {
+            good_joins_admitted: report.good_joins_admitted,
+            bad_joins_admitted: report.bad_joins_admitted,
+            purges: report.purges,
+            good_spend: report.ledger.good_total().value(),
+            adv_spend: report.ledger.adversary_total().value(),
+        };
+        if rep == 0 {
+            events = report.events_processed;
+            peak = report.peak_queue_len;
+            resident = report.admission_bytes + report.workload_stream_bytes;
+            fp = rep_fp;
+        } else {
+            assert_eq!(report.events_processed, events, "macro_millions: nondeterministic");
+            assert_eq!(rep_fp, fp, "macro_millions: nondeterministic fingerprint");
+        }
+        best_wall = best_wall.min(wall);
+    }
+    std::fs::remove_file(&path).ok();
+    ScenarioResult {
+        name: "macro_millions".to_string(),
+        events,
+        wall_secs: best_wall,
+        events_per_sec: events as f64 / best_wall.max(1e-12),
+        peak_queue_len: peak,
+        resident_bytes: resident,
         fingerprint: fp,
     }
 }
@@ -210,8 +312,12 @@ pub fn run_suite() -> PerfReport {
         best_queue("queue_heap", &|| EventQueue::with_capacity(8192)),
         best_queue("queue_calendar", &|| EventQueue::with_horizon(Time(20_000.0), 8192)),
     ];
-    let scenarios =
+    let mut scenarios: Vec<ScenarioResult> =
         scenario_specs().iter().map(|(name, cells)| run_scenario(name, cells)).collect();
+    // Million-ID scale runs at full size even in FAST mode: the replay is
+    // subsecond, and keeping it identical keeps its fingerprint comparable
+    // between CI and the committed baseline.
+    scenarios.push(run_macro_millions());
     PerfReport { queue, scenarios }
 }
 
@@ -247,12 +353,13 @@ pub fn to_json(report: &PerfReport) -> String {
     out.push_str("  \"scenarios\": {\n");
     for (i, s) in report.scenarios.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
+            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"resident_bytes\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
             s.name,
             s.events,
             json_f64(s.wall_secs),
             json_f64(s.events_per_sec),
             s.peak_queue_len,
+            s.resident_bytes,
             s.fingerprint.good_joins_admitted,
             s.fingerprint.bad_joins_admitted,
             s.fingerprint.purges,
@@ -269,19 +376,24 @@ pub fn to_json(report: &PerfReport) -> String {
 pub fn render(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<28} {:>14} {:>10} {:>16} {:>12}\n",
-        "benchmark", "events/ops", "wall (s)", "throughput/s", "peak queue"
+        "{:<28} {:>14} {:>10} {:>16} {:>12} {:>14}\n",
+        "benchmark", "events/ops", "wall (s)", "throughput/s", "peak queue", "resident KiB"
     ));
     for q in &report.queue {
         out.push_str(&format!(
-            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12}\n",
-            q.name, q.ops, q.wall_secs, q.ops_per_sec, "-"
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14}\n",
+            q.name, q.ops, q.wall_secs, q.ops_per_sec, "-", "-"
         ));
     }
     for s in &report.scenarios {
         out.push_str(&format!(
-            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12}\n",
-            s.name, s.events, s.wall_secs, s.events_per_sec, s.peak_queue_len
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14}\n",
+            s.name,
+            s.events,
+            s.wall_secs,
+            s.events_per_sec,
+            s.peak_queue_len,
+            s.resident_bytes.div_ceil(1024)
         ));
     }
     out
@@ -316,6 +428,7 @@ mod tests {
                 wall_secs: 0.5,
                 events_per_sec: 10.0,
                 peak_queue_len: 3,
+                resident_bytes: 4096,
                 fingerprint: Fingerprint::default(),
             }],
         };

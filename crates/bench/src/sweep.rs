@@ -198,6 +198,16 @@ pub fn cached_workload(network: &ChurnModel, horizon: f64, seed: u64) -> sybil_s
     cache.entry(key).or_insert(generated).clone()
 }
 
+/// Derives the defense-construction seed for a cell seeded with `seed`.
+///
+/// Kept distinct from the workload seed so classifier-gated defenses do
+/// not share a stream with trace generation. Every runner that wants its
+/// results comparable to the sweep cells (e.g. the perf scenarios) must
+/// use this same derivation.
+pub fn defense_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(7919).wrapping_add(13)
+}
+
 /// Runs one cell and returns the full simulation report.
 ///
 /// The run is monomorphized per defense type via [`Algo::dispatch`]: the
@@ -223,7 +233,7 @@ pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -
         adv_rate: t,
         ..SimConfig::default()
     };
-    algo.dispatch(params.seed.wrapping_mul(7919).wrapping_add(13), Runner { cfg, t, workload })
+    algo.dispatch(defense_seed(params.seed), Runner { cfg, t, workload })
 }
 
 /// Validates the DefID invariant over a report (bad fraction < 3κ for the

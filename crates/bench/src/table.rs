@@ -106,8 +106,15 @@ pub fn results_dir() -> PathBuf {
 
 /// Formats a float compactly for tables (3 significant digits, scientific
 /// above 10⁵).
+///
+/// NaN renders as an *empty* cell: it is the "no data" marker (e.g.
+/// `Summary::of(&[])`, or a Figure 9 cell with zero estimator intervals),
+/// and a blank keeps it distinguishable from a measured zero in both the
+/// rendered table and the CSV.
 pub fn fmt_num(x: f64) -> String {
-    if x == 0.0 {
+    if x.is_nan() {
+        String::new()
+    } else if x == 0.0 {
         "0".into()
     } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
         format!("{x:.2e}")
@@ -148,6 +155,13 @@ mod tests {
         assert_eq!(fmt_num(1234.0), "1234");
         assert_eq!(fmt_num(1.0e6), "1.00e6");
         assert_eq!(fmt_num(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn fmt_num_nan_is_blank_not_zero() {
+        // "No data" must stay distinguishable from a measured zero in CSVs.
+        assert_eq!(fmt_num(f64::NAN), "");
+        assert_ne!(fmt_num(f64::NAN), fmt_num(0.0));
     }
 
     #[test]

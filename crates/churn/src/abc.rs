@@ -295,9 +295,15 @@ impl AbcTraceGenerator {
             Initial(usize),
             Arrival(usize),
         }
+        // Members never selected to depart keep the infinite sentinel until
+        // the end, where it is replaced by a finite far-future time;
+        // `Session::new` rejects non-finite times, so joins and departure
+        // sentinels are tracked in parallel vectors and zipped into
+        // sessions only after the replacement.
         let far = Time(f64::INFINITY);
         let mut initial_departures = vec![far; self.n0 as usize];
-        let mut sessions: Vec<Session> = Vec::new();
+        let mut session_joins: Vec<Time> = Vec::new();
+        let mut session_departs: Vec<Time> = Vec::new();
         let mut alive: Vec<(Time, Member)> =
             (0..self.n0 as usize).map(|i| (Time::ZERO, Member::Initial(i))).collect();
 
@@ -319,8 +325,9 @@ impl AbcTraceGenerator {
                 t += step / 2.0;
                 for _ in 0..clump {
                     let join = Time(t);
-                    sessions.push(Session::new(join, far));
-                    alive.push((join, Member::Arrival(sessions.len() - 1)));
+                    session_joins.push(join);
+                    session_departs.push(far);
+                    alive.push((join, Member::Arrival(session_joins.len() - 1)));
                     new_present += 1;
                 }
                 // Departures: uniform random members, matching the join count.
@@ -334,7 +341,7 @@ impl AbcTraceGenerator {
                     let depart = Time(t);
                     match member {
                         Member::Initial(i) => initial_departures[i] = depart,
-                        Member::Arrival(i) => sessions[i] = Session::new(sessions[i].join, depart),
+                        Member::Arrival(i) => session_departs[i] = depart,
                     }
                     if joined_at <= epoch_start {
                         old_departed += 1;
@@ -358,11 +365,16 @@ impl AbcTraceGenerator {
                 *d = horizon_guard;
             }
         }
-        for s in &mut sessions {
-            if s.depart.as_secs().is_infinite() {
-                *s = Session::new(s.join, horizon_guard);
-            }
-        }
+        let sessions: Vec<Session> = session_joins
+            .into_iter()
+            .zip(session_departs)
+            .map(|(join, depart)| {
+                Session::new(
+                    join,
+                    if depart.as_secs().is_infinite() { horizon_guard } else { depart },
+                )
+            })
+            .collect();
         Workload::new(initial_departures, sessions)
     }
 }

@@ -54,6 +54,29 @@ impl SessionModel {
         }
     }
 
+    /// Fills `out` with independent session durations, bit-identical to
+    /// `out.len()` calls of [`sample`](Self::sample) but batched: the
+    /// distribution is constructed once and the uniform draws and the
+    /// `ln`/`powf` transforms run in separate tight loops (the dominant
+    /// cost of cold workload generation at scale).
+    pub fn sample_fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        match *self {
+            SessionModel::Weibull { shape, scale } => {
+                Weibull::new(shape, scale).sample_fill(rng, out)
+            }
+            SessionModel::Exponential { mean } => {
+                Exponential::with_mean(mean).sample_fill(rng, out)
+            }
+            SessionModel::Pareto { x_min, alpha } => {
+                Pareto::new(x_min, alpha).sample_fill(rng, out)
+            }
+            SessionModel::LogNormal { mu, sigma } => {
+                LogNormal::new(mu, sigma).sample_fill(rng, out)
+            }
+            SessionModel::Fixed(d) => out.fill(d),
+        }
+    }
+
     /// The analytic mean session duration (seconds); infinite for Pareto
     /// tails with `alpha ≤ 1`.
     pub fn mean(&self) -> f64 {
@@ -177,6 +200,23 @@ impl ResidualSampler {
     /// Draws one residual lifetime.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen();
+        self.invert(u)
+    }
+
+    /// Fills `out` with independent residual lifetimes — bit-identical to
+    /// `out.len()` calls of [`sample`](Self::sample), but the uniform
+    /// draws and the table inversions run as two tight loops.
+    pub fn sample_fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = rng.gen();
+        }
+        for u in out.iter_mut() {
+            *u = self.invert(*u);
+        }
+    }
+
+    /// Table inversion of the normalized residual CDF at quantile `u`.
+    fn invert(&self, u: f64) -> f64 {
         let idx = self.cdf.partition_point(|&c| c < u);
         if idx == 0 {
             return self.xs[0];
@@ -304,5 +344,39 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn infinite_mean_has_no_residual() {
         let _ = SessionModel::Pareto { x_min: 1.0, alpha: 0.9 }.residual_sampler();
+    }
+
+    /// Blocked sampling must consume the RNG exactly like one-at-a-time
+    /// sampling: generated workloads are seeded and fingerprinted.
+    #[test]
+    fn sample_fill_matches_sequential_draws() {
+        let models = [
+            SessionModel::Weibull { shape: 0.59, scale: 41.0 },
+            SessionModel::Exponential { mean: 100.0 },
+            SessionModel::Pareto { x_min: 10.0, alpha: 2.5 },
+            SessionModel::LogNormal { mu: 3.0, sigma: 0.5 },
+            SessionModel::Fixed(42.0),
+        ];
+        for m in models {
+            let n = 500;
+            let mut seq_rng = StdRng::seed_from_u64(77);
+            let sequential: Vec<f64> = (0..n).map(|_| m.sample(&mut seq_rng)).collect();
+            let mut fill_rng = StdRng::seed_from_u64(77);
+            let mut filled = vec![0.0; n];
+            m.sample_fill(&mut fill_rng, &mut filled);
+            assert_eq!(sequential, filled, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn residual_sample_fill_matches_sequential_draws() {
+        let sampler = SessionModel::Weibull { shape: 0.6, scale: 100.0 }.residual_sampler();
+        let n = 500;
+        let mut seq_rng = StdRng::seed_from_u64(21);
+        let sequential: Vec<f64> = (0..n).map(|_| sampler.sample(&mut seq_rng)).collect();
+        let mut fill_rng = StdRng::seed_from_u64(21);
+        let mut filled = vec![0.0; n];
+        sampler.sample_fill(&mut fill_rng, &mut filled);
+        assert_eq!(sequential, filled);
     }
 }

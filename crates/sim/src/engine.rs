@@ -6,6 +6,13 @@
 //! retention. The engine owns ground truth, the cost ledger, and the
 //! bad-fraction invariant tracking.
 //!
+//! The engine is generic over its [`WorkloadSource`]: the same loop replays
+//! a resident [`Workload`] or a disk-backed
+//! [`crate::workload_io::DiskWorkload`], and resident state is
+//! O(active sessions) either way — the event queue streams, admission
+//! state is a 2-bit packed [`AdmissionMap`], and the disk stream holds two
+//! read buffers.
+//!
 //! # Example
 //!
 //! ```
@@ -25,13 +32,14 @@
 //! assert_eq!(report.final_bad, 0);
 //! ```
 
+use crate::admission::{AdmissionMap, AdmissionState};
 use crate::adversary::{Adversary, DefenseView};
 use crate::cost::{Cost, Ledger, Purpose};
 use crate::defense::{BatchStop, Defense};
 use crate::queue::EventQueue;
 use crate::report::{SimReport, TimelinePoint};
 use crate::time::Time;
-use crate::workload::Workload;
+use crate::workload::{SessionIndex, Workload, WorkloadSource, WorkloadStream};
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +62,18 @@ pub struct SimConfig {
     pub record_good_joins: bool,
     /// If `Some(dt)`, sample a [`TimelinePoint`] every `dt` seconds.
     pub timeline_resolution: Option<f64>,
+    /// If `Some(cap)` (≥ 2), bound the recorded timeline at `cap` points:
+    /// when full, every other point is dropped and the sampling interval
+    /// doubles, so the series stays evenly spaced at a coarser
+    /// resolution. Each halving is counted in
+    /// [`SimReport::timeline_decimations`]. `None` records every sample
+    /// (the pre-existing behavior).
+    pub max_timeline_points: Option<usize>,
+    /// If `Some(cap)`, record at most `cap` good join times; further
+    /// admitted joins are counted in
+    /// [`SimReport::good_join_times_dropped`] instead of recorded.
+    /// `None` records all of them (the pre-existing behavior).
+    pub max_good_join_times: Option<usize>,
     /// Upper bound on act/join/purge rounds within a single adversary
     /// wakeup. Each round either makes progress (joins or departures) or
     /// ends the turn, so well-behaved adversaries never get near this; it
@@ -79,18 +99,48 @@ impl Default for SimConfig {
             round_duration: 0.0,
             record_good_joins: false,
             timeline_resolution: None,
+            max_timeline_points: None,
+            max_good_join_times: None,
             max_adversary_turn_rounds: 100_000,
             max_purge_cascade_rounds: 16,
         }
     }
 }
 
+/// Why a [`Simulation`] could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimBuildError {
+    /// The workload holds more sessions than [`SessionIndex`] can address
+    /// (event payloads pack the session index into 32 bits).
+    TooManySessions {
+        /// Sessions in the offending workload.
+        sessions: u64,
+    },
+}
+
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimBuildError::TooManySessions { sessions } => write!(
+                f,
+                "workload has {sessions} sessions; the engine addresses at most {} \
+                 (SessionIndex is 32-bit)",
+                SessionIndex::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    /// Good arrival: index into `Workload::sessions`.
-    GoodJoin(u32),
-    /// Departure of an arrival session.
-    GoodDepart(u32),
+    /// Good arrival: index into the workload's sessions.
+    GoodJoin(SessionIndex),
+    /// Departure of an arrival session, carrying its join time so the
+    /// workload record never needs to be re-read (the stream may have
+    /// come from disk).
+    GoodDepart(SessionIndex, Time),
     /// Departure of an ID present at t=0.
     InitialDepart,
     /// Adversary wakeup.
@@ -103,51 +153,38 @@ enum Event {
     Sample,
 }
 
-/// Streaming-scheduler cursor state.
+/// A single simulation run binding a defense, an adversary, and a workload.
 ///
-/// The workload is *not* loaded into the event queue up front. Sessions are
-/// already sorted by join time, so the scheduler keeps exactly one pending
-/// good join in the queue and feeds the next one in when it pops; a
-/// session's departure is queued only once its join has been processed.
-/// Initial departures are sorted once and streamed the same way. The queue
+/// The workload is *not* loaded into the event queue up front. The
+/// [`WorkloadStream`] yields sessions in join order, so the scheduler
+/// keeps exactly one pending good join in the queue and feeds the next one
+/// in when it pops; a session's departure is queued only once its join has
+/// been processed, and initial departures stream the same way. The queue
 /// therefore holds O(active sessions) entries instead of O(workload).
 ///
-/// Determinism: each streamed event carries the exact sequence number the
-/// old eager scheduler would have assigned (sessions in order: join then
-/// depart; then initial departures in input order), so tie-breaking — and
-/// with it every simulation counter — is bit-identical to eager scheduling.
-struct WorkloadCursor {
-    /// `(session index, join seq)` in descending join order, popped from
-    /// the tail — only built when the workload's sessions arrive unsorted
-    /// (hand-constructed); sorted workloads stream straight off the vector
-    /// via `next_session`/`next_session_seq`.
-    permutation: Option<Vec<(usize, u64)>>,
-    /// Index of the next session whose join has not been queued.
-    next_session: usize,
-    /// Sequence number for the next session event to be streamed.
-    next_session_seq: u64,
-    /// Departure `(time, seq)` of the session whose join is currently
-    /// queued, if that departure falls within the horizon.
-    pending_depart: Option<(Time, u64)>,
-    /// Initial departures within the horizon, as `(time, seq)`, sorted
-    /// descending so the next one pops off the tail.
-    initial: Vec<(Time, u64)>,
-}
-
-/// A single simulation run binding a defense, an adversary, and a workload.
-pub struct Simulation<D, A> {
+/// Determinism: each streamed event carries the exact sequence number an
+/// eager scheduler would have assigned (see [`WorkloadStream`]), so
+/// tie-breaking — and with it every simulation counter — is bit-identical
+/// to eager scheduling.
+pub struct Simulation<D, A, W: WorkloadSource = Workload> {
     cfg: SimConfig,
     defense: D,
     adversary: A,
-    workload: Workload,
+    stream: W::Stream,
+    initial_size: u64,
     queue: EventQueue<Event>,
-    cursor: WorkloadCursor,
+    /// Departure `(time, seq)` of the session whose join is currently
+    /// queued, if that departure falls within the horizon.
+    pending_depart: Option<(Time, u64)>,
     ledger: Ledger,
     budget: f64,
     last_budget_time: Time,
-    /// Admission status per arrival session (None = not yet processed).
-    admitted: Vec<Option<bool>>,
+    /// Admission status per arrival session, 2 bits each in lazily
+    /// allocated segments.
+    admitted: AdmissionMap,
     purge_pending: bool,
+    /// Current timeline sampling interval (doubles on decimation).
+    timeline_dt: f64,
     // Invariant tracking.
     frac_integral: f64,
     last_frac: f64,
@@ -165,38 +202,61 @@ pub struct Simulation<D, A> {
     peak_queue_len: usize,
     adversary_turn_truncations: u64,
     purge_cascade_truncations: u64,
+    timeline_decimations: u64,
+    good_join_times_dropped: u64,
     good_join_times: Vec<Time>,
     timeline: Vec<TimelinePoint>,
 }
 
-impl<D: Defense, A: Adversary> Simulation<D, A> {
+impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     /// Creates a simulation; call [`run`](Self::run) to execute it.
-    pub fn new(cfg: SimConfig, defense: D, adversary: A, workload: Workload) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or a workload
+    /// [`try_new`](Self::try_new) rejects.
+    pub fn new(cfg: SimConfig, defense: D, adversary: A, workload: W) -> Self {
+        Self::try_new(cfg, defense, adversary, workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a simulation, returning a structured error for workloads the
+    /// engine cannot address instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on invalid *configuration* (non-positive horizon, κ
+    /// outside `[0, 1)`, non-finite adversary rate) — those are programmer
+    /// errors, not data-dependent conditions.
+    pub fn try_new(
+        cfg: SimConfig,
+        defense: D,
+        adversary: A,
+        workload: W,
+    ) -> Result<Self, SimBuildError> {
         assert!(cfg.horizon > Time::ZERO, "horizon must be positive");
         assert!((0.0..1.0).contains(&cfg.kappa), "kappa must be in [0,1)");
         assert!(cfg.adv_rate >= 0.0 && cfg.adv_rate.is_finite());
-        let n_sessions = workload.sessions.len();
-        assert!(n_sessions <= u32::MAX as usize, "workloads are capped at u32::MAX sessions");
-        Simulation {
+        let n_sessions = workload.session_count();
+        if n_sessions > SessionIndex::MAX as u64 {
+            return Err(SimBuildError::TooManySessions { sessions: n_sessions });
+        }
+        let initial_size = workload.initial_size();
+        Ok(Simulation {
             cfg,
             defense,
             adversary,
-            workload,
             // Streaming scheduling keeps the queue at O(active sessions);
             // bucket count scales with the workload for O(1) occupancy.
-            queue: EventQueue::with_horizon(cfg.horizon, n_sessions + 1024),
-            cursor: WorkloadCursor {
-                permutation: None,
-                next_session: 0,
-                next_session_seq: 0,
-                pending_depart: None,
-                initial: Vec::new(),
-            },
+            queue: EventQueue::with_horizon(cfg.horizon, n_sessions as usize + 1024),
+            stream: workload.into_stream(cfg.horizon),
+            initial_size,
+            pending_depart: None,
             ledger: Ledger::new(),
             budget: 0.0,
             last_budget_time: Time::ZERO,
-            admitted: vec![None; n_sessions],
+            admitted: AdmissionMap::new(n_sessions),
             purge_pending: false,
+            timeline_dt: 0.0,
             frac_integral: 0.0,
             last_frac: 0.0,
             last_frac_time: Time::ZERO,
@@ -212,9 +272,11 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             peak_queue_len: 0,
             adversary_turn_truncations: 0,
             purge_cascade_truncations: 0,
+            timeline_decimations: 0,
+            good_join_times_dropped: 0,
             good_join_times: Vec::new(),
             timeline: Vec::new(),
-        }
+        })
     }
 
     /// Runs the simulation to the horizon and returns the report.
@@ -247,51 +309,12 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
         self.finish()
     }
 
-    /// Prepares the streaming workload cursors.
-    ///
-    /// One O(n) pass assigns every in-horizon workload event the sequence
-    /// number an eager scheduler (all events pushed up front) would have
-    /// used, then primes the queue with just the *first* good join and the
-    /// *first* initial departure; the rest stream in lazily as their
-    /// predecessors pop. See [`WorkloadCursor`] for the determinism
-    /// argument.
+    /// Primes the streaming schedule: reserves the workload's sequence
+    /// range, then queues just the *first* good join and the *first*
+    /// initial departure; the rest stream in lazily as their predecessors
+    /// pop. See [`WorkloadStream`] for the determinism argument.
     fn schedule_workload(&mut self) {
-        let horizon = self.cfg.horizon;
-        let sessions = &self.workload.sessions;
-        // Workload::new sorts sessions; hand-built workloads may not be.
-        // The sorted fast path streams straight off the vector, the
-        // fallback walks a join-sorted permutation — seq assignment is by
-        // input order either way, exactly as the eager scheduler did it.
-        let sorted = sessions.windows(2).all(|w| w[0].join <= w[1].join);
-        let mut seq = 0u64;
-        let mut perm: Vec<(usize, u64)> = Vec::new();
-        for (i, s) in sessions.iter().enumerate() {
-            if s.join <= horizon {
-                if !sorted {
-                    perm.push((i, seq));
-                }
-                seq += 1;
-                if s.depart <= horizon {
-                    seq += 1;
-                }
-            }
-        }
-        if !sorted {
-            // Descending (join, seq): the next session pops off the tail.
-            perm.sort_by(|a, b| (sessions[b.0].join, b.1).cmp(&(sessions[a.0].join, a.1)));
-            self.cursor.permutation = Some(perm);
-        }
-        let mut initial: Vec<(Time, u64)> =
-            Vec::with_capacity(self.workload.initial_departures.len());
-        for &d in &self.workload.initial_departures {
-            if d <= horizon {
-                initial.push((d, seq));
-                seq += 1;
-            }
-        }
-        initial.sort_by(|a, b| b.cmp(a));
-        self.cursor.initial = initial;
-        self.queue.advance_seq_to(seq);
+        self.queue.advance_seq_to(self.stream.seq_floor());
         self.stream_next_session();
         self.stream_next_initial_depart();
         if self.cfg.adv_rate > 0.0 {
@@ -299,6 +322,10 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
         }
         if let Some(dt) = self.cfg.timeline_resolution {
             assert!(dt > 0.0, "timeline resolution must be positive");
+            if let Some(cap) = self.cfg.max_timeline_points {
+                assert!(cap >= 2, "max_timeline_points must be at least 2");
+            }
+            self.timeline_dt = dt;
             self.queue.push(Time::ZERO, Event::Sample);
         }
     }
@@ -306,41 +333,22 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
     /// Feeds the next good join into the queue, remembering its departure
     /// so [`Event::GoodJoin`] handling can stream it in turn.
     fn stream_next_session(&mut self) {
-        let horizon = self.cfg.horizon;
-        let (i, join_seq) = if let Some(perm) = &mut self.cursor.permutation {
-            match perm.pop() {
-                Some(entry) => entry,
-                None => return,
-            }
-        } else {
-            let i = self.cursor.next_session;
-            let Some(s) = self.workload.sessions.get(i).copied() else {
-                return;
-            };
-            if s.join > horizon {
-                // Sessions are sorted: everything further is out too.
-                self.cursor.next_session = self.workload.sessions.len();
-                return;
-            }
-            let join_seq = self.cursor.next_session_seq;
-            self.cursor.next_session = i + 1;
-            self.cursor.next_session_seq = join_seq + if s.depart <= horizon { 2 } else { 1 };
-            (i, join_seq)
-        };
-        let s = self.workload.sessions[i];
-        self.cursor.pending_depart = (s.depart <= horizon).then_some((s.depart, join_seq + 1));
-        self.queue.push_with_seq(s.join, join_seq, Event::GoodJoin(i as u32));
+        if let Some((i, s, join_seq)) = self.stream.next_session() {
+            self.pending_depart =
+                (s.depart <= self.cfg.horizon).then_some((s.depart, join_seq + 1));
+            self.queue.push_with_seq(s.join, join_seq, Event::GoodJoin(i));
+        }
     }
 
     /// Feeds the next initial departure into the queue.
     fn stream_next_initial_depart(&mut self) {
-        if let Some((at, seq)) = self.cursor.initial.pop() {
+        if let Some((at, seq)) = self.stream.next_initial_departure() {
             self.queue.push_with_seq(at, seq, Event::InitialDepart);
         }
     }
 
     fn initialize(&mut self) {
-        let n_good = self.workload.initial_size();
+        let n_good = self.initial_size;
         let n_bad = self.cfg.initial_bad;
         let per_id = self.defense.init(Time::ZERO, n_good, n_bad);
         self.ledger.charge_good(Purpose::Entrance, per_id * n_good as f64);
@@ -386,30 +394,34 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             Event::GoodJoin(i) => {
                 // Stream first: this session's departure (the pending one
                 // is always ours — only one workload join is queued at a
-                // time), then the next session's join.
-                if let Some((at, seq)) = self.cursor.pending_depart.take() {
-                    self.queue.push_with_seq(at, seq, Event::GoodDepart(i));
+                // time), then the next session's join. The departure event
+                // carries `now` (= the session's join time) so departure
+                // handling never re-reads the workload record.
+                if let Some((at, seq)) = self.pending_depart.take() {
+                    self.queue.push_with_seq(at, seq, Event::GoodDepart(i, now));
                 }
-                let i = i as usize;
                 self.stream_next_session();
                 let admission = self.defense.good_join(now);
                 self.ledger.charge_good(Purpose::Entrance, admission.cost());
                 if admission.is_admitted() {
-                    self.admitted[i] = Some(true);
+                    self.admitted.set(i as u64, AdmissionState::Admitted);
                     self.good_joins_admitted += 1;
                     if self.cfg.record_good_joins {
-                        self.good_join_times.push(now);
+                        match self.cfg.max_good_join_times {
+                            Some(cap) if self.good_join_times.len() >= cap => {
+                                self.good_join_times_dropped += 1;
+                            }
+                            _ => self.good_join_times.push(now),
+                        }
                     }
                 } else {
-                    self.admitted[i] = Some(false);
+                    self.admitted.set(i as u64, AdmissionState::Refused);
                     self.good_joins_refused += 1;
                 }
                 self.note_membership_change(now);
             }
-            Event::GoodDepart(i) => {
-                let i = i as usize;
-                if self.admitted[i] == Some(true) {
-                    let joined_at = self.workload.sessions[i].join;
+            Event::GoodDepart(i, joined_at) => {
+                if self.admitted.get(i as u64) == AdmissionState::Admitted {
                     self.defense.good_depart(now, joined_at);
                     self.good_departures += 1;
                     self.note_membership_change(now);
@@ -442,7 +454,6 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                 self.resolve_purge(now);
             }
             Event::Sample => {
-                let dt = self.cfg.timeline_resolution.expect("sample without resolution");
                 self.timeline.push(TimelinePoint {
                     at: now,
                     members: self.defense.n_members(),
@@ -450,7 +461,21 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
                     good_spend: self.ledger.good_total().value(),
                     adv_spend: self.ledger.adversary_total().value(),
                 });
-                let next = now + dt;
+                if let Some(cap) = self.cfg.max_timeline_points {
+                    if self.timeline.len() >= cap {
+                        // Keep every other point and sample half as often:
+                        // the series stays evenly spaced, just coarser.
+                        let mut keep = 0;
+                        for idx in (0..self.timeline.len()).step_by(2) {
+                            self.timeline[keep] = self.timeline[idx];
+                            keep += 1;
+                        }
+                        self.timeline.truncate(keep);
+                        self.timeline_dt *= 2.0;
+                        self.timeline_decimations += 1;
+                    }
+                }
+                let next = now + self.timeline_dt;
                 if next <= self.cfg.horizon {
                     self.queue.push(next, Event::Sample);
                 }
@@ -594,6 +619,10 @@ impl<D: Defense, A: Adversary> Simulation<D, A> {
             peak_queue_len: self.peak_queue_len,
             adversary_turn_truncations: self.adversary_turn_truncations,
             purge_cascade_truncations: self.purge_cascade_truncations,
+            timeline_decimations: self.timeline_decimations,
+            good_join_times_dropped: self.good_join_times_dropped,
+            admission_bytes: self.admitted.allocated_bytes(),
+            workload_stream_bytes: self.stream.resident_bytes(),
             estimates: Vec::new(),
             purge_times: Vec::new(),
             good_join_times: self.good_join_times,
@@ -609,7 +638,7 @@ mod tests {
     use super::*;
     use crate::adversary::{BudgetJoiner, NullAdversary};
     use crate::testutil::UnitCostDefense;
-    use crate::workload::Session;
+    use crate::workload::{MemoryStream, Session};
 
     fn small_workload() -> Workload {
         Workload::new(
@@ -675,6 +704,25 @@ mod tests {
             Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
         assert_eq!(report.timeline.len(), 11); // t = 0..=10
         assert!(report.timeline.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(report.timeline_decimations, 0);
+    }
+
+    #[test]
+    fn timeline_cap_decimates_instead_of_growing() {
+        let cfg = SimConfig {
+            horizon: Time(1000.0),
+            timeline_resolution: Some(1.0),
+            max_timeline_points: Some(16),
+            ..SimConfig::default()
+        };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert!(report.timeline.len() <= 16, "timeline grew to {}", report.timeline.len());
+        assert!(report.timeline_decimations > 0);
+        // Decimation keeps the series time-ordered and spanning the run.
+        assert!(report.timeline.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(report.timeline[0].at, Time::ZERO);
+        assert!(report.timeline.last().unwrap().at > Time(500.0));
     }
 
     #[test]
@@ -694,5 +742,59 @@ mod tests {
             Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
         assert_eq!(report.good_join_times.len(), 50);
         assert!(report.good_join_times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.good_join_times_dropped, 0);
+    }
+
+    #[test]
+    fn good_join_recording_cap_counts_drops() {
+        let cfg = SimConfig {
+            horizon: Time(1000.0),
+            record_good_joins: true,
+            max_good_join_times: Some(10),
+            ..SimConfig::default()
+        };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        assert_eq!(report.good_join_times.len(), 10);
+        assert_eq!(report.good_join_times_dropped, 40);
+        assert_eq!(report.good_joins_admitted, 50);
+    }
+
+    #[test]
+    fn admission_memory_is_reported() {
+        let cfg = SimConfig { horizon: Time(1000.0), ..SimConfig::default() };
+        let report =
+            Simulation::new(cfg, UnitCostDefense::new(), NullAdversary, small_workload()).run();
+        // One touched segment (2 KiB) plus the directory entry.
+        assert!(report.admission_bytes > 0);
+        assert!(report.admission_bytes < 4096, "{}", report.admission_bytes);
+        assert!(report.workload_stream_bytes > 0);
+    }
+
+    /// A stub source that claims more sessions than `SessionIndex` holds;
+    /// `try_new` must reject it before any streaming happens.
+    struct OverflowingSource;
+    impl WorkloadSource for OverflowingSource {
+        type Stream = MemoryStream;
+        fn initial_size(&self) -> u64 {
+            0
+        }
+        fn session_count(&self) -> u64 {
+            SessionIndex::MAX as u64 + 1
+        }
+        fn into_stream(self, _horizon: Time) -> MemoryStream {
+            unreachable!("rejected before streaming")
+        }
+    }
+
+    #[test]
+    fn session_count_boundary_is_a_structured_error() {
+        let cfg = SimConfig { horizon: Time(10.0), ..SimConfig::default() };
+        let err =
+            Simulation::try_new(cfg, UnitCostDefense::new(), NullAdversary, OverflowingSource)
+                .err()
+                .expect("must reject > SessionIndex::MAX sessions");
+        assert_eq!(err, SimBuildError::TooManySessions { sessions: SessionIndex::MAX as u64 + 1 });
+        assert!(err.to_string().contains("32-bit"));
     }
 }

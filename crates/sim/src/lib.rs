@@ -8,7 +8,10 @@
 //! * [`queue`] — a deterministic, FIFO-tie-broken event queue;
 //! * [`dist`] — from-scratch Weibull/exponential/Pareto/log-normal samplers
 //!   and a Poisson counter, driving the churn workloads;
-//! * [`workload`] — good-ID session schedules replayed by the engine;
+//! * [`workload`] / [`workload_io`] — good-ID session schedules replayed by
+//!   the engine, resident in memory or streamed from a versioned on-disk
+//!   format;
+//! * [`admission`] — packed 2-bit per-session admission state;
 //! * [`defense`] / [`adversary`] — the traits every simulated defense and
 //!   attack strategy implement;
 //! * [`engine`] — the simulation loop with budgeted adversaries, purge
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod adversary;
 pub mod cost;
 pub mod defense;
@@ -49,11 +53,14 @@ pub mod stats;
 pub mod testutil;
 pub mod time;
 pub mod workload;
+pub mod workload_io;
 
+pub use admission::{AdmissionMap, AdmissionState};
 pub use cost::{Cost, Ledger, Purpose};
 pub use defense::{Admission, BatchAdmission, BatchStop, Defense};
-pub use engine::{SimConfig, Simulation};
+pub use engine::{SimBuildError, SimConfig, Simulation};
 pub use id::{Id, IdAllocator, Kind};
 pub use report::SimReport;
 pub use time::Time;
-pub use workload::{Session, Workload};
+pub use workload::{Session, SessionIndex, Workload, WorkloadSource, WorkloadStream};
+pub use workload_io::{write_workload, write_workload_file, DiskWorkload};

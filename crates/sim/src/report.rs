@@ -31,7 +31,11 @@ pub struct EstimateRecord {
 }
 
 /// Everything a simulation run produces.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field bit-for-bit (floats included): two
+/// reports are equal only if the runs were observably identical, which is
+/// what the streaming-equivalence tests assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Defense name.
     pub defense: String,
@@ -77,6 +81,20 @@ pub struct SimReport {
     /// Times an instant-purge cascade was cut off by
     /// [`crate::engine::SimConfig::max_purge_cascade_rounds`].
     pub purge_cascade_truncations: u64,
+    /// Times the recorded timeline hit
+    /// [`crate::engine::SimConfig::max_timeline_points`] and was halved
+    /// (each halving doubles the effective sampling interval).
+    pub timeline_decimations: u64,
+    /// Admitted good joins whose times were *not* recorded because
+    /// [`crate::engine::SimConfig::max_good_join_times`] was reached.
+    pub good_join_times_dropped: u64,
+    /// Resident bytes of the packed admission map at the end of the run
+    /// (segments are only allocated for sessions actually touched).
+    pub admission_bytes: usize,
+    /// Resident bytes held by the workload stream (for a disk-backed
+    /// workload this is two read buffers; for an in-memory workload it is
+    /// the retained schedule vectors).
+    pub workload_stream_bytes: usize,
     /// Estimator updates logged by the defense (empty when not applicable).
     pub estimates: Vec<EstimateRecord>,
     /// Times at which purges completed (iteration boundaries).

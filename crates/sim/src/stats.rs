@@ -17,35 +17,40 @@
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
-    /// Smallest observation (0 if empty).
+    /// Smallest observation (NaN if empty).
     pub min: f64,
-    /// Largest observation (0 if empty).
+    /// Largest observation (NaN if empty).
     pub max: f64,
-    /// Arithmetic mean (0 if empty).
+    /// Arithmetic mean (NaN if empty).
     pub mean: f64,
-    /// Median (interpolated, 0 if empty).
+    /// Median (interpolated, NaN if empty).
     pub median: f64,
-    /// 5th percentile.
+    /// 5th percentile (NaN if empty).
     pub p05: f64,
-    /// 95th percentile.
+    /// 95th percentile (NaN if empty).
     pub p95: f64,
-    /// Population standard deviation.
+    /// Population standard deviation (NaN if empty).
     pub std_dev: f64,
 }
 
 impl Summary {
-    /// Computes summary statistics of `data`. An empty slice yields zeros.
+    /// Computes summary statistics of `data`.
+    ///
+    /// An empty slice yields `count == 0` and NaN statistics — *not*
+    /// zeros, which downstream CSV writers would emit as if a zero had
+    /// been measured. NaN renders as a blank cell (see the bench crate's
+    /// `fmt_num`), so "no data" stays distinguishable from "measured 0".
     pub fn of(data: &[f64]) -> Summary {
         if data.is_empty() {
             return Summary {
                 count: 0,
-                min: 0.0,
-                max: 0.0,
-                mean: 0.0,
-                median: 0.0,
-                p05: 0.0,
-                p95: 0.0,
-                std_dev: 0.0,
+                min: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+                median: f64::NAN,
+                p05: f64::NAN,
+                p95: f64::NAN,
+                std_dev: f64::NAN,
             };
         }
         let mut sorted: Vec<f64> = data.to_vec();
@@ -117,10 +122,17 @@ mod tests {
     }
 
     #[test]
-    fn summary_empty() {
+    fn summary_empty_is_nan_not_zero() {
         let s = Summary::of(&[]);
         assert_eq!(s.count, 0);
-        assert_eq!(s.mean, 0.0);
+        // "No data" must not masquerade as a measured zero.
+        assert!(s.mean.is_nan());
+        assert!(s.min.is_nan());
+        assert!(s.max.is_nan());
+        assert!(s.median.is_nan());
+        assert!(s.p05.is_nan());
+        assert!(s.p95.is_nan());
+        assert!(s.std_dev.is_nan());
     }
 
     #[test]

@@ -3,8 +3,21 @@
 //! A workload is the sessions of *good* IDs only — the adversary schedules
 //! its own Sybil IDs reactively. Workloads come from `sybil-churn`'s trace
 //! generators or are constructed directly in tests.
+//!
+//! The engine does not consume a [`Workload`] directly: it pulls events
+//! through the [`WorkloadSource`]/[`WorkloadStream`] traits, which
+//! [`Workload`] implements in memory and
+//! [`crate::workload_io::DiskWorkload`] implements over a buffered file
+//! reader, so million-ID schedules never have to be resident at once.
 
 use crate::time::Time;
+
+/// Index of a session within its workload.
+///
+/// The engine packs this into event payloads, so it is deliberately a
+/// 32-bit type: workloads are capped at [`SessionIndex::MAX`] sessions
+/// (enforced by `Simulation::try_new` with a structured error).
+pub type SessionIndex = u32;
 
 /// One good ID's session: present from `join` until `depart`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,8 +33,17 @@ impl Session {
     ///
     /// # Panics
     ///
-    /// Panics if `depart < join`.
+    /// Panics if `depart < join` or either time is non-finite. A NaN join
+    /// would silently corrupt the sorted-cursor merge ordering in the
+    /// engine (every comparison against NaN is false), so it is rejected
+    /// at construction.
     pub fn new(join: Time, depart: Time) -> Self {
+        assert!(
+            join.as_secs().is_finite() && depart.as_secs().is_finite(),
+            "session times must be finite (got join {}, depart {})",
+            join.as_secs(),
+            depart.as_secs()
+        );
         assert!(depart >= join, "session departs before it joins");
         Session { join, depart }
     }
@@ -69,19 +91,215 @@ impl Workload {
 
     /// Validates internal consistency; used by generators and tests.
     ///
-    /// Checks that sessions are sorted and non-negative-length.
+    /// Checks that sessions are sorted, non-negative-length, and that all
+    /// times (session joins/departs and initial departures) are finite.
+    /// NaN must be rejected explicitly: every comparison against it is
+    /// false, so the sortedness and ordering checks below would silently
+    /// pass a NaN-corrupted schedule straight into the engine's
+    /// sorted-cursor merge.
     pub fn validate(&self) -> Result<(), String> {
+        for (i, &d) in self.initial_departures.iter().enumerate() {
+            if !d.as_secs().is_finite() {
+                return Err(format!("initial departure {i} is non-finite: {}", d.as_secs()));
+            }
+        }
+        for (i, s) in self.sessions.iter().enumerate() {
+            if !s.join.as_secs().is_finite() || !s.depart.as_secs().is_finite() {
+                return Err(format!(
+                    "session {i} has non-finite times: join {}, depart {}",
+                    s.join.as_secs(),
+                    s.depart.as_secs()
+                ));
+            }
+            if s.depart < s.join {
+                return Err(format!("session {i} departs before joining"));
+            }
+        }
         for w in self.sessions.windows(2) {
             if w[1].join < w[0].join {
                 return Err(format!("sessions out of order: {} after {}", w[1].join, w[0].join));
             }
         }
-        for (i, s) in self.sessions.iter().enumerate() {
-            if s.depart < s.join {
-                return Err(format!("session {i} departs before joining"));
+        Ok(())
+    }
+}
+
+/// A provider of workload events the engine can replay.
+///
+/// Implementations own the schedule in whatever representation suits them
+/// (resident vectors, a buffered disk reader, a synthetic generator) and
+/// are consumed into a [`WorkloadStream`] once the horizon is known.
+pub trait WorkloadSource {
+    /// The stream type this source opens.
+    type Stream: WorkloadStream;
+
+    /// Number of good IDs present at `t = 0`.
+    fn initial_size(&self) -> u64;
+
+    /// Total number of arrival sessions in the schedule (including any
+    /// past the horizon).
+    fn session_count(&self) -> u64;
+
+    /// Consumes the source into a stream of in-horizon events, each
+    /// carrying the eager-equivalent sequence number described in
+    /// [`WorkloadStream`].
+    fn into_stream(self, horizon: Time) -> Self::Stream;
+}
+
+/// A cursor over one workload's in-horizon events.
+///
+/// # The sequence-number contract
+///
+/// Simulations must be bit-reproducible, and streams must replay exactly
+/// what an eager scheduler (all events queued up front) would have
+/// produced. Every yielded event therefore carries the sequence number
+/// that eager scheduler would have assigned:
+///
+/// * sessions in input order contribute their join (one seq) and, if the
+///   departure falls within the horizon, their departure (the next seq);
+/// * then in-horizon initial departures are numbered in input order.
+///
+/// [`seq_floor`](Self::seq_floor) is the total count so the engine can
+/// reserve `0..floor` before dynamic events (adversary wakeups, purges,
+/// periodic charges) draw fresh numbers above it. Streams whose backing
+/// store is sorted (the on-disk format) may permute sequence numbers
+/// *within* the initial-departure block relative to an unsorted in-memory
+/// source; those events are payload-identical, so every observable pop
+/// sequence — and with it the whole `SimReport` — is unchanged.
+pub trait WorkloadStream {
+    /// Total workload sequence numbers assigned (`0..floor`).
+    fn seq_floor(&self) -> u64;
+
+    /// Next session in join order, as `(index, session, join seq)`.
+    /// Returns `None` once all in-horizon sessions have been yielded.
+    fn next_session(&mut self) -> Option<(SessionIndex, Session, u64)>;
+
+    /// Next in-horizon initial departure in ascending time order, as
+    /// `(time, seq)`.
+    fn next_initial_departure(&mut self) -> Option<(Time, u64)>;
+
+    /// Approximate resident bytes held by this stream (buffers, cursors,
+    /// and any retained schedule data), for memory reporting.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// In-memory stream over a [`Workload`].
+///
+/// Retains the workload vectors (they are already resident), a join-sorted
+/// permutation fallback for hand-built unsorted workloads, and the
+/// descending-sorted initial-departure cursor.
+pub struct MemoryStream {
+    workload: Workload,
+    horizon: Time,
+    /// `(session index, join seq)` in descending join order, popped from
+    /// the tail — only built when the workload's sessions arrive unsorted
+    /// (hand-constructed); sorted workloads stream straight off the vector
+    /// via `next_session`/`next_session_seq`.
+    permutation: Option<Vec<(usize, u64)>>,
+    /// Index of the next session whose join has not been yielded.
+    next_session: usize,
+    /// Sequence number for the next session event.
+    next_session_seq: u64,
+    /// In-horizon initial departures as `(time, seq)`, sorted descending
+    /// so the next one pops off the tail.
+    initial: Vec<(Time, u64)>,
+    seq_floor: u64,
+}
+
+impl WorkloadSource for Workload {
+    type Stream = MemoryStream;
+
+    fn initial_size(&self) -> u64 {
+        self.initial_departures.len() as u64
+    }
+
+    fn session_count(&self) -> u64 {
+        self.sessions.len() as u64
+    }
+
+    /// One O(n) pass assigns every in-horizon workload event the sequence
+    /// number an eager scheduler would have used (see [`WorkloadStream`]).
+    fn into_stream(self, horizon: Time) -> MemoryStream {
+        let sessions = &self.sessions;
+        // Workload::new sorts sessions; hand-built workloads may not be.
+        // The sorted fast path streams straight off the vector, the
+        // fallback walks a join-sorted permutation — seq assignment is by
+        // input order either way, exactly as the eager scheduler did it.
+        let sorted = sessions.windows(2).all(|w| w[0].join <= w[1].join);
+        let mut seq = 0u64;
+        let mut perm: Vec<(usize, u64)> = Vec::new();
+        for (i, s) in sessions.iter().enumerate() {
+            if s.join <= horizon {
+                if !sorted {
+                    perm.push((i, seq));
+                }
+                seq += 1;
+                if s.depart <= horizon {
+                    seq += 1;
+                }
             }
         }
-        Ok(())
+        let permutation = (!sorted).then(|| {
+            // Descending (join, seq): the next session pops off the tail.
+            perm.sort_by(|a, b| (sessions[b.0].join, b.1).cmp(&(sessions[a.0].join, a.1)));
+            perm
+        });
+        let mut initial: Vec<(Time, u64)> = Vec::with_capacity(self.initial_departures.len());
+        for &d in &self.initial_departures {
+            if d <= horizon {
+                initial.push((d, seq));
+                seq += 1;
+            }
+        }
+        initial.sort_by(|a, b| b.cmp(a));
+        MemoryStream {
+            workload: self,
+            horizon,
+            permutation,
+            next_session: 0,
+            next_session_seq: 0,
+            initial,
+            seq_floor: seq,
+        }
+    }
+}
+
+impl WorkloadStream for MemoryStream {
+    fn seq_floor(&self) -> u64 {
+        self.seq_floor
+    }
+
+    fn next_session(&mut self) -> Option<(SessionIndex, Session, u64)> {
+        let (i, join_seq) = if let Some(perm) = &mut self.permutation {
+            perm.pop()?
+        } else {
+            let i = self.next_session;
+            let s = self.workload.sessions.get(i).copied()?;
+            if s.join > self.horizon {
+                // Sessions are sorted: everything further is out too.
+                self.next_session = self.workload.sessions.len();
+                return None;
+            }
+            let join_seq = self.next_session_seq;
+            self.next_session = i + 1;
+            self.next_session_seq = join_seq + if s.depart <= self.horizon { 2 } else { 1 };
+            (i, join_seq)
+        };
+        Some((i as SessionIndex, self.workload.sessions[i], join_seq))
+    }
+
+    fn next_initial_departure(&mut self) -> Option<(Time, u64)> {
+        self.initial.pop()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.workload.sessions.capacity() * std::mem::size_of::<Session>()
+            + self.workload.initial_departures.capacity() * std::mem::size_of::<Time>()
+            + self.initial.capacity() * std::mem::size_of::<(Time, u64)>()
+            + self
+                .permutation
+                .as_ref()
+                .map_or(0, |p| p.capacity() * std::mem::size_of::<(usize, u64)>())
     }
 }
 
@@ -121,7 +339,78 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_join_panics() {
+        let _ = Session::new(Time(f64::NAN), Time(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_depart_panics() {
+        let _ = Session::new(Time(1.0), Time(f64::INFINITY));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_times() {
+        // Constructed via struct literals: deserializers or generators that
+        // bypass Session::new must still be caught by validate().
+        let nan_join = Workload {
+            initial_departures: vec![],
+            sessions: vec![Session { join: Time(f64::NAN), depart: Time(2.0) }],
+        };
+        assert!(nan_join.validate().unwrap_err().contains("non-finite"));
+        let inf_depart = Workload {
+            initial_departures: vec![],
+            sessions: vec![Session { join: Time(1.0), depart: Time(f64::INFINITY) }],
+        };
+        assert!(inf_depart.validate().unwrap_err().contains("non-finite"));
+        let nan_initial = Workload { initial_departures: vec![Time(f64::NAN)], sessions: vec![] };
+        assert!(nan_initial.validate().unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
     fn session_duration() {
         assert_eq!(Session::new(Time(1.0), Time(4.5)).duration(), 3.5);
+    }
+
+    #[test]
+    fn memory_stream_yields_in_horizon_events_with_seqs() {
+        let w = Workload::new(
+            vec![Time(2.0), Time(50.0), Time(1.0)],
+            vec![
+                Session::new(Time(1.0), Time(3.0)),   // join seq 0, depart seq 1
+                Session::new(Time(2.0), Time(99.0)),  // join seq 2 (depart out)
+                Session::new(Time(30.0), Time(31.0)), // out of horizon entirely
+            ],
+        );
+        let mut stream = w.into_stream(Time(10.0));
+        // Sessions: seqs 0..3; initial departures in input order: 3, 4.
+        assert_eq!(stream.seq_floor(), 5);
+        assert_eq!(stream.next_session(), Some((0, Session::new(Time(1.0), Time(3.0)), 0)));
+        assert_eq!(stream.next_session(), Some((1, Session::new(Time(2.0), Time(99.0)), 2)));
+        assert_eq!(stream.next_session(), None);
+        // Initial departures ascend by time; 50.0 is past the horizon.
+        assert_eq!(stream.next_initial_departure(), Some((Time(1.0), 4)));
+        assert_eq!(stream.next_initial_departure(), Some((Time(2.0), 3)));
+        assert_eq!(stream.next_initial_departure(), None);
+        assert!(stream.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_stream_unsorted_fallback_matches_input_order_seqs() {
+        // Hand-built (bypassing Workload::new's sort): seqs follow *input*
+        // order, yield follows join order.
+        let w = Workload {
+            initial_departures: vec![],
+            sessions: vec![
+                Session::new(Time(5.0), Time(6.0)), // seqs 0 (join), 1 (depart)
+                Session::new(Time(1.0), Time(9.0)), // seqs 2, 3
+            ],
+        };
+        let mut stream = w.into_stream(Time(10.0));
+        assert_eq!(stream.seq_floor(), 4);
+        assert_eq!(stream.next_session(), Some((1, Session::new(Time(1.0), Time(9.0)), 2)));
+        assert_eq!(stream.next_session(), Some((0, Session::new(Time(5.0), Time(6.0)), 0)));
+        assert_eq!(stream.next_session(), None);
     }
 }

@@ -1,0 +1,409 @@
+//! Versioned binary on-disk workload format and its streaming reader.
+//!
+//! Million-ID schedules are too large to hold resident per sweep cell, so
+//! the engine can replay them straight from disk: [`write_workload`]
+//! serializes a [`Workload`] into a fixed little-endian layout and
+//! [`DiskWorkload`] implements [`WorkloadSource`] over buffered readers,
+//! keeping resident memory at two read buffers regardless of workload
+//! size.
+//!
+//! # Format (version 1, all integers and floats little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic, the ASCII bytes "SYBWKLD0"
+//! 8       4     version (u32) — currently 1
+//! 12      4     flags (u32) — reserved, must be 0
+//! 16      8     initial_count (u64)
+//! 24      8     session_count (u64)
+//! 32      8·i   initial departures: initial_count × f64 seconds,
+//!               sorted ascending, finite, non-negative
+//! …       16·s  sessions: session_count × (join f64, depart f64),
+//!               sorted by join ascending, finite, depart ≥ join
+//! ```
+//!
+//! Initial departures are stored *sorted* (the in-memory representation is
+//! not): the reader can then stream them with one cursor and assign
+//! in-horizon sequence numbers arithmetically. The permutation this
+//! induces relative to an unsorted in-memory source only renumbers
+//! payload-identical initial-departure events, so replayed `SimReport`s
+//! are bit-identical either way (see [`WorkloadStream`]'s contract).
+
+use crate::time::Time;
+use crate::workload::{Session, SessionIndex, Workload, WorkloadSource, WorkloadStream};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic at offset 0.
+pub const MAGIC: [u8; 8] = *b"SYBWKLD0";
+/// The current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: u64 = 32;
+
+fn invalid<T>(msg: String) -> io::Result<T> {
+    Err(io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+/// Serializes `workload` into the on-disk format.
+///
+/// Sessions are written in join-sorted order and initial departures are
+/// sorted ascending; the workload is validated first so a NaN or
+/// inverted session can never reach a file.
+pub fn write_workload<W: Write>(out: &mut W, workload: &Workload) -> io::Result<()> {
+    if let Err(e) = workload.validate() {
+        return invalid(format!("refusing to write invalid workload: {e}"));
+    }
+    let mut initial: Vec<f64> = workload.initial_departures.iter().map(|t| t.as_secs()).collect();
+    initial.sort_by(|a, b| a.total_cmp(b));
+    out.write_all(&MAGIC)?;
+    out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    out.write_all(&0u32.to_le_bytes())?;
+    out.write_all(&(initial.len() as u64).to_le_bytes())?;
+    out.write_all(&(workload.sessions.len() as u64).to_le_bytes())?;
+    for d in initial {
+        out.write_all(&d.to_le_bytes())?;
+    }
+    for s in &workload.sessions {
+        out.write_all(&s.join.as_secs().to_le_bytes())?;
+        out.write_all(&s.depart.as_secs().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes `workload` to `path` (buffered), creating or truncating it.
+pub fn write_workload_file<P: AsRef<Path>>(path: P, workload: &Workload) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    write_workload(&mut out, workload)?;
+    out.flush()
+}
+
+/// A workload backed by a file in the on-disk format.
+///
+/// Opening reads and checks only the header; the record regions are
+/// consumed lazily by the stream. The path is retained so the stream can
+/// open independent buffered readers for the two regions.
+#[derive(Clone, Debug)]
+pub struct DiskWorkload {
+    path: PathBuf,
+    initial_count: u64,
+    session_count: u64,
+}
+
+impl DiskWorkload {
+    /// Opens `path`, validating magic, version, and that the file length
+    /// matches the header's record counts.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<DiskWorkload> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| io::Error::new(e.kind(), format!("workload header unreadable: {e}")))?;
+        if header[0..8] != MAGIC {
+            return invalid(format!("bad workload magic {:?}", &header[0..8]));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return invalid(format!(
+                "unsupported workload format version {version} (this build reads {FORMAT_VERSION})"
+            ));
+        }
+        let flags = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        if flags != 0 {
+            return invalid(format!("unknown workload flags {flags:#x}"));
+        }
+        let initial_count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let session_count = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        let expected = HEADER_LEN + initial_count * 8 + session_count * 16;
+        let actual = file.seek(SeekFrom::End(0))?;
+        if actual != expected {
+            return invalid(format!(
+                "workload file is {actual} bytes, header implies {expected} \
+                 ({initial_count} initial departures + {session_count} sessions)"
+            ));
+        }
+        Ok(DiskWorkload { path, initial_count, session_count })
+    }
+
+    /// The file this workload reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn sessions_offset(&self) -> u64 {
+        HEADER_LEN + self.initial_count * 8
+    }
+
+    /// Opens a buffered reader positioned at `offset`.
+    fn reader_at(&self, offset: u64) -> io::Result<BufReader<File>> {
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        Ok(BufReader::new(file))
+    }
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+impl WorkloadSource for DiskWorkload {
+    type Stream = DiskStream;
+
+    fn initial_size(&self) -> u64 {
+        self.initial_count
+    }
+
+    fn session_count(&self) -> u64 {
+        self.session_count
+    }
+
+    /// Pre-scans the file once (sequential, O(1) memory) to count
+    /// in-horizon sequence numbers — the same totals the in-memory pass
+    /// computes — then reopens both regions for the replay cursors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be read or its records violate the
+    /// format invariants (unsorted, non-finite, inverted sessions);
+    /// [`write_workload`] can produce neither, so this indicates a
+    /// corrupt or foreign file.
+    fn into_stream(self, horizon: Time) -> DiskStream {
+        let fail = |e: &dyn std::fmt::Display| -> ! {
+            panic!("workload file {}: {e}", self.path.display())
+        };
+        // Pass 1a: in-horizon initial departures (sorted → stop early).
+        let mut initial = self.reader_at(HEADER_LEN).unwrap_or_else(|e| fail(&e));
+        let mut initial_in_horizon = 0u64;
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..self.initial_count {
+            let d = read_f64(&mut initial).unwrap_or_else(|e| fail(&e));
+            if !d.is_finite() || d < prev {
+                fail(&format!("corrupt initial departure {i}: {d} after {prev}"));
+            }
+            prev = d;
+            if Time(d) <= horizon {
+                initial_in_horizon += 1;
+            } else {
+                break; // Sorted: the rest are out of horizon too.
+            }
+        }
+        // Pass 1b: session seq totals (sorted by join → stop early).
+        let mut sessions = self.reader_at(self.sessions_offset()).unwrap_or_else(|e| fail(&e));
+        let mut session_seqs = 0u64;
+        let mut prev_join = f64::NEG_INFINITY;
+        for i in 0..self.session_count {
+            let join = read_f64(&mut sessions).unwrap_or_else(|e| fail(&e));
+            let depart = read_f64(&mut sessions).unwrap_or_else(|e| fail(&e));
+            if !join.is_finite() || !depart.is_finite() || depart < join || join < prev_join {
+                fail(&format!("corrupt session {i}: join {join}, depart {depart}"));
+            }
+            prev_join = join;
+            if Time(join) > horizon {
+                break; // Sorted: the rest are out of horizon too.
+            }
+            session_seqs += 1;
+            if Time(depart) <= horizon {
+                session_seqs += 1;
+            }
+        }
+        let seq_floor = session_seqs + initial_in_horizon;
+        DiskStream {
+            sessions: self.reader_at(self.sessions_offset()).unwrap_or_else(|e| fail(&e)),
+            initial: self.reader_at(HEADER_LEN).unwrap_or_else(|e| fail(&e)),
+            horizon,
+            next_index: 0,
+            next_session_seq: 0,
+            sessions_remaining: self.session_count,
+            initial_seq: session_seqs,
+            initial_remaining: initial_in_horizon,
+            seq_floor,
+            path: self.path,
+        }
+    }
+}
+
+/// Streaming cursor over a [`DiskWorkload`]: two independent buffered
+/// readers (sessions and initial departures), each holding one 8 KiB
+/// buffer — resident memory is O(1) in the workload size.
+pub struct DiskStream {
+    sessions: BufReader<File>,
+    initial: BufReader<File>,
+    path: PathBuf,
+    horizon: Time,
+    next_index: SessionIndex,
+    next_session_seq: u64,
+    /// Session records not yet read; 0 once the region (or horizon) ends.
+    sessions_remaining: u64,
+    /// Seq of the next in-horizon initial departure (they are numbered
+    /// after all session events, in stored — i.e. ascending — order).
+    initial_seq: u64,
+    initial_remaining: u64,
+    seq_floor: u64,
+}
+
+impl WorkloadStream for DiskStream {
+    fn seq_floor(&self) -> u64 {
+        self.seq_floor
+    }
+
+    fn next_session(&mut self) -> Option<(SessionIndex, Session, u64)> {
+        if self.sessions_remaining == 0 {
+            return None;
+        }
+        self.sessions_remaining -= 1;
+        // Record counts and invariants were verified by the pre-scan; a
+        // read failure here means the file changed underneath us.
+        let mut record = |what: &str| -> f64 {
+            read_f64(&mut self.sessions).unwrap_or_else(|e| {
+                panic!("workload file {}: {what} unreadable mid-replay: {e}", self.path.display())
+            })
+        };
+        let join = record("session join");
+        let depart = record("session depart");
+        if Time(join) > self.horizon {
+            // Sorted: everything further is out of horizon too.
+            self.sessions_remaining = 0;
+            return None;
+        }
+        let session = Session::new(Time(join), Time(depart));
+        let join_seq = self.next_session_seq;
+        self.next_session_seq = join_seq + if session.depart <= self.horizon { 2 } else { 1 };
+        let index = self.next_index;
+        self.next_index += 1;
+        Some((index, session, join_seq))
+    }
+
+    fn next_initial_departure(&mut self) -> Option<(Time, u64)> {
+        if self.initial_remaining == 0 {
+            return None;
+        }
+        self.initial_remaining -= 1;
+        let d = read_f64(&mut self.initial).unwrap_or_else(|e| {
+            panic!(
+                "workload file {}: initial departure unreadable mid-replay: {e}",
+                self.path.display()
+            )
+        });
+        let seq = self.initial_seq;
+        self.initial_seq += 1;
+        Some((Time(d), seq))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.sessions.capacity() + self.initial.capacity() + std::mem::size_of::<DiskStream>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique temp-file path per call (no tempfile crate offline).
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("sybil_wkld_{tag}_{}_{n}.bin", std::process::id()))
+    }
+
+    fn sample_workload() -> Workload {
+        Workload::new(
+            vec![Time(7.0), Time(2.0), Time(50.0)],
+            vec![
+                Session::new(Time(1.0), Time(3.0)),
+                Session::new(Time(2.0), Time(99.0)),
+                Session::new(Time(2.0), Time(4.0)),
+                Session::new(Time(30.0), Time(31.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_streams_identical_events() {
+        let w = sample_workload();
+        let path = temp_path("roundtrip");
+        write_workload_file(&path, &w).unwrap();
+        let disk = DiskWorkload::open(&path).unwrap();
+        assert_eq!(disk.initial_size(), 3);
+        assert_eq!(disk.session_count(), 4);
+
+        let horizon = Time(10.0);
+        let mut mem = w.into_stream(horizon);
+        let mut dsk = disk.into_stream(horizon);
+        assert_eq!(mem.seq_floor(), dsk.seq_floor());
+        loop {
+            let (a, b) = (mem.next_session(), dsk.next_session());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // Initial departures: identical times in ascending order; seqs are
+        // a permutation within the initial block (disk stores them sorted).
+        let mem_initial: Vec<(Time, u64)> =
+            std::iter::from_fn(|| mem.next_initial_departure()).collect();
+        let dsk_initial: Vec<(Time, u64)> =
+            std::iter::from_fn(|| dsk.next_initial_departure()).collect();
+        assert_eq!(
+            mem_initial.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            dsk_initial.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        );
+        let mut mem_seqs: Vec<u64> = mem_initial.iter().map(|(_, s)| *s).collect();
+        let mut dsk_seqs: Vec<u64> = dsk_initial.iter().map(|(_, s)| *s).collect();
+        mem_seqs.sort_unstable();
+        dsk_seqs.sort_unstable();
+        assert_eq!(mem_seqs, dsk_seqs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_version_and_truncation() {
+        let w = sample_workload();
+        let path = temp_path("reject");
+        write_workload_file(&path, &w).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(DiskWorkload::open(&path).unwrap_err().to_string().contains("magic"));
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 99;
+        std::fs::write(&path, &bad_version).unwrap();
+        assert!(DiskWorkload::open(&path).unwrap_err().to_string().contains("version"));
+
+        let truncated = &good[..good.len() - 8];
+        std::fs::write(&path, truncated).unwrap();
+        assert!(DiskWorkload::open(&path).unwrap_err().to_string().contains("bytes"));
+
+        std::fs::write(&path, &good).unwrap();
+        assert!(DiskWorkload::open(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_invalid_workloads() {
+        let nan = Workload { initial_departures: vec![Time(f64::NAN)], sessions: vec![] };
+        let mut sink = Vec::new();
+        let err = write_workload(&mut sink, &nan).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn empty_workload_roundtrips() {
+        let path = temp_path("empty");
+        write_workload_file(&path, &Workload::empty()).unwrap();
+        let disk = DiskWorkload::open(&path).unwrap();
+        assert_eq!(disk.initial_size(), 0);
+        assert_eq!(disk.session_count(), 0);
+        let mut stream = disk.into_stream(Time(100.0));
+        assert_eq!(stream.seq_floor(), 0);
+        assert_eq!(stream.next_session(), None);
+        assert_eq!(stream.next_initial_departure(), None);
+        std::fs::remove_file(&path).ok();
+    }
+}
