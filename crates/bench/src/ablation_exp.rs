@@ -12,31 +12,60 @@
 //!   much of Ergo's cost comes from the warm-up phase.
 //! * **Purge round duration**: with non-instant rounds, good IDs departing
 //!   mid-round exercise the `ε < 1/12` assumption.
+//!
+//! Each knob cell runs [`trials`] workload seeds (the Gnutella workloads
+//! come from the shared disk cache), aggregated to `mean, ci95_lo,
+//! ci95_hi`, and is recorded in a resumable results store.
 
-use crate::sweep::{default_workers, fast_mode, run_parallel};
-use crate::table::{fmt_num, Table};
+use crate::grid::default_cache_dir;
+use crate::sweep::{default_workers, fast_mode};
+use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::params::{ErgoConfig, GoodJEstConfig, Ratio};
 use ergo_core::Ergo;
 use sybil_churn::networks;
+use sybil_exp::spec::text_fingerprint;
+use sybil_exp::{trial_seed, MetricSummary, Welford, WorkloadCache};
 use sybil_sim::adversary::BudgetJoiner;
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
+use sybil_sim::workload::WorkloadSource;
 
-/// One ablation row.
+/// One ablation row, aggregated over trials.
 #[derive(Clone, Debug)]
 pub struct AblationRow {
     /// What was varied.
     pub knob: String,
     /// The varied value.
     pub value: String,
-    /// Good spend rate.
-    pub good_rate: f64,
-    /// Purges executed.
-    pub purges: u64,
-    /// Max bad fraction (bound: 1/6).
-    pub max_bad_fraction: f64,
+    /// Good spend rate over trials.
+    pub good_rate: MetricSummary,
+    /// Purges executed over trials.
+    pub purges: MetricSummary,
+    /// Max bad fraction over trials (bound: 1/6).
+    pub max_bad_fraction: MetricSummary,
 }
 
+/// Independent trials per knob value (see [`crate::grid::default_trials`]).
+pub fn trials() -> u32 {
+    crate::grid::default_trials()
+}
+
+/// Runs one configuration against any workload source, returning
+/// `(good spend rate, purges, max bad fraction)`.
+pub fn run_cfg_with<W: WorkloadSource>(
+    workload: W,
+    cfg: ErgoConfig,
+    round_duration: f64,
+    t: f64,
+    horizon: f64,
+) -> (f64, u64, f64) {
+    let sim =
+        SimConfig { horizon: Time(horizon), adv_rate: t, round_duration, ..SimConfig::default() };
+    let r = Simulation::new(sim, Ergo::new(cfg), BudgetJoiner::new(t), workload).run();
+    (r.good_spend_rate(), r.purges, r.max_bad_fraction)
+}
+
+#[cfg(test)]
 fn run_cfg(
     cfg: ErgoConfig,
     round_duration: f64,
@@ -44,96 +73,163 @@ fn run_cfg(
     horizon: f64,
     seed: u64,
 ) -> (f64, u64, f64) {
-    let workload = networks::gnutella().generate(Time(horizon), seed);
-    let sim =
-        SimConfig { horizon: Time(horizon), adv_rate: t, round_duration, ..SimConfig::default() };
-    let r = Simulation::new(sim, Ergo::new(cfg), BudgetJoiner::new(t), workload).run();
-    (r.good_spend_rate(), r.purges, r.max_bad_fraction)
+    run_cfg_with(
+        networks::gnutella().generate(Time(horizon), seed),
+        cfg,
+        round_duration,
+        t,
+        horizon,
+    )
 }
 
-/// Runs all ablations and returns the rows.
-pub fn run() -> Vec<AblationRow> {
-    let (horizon, t) = if fast_mode() { (400.0, 5_000.0) } else { (5_000.0, 20_000.0) };
-    let mut jobs: Vec<Box<dyn FnOnce() -> AblationRow + Send>> = Vec::new();
-
+/// The knob grid: `(knob, value, config, round_duration)`.
+fn knob_grid() -> Vec<(String, String, ErgoConfig, f64)> {
+    let mut grid = Vec::new();
     // 1. Iteration (purge) threshold.
     for (num, den) in [(1u64, 7u64), (1, 11), (1, 15), (1, 22)] {
-        jobs.push(Box::new(move || {
-            let cfg =
-                ErgoConfig { iteration_threshold: Ratio::new(num, den), ..ErgoConfig::default() };
-            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
-            AblationRow {
-                knob: "iteration threshold".into(),
-                value: format!("{num}/{den}"),
-                good_rate: a,
-                purges,
-                max_bad_fraction: frac,
-            }
-        }));
+        let cfg = ErgoConfig { iteration_threshold: Ratio::new(num, den), ..ErgoConfig::default() };
+        grid.push(("iteration threshold".into(), format!("{num}/{den}"), cfg, 0.0));
     }
-
     // 2. Interval (estimator) threshold, incl. the Section 13.3 variant.
     for (num, den) in [(5u64, 12u64), (1, 2), (1, 4)] {
-        jobs.push(Box::new(move || {
-            let mut cfg = ErgoConfig::default();
-            cfg.estimator.interval_threshold = Ratio::new(num, den);
-            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
-            AblationRow {
-                knob: "interval threshold".into(),
-                value: format!("{num}/{den}"),
-                good_rate: a,
-                purges,
-                max_bad_fraction: frac,
-            }
-        }));
+        let mut cfg = ErgoConfig::default();
+        cfg.estimator.interval_threshold = Ratio::new(num, den);
+        grid.push(("interval threshold".into(), format!("{num}/{den}"), cfg, 0.0));
     }
-
     // 3. Estimator initialization duration (cold-start cost).
     for init in [1.0f64, 100.0, 10_000.0] {
-        jobs.push(Box::new(move || {
-            let cfg = ErgoConfig {
-                estimator: GoodJEstConfig { init_duration: init, ..GoodJEstConfig::default() },
-                ..ErgoConfig::default()
-            };
-            let (a, purges, frac) = run_cfg(cfg, 0.0, t, horizon, 61);
-            AblationRow {
-                knob: "estimator init duration".into(),
-                value: format!("{init}s"),
-                good_rate: a,
-                purges,
-                max_bad_fraction: frac,
-            }
-        }));
+        let cfg = ErgoConfig {
+            estimator: GoodJEstConfig { init_duration: init, ..GoodJEstConfig::default() },
+            ..ErgoConfig::default()
+        };
+        grid.push(("estimator init duration".into(), format!("{init}s"), cfg, 0.0));
     }
-
     // 4. Purge round duration (ε exposure: departures during the round).
     for round in [0.0f64, 1.0, 5.0] {
-        jobs.push(Box::new(move || {
-            let (a, purges, frac) = run_cfg(ErgoConfig::default(), round, t, horizon, 61);
-            AblationRow {
-                knob: "purge round duration".into(),
-                value: format!("{round}s"),
-                good_rate: a,
-                purges,
-                max_bad_fraction: frac,
-            }
-        }));
+        grid.push((
+            "purge round duration".into(),
+            format!("{round}s"),
+            ErgoConfig::default(),
+            round,
+        ));
     }
-
-    run_parallel(jobs, default_workers())
+    grid
 }
 
-/// Formats the ablation table.
+/// The whitespace-free results-store key for one knob cell.
+fn cell_id(knob: &str, value: &str) -> String {
+    format!("{}/{}", knob.replace(' ', "-"), value.replace(['/', ' '], "-"))
+}
+
+/// Runs all ablations (multi-trial, cached workloads, resumable) and
+/// returns the rows.
+pub fn run() -> Vec<AblationRow> {
+    let (horizon, t) = if fast_mode() { (400.0, 5_000.0) } else { (5_000.0, 20_000.0) };
+    let (trials, base_seed) = (trials(), 61u64);
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+    let grid = knob_grid();
+
+    // The full knob grid (including the resolved ErgoConfigs) and the
+    // churn model go into the fingerprint, so a code change to a default
+    // constant or the Gnutella parameters re-runs the grid instead of
+    // resuming stale cells.
+    let config = format!(
+        "ablation v2\nhorizon = {horizon}\nT = {t}\ntrials = {trials}\nseed = {base_seed}\n\
+         network = {:?}\nknobs = {grid:?}\n",
+        networks::gnutella(),
+    );
+
+    let cells: Vec<(String, (String, String, ErgoConfig, f64))> =
+        grid.into_iter().map(|cell| (cell_id(&cell.0, &cell.1), cell)).collect();
+
+    let net = networks::gnutella();
+    let cache_ref = &cache;
+    let outcome = sybil_exp::run_grid(
+        "ablation",
+        &text_fingerprint(&config),
+        &results_dir().join("ablation.store"),
+        cells,
+        Some(cache_ref),
+        default_workers(),
+        move |(_, _, cfg, round): &(String, String, ErgoConfig, f64)| {
+            let mut rate = Welford::new();
+            let mut purges = Welford::new();
+            let mut frac = Welford::new();
+            for trial in 0..trials {
+                let wseed = trial_seed(base_seed, trial as u64);
+                let disk = cache_ref
+                    .get_or_create(&net, Time(horizon), wseed)
+                    .unwrap_or_else(|e| panic!("workload cache failed: {e}"));
+                let (a, p, f) = run_cfg_with(disk, *cfg, *round, t, horizon);
+                rate.push(a);
+                purges.push(p as f64);
+                frac.push(f);
+            }
+            let (rate, purges, frac) = (rate.summary(), purges.summary(), frac.summary());
+            vec![
+                ("trials".into(), trials as f64),
+                ("good_rate_mean".into(), rate.mean),
+                ("good_rate_ci95_lo".into(), rate.ci95_lo),
+                ("good_rate_ci95_hi".into(), rate.ci95_hi),
+                ("purges_mean".into(), purges.mean),
+                ("purges_ci95_lo".into(), purges.ci95_lo),
+                ("purges_ci95_hi".into(), purges.ci95_hi),
+                ("max_bad_fraction_mean".into(), frac.mean),
+                ("max_bad_fraction_ci95_lo".into(), frac.ci95_lo),
+                ("max_bad_fraction_ci95_hi".into(), frac.ci95_hi),
+            ]
+        },
+    )
+    .unwrap_or_else(|e| panic!("ablation experiment failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    knob_grid()
+        .iter()
+        .zip(&outcome.records)
+        .map(|((knob, value, _, _), r)| {
+            let n = r.get("trials").unwrap_or(f64::NAN) as u64;
+            let metric = |name: &str| MetricSummary {
+                n,
+                mean: r.get(&format!("{name}_mean")).unwrap_or(f64::NAN),
+                ci95_lo: r.get(&format!("{name}_ci95_lo")).unwrap_or(f64::NAN),
+                ci95_hi: r.get(&format!("{name}_ci95_hi")).unwrap_or(f64::NAN),
+            };
+            AblationRow {
+                knob: knob.clone(),
+                value: value.clone(),
+                good_rate: metric("good_rate"),
+                purges: metric("purges"),
+                max_bad_fraction: metric("max_bad_fraction"),
+            }
+        })
+        .collect()
+}
+
+/// Formats the ablation table with trial means and 95 % confidence bounds
+/// for the good spend rate.
 pub fn to_table(rows: &[AblationRow]) -> Table {
-    let mut table =
-        Table::new(vec!["knob", "value", "A (good spend rate)", "purges", "max bad frac", "bound"]);
+    let mut table = Table::new(vec![
+        "knob",
+        "value",
+        "trials",
+        "mean",
+        "ci95_lo",
+        "ci95_hi",
+        "purges",
+        "max bad frac",
+        "bound",
+    ]);
     for r in rows {
         table.push(vec![
             r.knob.clone(),
             r.value.clone(),
-            fmt_num(r.good_rate),
-            r.purges.to_string(),
-            fmt_num(r.max_bad_fraction),
+            r.good_rate.n.to_string(),
+            fmt_num(r.good_rate.mean),
+            fmt_num(r.good_rate.ci95_lo),
+            fmt_num(r.good_rate.ci95_hi),
+            fmt_num(r.purges.mean),
+            fmt_num(r.max_bad_fraction.mean),
             "0.167".to_string(),
         ]);
     }
@@ -169,5 +265,18 @@ mod tests {
         let (_, purges, frac) = run_cfg(ErgoConfig::default(), 1.0, 5_000.0, 300.0, 5);
         assert!(purges > 0);
         assert!(frac < 1.0 / 6.0 + 0.02, "fraction {frac} with 1 s purge rounds");
+    }
+
+    #[test]
+    fn knob_grid_ids_are_unique_and_store_safe() {
+        let grid = knob_grid();
+        assert_eq!(grid.len(), 13);
+        // Exercise the SAME id derivation run() uses for the store keys.
+        let ids: std::collections::BTreeSet<String> =
+            grid.iter().map(|(k, v, _, _)| cell_id(k, v)).collect();
+        assert_eq!(ids.len(), grid.len());
+        for id in &ids {
+            assert!(!id.chars().any(char::is_whitespace), "{id}");
+        }
     }
 }

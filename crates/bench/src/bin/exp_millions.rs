@@ -1,0 +1,22 @@
+//! The million-ID Figure-8-shaped grid: 10⁶ initial IDs, ERGO / CCOM /
+//! SybilControl, ≥ 5 trials per cell, run end-to-end through the
+//! `sybil-exp` subsystem (content-addressed disk-streamed workload cache,
+//! Welford confidence intervals, resumable results store).
+//!
+//! Re-running is incremental: completed cells are served from
+//! `results/figure8_millions.store`. Set `SYBIL_BENCH_FAST=1` to drop to
+//! 2 trials for smoke runs.
+
+use sybil_bench::figure8;
+
+fn main() {
+    println!("=== Figure 8 at 10^6 IDs: A vs T, disk-streamed multi-trial grid ===");
+    let start = std::time::Instant::now();
+    let rows = figure8::run_millions();
+    let table = figure8::to_table(&rows);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("figure8_millions") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+}

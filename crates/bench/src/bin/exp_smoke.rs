@@ -1,0 +1,67 @@
+//! CI smoke experiment for the `sybil-exp` subsystem: a tiny Figure-8
+//! grid run **cold** (fresh store, workloads generated into the cache)
+//! and then **warm** (same spec), asserting that
+//!
+//! * the cold run executes every cell and the warm run skips them all
+//!   (resume semantics), and
+//! * the warm run's records are bit-identical to the cold run's.
+//!
+//! Exits nonzero on any violation. CI uploads the resulting
+//! `results/exp_smoke.store` as an artifact alongside `BENCH_engine.json`.
+
+use sybil_bench::grid::run_spend_grid;
+use sybil_bench::sweep::Algo;
+use sybil_bench::table::results_dir;
+use sybil_churn::networks;
+
+fn main() {
+    let name = "exp_smoke";
+    let store = results_dir().join(format!("{name}.store"));
+    // Guarantee a cold start: the smoke validates the cold→warm
+    // transition, not incremental growth.
+    std::fs::remove_file(&store).ok();
+
+    let run = || {
+        run_spend_grid(
+            name,
+            &[networks::gnutella()],
+            &[Algo::Ergo, Algo::CCom],
+            &[0.0, 1024.0],
+            2,
+            200.0,
+            1,
+        )
+    };
+
+    println!("--- cold run (fresh store) ---");
+    let (cold_rows, cold) = run();
+    assert_eq!(cold.cells_total, 4, "grid shape changed");
+    assert_eq!(cold.cells_executed, 4, "cold run must execute every cell");
+    assert_eq!(cold.cells_skipped, 0);
+
+    println!("--- warm run (resume from store) ---");
+    let (warm_rows, warm) = run();
+    assert_eq!(warm.cells_executed, 0, "warm run must skip all completed cells");
+    assert_eq!(warm.cells_skipped, 4);
+    assert!(warm.resumed, "warm run must resume the existing store");
+
+    for (a, b) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(
+            a.good_rate.mean.to_bits(),
+            b.good_rate.mean.to_bits(),
+            "{}/{}/T={}: resumed mean differs from computed mean",
+            a.network,
+            a.algo,
+            a.t
+        );
+        assert_eq!(a.purges.mean.to_bits(), b.purges.mean.to_bits());
+        assert_eq!(a.good_rate.n, 2, "smoke runs two trials per cell");
+    }
+
+    println!(
+        "exp_smoke OK: cold executed {} cells, warm skipped {} (store: {})",
+        cold.cells_executed,
+        warm.cells_skipped,
+        store.display()
+    );
+}

@@ -1,18 +1,19 @@
 //! Experiment E3 — the paper's **Figure 10**: Ergo versus its cost-reduction
 //! heuristics (Section 10.3).
 //!
-//! Same setup as Figure 8, with the roster ERGO, ERGO-CH1 (Heuristics 1+2),
-//! ERGO-CH2 (Heuristics 1+2+3), ERGO-SF(92), and ERGO-SF(98) (Heuristics
-//! 1–4 with classifier accuracies 0.92 / 0.98).
+//! Same setup as Figure 8 — including the multi-trial, cached,
+//! disk-streamed execution through `sybil-exp` — with the roster ERGO,
+//! ERGO-CH1 (Heuristics 1+2), ERGO-CH2 (Heuristics 1+2+3), ERGO-SF(92),
+//! and ERGO-SF(98) (Heuristics 1–4 with classifier accuracies 0.92 /
+//! 0.98).
 //!
 //! Expected shape (paper): the classifier variants dominate for large `T`
 //! (up to three orders of magnitude better than plain Ergo), with ERGO-SF
 //! curves pulling further ahead as `T` grows; CH1/CH2 give modest
 //! improvements concentrated at small `T` (purge-frequency effects).
 
-use crate::sweep::{
-    default_workers, fast_mode, run_parallel, run_point, t_grid, Algo, RunParams, SpendPoint,
-};
+use crate::grid::{run_spend_grid, SpendSummary};
+use crate::sweep::{fast_mode, t_grid, Algo};
 use crate::table::{fmt_num, Table};
 use sybil_churn::networks;
 
@@ -21,31 +22,33 @@ pub fn roster() -> Vec<Algo> {
     vec![Algo::Ergo, Algo::ErgoCh1, Algo::ErgoCh2, Algo::ErgoSfFull(0.92), Algo::ErgoSfFull(0.98)]
 }
 
-/// Runs the full Figure 10 sweep.
-pub fn run() -> Vec<SpendPoint> {
+/// Runs the full Figure 10 sweep (multi-trial, resumable).
+pub fn run() -> Vec<SpendSummary> {
     let (horizon, grid) =
         if fast_mode() { (500.0, vec![0.0, 16.0, 1024.0, 65_536.0]) } else { (10_000.0, t_grid()) };
-    let networks = networks::all_networks();
-    let mut jobs: Vec<Box<dyn FnOnce() -> SpendPoint + Send>> = Vec::new();
-    for net in &networks {
-        for algo in roster() {
-            for &t in &grid {
-                let net = *net;
-                let params = RunParams { horizon, ..RunParams::default() };
-                jobs.push(Box::new(move || run_point(&net, algo, t, params)));
-            }
-        }
-    }
-    run_parallel(jobs, default_workers())
+    let (rows, _) = run_spend_grid(
+        "figure10",
+        &networks::all_networks(),
+        &roster(),
+        &grid,
+        crate::figure8::trials(),
+        horizon,
+        1,
+    );
+    rows
 }
 
-/// Formats the sweep as the paper's per-panel series.
-pub fn to_table(points: &[SpendPoint]) -> Table {
+/// Formats the sweep as the paper's per-panel series with trial means and
+/// 95 % confidence bounds.
+pub fn to_table(points: &[SpendSummary]) -> Table {
     let mut table = Table::new(vec![
         "network",
         "variant",
         "T",
-        "A (good spend rate)",
+        "trials",
+        "mean",
+        "ci95_lo",
+        "ci95_hi",
         "vs ERGO",
         "max bad frac",
         "purges",
@@ -54,21 +57,24 @@ pub fn to_table(points: &[SpendPoint]) -> Table {
         let ergo_a = points
             .iter()
             .find(|q| q.network == p.network && q.t == p.t && q.algo == "ERGO")
-            .map(|q| q.good_rate);
+            .map(|q| q.good_rate.mean);
         table.push(vec![
             p.network.clone(),
             p.algo.clone(),
             fmt_num(p.t),
-            fmt_num(p.good_rate),
+            p.good_rate.n.to_string(),
+            fmt_num(p.good_rate.mean),
+            fmt_num(p.good_rate.ci95_lo),
+            fmt_num(p.good_rate.ci95_hi),
             ergo_a.map_or("-".into(), |a| {
                 if a > 0.0 {
-                    format!("{:.2}x", p.good_rate / a)
+                    format!("{:.2}x", p.good_rate.mean / a)
                 } else {
                     "-".into()
                 }
             }),
-            fmt_num(p.max_bad_fraction),
-            p.purges.to_string(),
+            fmt_num(p.max_bad_fraction.mean),
+            fmt_num(p.purges.mean),
         ]);
     }
     table
@@ -77,7 +83,7 @@ pub fn to_table(points: &[SpendPoint]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::RunParams;
+    use crate::sweep::{run_point, RunParams};
 
     #[test]
     fn roster_matches_figure10_legend() {

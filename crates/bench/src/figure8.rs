@@ -4,7 +4,12 @@
 //! workloads.
 //!
 //! Setup mirrors Section 10.1: κ = 1/18, `T ∈ 2⁰…2²⁰`, 10 000 simulated
-//! seconds per point, adversary spending only on entrance challenges.
+//! seconds per point — now repeated for [`trials`] independent workload
+//! seeds per cell through the `sybil-exp` subsystem: workloads are
+//! materialized once per (network, trial) in the content-addressed disk
+//! cache and replayed into every (algorithm, T) cell; each cell reports
+//! `mean, ci95_lo, ci95_hi` per metric and is recorded in a resumable
+//! results store.
 //!
 //! Expected shape (paper): Ergo matches every baseline for `T ≥ 100` and
 //! beats them by up to two orders of magnitude at large `T` (its `A` grows
@@ -12,9 +17,8 @@
 //! `(1−κ)·Tmax/κ ≈ 1.7·10⁸`; SybilControl's curve is cut once it can no
 //! longer enforce a `< 1/6` bad fraction.
 
-use crate::sweep::{
-    default_workers, fast_mode, run_parallel, run_point, t_grid, Algo, RunParams, SpendPoint,
-};
+use crate::grid::{run_spend_grid, SpendSummary};
+use crate::sweep::{fast_mode, t_grid, Algo};
 use crate::table::{fmt_num, Table};
 use sybil_churn::networks;
 
@@ -23,31 +27,62 @@ pub fn roster() -> Vec<Algo> {
     vec![Algo::Ergo, Algo::CCom, Algo::SybilControl, Algo::Remp(1e7), Algo::ErgoSf(0.98)]
 }
 
-/// Runs the full Figure 8 sweep and returns the measured points.
-pub fn run() -> Vec<SpendPoint> {
-    let (horizon, grid) =
-        if fast_mode() { (500.0, vec![0.0, 16.0, 1024.0, 65_536.0]) } else { (10_000.0, t_grid()) };
-    let networks = networks::all_networks();
-    let mut jobs: Vec<Box<dyn FnOnce() -> SpendPoint + Send>> = Vec::new();
-    for net in &networks {
-        for algo in roster() {
-            for &t in &grid {
-                let net = *net;
-                let params = RunParams { horizon, ..RunParams::default() };
-                jobs.push(Box::new(move || run_point(&net, algo, t, params)));
-            }
-        }
-    }
-    run_parallel(jobs, default_workers())
+/// Independent trials per cell (see [`crate::grid::default_trials`]).
+pub fn trials() -> u32 {
+    crate::grid::default_trials()
 }
 
-/// Formats the points as the per-network series the paper plots.
-pub fn to_table(points: &[SpendPoint]) -> Table {
+/// Runs the full Figure 8 sweep (multi-trial, cached disk-streamed
+/// workloads, resumable) and returns the aggregated cells.
+pub fn run() -> Vec<SpendSummary> {
+    let (horizon, grid) =
+        if fast_mode() { (500.0, vec![0.0, 16.0, 1024.0, 65_536.0]) } else { (10_000.0, t_grid()) };
+    let (rows, _) = run_spend_grid(
+        "figure8",
+        &networks::all_networks(),
+        &roster(),
+        &grid,
+        trials(),
+        horizon,
+        1,
+    );
+    rows
+}
+
+/// The million-ID Figure-8-shaped grid (ROADMAP "scale sweeps to
+/// million-ID workloads"): the [`networks::millions`] model at 10⁶ initial
+/// IDs, ERGO / CCOM / SybilControl, four attack rates, ≥ 5 trials per
+/// cell — every run disk-streamed from the content-addressed cache, so
+/// resident workload memory stays at two read buffers per run instead of
+/// the ~16 MB schedule.
+///
+/// The horizon is 500 s (as in the `macro_millions` perf scenario): at
+/// this scale each trial replays ~170 k events, so the full grid is
+/// minutes, not hours, and still exercises every million-ID code path.
+pub fn run_millions() -> Vec<SpendSummary> {
+    let (rows, _) = run_spend_grid(
+        "figure8_millions",
+        &[networks::millions(1_000_000)],
+        &[Algo::Ergo, Algo::CCom, Algo::SybilControl],
+        &[0.0, 64.0, 4096.0, 65_536.0],
+        trials(),
+        500.0,
+        1,
+    );
+    rows
+}
+
+/// Formats the cells as the per-network series the paper plots, with the
+/// trial mean and 95 % confidence bounds for `A`.
+pub fn to_table(points: &[SpendSummary]) -> Table {
     let mut table = Table::new(vec![
         "network",
         "algorithm",
         "T",
-        "A (good spend rate)",
+        "trials",
+        "mean",
+        "ci95_lo",
+        "ci95_hi",
         "A/T",
         "max bad frac",
         "purges",
@@ -58,10 +93,13 @@ pub fn to_table(points: &[SpendPoint]) -> Table {
             p.network.clone(),
             p.algo.clone(),
             fmt_num(p.t),
-            fmt_num(p.good_rate),
-            if p.t > 0.0 { fmt_num(p.good_rate / p.t) } else { "-".into() },
-            fmt_num(p.max_bad_fraction),
-            p.purges.to_string(),
+            p.good_rate.n.to_string(),
+            fmt_num(p.good_rate.mean),
+            fmt_num(p.good_rate.ci95_lo),
+            fmt_num(p.good_rate.ci95_hi),
+            if p.t > 0.0 { fmt_num(p.good_rate.mean / p.t) } else { "-".into() },
+            fmt_num(p.max_bad_fraction.mean),
+            fmt_num(p.purges.mean),
             if p.guarantee { "ok".into() } else { "CUT".to_string() },
         ]);
     }
@@ -70,15 +108,16 @@ pub fn to_table(points: &[SpendPoint]) -> Table {
 
 /// The headline comparison: each baseline's spend relative to Ergo at the
 /// largest attack, per network (the paper reports "up to 2 orders of
-/// magnitude better", and 3 with the classifier).
-pub fn improvement_summary(points: &[SpendPoint]) -> Table {
+/// magnitude better", and 3 with the classifier). Ratios compare trial
+/// means.
+pub fn improvement_summary(points: &[SpendSummary]) -> Table {
     let mut table = Table::new(vec!["network", "baseline", "T", "A_baseline / A_ERGO"]);
     let t_max = points.iter().map(|p| p.t).fold(0.0, f64::max);
     for net in networks::all_networks() {
         let ergo_a = points
             .iter()
             .find(|p| p.network == net.name && p.algo == "ERGO" && p.t == t_max)
-            .map(|p| p.good_rate);
+            .map(|p| p.good_rate.mean);
         let Some(ergo_a) = ergo_a else { continue };
         for p in points {
             if p.network == net.name && p.t == t_max && p.algo != "ERGO" {
@@ -86,7 +125,7 @@ pub fn improvement_summary(points: &[SpendPoint]) -> Table {
                     p.network.clone(),
                     p.algo.clone(),
                     fmt_num(p.t),
-                    fmt_num(p.good_rate / ergo_a),
+                    fmt_num(p.good_rate.mean / ergo_a),
                 ]);
             }
         }
@@ -97,6 +136,7 @@ pub fn improvement_summary(points: &[SpendPoint]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_point, RunParams};
 
     #[test]
     fn roster_matches_figure8_legend() {
@@ -122,7 +162,5 @@ mod tests {
         );
         // REMP charges ~Tmax/κ regardless of T.
         assert!(remp.good_rate > 1e8, "REMP {}", remp.good_rate);
-        let table = to_table(&[ergo, ccom, remp]);
-        assert_eq!(table.len(), 3);
     }
 }

@@ -7,18 +7,28 @@
 //! GoodJEst interval we record the ratio of the estimate `J̃` to the true
 //! good join rate over that interval.
 //!
+//! Cells run through the `sybil-exp` subsystem: [`trials`] workload seeds
+//! per cell, each workload materialized once in the disk cache and
+//! streamed into all ten (fraction, T) cells of its network, the
+//! per-trial median ratio aggregated into `mean, ci95_lo, ci95_hi`, and
+//! every finished cell recorded in a resumable results store.
+//!
 //! Expected shape (paper Section 10.2): all ratios within `(0.08, 1.2)` for
 //! `T = 0` and within `(0.08, 4)` under attack — i.e. the estimate is always
 //! within about a factor of 10, usually much closer.
 
-use crate::sweep::{default_workers, fast_mode, run_parallel};
-use crate::table::{fmt_num, Table};
+use crate::grid::default_cache_dir;
+use crate::sweep::{default_workers, fast_mode};
+use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::{Ergo, ErgoConfig};
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
+use sybil_exp::spec::text_fingerprint;
+use sybil_exp::{trial_seed, MetricSummary, Welford, WorkloadCache};
 use sybil_sim::adversary::FractionKeeper;
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
+use sybil_sim::workload::WorkloadSource;
 
 /// The persistent Sybil fractions on Figure 9's x-axis.
 pub fn fractions() -> Vec<(String, f64)> {
@@ -31,7 +41,12 @@ pub fn fractions() -> Vec<(String, f64)> {
     ]
 }
 
-/// One cell of the Figure 9 grid.
+/// Independent trials per cell (see [`crate::grid::default_trials`]).
+pub fn trials() -> u32 {
+    crate::grid::default_trials()
+}
+
+/// One cell of the Figure 9 grid, aggregated over trials.
 #[derive(Clone, Debug)]
 pub struct EstimateQuality {
     /// Network name.
@@ -40,6 +55,19 @@ pub struct EstimateQuality {
     pub fraction: String,
     /// Injection spend rate (0 or 10 000).
     pub t: f64,
+    /// Estimator intervals observed, summed over trials.
+    pub intervals: usize,
+    /// Minimum of `J̃ / true rate` across all trials' intervals.
+    pub min_ratio: f64,
+    /// Per-trial median ratio, aggregated over trials.
+    pub median_ratio: MetricSummary,
+    /// Maximum ratio across all trials' intervals.
+    pub max_ratio: f64,
+}
+
+/// Raw per-trial measurements (one workload seed, one run).
+#[derive(Clone, Debug)]
+pub struct TrialQuality {
     /// Number of estimator intervals observed.
     pub intervals: usize,
     /// Minimum of `J̃ / true rate` over intervals.
@@ -50,15 +78,13 @@ pub struct EstimateQuality {
     pub max_ratio: f64,
 }
 
-/// Runs one (network, fraction, T) cell.
-pub fn run_cell(
-    network: &ChurnModel,
+/// Runs one (workload, fraction, T) trial against any workload source.
+pub fn run_trial<W: WorkloadSource>(
+    workload: W,
     fraction: f64,
     t: f64,
     horizon: f64,
-    seed: u64,
-) -> EstimateQuality {
-    let workload = network.generate(Time(horizon), seed);
+) -> TrialQuality {
     let n0 = workload.initial_size();
     let initial_bad = ((fraction / (1.0 - fraction)) * n0 as f64).round() as u64;
     let cfg = SimConfig {
@@ -101,45 +127,139 @@ pub fn run_cell(
     } else {
         (ratios[0], ratios[ratios.len() / 2], ratios[ratios.len() - 1])
     };
-    EstimateQuality {
-        network: network.name.to_string(),
-        fraction: String::new(),
-        t,
-        intervals: ratios.len(),
-        min_ratio: min,
-        median_ratio: med,
-        max_ratio: max,
-    }
+    TrialQuality { intervals: ratios.len(), min_ratio: min, median_ratio: med, max_ratio: max }
 }
 
-/// Runs the full Figure 9 grid.
+/// Runs one (network, fraction, T) cell with an in-memory workload — the
+/// single-trial form the quick tests use.
+pub fn run_cell(
+    network: &ChurnModel,
+    fraction: f64,
+    t: f64,
+    horizon: f64,
+    seed: u64,
+) -> TrialQuality {
+    run_trial(network.generate(Time(horizon), seed), fraction, t, horizon)
+}
+
+/// Runs the full Figure 9 grid (multi-trial, cached workloads, resumable).
 pub fn run() -> Vec<EstimateQuality> {
     let horizon = if fast_mode() { 5_000.0 } else { 100_000.0 };
-    let mut jobs: Vec<Box<dyn FnOnce() -> EstimateQuality + Send>> = Vec::new();
-    for net in networks::all_networks() {
+    let (trials, base_seed) = (trials(), 11u64);
+    let nets = networks::all_networks();
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+
+    // Canonical configuration text: any change — including to what the
+    // network labels or the defense default resolve to in code — re-runs
+    // the grid instead of resuming stale cells.
+    let config = format!(
+        "figure9 v2\nhorizon = {horizon}\ntrials = {trials}\nseed = {base_seed}\n\
+         fractions = {:?}\nts = [0, 10000]\nnetworks = {nets:?}\ndefense = {:?}\n",
+        fractions(),
+        ErgoConfig::default(),
+    );
+
+    struct Cell {
+        net: ChurnModel,
+        fraction: f64,
+        t: f64,
+    }
+    let mut cells: Vec<(String, Cell)> = Vec::new();
+    for net in &nets {
         for (label, fraction) in fractions() {
             for t in [0.0, 10_000.0] {
-                let label = label.clone();
-                jobs.push(Box::new(move || {
-                    let mut cell = run_cell(&net, fraction, t, horizon, 11);
-                    cell.fraction = label;
-                    cell
-                }));
+                let id = format!("{}/frac={}/T={}", net.name, label.replace('/', "of"), t as u64);
+                cells.push((id, Cell { net: *net, fraction, t }));
             }
         }
     }
-    run_parallel(jobs, default_workers())
+
+    let cache_ref = &cache;
+    let outcome = sybil_exp::run_grid(
+        "figure9",
+        &text_fingerprint(&config),
+        &results_dir().join("figure9.store"),
+        cells,
+        Some(cache_ref),
+        default_workers(),
+        move |cell: &Cell| {
+            let mut intervals = 0usize;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut medians = Welford::new();
+            for trial in 0..trials {
+                let wseed = trial_seed(base_seed, trial as u64);
+                let disk = cache_ref
+                    .get_or_create(&cell.net, Time(horizon), wseed)
+                    .unwrap_or_else(|e| panic!("workload cache failed: {e}"));
+                let q = run_trial(disk, cell.fraction, cell.t, horizon);
+                intervals += q.intervals;
+                if q.intervals > 0 {
+                    min = min.min(q.min_ratio);
+                    max = max.max(q.max_ratio);
+                    medians.push(q.median_ratio);
+                }
+            }
+            let med = medians.summary();
+            vec![
+                // Trials that actually contributed a median: a trial with
+                // zero completed estimator intervals is absent from the
+                // accumulator, and the CSV must not overstate the sample
+                // size behind the confidence interval.
+                ("trials".into(), medians.count() as f64),
+                ("intervals".into(), intervals as f64),
+                ("min_ratio".into(), if min.is_finite() { min } else { f64::NAN }),
+                ("median_mean".into(), med.mean),
+                ("median_ci95_lo".into(), med.ci95_lo),
+                ("median_ci95_hi".into(), med.ci95_hi),
+                ("max_ratio".into(), if max.is_finite() { max } else { f64::NAN }),
+            ]
+        },
+    )
+    .unwrap_or_else(|e| panic!("figure9 experiment failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    let mut rows = Vec::new();
+    let mut records = outcome.records.iter();
+    for net in &nets {
+        for (label, _) in fractions() {
+            for t in [0.0, 10_000.0] {
+                let r = records.next().expect("record per cell");
+                let get = |name: &str| r.get(name).unwrap_or(f64::NAN);
+                rows.push(EstimateQuality {
+                    network: net.name.to_string(),
+                    fraction: label.clone(),
+                    t,
+                    intervals: get("intervals") as usize,
+                    min_ratio: get("min_ratio"),
+                    median_ratio: MetricSummary {
+                        n: get("trials") as u64,
+                        mean: get("median_mean"),
+                        ci95_lo: get("median_ci95_lo"),
+                        ci95_hi: get("median_ci95_hi"),
+                    },
+                    max_ratio: get("max_ratio"),
+                });
+            }
+        }
+    }
+    rows
 }
 
-/// Formats the grid as the paper's per-panel series.
+/// Formats the grid as the paper's per-panel series with trial means and
+/// 95 % confidence bounds for the median ratio.
 pub fn to_table(cells: &[EstimateQuality]) -> Table {
     let mut table = Table::new(vec![
         "network",
         "bad fraction",
         "T",
+        "trials",
         "intervals",
         "min est/true",
-        "median est/true",
+        "mean",
+        "ci95_lo",
+        "ci95_hi",
         "max est/true",
     ]);
     for c in cells {
@@ -147,9 +267,12 @@ pub fn to_table(cells: &[EstimateQuality]) -> Table {
             c.network.clone(),
             c.fraction.clone(),
             fmt_num(c.t),
+            c.median_ratio.n.to_string(),
             c.intervals.to_string(),
             fmt_num(c.min_ratio),
-            fmt_num(c.median_ratio),
+            fmt_num(c.median_ratio.mean),
+            fmt_num(c.median_ratio.ci95_lo),
+            fmt_num(c.median_ratio.ci95_hi),
             fmt_num(c.max_ratio),
         ]);
     }
@@ -172,8 +295,7 @@ mod tests {
     fn estimates_are_within_factor_ten_on_gnutella() {
         // A reduced-horizon version of the paper's claim: GoodJEst stays
         // within a factor of 10 of the true good join rate.
-        let mut cell = run_cell(&networks::gnutella(), 1.0 / 96.0, 0.0, 20_000.0, 3);
-        cell.fraction = "1/96".into();
+        let cell = run_cell(&networks::gnutella(), 1.0 / 96.0, 0.0, 20_000.0, 3);
         assert!(cell.intervals > 0, "no intervals completed");
         assert!(
             cell.min_ratio > 0.05 && cell.max_ratio < 20.0,
@@ -181,5 +303,20 @@ mod tests {
             cell.min_ratio,
             cell.max_ratio
         );
+    }
+
+    #[test]
+    fn disk_and_memory_trials_agree() {
+        use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
+        let net = networks::gnutella();
+        let horizon = 5_000.0;
+        let workload = net.generate(Time(horizon), 17);
+        let path = std::env::temp_dir().join(format!("sybil_fig9_eq_{}.wkld", std::process::id()));
+        write_workload_file(&path, &workload).unwrap();
+        let mem = run_trial(workload, 1.0 / 96.0, 0.0, horizon);
+        let disk = run_trial(DiskWorkload::open(&path).unwrap(), 1.0 / 96.0, 0.0, horizon);
+        assert_eq!(mem.intervals, disk.intervals);
+        assert_eq!(mem.median_ratio.to_bits(), disk.median_ratio.to_bits());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,247 @@
+//! Multi-trial spend-rate grids on the `sybil-exp` orchestration
+//! subsystem.
+//!
+//! [`run_spend_grid`] is the engine behind Figures 8 and 10 (and the
+//! million-ID variant): it builds a declarative
+//! [`ExperimentSpec`], materializes each trial's workload once through the
+//! content-addressed [`WorkloadCache`], replays it disk-streamed into
+//! every (algorithm, T) cell, aggregates the trials through streaming
+//! Welford accumulators into `mean, ci95_lo, ci95_hi` triples, and records
+//! each finished cell in a resumable results store next to the CSVs.
+
+use crate::sweep::{default_workers, run_report_with, Algo};
+use crate::table::results_dir;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use sybil_churn::model::ChurnModel;
+use sybil_exp::runner::RunSummary;
+use sybil_exp::spec::CellSpec;
+use sybil_exp::{ExperimentSpec, MetricSummary, Record, Welford, WorkloadCache};
+use sybil_sim::engine::SimConfig;
+use sybil_sim::time::Time;
+
+/// One aggregated cell of a spend-rate grid: per-metric trial statistics.
+#[derive(Clone, Debug)]
+pub struct SpendSummary {
+    /// Network name.
+    pub network: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Configured adversary spend rate `T`.
+    pub t: f64,
+    /// Good spend rate `A` over trials.
+    pub good_rate: MetricSummary,
+    /// Measured adversary spend rate over trials.
+    pub adv_rate: MetricSummary,
+    /// Maximum instantaneous Sybil fraction over trials.
+    pub max_bad_fraction: MetricSummary,
+    /// Purges executed over trials.
+    pub purges: MetricSummary,
+    /// Whether the algorithm's guarantee covers this `T` (curve cutoff).
+    pub guarantee: bool,
+}
+
+/// The four metrics every spend cell records, in store-field order.
+const METRICS: [&str; 4] = ["good_rate", "adv_rate", "max_bad_fraction", "purges"];
+
+fn summary_fields(trials: u64, summaries: &[(&str, MetricSummary)]) -> Vec<(String, f64)> {
+    let mut fields = vec![("trials".to_string(), trials as f64)];
+    for (name, s) in summaries {
+        fields.push((format!("{name}_mean"), s.mean));
+        fields.push((format!("{name}_ci95_lo"), s.ci95_lo));
+        fields.push((format!("{name}_ci95_hi"), s.ci95_hi));
+    }
+    fields
+}
+
+fn metric_from_record(record: &Record, name: &str, trials: u64) -> MetricSummary {
+    let get = |suffix: &str| {
+        record.get(&format!("{name}_{suffix}")).unwrap_or_else(|| {
+            panic!("results store record {} lacks field {name}_{suffix}", record.cell_id)
+        })
+    };
+    MetricSummary { n: trials, mean: get("mean"), ci95_lo: get("ci95_lo"), ci95_hi: get("ci95_hi") }
+}
+
+/// The trial count every figure experiment shares: 5 independent workload
+/// seeds per cell at paper scale, 2 in `SYBIL_BENCH_FAST` smoke mode.
+pub fn default_trials() -> u32 {
+    if crate::sweep::fast_mode() {
+        2
+    } else {
+        5
+    }
+}
+
+/// The cache directory the figure drivers share:
+/// `SYBIL_EXP_CACHE_DIR` if set, else `target/workload_cache` under the
+/// repo root (cache entries are derived artifacts, never committed).
+pub fn default_cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SYBIL_EXP_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let raw = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    raw.canonicalize().unwrap_or(raw).join("target").join("workload_cache")
+}
+
+/// Runs a multi-trial (networks × roster × T) spend grid.
+///
+/// Every cell replays the same `trials` workloads (one per trial seed,
+/// shared grid-wide through the cache) and aggregates its
+/// [`SimReport`](sybil_sim::SimReport)s into t-based 95 % confidence
+/// intervals. Finished cells land in `results/<name>.store`; re-running
+/// the same spec resumes, skipping them. The run summary (resume counts,
+/// cache behavior, pool efficiency) is printed to stderr.
+///
+/// # Panics
+///
+/// Panics if the cache or store directories are unusable, or if a label
+/// in `roster`/`nets` is not unique — cells would alias in the store.
+pub fn run_spend_grid(
+    name: &str,
+    nets: &[ChurnModel],
+    roster: &[Algo],
+    t_grid: &[f64],
+    trials: u32,
+    horizon: f64,
+    base_seed: u64,
+) -> (Vec<SpendSummary>, RunSummary) {
+    let net_by_name: HashMap<String, &ChurnModel> =
+        nets.iter().map(|n| (n.name.to_string(), n)).collect();
+    let algo_by_label: HashMap<String, Algo> = roster.iter().map(|a| (a.label(), *a)).collect();
+    assert_eq!(net_by_name.len(), nets.len(), "duplicate network names in {name}");
+    assert_eq!(algo_by_label.len(), roster.len(), "duplicate algorithm labels in {name}");
+
+    let spec = ExperimentSpec {
+        name: name.to_string(),
+        networks: nets.iter().map(|n| n.name.to_string()).collect(),
+        algos: roster.iter().map(|a| a.label()).collect(),
+        t_grid: t_grid.to_vec(),
+        trials,
+        horizon,
+        kappa: sybil_sim::SimConfig::default().kappa,
+        seed: base_seed,
+    };
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+
+    let run_cell = |cell: &CellSpec| -> Vec<(String, f64)> {
+        let net = net_by_name[&cell.network];
+        let algo = algo_by_label[&cell.algo];
+        let mut acc: [Welford; 4] = [Welford::new(); 4];
+        for trial in 0..spec.trials {
+            let wseed = spec.workload_seed(trial);
+            let disk = cache
+                .get_or_create(net, Time(spec.horizon), wseed)
+                .unwrap_or_else(|e| panic!("workload cache failed for {}: {e}", cell.id()));
+            let cfg = SimConfig {
+                horizon: Time(spec.horizon),
+                kappa: spec.kappa,
+                adv_rate: cell.t,
+                ..SimConfig::default()
+            };
+            let report = run_report_with(cfg, algo, cell.t, spec.defense_seed(trial), disk);
+            acc[0].push(report.good_spend_rate());
+            acc[1].push(report.adv_spend_rate());
+            acc[2].push(report.max_bad_fraction);
+            acc[3].push(report.purges as f64);
+        }
+        let summaries: Vec<(&str, MetricSummary)> =
+            METRICS.iter().zip(acc.iter()).map(|(&m, w)| (m, w.summary())).collect();
+        summary_fields(spec.trials as u64, &summaries)
+    };
+
+    // The spec names networks/algorithms by label; the fingerprint context
+    // carries what those labels currently *mean*: full churn-model
+    // parameters, the roster variants, and the default defense configs
+    // `Algo::dispatch` resolves them against — so editing a model, a
+    // roster entry, or a defense constant in code invalidates stored
+    // cells instead of silently resuming them.
+    let context = {
+        use ergo_core::params::{ErgoConfig, Heuristics};
+        // Every named config constructor `Algo::dispatch` can reach (see
+        // sybil_defenses::variants): the classifier gate's remaining
+        // inputs — accuracy and seed — are already covered by the roster
+        // Debug form and the spec seed.
+        format!(
+            "networks = {nets:?}\nroster = {roster:?}\nergo = {:?}\nccom = {:?}\n\
+             ch1 = {:?}\nch2 = {:?}\nsybilcontrol = {:?}\nremp = {:?}\n",
+            ErgoConfig::default(),
+            ErgoConfig::ccom(),
+            ErgoConfig::with_heuristics(Heuristics::ch1()),
+            ErgoConfig::with_heuristics(Heuristics::ch2()),
+            sybil_defenses::SybilControl::default(),
+            sybil_defenses::RempConfig::default(),
+        )
+    };
+    let outcome = sybil_exp::run_spec_grid(
+        &spec,
+        &context,
+        &results_dir(),
+        Some(&cache),
+        default_workers(),
+        run_cell,
+    )
+    .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    let rows = spec
+        .cells()
+        .iter()
+        .zip(&outcome.records)
+        .map(|(cell, record)| {
+            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            let algo = algo_by_label[&cell.algo];
+            SpendSummary {
+                network: cell.network.clone(),
+                algo: cell.algo.clone(),
+                t: cell.t,
+                good_rate: metric_from_record(record, "good_rate", trials),
+                adv_rate: metric_from_record(record, "adv_rate", trials),
+                max_bad_fraction: metric_from_record(record, "max_bad_fraction", trials),
+                purges: metric_from_record(record, "purges", trials),
+                guarantee: algo.guarantee_covers(cell.t, net_by_name[&cell.network].initial_size),
+            }
+        })
+        .collect();
+    (rows, outcome.summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_churn::networks;
+
+    #[test]
+    fn tiny_grid_end_to_end_with_resume() {
+        // A 1-network × 2-algo × 2-T grid with 2 trials, isolated cache and
+        // store dirs via env override is not possible per-test (process
+        // global), so use a uniquely named experiment in the shared dirs.
+        let name = format!("grid-test-{}", std::process::id());
+        let net = networks::gnutella();
+        let roster = [Algo::Ergo, Algo::CCom];
+        let (rows, summary) = run_spend_grid(&name, &[net], &roster, &[0.0, 64.0], 2, 50.0, 5);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(summary.cells_executed, 4);
+        for row in &rows {
+            assert_eq!(row.good_rate.n, 2);
+            assert!(row.good_rate.mean > 0.0);
+            assert!(
+                row.good_rate.ci95_lo <= row.good_rate.mean
+                    && row.good_rate.mean <= row.good_rate.ci95_hi
+            );
+        }
+        // Warm re-run: all cells resume from the store, bit-identically.
+        let (rows2, summary2) =
+            run_spend_grid(&name, &[networks::gnutella()], &roster, &[0.0, 64.0], 2, 50.0, 5);
+        assert_eq!(summary2.cells_executed, 0);
+        assert_eq!(summary2.cells_skipped, 4);
+        for (a, b) in rows.iter().zip(&rows2) {
+            assert_eq!(a.good_rate.mean.to_bits(), b.good_rate.mean.to_bits());
+            assert_eq!(a.purges.mean.to_bits(), b.purges.mean.to_bits());
+        }
+        // Clean up this test's store artifacts.
+        std::fs::remove_file(results_dir().join(format!("{name}.store"))).ok();
+        std::fs::remove_file(results_dir().join(format!("{name}.spec"))).ok();
+    }
+}

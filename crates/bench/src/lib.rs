@@ -15,6 +15,14 @@
 //! | [`dht_exp`] | Section 13.2 extension: Sybil-resistant DHT | `dht` |
 //! | [`ablation_exp`] | constants ablations (Sections 9.3, 13.3) + failure injection | `ablation` |
 //!
+//! The figure experiments execute through the `sybil-exp` orchestration
+//! subsystem (see [`grid`] and `crates/exp/README.md`): multi-trial cells
+//! (5 trials, 2 in FAST mode) fed by a content-addressed disk-streamed
+//! workload cache, aggregated into `mean, ci95_lo, ci95_hi` columns, and
+//! recorded in resumable per-experiment results stores under `results/`.
+//! The `exp_millions` bin runs the Figure-8-shaped grid at 10⁶ initial
+//! IDs; `exp_smoke` is the CI cold/warm-cache resume check.
+//!
 //! Set `SYBIL_BENCH_FAST=1` for a ~1-minute smoke run of the full suite;
 //! the default is paper scale (10 000 s horizons, `T` up to `2²⁰`).
 //! `SYBIL_BENCH_WORKERS=n` bounds parallelism.
@@ -28,6 +36,7 @@ pub mod dht_exp;
 pub mod figure10;
 pub mod figure8;
 pub mod figure9;
+pub mod grid;
 pub mod invariants_exp;
 pub mod lower_bound_exp;
 pub mod perf;

@@ -1,10 +1,17 @@
 //! Experiment E4 — the Theorem 3 lower bound (paper Section 11): every
 //! B1–B3 algorithm, across entrance cost functions, spends at rate
 //! `Ω(√(T·J) + J)` against the uniform-join / abandon-at-purge adversary.
+//!
+//! The bound simulation is closed-form and seedless (no workload, no RNG),
+//! so cells are single deterministic runs — multi-trial confidence
+//! intervals would be zero-width by construction. The grid still runs
+//! through the `sybil-exp` runner for its resumable results store and
+//! instrumented pool.
 
-use crate::sweep::{default_workers, fast_mode, run_parallel};
-use crate::table::{fmt_num, Table};
+use crate::sweep::{default_workers, fast_mode};
+use crate::table::{fmt_num, results_dir, Table};
 use sybil_defenses::lower_bound::{run_lower_bound, CostFunction, LowerBoundOutcome};
+use sybil_exp::spec::text_fingerprint;
 
 /// The cost-function family swept by the experiment.
 pub fn cost_functions() -> Vec<CostFunction> {
@@ -16,18 +23,66 @@ pub fn cost_functions() -> Vec<CostFunction> {
     ]
 }
 
-/// Runs the lower-bound sweep.
+/// Runs the lower-bound sweep (resumable).
 pub fn run() -> Vec<LowerBoundOutcome> {
     let horizon = if fast_mode() { 1_000.0 } else { 10_000.0 };
     let t_values: Vec<f64> =
         if fast_mode() { vec![1e2, 1e4] } else { vec![0.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7] };
-    let mut jobs: Vec<Box<dyn FnOnce() -> LowerBoundOutcome + Send>> = Vec::new();
+    let (j, n0, delta) = (2.0, 10_000u64, 1.0 / 11.0);
+
+    let config = format!(
+        "lower_bound v2\nhorizon = {horizon}\nj = {j}\nn0 = {n0}\ndelta = {delta}\n\
+         ts = {t_values:?}\ncost_functions = {:?}\n",
+        cost_functions().iter().map(|f| f.label()).collect::<Vec<_>>(),
+    );
+
+    let mut cells: Vec<(String, (CostFunction, f64))> = Vec::new();
     for f in cost_functions() {
         for &t in &t_values {
-            jobs.push(Box::new(move || run_lower_bound(f, t, 2.0, 10_000, 1.0 / 11.0, horizon)));
+            let id = format!("{}/T={}", f.label().replace(' ', "_"), t);
+            cells.push((id, (f, t)));
         }
     }
-    run_parallel(jobs, default_workers())
+
+    let outcome = sybil_exp::run_grid(
+        "lower_bound",
+        &text_fingerprint(&config),
+        &results_dir().join("lower_bound.store"),
+        cells,
+        None,
+        default_workers(),
+        move |&(f, t): &(CostFunction, f64)| {
+            let o = run_lower_bound(f, t, j, n0, delta, horizon);
+            vec![
+                ("j".into(), o.j),
+                ("j_bad".into(), o.j_bad),
+                ("spend_rate".into(), o.spend_rate),
+                ("bound".into(), o.bound),
+                ("ratio".into(), o.ratio),
+            ]
+        },
+    )
+    .unwrap_or_else(|e| panic!("lower_bound experiment failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    let mut rows = Vec::new();
+    let mut records = outcome.records.iter();
+    for f in cost_functions() {
+        for &t in &t_values {
+            let r = records.next().expect("record per cell");
+            let get = |name: &str| r.get(name).unwrap_or(f64::NAN);
+            rows.push(LowerBoundOutcome {
+                label: f.label(),
+                t,
+                j: get("j"),
+                j_bad: get("j_bad"),
+                spend_rate: get("spend_rate"),
+                bound: get("bound"),
+                ratio: get("ratio"),
+            });
+        }
+    }
+    rows
 }
 
 /// Formats the sweep.
@@ -64,6 +119,16 @@ mod tests {
         for f in cost_functions() {
             let out = run_lower_bound(f, 1e5, 2.0, 10_000, 1.0 / 11.0, 2_000.0);
             assert!(out.ratio > 0.5, "{}: ratio {}", out.label, out.ratio);
+        }
+    }
+
+    #[test]
+    fn cell_ids_are_store_safe_and_unique() {
+        let mut ids = std::collections::BTreeSet::new();
+        for f in cost_functions() {
+            let id = format!("{}/T=100", f.label().replace(' ', "_"));
+            assert!(!id.chars().any(char::is_whitespace), "{id}");
+            assert!(ids.insert(id));
         }
     }
 }

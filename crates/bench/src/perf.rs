@@ -18,10 +18,8 @@
 
 use crate::sweep::{run_report, Algo, AlgoVisitor, RunParams};
 use std::time::Instant;
-use sybil_churn::arrival::ArrivalProcess;
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
-use sybil_churn::session::SessionModel;
 use sybil_sim::adversary::BudgetJoiner;
 use sybil_sim::defense::Defense;
 use sybil_sim::engine::{SimConfig, Simulation};
@@ -173,17 +171,10 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
     }
 }
 
-/// The million-ID churn model behind `macro_millions`: Gnutella's session
-/// law scaled to a stationary population of 10⁶ (Little's law sets the
-/// arrival rate).
+/// The million-ID churn model behind `macro_millions` — now shared with
+/// the `exp_millions` grid driver via [`networks::millions`].
 fn millions_model() -> ChurnModel {
-    const MEAN_SESSION: f64 = 2.3 * 3600.0;
-    ChurnModel {
-        name: "millions",
-        initial_size: 1_000_000,
-        arrival: ArrivalProcess::Poisson { rate: 1_000_000.0 / MEAN_SESSION },
-        session: SessionModel::Exponential { mean: MEAN_SESSION },
-    }
+    networks::millions(1_000_000)
 }
 
 /// The `macro_millions` scenario: a 1 000 000-initial-ID workload generated

@@ -1,5 +1,9 @@
-//! Shared experiment machinery: algorithm roster, spend-rate sweeps, and a
-//! small deterministic thread pool.
+//! Shared experiment machinery: algorithm roster and spend-rate runs.
+//!
+//! The deterministic thread pool and the seed-derivation functions moved
+//! to the `sybil-exp` orchestration crate (so the experiment runner and
+//! the figure drivers share one scheduler); they are re-exported here
+//! under their original names.
 
 use ergo_core::defid::DefIdChecker;
 use sybil_churn::model::ChurnModel;
@@ -8,7 +12,11 @@ use sybil_sim::adversary::BudgetJoiner;
 use sybil_sim::defense::Defense;
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
+use sybil_sim::workload::WorkloadSource;
 use sybil_sim::SimReport;
+
+pub use sybil_exp::pool::{run_parallel, run_parallel_stats, PoolStats};
+pub use sybil_exp::spec::{defense_seed, trial_seed};
 
 /// Every algorithm appearing in the paper's Figures 8 and 10.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -198,34 +206,42 @@ pub fn cached_workload(network: &ChurnModel, horizon: f64, seed: u64) -> sybil_s
     cache.entry(key).or_insert(generated).clone()
 }
 
-/// Derives the defense-construction seed for a cell seeded with `seed`.
-///
-/// Kept distinct from the workload seed so classifier-gated defenses do
-/// not share a stream with trace generation. Every runner that wants its
-/// results comparable to the sweep cells (e.g. the perf scenarios) must
-/// use this same derivation.
-pub fn defense_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(7919).wrapping_add(13)
-}
-
-/// Runs one cell and returns the full simulation report.
+/// Runs one cell against an arbitrary [`WorkloadSource`] — the in-memory
+/// `Workload` the legacy sweeps clone, or a cache-served
+/// [`DiskWorkload`](sybil_sim::workload_io::DiskWorkload) that streams a
+/// million-ID schedule through two read buffers.
 ///
 /// The run is monomorphized per defense type via [`Algo::dispatch`]: the
 /// engine's inner loop compiles with direct calls into the concrete
-/// defense instead of `Box<dyn Defense>` virtual dispatch. Workloads come
-/// from [`cached_workload`].
-pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SimReport {
-    struct Runner {
+/// defense instead of `Box<dyn Defense>` virtual dispatch. `defense_seed`
+/// must come from [`defense_seed`] for results to be comparable across
+/// runners (the perf scenarios, the sweeps, and the `sybil-exp` grids all
+/// share that derivation).
+pub fn run_report_with<W: WorkloadSource>(
+    cfg: SimConfig,
+    algo: Algo,
+    t: f64,
+    defense_seed: u64,
+    source: W,
+) -> SimReport {
+    struct Runner<W> {
         cfg: SimConfig,
         t: f64,
-        workload: sybil_sim::Workload,
+        source: W,
     }
-    impl AlgoVisitor for Runner {
+    impl<W: WorkloadSource> AlgoVisitor for Runner<W> {
         type Out = SimReport;
         fn visit<D: Defense + 'static>(self, defense: D) -> SimReport {
-            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.workload).run()
+            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.source).run()
         }
     }
+    algo.dispatch(defense_seed, Runner { cfg, t, source })
+}
+
+/// Runs one cell and returns the full simulation report. Workloads come
+/// from [`cached_workload`]; see [`run_report_with`] for the
+/// source-generic form the disk-streamed grids use.
+pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SimReport {
     let workload = cached_workload(network, params.horizon, params.seed);
     let cfg = SimConfig {
         horizon: Time(params.horizon),
@@ -233,7 +249,7 @@ pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -
         adv_rate: t,
         ..SimConfig::default()
     };
-    algo.dispatch(defense_seed(params.seed), Runner { cfg, t, workload })
+    run_report_with(cfg, algo, t, defense_seed(params.seed), workload)
 }
 
 /// Validates the DefID invariant over a report (bad fraction < 3κ for the
@@ -249,89 +265,6 @@ pub fn t_grid() -> Vec<f64> {
     let mut grid = vec![0.0];
     grid.extend((0..=20).step_by(2).map(|e| (1u64 << e) as f64));
     grid
-}
-
-/// Runs `jobs` on `workers` threads, preserving input order of results.
-///
-/// Scheduling is chunked work-stealing: workers claim contiguous chunks of
-/// roughly `n / (workers · 8)` jobs off a shared atomic cursor, so fast
-/// workers steal the slack of slow ones at chunk granularity while the
-/// claim itself is a single uncontended `fetch_add` (the old
-/// implementation took a global mutex per job). Results land in
-/// per-worker buffers; no lock is held while a job runs.
-///
-/// Determinism: a job closure must depend only on what it captured (the
-/// experiment drivers capture fixed seeds; multi-trial drivers should
-/// derive theirs from [`trial_seed`]) and never on which worker runs it,
-/// so the returned vector is identical regardless of `workers` or
-/// scheduling.
-pub fn run_parallel<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    assert!(workers > 0, "need at least one worker");
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.min(n);
-    // Chunks small enough that a slow chunk can be compensated by steals,
-    // large enough to amortize the atomic claim.
-    let chunk = (n / (workers * 8)).max(1);
-    let jobs: Vec<std::sync::Mutex<Option<F>>> =
-        jobs.into_iter().map(|f| std::sync::Mutex::new(Some(f))).collect();
-    let cursor = AtomicUsize::new(0);
-    let mut buffers: Vec<Vec<(usize, T)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for (slot, idx) in jobs[start..end].iter().zip(start..end) {
-                            let f = slot
-                                .lock()
-                                .expect("job slot poisoned")
-                                .take()
-                                .expect("job claimed twice");
-                            local.push((idx, f()));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        buffers = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-    });
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (idx, value) in buffers.into_iter().flatten() {
-        results[idx] = Some(value);
-    }
-    results.into_iter().map(|r| r.expect("job completed")).collect()
-}
-
-/// Derives the deterministic seed for trial `index` of a sweep anchored at
-/// `base`. Pure function of its inputs (SplitMix64 finalizer), so results
-/// never depend on worker count or scheduling order.
-///
-/// The current figure drivers replicate the paper's single-seed setup and
-/// do not take multiple trials yet; this is the seeding API for the
-/// multi-trial error-bar work queued in ROADMAP "Open items".
-pub fn trial_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Parses a worker-count override from `SYBIL_BENCH_WORKERS`.
@@ -392,35 +325,45 @@ mod tests {
     }
 
     #[test]
-    fn run_parallel_preserves_order() {
+    fn reexported_pool_and_seeds_are_live() {
+        // The implementations live in sybil-exp; these aliases must keep
+        // working for the drivers and the perf scenarios.
         let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0..20usize).map(|i| Box::new(move || i * i) as _).collect();
-        let out = run_parallel(jobs, 4);
-        assert_eq!(out, (0..20usize).map(|i| i * i).collect::<Vec<_>>());
+            (0..8usize).map(|i| Box::new(move || i * i) as _).collect();
+        assert_eq!(run_parallel(jobs, 3), (0..8usize).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(trial_seed(42, 7), sybil_exp::trial_seed(42, 7));
+        assert_eq!(defense_seed(9), sybil_exp::defense_seed(9));
     }
 
     #[test]
-    fn run_parallel_handles_edge_shapes() {
-        // Empty job list.
-        let none: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
-        assert!(run_parallel(none, 4).is_empty());
-        // More workers than jobs.
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0..3usize).map(|i| Box::new(move || i) as _).collect();
-        assert_eq!(run_parallel(jobs, 64), vec![0, 1, 2]);
-        // Single worker degrades to sequential.
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0..7usize).map(|i| Box::new(move || i + 1) as _).collect();
-        assert_eq!(run_parallel(jobs, 1), (1..=7).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn trial_seeds_are_distinct_and_stable() {
-        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
-        assert_eq!(seeds.len(), 1000, "collisions in trial seeds");
-        // Pure function: stable across calls and independent of ordering.
-        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
-        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+    fn run_report_with_matches_run_report_on_disk_source() {
+        use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
+        let net = networks::gnutella();
+        let params = RunParams { horizon: 60.0, ..RunParams::default() };
+        let mem = run_report(&net, Algo::Ergo, 32.0, params);
+        // Same cell replayed from the on-disk format must be bit-identical.
+        let path = std::env::temp_dir().join(format!("sybil_sweep_eq_{}.wkld", std::process::id()));
+        write_workload_file(&path, &cached_workload(&net, params.horizon, params.seed)).unwrap();
+        let cfg = SimConfig {
+            horizon: Time(params.horizon),
+            kappa: params.kappa,
+            adv_rate: 32.0,
+            ..SimConfig::default()
+        };
+        let mut disk = run_report_with(
+            cfg,
+            Algo::Ergo,
+            32.0,
+            defense_seed(params.seed),
+            DiskWorkload::open(&path).unwrap(),
+        );
+        // The stream-footprint gauge legitimately differs (retained
+        // schedule vectors vs two read buffers); everything else must not.
+        let mut mem = mem;
+        mem.workload_stream_bytes = 0;
+        disk.workload_stream_bytes = 0;
+        assert_eq!(mem, disk);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -87,6 +87,22 @@ pub fn all_networks() -> Vec<ChurnModel> {
     vec![bitcoin(), bittorrent(), gnutella(), ethereum()]
 }
 
+/// A Gnutella-session-law network scaled to an arbitrary stationary
+/// population (Little's law sets the arrival rate) — the model behind the
+/// million-ID scale experiments (`macro_millions`, `exp_millions`).
+///
+/// At `initial_size = 1_000_000` this is Tor-scale: the population the
+/// SybilControl-style pricing and classifier literature actually targets.
+pub fn millions(initial_size: u64) -> ChurnModel {
+    const MEAN_SESSION: f64 = 2.3 * 3600.0;
+    ChurnModel {
+        name: "millions",
+        initial_size,
+        arrival: ArrivalProcess::Poisson { rate: initial_size as f64 / MEAN_SESSION },
+        session: SessionModel::Exponential { mean: MEAN_SESSION },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +148,20 @@ mod tests {
             assert!(w.initial_size() >= 9212);
             assert!(!w.sessions.is_empty(), "{} produced no arrivals", n.name);
         }
+    }
+
+    #[test]
+    fn millions_model_is_stationary_at_requested_scale() {
+        let m = millions(1_000_000);
+        assert_eq!(m.initial_size, 1_000_000);
+        assert!((m.steady_state_size() - 1_000_000.0).abs() < 1.0);
+        // Scales linearly: the arrival rate follows the population.
+        assert!(
+            (millions(10_000).arrival.mean_rate() * 100.0
+                - millions(1_000_000).arrival.mean_rate())
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]

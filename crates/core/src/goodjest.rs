@@ -56,6 +56,16 @@ pub struct GoodJEst {
     tracker: SymdiffTracker,
     /// Current system size `|S(t')|`.
     size: u64,
+    /// Incremental threshold gap `den·symdiff − num·size` (for the
+    /// interval threshold `num/den`). The end-of-interval condition
+    /// `|S(t')△S(t)| ≥ num/den·|S(t')|` is exactly `gap ≥ 0`, so the
+    /// per-event check — this estimator is consulted on every join and
+    /// departure the engine dispatches — is a sign test on a running
+    /// counter instead of two multiplications. Maintained exactly in
+    /// integers (i128; [`GoodJEst::new`] bounds the ratio parts so the
+    /// products can never overflow), so the semantics are bit-identical
+    /// to recomputing `den·symdiff ≥ num·size`.
+    gap: i128,
     /// Current estimate `J̃`.
     estimate: f64,
     /// Heuristic 1: the threshold has been crossed and the update is
@@ -75,11 +85,20 @@ impl GoodJEst {
     /// total time taken for initialization".
     pub fn new(cfg: GoodJEstConfig, now: Time, initial_size: u64) -> Self {
         assert!(cfg.init_duration > 0.0, "init duration must be positive");
+        // The gap counter multiplies the ratio parts by u64 counters in
+        // i128; bounding them at 2³² keeps every product (and the running
+        // sum, whose magnitude is bounded by the current `den·symdiff` and
+        // `num·size` terms) exactly representable.
+        assert!(
+            cfg.interval_threshold.num < (1 << 32) && cfg.interval_threshold.den < (1 << 32),
+            "interval threshold parts must fit 32 bits"
+        );
         GoodJEst {
             cfg,
             t_start: now,
             tracker: SymdiffTracker::new(),
             size: initial_size,
+            gap: -(cfg.interval_threshold.num as i128) * initial_size as i128,
             estimate: initial_size as f64 / cfg.init_duration,
             pending: false,
             updates: 0,
@@ -123,6 +142,10 @@ impl GoodJEst {
     pub fn on_join(&mut self, now: Time, n: u64) {
         self.size += n;
         self.tracker.on_join(n);
+        // Δsymdiff = +n, Δsize = +n.
+        let th = self.cfg.interval_threshold;
+        self.gap += (th.den as i128 - th.num as i128) * n as i128;
+        debug_assert_eq!(self.gap >= 0, th.le_scaled(self.tracker.symdiff(), self.size));
         self.maybe_roll(now);
     }
 
@@ -132,12 +155,23 @@ impl GoodJEst {
     /// [`classify_old`]: GoodJEst::classify_old
     pub fn on_depart(&mut self, now: Time, old: bool, n: u64) {
         debug_assert!(self.size >= n, "departure underflow");
-        self.size = self.size.saturating_sub(n);
+        let th = self.cfg.interval_threshold;
+        // Mirror the counters' saturation exactly so the gap stays equal
+        // to `den·symdiff − num·size` even for a misclassifying caller.
+        let size_removed = n.min(self.size);
+        self.size -= size_removed;
         if old {
             self.tracker.on_depart_old(n);
+            // Δsymdiff = +n, Δsize = −size_removed.
+            self.gap += th.den as i128 * n as i128 + th.num as i128 * size_removed as i128;
         } else {
+            let sym_removed = n.min(self.tracker.new_present());
             self.tracker.on_depart_new(n);
+            // Δsymdiff = −sym_removed, Δsize = −size_removed.
+            self.gap +=
+                th.num as i128 * size_removed as i128 - th.den as i128 * sym_removed as i128;
         }
+        debug_assert_eq!(self.gap >= 0, th.le_scaled(self.tracker.symdiff(), self.size));
         self.maybe_roll(now);
     }
 
@@ -153,8 +187,12 @@ impl GoodJEst {
     }
 
     /// True if the interval-end condition `|S(t')△S(t)| ≥ 5/12·|S(t')|` holds.
+    ///
+    /// A sign test on the incrementally maintained gap counter — exactly
+    /// equivalent to `interval_threshold.le_scaled(symdiff, size)`, which
+    /// would cost two multiplications on the per-event path.
     pub fn threshold_met(&self) -> bool {
-        self.cfg.interval_threshold.le_scaled(self.tracker.symdiff(), self.size)
+        self.gap >= 0
     }
 
     fn maybe_roll(&mut self, now: Time) {
@@ -178,6 +216,9 @@ impl GoodJEst {
         self.log.push(IntervalRecord { start: self.t_start, end: now, estimate: self.estimate });
         self.t_start = now;
         self.tracker.reset();
+        // symdiff re-anchors to 0: gap = −num·size (one multiply per
+        // interval, not per event).
+        self.gap = -(self.cfg.interval_threshold.num as i128) * self.size as i128;
         self.pending = false;
         self.updates += 1;
     }
@@ -294,6 +335,55 @@ mod tests {
         let log = est.drain_intervals();
         assert_eq!(log.len(), 1);
         assert!((log[0].estimate - 1750.0 / 3.0).abs() < 1e-9);
+    }
+
+    /// The incremental gap counter agrees with recomputing the threshold
+    /// from scratch under arbitrary valid join/departure interleavings
+    /// (hand-rolled property loop; ops are a pure function of the seed).
+    #[test]
+    fn gap_counter_matches_recomputed_threshold() {
+        for case in 0u64..48 {
+            let threshold = match case % 3 {
+                0 => Ratio::new(5, 12),
+                1 => Ratio::new(1, 2),
+                _ => Ratio::new(7, 9),
+            };
+            let cfg = GoodJEstConfig { interval_threshold: threshold, ..cfg() };
+            let mut est = GoodJEst::new(cfg, Time::ZERO, 40);
+            // Present IDs, tracked by join time so departures classify
+            // against the estimator's *current* interval boundary.
+            let mut present: Vec<Time> = vec![Time::ZERO; 40];
+            let mut state = 99u64.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15));
+            for step in 0..300u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let now = Time(step as f64 * 0.5 + 0.5);
+                if (state >> 33) % 2 == 0 || present.is_empty() {
+                    // Batched joins exercise the n > 1 gap deltas.
+                    let n = 1 + (state >> 40) % 3;
+                    est.on_join(now, n);
+                    present.extend(std::iter::repeat_n(now, n as usize));
+                } else {
+                    let idx = (state >> 7) as usize % present.len();
+                    let joined_at = present.swap_remove(idx);
+                    est.on_depart(now, est.classify_old(joined_at), 1);
+                }
+                // The estimator rolls intervals internally; after each op
+                // the sign test must equal the two-multiply recomputation.
+                assert_eq!(
+                    est.threshold_met(),
+                    threshold.le_scaled(est.symdiff(), est.size()),
+                    "case {case} step {step}"
+                );
+                assert_eq!(est.size(), present.len() as u64, "case {case} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_threshold_parts_are_rejected() {
+        let c = GoodJEstConfig { interval_threshold: Ratio::new(1 << 33, 1 << 34), ..cfg() };
+        let result = std::panic::catch_unwind(|| GoodJEst::new(c, Time::ZERO, 10));
+        assert!(result.is_err(), "32-bit bound on ratio parts must be enforced");
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Content-addressed on-disk workload cache.
+//!
+//! Grid sweeps replay the same good-ID schedule for every (algorithm, T)
+//! cell of a trial — Figure 8 alone replays each network's workload 60
+//! times — and at million-ID scale a single generation is seconds of
+//! inverse-transform sampling plus tens of megabytes that must not stay
+//! resident. The cache materializes each `(churn model, seed, horizon)`
+//! workload **once** through [`sybil_sim::workload_io`] and hands every
+//! subsequent cell a [`DiskWorkload`] that streams it back through two
+//! 8 KiB read buffers.
+//!
+//! # Keying
+//!
+//! The cache is content-addressed: the key is
+//! `SHA-256(model debug representation ‖ seed ‖ horizon bits)`, truncated
+//! to 32 hex chars in the filename `wk_<hash>.wkld`. The model's full
+//! `Debug` form goes into the hash, so two models that merely share a name
+//! cannot collide, and any parameter change produces a fresh entry.
+//!
+//! # Validation and eviction
+//!
+//! Reuse always re-validates the file header (magic, version, record
+//! counts vs file length) via [`DiskWorkload::open`]; a truncated or
+//! corrupt entry is deleted and regenerated, never silently replayed.
+//! After each insertion the cache enforces a byte budget by evicting
+//! oldest-modified entries first (the just-written file is exempt).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use sybil_churn::model::ChurnModel;
+use sybil_sim::time::Time;
+use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
+
+/// Default cache byte budget: 4 GiB (a million-ID workload file is ~10 MB,
+/// so this comfortably holds hundreds of trials before evicting).
+pub const DEFAULT_BUDGET_BYTES: u64 = 4 << 30;
+
+/// Counters describing how the cache behaved over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served from an existing valid file.
+    pub hits: u64,
+    /// Entries generated and written because no file existed.
+    pub misses: u64,
+    /// Existing files rejected by header validation and regenerated.
+    pub rejected: u64,
+    /// Files evicted by the size budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Renders as a compact `hits/misses/rejected/evictions` summary.
+    pub fn render(&self) -> String {
+        format!(
+            "cache: {} hits, {} misses, {} rejected, {} evicted",
+            self.hits, self.misses, self.rejected, self.evictions
+        )
+    }
+}
+
+/// A content-addressed workload cache rooted at one directory.
+///
+/// Thread-safe: worker threads resolving different keys generate in
+/// parallel (generation happens outside the internal lock); racing
+/// generators of the *same* key produce byte-identical files and the
+/// atomic rename makes either result valid.
+#[derive(Debug)]
+pub struct WorkloadCache {
+    dir: PathBuf,
+    budget_bytes: u64,
+    stats: Mutex<CacheStats>,
+}
+
+impl WorkloadCache {
+    /// Opens (creating if needed) a cache rooted at `dir` with the default
+    /// size budget.
+    pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<WorkloadCache> {
+        Self::with_budget(dir, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// Opens a cache with an explicit byte budget.
+    pub fn with_budget<P: AsRef<Path>>(dir: P, budget_bytes: u64) -> io::Result<WorkloadCache> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        sweep_stale_temps(&dir);
+        Ok(WorkloadCache { dir, budget_bytes, stats: Mutex::new(CacheStats::default()) })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the behavior counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("cache stats poisoned")
+    }
+
+    /// The content-addressed key for `(model, seed, horizon)`.
+    pub fn key(model: &ChurnModel, horizon: Time, seed: u64) -> String {
+        let mut hasher = sybil_crypto::sha256::Sha256::new();
+        hasher.update(format!("{model:?}").as_bytes());
+        hasher.update(&seed.to_le_bytes());
+        hasher.update(&horizon.as_secs().to_bits().to_le_bytes());
+        sybil_crypto::hex::encode(&hasher.finalize().as_bytes()[..16])
+    }
+
+    /// Path of the cache entry for `(model, seed, horizon)`.
+    pub fn entry_path(&self, model: &ChurnModel, horizon: Time, seed: u64) -> PathBuf {
+        self.dir.join(format!("wk_{}.wkld", Self::key(model, horizon, seed)))
+    }
+
+    /// Returns a disk-streamed workload for `(model, seed, horizon)`,
+    /// generating and writing it on first use.
+    ///
+    /// A pre-existing file is validated (header magic, version, and record
+    /// counts vs length) before reuse; validation failure deletes and
+    /// regenerates it. Generation runs outside the cache lock so worker
+    /// threads warming different keys never serialize on it.
+    pub fn get_or_create(
+        &self,
+        model: &ChurnModel,
+        horizon: Time,
+        seed: u64,
+    ) -> io::Result<DiskWorkload> {
+        let path = self.entry_path(model, horizon, seed);
+        // Bounded retries: a concurrent insert's eviction pass (which only
+        // exempts *its own* new entry) can remove this entry between our
+        // rename and open. Regenerating self-heals; the bound keeps a
+        // genuinely broken filesystem from looping forever.
+        let mut last_err = None;
+        for _ in 0..4 {
+            if path.exists() {
+                match DiskWorkload::open(&path) {
+                    Ok(disk) => {
+                        self.stats.lock().expect("cache stats poisoned").hits += 1;
+                        return Ok(disk);
+                    }
+                    Err(_) => {
+                        // Truncated/corrupt/foreign: remove and fall
+                        // through to regeneration. Losing the race to
+                        // another remover is fine — the file is gone
+                        // either way.
+                        fs::remove_file(&path).ok();
+                        self.stats.lock().expect("cache stats poisoned").rejected += 1;
+                    }
+                }
+            }
+            // Generate OUTSIDE the lock; write to a unique temp name, then
+            // rename into place. Racing generators produce byte-identical
+            // deterministic files, so whichever rename lands last is
+            // correct.
+            let workload = model.generate(horizon, seed);
+            let tmp = self.dir.join(format!(
+                ".tmp_{}_{}_{}",
+                std::process::id(),
+                unique_suffix(),
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("wk")
+            ));
+            write_workload_file(&tmp, &workload)?;
+            fs::rename(&tmp, &path)?;
+            drop(workload);
+            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            self.enforce_budget(&path)?;
+            match DiskWorkload::open(&path) {
+                Ok(disk) => return Ok(disk),
+                Err(e) => last_err = Some(e), // likely evicted by a peer
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::other(format!("cache entry {} unobtainable", path.display()))
+        }))
+    }
+
+    /// Evicts oldest-modified entries until the cache fits the budget.
+    /// `keep` (the entry just written) is never evicted, so a single
+    /// workload larger than the whole budget still works.
+    fn enforce_budget(&self, keep: &Path) -> io::Result<()> {
+        // Serialize eviction passes; concurrent evictors would both scan
+        // and could double-count removals.
+        let mut stats = self.stats.lock().expect("cache stats poisoned");
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut total = 0u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("wk_") || !name.ends_with(".wkld") {
+                continue;
+            }
+            let meta = match entry.metadata() {
+                Ok(m) => m,
+                Err(_) => continue, // raced with another evictor
+            };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            total += meta.len();
+            entries.push((entry.path(), meta.len(), mtime));
+        }
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in entries {
+            if total <= self.budget_bytes {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                stats.evictions += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Process-wide unique suffix for temp files (no tempfile crate offline).
+fn unique_suffix() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Removes `.tmp_*` files left behind by interrupted runs.
+///
+/// The eviction pass only sees `wk_*.wkld` names, so a run killed between
+/// write and rename would otherwise leak multi-megabyte temp files outside
+/// the byte budget forever. Only files older than an hour are swept: a
+/// live writer (this process or another) finishes its write-then-rename in
+/// seconds, so age is a safe liveness proxy. Best-effort — races with a
+/// concurrent remover are fine.
+fn sweep_stale_temps(dir: &Path) {
+    const STALE_SECS: u64 = 3600;
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        if !entry.file_name().to_string_lossy().starts_with(".tmp_") {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| mtime.elapsed().ok())
+            .is_some_and(|age| age.as_secs() > STALE_SECS);
+        if stale {
+            fs::remove_file(entry.path()).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sybil_churn::arrival::ArrivalProcess;
+    use sybil_churn::session::SessionModel;
+
+    fn toy_model() -> ChurnModel {
+        ChurnModel {
+            name: "cache-toy",
+            initial_size: 50,
+            arrival: ArrivalProcess::Poisson { rate: 1.0 },
+            session: SessionModel::Exponential { mean: 100.0 },
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sybil_exp_cache_{tag}_{}_{}",
+            std::process::id(),
+            unique_suffix()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit_serves_same_bytes() {
+        let dir = temp_dir("hit");
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let model = toy_model();
+        let a = cache.get_or_create(&model, Time(200.0), 3).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        let bytes_a = fs::read(a.path()).unwrap();
+        let b = cache.get_or_create(&model, Time(200.0), 3).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(bytes_a, fs::read(b.path()).unwrap());
+        // Distinct seed → distinct entry.
+        cache.get_or_create(&model, Time(200.0), 4).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_depends_on_model_content_not_just_name() {
+        let a = toy_model();
+        let mut b = toy_model();
+        b.initial_size += 1;
+        assert_ne!(WorkloadCache::key(&a, Time(10.0), 1), WorkloadCache::key(&b, Time(10.0), 1));
+        assert_ne!(WorkloadCache::key(&a, Time(10.0), 1), WorkloadCache::key(&a, Time(11.0), 1));
+        assert_ne!(WorkloadCache::key(&a, Time(10.0), 1), WorkloadCache::key(&a, Time(10.0), 2));
+        assert_eq!(WorkloadCache::key(&a, Time(10.0), 1), WorkloadCache::key(&a, Time(10.0), 1));
+    }
+
+    #[test]
+    fn corrupt_entry_is_rejected_and_regenerated() {
+        let dir = temp_dir("corrupt");
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let model = toy_model();
+        let first = cache.get_or_create(&model, Time(200.0), 9).unwrap();
+        let path = first.path().to_path_buf();
+        let good = fs::read(&path).unwrap();
+        // Truncate the file mid-record.
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        let again = cache.get_or_create(&model, Time(200.0), 9).unwrap();
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(fs::read(again.path()).unwrap(), good, "regenerated bytes differ");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_evicts_oldest_entries_but_not_the_new_one() {
+        let dir = temp_dir("evict");
+        // Budget below one file: every insertion evicts all others.
+        let cache = WorkloadCache::with_budget(&dir, 1).unwrap();
+        let model = toy_model();
+        let a = cache.get_or_create(&model, Time(200.0), 1).unwrap();
+        assert!(a.path().exists(), "newest entry must survive its own eviction pass");
+        let b = cache.get_or_create(&model, Time(200.0), 2).unwrap();
+        assert!(b.path().exists());
+        assert!(!a.path().exists(), "older entry should have been evicted");
+        assert!(cache.stats().evictions >= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_inserts_under_tiny_budget_all_succeed() {
+        // Budget 1 byte: every insert's eviction pass tries to delete every
+        // other entry, so writers race evictors constantly. get_or_create
+        // must self-heal (regenerate) rather than surface NotFound.
+        let dir = temp_dir("evict_race");
+        let cache = WorkloadCache::with_budget(&dir, 1).unwrap();
+        let model = toy_model();
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let cache = &cache;
+                let model = &model;
+                scope.spawn(move || {
+                    for round in 0..8u64 {
+                        let seed = (w + round) % 3;
+                        cache.get_or_create(model, Time(80.0), seed).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().evictions > 0, "budget 1 must evict");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_warmers_do_not_corrupt() {
+        let dir = temp_dir("race");
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let model = toy_model();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for seed in 0..6u64 {
+                        cache.get_or_create(&model, Time(150.0), seed).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 24);
+        // All six entries valid on disk.
+        for seed in 0..6u64 {
+            DiskWorkload::open(cache.entry_path(&model, Time(150.0), seed)).unwrap();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

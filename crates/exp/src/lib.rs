@@ -1,0 +1,49 @@
+//! `sybil-exp` — experiment orchestration for paper-scale sweeps.
+//!
+//! The figure experiments are grids: churn network × defense × adversary
+//! spend rate, each cell repeated for several trials. This crate owns
+//! everything about running such a grid *well* at million-ID scale:
+//!
+//! * [`spec`] — declarative [`ExperimentSpec`](spec::ExperimentSpec)
+//!   (serializable, versioned) with deterministic cell→seed derivation
+//!   ([`spec::trial_seed`] / [`spec::defense_seed`]);
+//! * [`cache`] — content-addressed on-disk
+//!   [`WorkloadCache`](cache::WorkloadCache): each (churn model, seed,
+//!   horizon) workload is generated once through
+//!   [`sybil_sim::workload_io`] and disk-streamed into every cell and
+//!   trial that shares it, with header validation on reuse and an
+//!   oldest-first size-budget eviction policy;
+//! * [`stats`] — streaming [`Welford`](stats::Welford) mean/variance and
+//!   t-based 95 % confidence intervals, so multi-trial aggregation never
+//!   holds a cell's reports resident together;
+//! * [`store`] — append-only [`ResultsStore`](store::ResultsStore): one
+//!   flushed line per finished cell, so interrupted grids resume by
+//!   skipping completed cells;
+//! * [`pool`] — the chunked work-stealing pool (moved from the bench
+//!   crate), now instrumented with per-worker job/chunk/busy counters
+//!   ([`PoolStats`](pool::PoolStats));
+//! * [`runner`] — [`run_grid`](runner::run_grid) /
+//!   [`run_spec_grid`](runner::run_spec_grid) tying the pieces together
+//!   with a [`RunSummary`](runner::RunSummary).
+//!
+//! The bench crate's figure drivers (`figure8`, `figure9`, `figure10`,
+//! `lower_bound_exp`, `ablation_exp`) are thin maps from paper rosters to
+//! this machinery. See `crates/exp/README.md` for the file formats and
+//! resume semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+pub mod store;
+
+pub use cache::{CacheStats, WorkloadCache};
+pub use pool::{run_parallel, run_parallel_stats, PoolStats};
+pub use runner::{run_grid, run_spec_grid, GridOutcome, RunSummary};
+pub use spec::{defense_seed, trial_seed, CellSpec, ExperimentSpec};
+pub use stats::{MetricSummary, Welford};
+pub use store::{Record, ResultsStore};

@@ -1,0 +1,240 @@
+//! The chunked work-stealing job pool, with per-worker instrumentation.
+//!
+//! Moved here from the bench crate's `sweep` module so the experiment
+//! runner and the figure drivers share one scheduler; `sweep` re-exports
+//! these names, so existing callers are unaffected.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-worker scheduling counters from one pool run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Chunks this worker claimed off the shared cursor. A worker claiming
+    /// many more chunks than `jobs / chunk size` would imply under static
+    /// partitioning has been stealing slack from slower siblings.
+    pub chunks: u64,
+    /// Wall seconds this worker spent inside job closures.
+    pub busy_secs: f64,
+}
+
+/// Aggregate pool efficiency counters from one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Wall seconds from first spawn to last join.
+    pub wall_secs: f64,
+    /// Chunk size used for cursor claims.
+    pub chunk_size: usize,
+}
+
+impl PoolStats {
+    /// Total jobs executed.
+    pub fn total_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Fraction of total worker-seconds spent *outside* job closures —
+    /// scheduling overhead plus tail idling while the last chunks drain.
+    /// Near 0 is perfect scaling; large values at high core counts mean
+    /// the chunking (or the job mix) is leaving workers starved.
+    pub fn idle_fraction(&self) -> f64 {
+        let capacity = self.wall_secs * self.workers.len() as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy_secs).sum();
+        ((capacity - busy) / capacity).max(0.0)
+    }
+
+    /// Ratio of the busiest worker's job count to the mean — 1.0 is a
+    /// perfectly balanced run; high values mean a few workers carried the
+    /// grid (long-tailed cells).
+    pub fn job_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.jobs).max().unwrap_or(0) as f64;
+        let mean = self.total_jobs() as f64 / self.workers.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// One-line human summary for experiment run reports.
+    pub fn render(&self) -> String {
+        let jobs: Vec<u64> = self.workers.iter().map(|w| w.jobs).collect();
+        format!(
+            "pool: {} jobs on {} workers in {:.2}s (chunk {}, idle {:.1}%, imbalance {:.2}, per-worker jobs {:?})",
+            self.total_jobs(),
+            self.workers.len(),
+            self.wall_secs,
+            self.chunk_size,
+            self.idle_fraction() * 100.0,
+            self.job_imbalance(),
+            jobs,
+        )
+    }
+}
+
+/// Runs `jobs` on `workers` threads, preserving input order of results.
+/// See [`run_parallel_stats`] for the scheduling contract; this variant
+/// drops the instrumentation.
+pub fn run_parallel<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_parallel_stats(jobs, workers).0
+}
+
+/// Runs `jobs` on `workers` threads, preserving input order of results,
+/// and reports per-worker scheduling stats.
+///
+/// Scheduling is chunked work-stealing: workers claim contiguous chunks of
+/// roughly `n / (workers · 8)` jobs off a shared atomic cursor, so fast
+/// workers steal the slack of slow ones at chunk granularity while the
+/// claim itself is a single uncontended `fetch_add`. Results land in
+/// per-worker buffers; no lock is held while a job runs.
+///
+/// Determinism: a job closure must depend only on what it captured (the
+/// experiment drivers capture fixed seeds; multi-trial drivers derive
+/// theirs from `trial_seed`) and never on which worker runs it, so the
+/// returned vector is identical regardless of `workers` or scheduling —
+/// only [`PoolStats`] varies between runs.
+pub fn run_parallel_stats<T, F>(jobs: Vec<F>, workers: usize) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = jobs.len();
+    if n == 0 {
+        return (Vec::new(), PoolStats::default());
+    }
+    let workers = workers.min(n);
+    // Chunks small enough that a slow chunk can be compensated by steals,
+    // large enough to amortize the atomic claim.
+    let chunk = (n / (workers * 8)).max(1);
+    let jobs: Vec<std::sync::Mutex<Option<F>>> =
+        jobs.into_iter().map(|f| std::sync::Mutex::new(Some(f))).collect();
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut buffers: Vec<(Vec<(usize, T)>, WorkerStats)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        stats.chunks += 1;
+                        let end = (start + chunk).min(n);
+                        for (slot, idx) in jobs[start..end].iter().zip(start..end) {
+                            let f = slot
+                                .lock()
+                                .expect("job slot poisoned")
+                                .take()
+                                .expect("job claimed twice");
+                            let job_started = Instant::now();
+                            local.push((idx, f()));
+                            stats.busy_secs += job_started.elapsed().as_secs_f64();
+                            stats.jobs += 1;
+                        }
+                    }
+                    (local, stats)
+                })
+            })
+            .collect();
+        buffers = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut worker_stats = Vec::with_capacity(buffers.len());
+    for (buffer, stats) in buffers {
+        worker_stats.push(stats);
+        for (idx, value) in buffer {
+            results[idx] = Some(value);
+        }
+    }
+    let stats = PoolStats { workers: worker_stats, wall_secs, chunk_size: chunk };
+    (results.into_iter().map(|r| r.expect("job completed")).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..20usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..20usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_handles_edge_shapes() {
+        // Empty job list.
+        let none: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+        assert!(run_parallel(none, 4).is_empty());
+        // More workers than jobs.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..3usize).map(|i| Box::new(move || i) as _).collect();
+        assert_eq!(run_parallel(jobs, 64), vec![0, 1, 2]);
+        // Single worker degrades to sequential.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..7usize).map(|i| Box::new(move || i + 1) as _).collect();
+        assert_eq!(run_parallel(jobs, 1), (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_account_for_every_job_and_chunk() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..40usize).map(|i| Box::new(move || i) as _).collect();
+        let (out, stats) = run_parallel_stats(jobs, 4);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.total_jobs(), 40);
+        assert_eq!(stats.workers.len(), 4);
+        let chunks: u64 = stats.workers.iter().map(|w| w.chunks).sum();
+        // Every claimed chunk is non-empty, and together they cover the
+        // jobs exactly once.
+        assert!((1..=40).contains(&chunks));
+        assert!(stats.chunk_size >= 1);
+        assert!(stats.wall_secs >= 0.0);
+        assert!((0.0..=1.0).contains(&stats.idle_fraction()));
+        assert!(stats.job_imbalance() >= 1.0 - 1e-9);
+        // Render mentions the headline numbers.
+        let line = stats.render();
+        assert!(line.contains("40 jobs") && line.contains("4 workers"), "{line}");
+    }
+
+    #[test]
+    fn single_worker_stats_are_fully_busy_shaped() {
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    // A tiny but nonzero workload so busy_secs registers.
+                    let mut acc = i;
+                    for k in 0..2000u64 {
+                        acc = acc.wrapping_mul(31).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc)
+                }) as _
+            })
+            .collect();
+        let (_, stats) = run_parallel_stats(jobs, 1);
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].jobs, 8);
+        assert!(stats.workers[0].busy_secs > 0.0);
+    }
+}

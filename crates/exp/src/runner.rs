@@ -1,0 +1,295 @@
+//! Grid orchestration: resume-aware parallel execution of experiment cells.
+//!
+//! [`run_grid`] is the generic engine: given `(cell id, payload)` pairs and
+//! a cell-runner closure, it loads the results store, skips every cell the
+//! store already has, executes the remainder on the work-stealing pool
+//! (appending each record as its cell finishes, so a killed run resumes
+//! mid-grid), and reports a [`RunSummary`] with skip/execute counts, cache
+//! behavior, and pool-efficiency stats.
+//!
+//! [`run_spec_grid`] layers the declarative [`ExperimentSpec`] on top: it
+//! validates the spec, writes its canonical text next to the store for
+//! provenance, and enumerates the (network × algorithm × T) grid.
+
+use crate::cache::{CacheStats, WorkloadCache};
+use crate::pool::{run_parallel_stats, PoolStats};
+use crate::spec::{CellSpec, ExperimentSpec};
+use crate::store::{Record, ResultsStore};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What one grid run did, for operator-facing summaries.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Experiment name.
+    pub experiment: String,
+    /// Cells in the grid.
+    pub cells_total: usize,
+    /// Cells skipped because the store already had them.
+    pub cells_skipped: usize,
+    /// Cells executed this run.
+    pub cells_executed: usize,
+    /// Whether prior results were resumed.
+    pub resumed: bool,
+    /// Workload-cache behavior over this run (zeroed when no cache is
+    /// attached, e.g. the closed-form lower-bound experiment).
+    pub cache: CacheStats,
+    /// Pool scheduling stats for the executed cells.
+    pub pool: PoolStats,
+    /// Wall seconds for the whole grid run (including store I/O).
+    pub wall_secs: f64,
+    /// Where the results store lives.
+    pub store_path: PathBuf,
+}
+
+impl RunSummary {
+    /// Renders a compact multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "experiment {}: {} cells ({} executed, {} skipped via resume) in {:.2}s\n",
+            self.experiment,
+            self.cells_total,
+            self.cells_executed,
+            self.cells_skipped,
+            self.wall_secs
+        );
+        out.push_str(&format!("  store: {}\n", self.store_path.display()));
+        out.push_str(&format!("  {}\n", self.cache.render()));
+        if self.cells_executed > 0 {
+            out.push_str(&format!("  {}\n", self.pool.render()));
+        }
+        out
+    }
+}
+
+/// Result of a grid run: per-cell records in grid order plus the summary.
+#[derive(Clone, Debug)]
+pub struct GridOutcome {
+    /// One record per cell, in the order the cells were supplied.
+    /// Skipped cells carry the record loaded from the store.
+    pub records: Vec<Record>,
+    /// Run accounting.
+    pub summary: RunSummary,
+}
+
+/// Runs a grid of `(cell id, payload)` cells with resume.
+///
+/// `fingerprint` identifies the experiment configuration: a store created
+/// under a different fingerprint is discarded and rebuilt, so a changed
+/// grid can never silently serve stale cells. `run_cell` must be a pure
+/// function of its payload (plus immutable shared state such as a
+/// [`WorkloadCache`]) — it runs on pool worker threads.
+///
+/// Each finished cell is appended (and flushed) to the store *before* the
+/// run completes, so interrupting a long grid loses at most the in-flight
+/// cells.
+pub fn run_grid<C, F>(
+    name: &str,
+    fingerprint: &str,
+    store_path: &Path,
+    cells: Vec<(String, C)>,
+    cache: Option<&WorkloadCache>,
+    workers: usize,
+    run_cell: F,
+) -> io::Result<GridOutcome>
+where
+    C: Send,
+    F: Fn(&C) -> Vec<(String, f64)> + Send + Sync,
+{
+    let started = Instant::now();
+    let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
+    let (store, resumed) = ResultsStore::open(store_path, fingerprint)?;
+
+    // Partition into already-done (record pulled from the store) and
+    // pending, remembering each cell's grid position.
+    let mut records: Vec<Option<Record>> = (0..cells.len()).map(|_| None).collect();
+    let mut pending: Vec<(usize, String, C)> = Vec::new();
+    for (idx, (id, payload)) in cells.into_iter().enumerate() {
+        if let Some(done) = store.get(&id) {
+            records[idx] = Some(done.clone());
+        } else {
+            pending.push((idx, id, payload));
+        }
+    }
+    let cells_total = records.len();
+    let cells_skipped = cells_total - pending.len();
+    let cells_executed = pending.len();
+
+    // Execute pending cells on the pool; append to the store inside the
+    // job so completion is durable immediately.
+    let store_ref = &store;
+    let run_ref = &run_cell;
+    let jobs: Vec<_> = pending
+        .into_iter()
+        .map(|(idx, id, payload)| {
+            move || {
+                let fields = run_ref(&payload);
+                let record = Record::new(id, fields);
+                store_ref.append(&record).unwrap_or_else(|e| {
+                    panic!("cannot append cell {} to results store: {e}", record.cell_id)
+                });
+                (idx, record)
+            }
+        })
+        .collect();
+    let (executed, pool) = run_parallel_stats(jobs, workers);
+    for (idx, record) in executed {
+        records[idx] = Some(record);
+    }
+
+    let cache_after = cache.map(|c| c.stats()).unwrap_or_default();
+    let summary = RunSummary {
+        experiment: name.to_string(),
+        cells_total,
+        cells_skipped,
+        cells_executed,
+        resumed,
+        cache: CacheStats {
+            hits: cache_after.hits - cache_before.hits,
+            misses: cache_after.misses - cache_before.misses,
+            rejected: cache_after.rejected - cache_before.rejected,
+            evictions: cache_after.evictions - cache_before.evictions,
+        },
+        pool,
+        wall_secs: started.elapsed().as_secs_f64(),
+        store_path: store_path.to_path_buf(),
+    };
+    Ok(GridOutcome {
+        records: records.into_iter().map(|r| r.expect("cell resolved")).collect(),
+        summary,
+    })
+}
+
+/// Runs a declarative [`ExperimentSpec`] grid with resume.
+///
+/// The store lives at `<store_dir>/<name>.store`; the spec's canonical
+/// text is written next to it as `<name>.spec` for provenance. Cells are
+/// the spec's (network × algorithm × T) product; `run_cell` receives each
+/// [`CellSpec`] and returns the record fields for that cell (typically the
+/// multi-trial `mean,ci95_lo,ci95_hi` triples produced by
+/// [`crate::stats::Welford`]).
+///
+/// `context` is extra text folded into the store's fingerprint alongside
+/// the spec. The spec itself names networks and algorithms only by
+/// *label*; the driver must put everything those labels resolve to —
+/// churn-model parameters, defense configurations — into `context`, so a
+/// code change to what a label means invalidates stored cells the same
+/// way a spec change does.
+pub fn run_spec_grid<F>(
+    spec: &ExperimentSpec,
+    context: &str,
+    store_dir: &Path,
+    cache: Option<&WorkloadCache>,
+    workers: usize,
+    run_cell: F,
+) -> io::Result<GridOutcome>
+where
+    F: Fn(&CellSpec) -> Vec<(String, f64)> + Send + Sync,
+{
+    spec.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    std::fs::create_dir_all(store_dir)?;
+    std::fs::write(store_dir.join(format!("{}.spec", spec.name)), spec.to_text())?;
+    let store_path = store_dir.join(format!("{}.store", spec.name));
+    let cells: Vec<(String, CellSpec)> = spec.cells().into_iter().map(|c| (c.id(), c)).collect();
+    let fingerprint = crate::spec::text_fingerprint(&format!("{}\n{context}", spec.to_text()));
+    run_grid(&spec.name, &fingerprint, &store_path, cells, cache, workers, run_cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sybil_exp_runner_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toy_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "runner-test".into(),
+            networks: vec!["netA".into(), "netB".into()],
+            algos: vec!["X".into()],
+            t_grid: vec![0.0, 8.0],
+            trials: 2,
+            horizon: 10.0,
+            kappa: 0.05,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn cold_run_executes_all_and_warm_run_skips_all() {
+        let dir = temp_dir("resume");
+        let spec = toy_spec();
+        let runs = AtomicU64::new(0);
+        let run_cell = |c: &CellSpec| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            vec![("mean".to_string(), c.t * 2.0)]
+        };
+        let cold = run_spec_grid(&spec, "ctx", &dir, None, 2, run_cell).unwrap();
+        assert_eq!(cold.summary.cells_total, 4);
+        assert_eq!(cold.summary.cells_executed, 4);
+        assert_eq!(cold.summary.cells_skipped, 0);
+        assert!(!cold.summary.resumed);
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+
+        let warm = run_spec_grid(&spec, "ctx", &dir, None, 2, run_cell).unwrap();
+        assert_eq!(warm.summary.cells_executed, 0);
+        assert_eq!(warm.summary.cells_skipped, 4);
+        assert!(warm.summary.resumed);
+        assert_eq!(runs.load(Ordering::Relaxed), 4, "resume must not re-run cells");
+        // Records identical (bit-level) and in grid order both times.
+        assert_eq!(cold.records, warm.records);
+        assert_eq!(warm.records[1].get("mean"), Some(16.0));
+        // Provenance artifacts exist.
+        assert!(dir.join("runner-test.spec").exists());
+        assert!(dir.join("runner-test.store").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_spec_invalidates_the_store() {
+        let dir = temp_dir("invalidate");
+        let spec = toy_spec();
+        let run_cell = |c: &CellSpec| vec![("mean".to_string(), c.t)];
+        run_spec_grid(&spec, "ctx", &dir, None, 1, run_cell).unwrap();
+        let mut changed = toy_spec();
+        changed.seed = 2;
+        let out = run_spec_grid(&changed, "ctx", &dir, None, 1, run_cell).unwrap();
+        assert_eq!(out.summary.cells_executed, 4, "new seed must re-run everything");
+        assert_eq!(out.summary.cells_skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_store_resumes_only_missing_cells() {
+        let dir = temp_dir("partial");
+        let spec = toy_spec();
+        // Must match run_spec_grid's derivation: spec text + context.
+        let fingerprint = crate::spec::text_fingerprint(&format!("{}\nctx", spec.to_text()));
+        let store_path = dir.join("runner-test.store");
+        // Pre-record one cell by hand.
+        let cells = spec.cells();
+        let (store, _) = ResultsStore::open(&store_path, &fingerprint).unwrap();
+        store.append(&Record::new(cells[2].id(), vec![("mean".into(), 123.0)])).unwrap();
+        drop(store);
+
+        let out = run_spec_grid(&spec, "ctx", &dir, None, 2, |c: &CellSpec| {
+            vec![("mean".to_string(), c.t)]
+        })
+        .unwrap();
+        assert_eq!(out.summary.cells_skipped, 1);
+        assert_eq!(out.summary.cells_executed, 3);
+        // The skipped cell serves the stored value, not a recomputed one.
+        assert_eq!(out.records[2].get("mean"), Some(123.0));
+        let line = out.summary.render();
+        assert!(line.contains("3 executed") && line.contains("1 skipped"), "{line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

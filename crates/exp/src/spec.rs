@@ -1,0 +1,406 @@
+//! Declarative experiment specifications and deterministic seed derivation.
+//!
+//! An [`ExperimentSpec`] names a grid — churn networks × algorithm labels ×
+//! adversary spend rates — plus the trial count, horizon, and base seed
+//! that pin every cell down. The spec is serializable to a small versioned
+//! text format (see [`ExperimentSpec::to_text`]) so a results store can
+//! record exactly which grid produced it, and resumed runs can verify they
+//! are continuing the *same* experiment.
+//!
+//! # Seed derivation
+//!
+//! Every cell's randomness is a pure function of the spec's `seed`:
+//!
+//! * workload seed for trial `i` = [`trial_seed`]`(seed, i)` — shared by
+//!   **all** cells of the grid, so every (algorithm, T) pair of a trial
+//!   replays the same good-ID schedule and the workload cache services the
+//!   whole grid row from one file;
+//! * defense seed = [`defense_seed`]`(workload seed)` — a distinct stream
+//!   so classifier-gated defenses never share draws with trace generation.
+//!
+//! Both derivations are order-free (SplitMix64 finalizer), so results are
+//! identical regardless of worker count or cell scheduling.
+
+/// Format tag on the first line of a serialized spec.
+pub const SPEC_MAGIC: &str = "sybil-exp-spec";
+/// Current (and only) spec format version.
+pub const SPEC_VERSION: u32 = 1;
+
+/// A declarative experiment grid.
+///
+/// Networks and algorithms are *labels*: the experiment driver that owns
+/// the spec maps them back to concrete churn models and defense
+/// constructors. Keeping the spec string-typed keeps this crate independent
+/// of any particular defense roster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (also names the results store / CSV artifacts).
+    pub name: String,
+    /// Churn network labels (one workload family per entry).
+    pub networks: Vec<String>,
+    /// Algorithm labels (resolved by the driver).
+    pub algos: Vec<String>,
+    /// Adversary spend rates `T` swept per (network, algorithm).
+    pub t_grid: Vec<f64>,
+    /// Independent trials per cell (distinct workload seeds).
+    pub trials: u32,
+    /// Simulated seconds per run.
+    pub horizon: f64,
+    /// Adversary power fraction κ.
+    pub kappa: f64,
+    /// Base seed; all cell randomness derives from it.
+    pub seed: u64,
+}
+
+/// One (network, algorithm, T) cell of a spec's grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Network label.
+    pub network: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Adversary spend rate `T`.
+    pub t: f64,
+}
+
+/// Bit-exact float rendering shared by cell ids and the spec text format:
+/// exactly-integral values print as plain integers (readable), everything
+/// else as a `0x`-prefixed bit pattern — two representable floats can
+/// never alias, and parsing the bit form back is lossless.
+fn fmt_f64_exact(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("0x{:016x}", x.to_bits())
+    }
+}
+
+impl CellSpec {
+    /// Stable identifier used as the results-store key. Floats are encoded
+    /// via their bit pattern when fractional so distinct `T`s can never
+    /// alias in the store.
+    pub fn id(&self) -> String {
+        format!("{}/{}/T={}", self.network, self.algo, fmt_f64_exact(self.t))
+    }
+}
+
+impl ExperimentSpec {
+    /// Checks the spec is runnable: non-empty grid, positive horizon and
+    /// trial count, κ in `[0, 1)`, finite non-negative spend rates, and
+    /// label characters that cannot corrupt the text format.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("spec name is empty".into());
+        }
+        if self.networks.is_empty() || self.algos.is_empty() || self.t_grid.is_empty() {
+            return Err("spec grid is empty (need networks, algos, and t values)".into());
+        }
+        if self.trials == 0 {
+            return Err("spec needs at least one trial".into());
+        }
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(format!("horizon {} must be positive and finite", self.horizon));
+        }
+        if !(0.0..1.0).contains(&self.kappa) {
+            return Err(format!("kappa {} must be in [0, 1)", self.kappa));
+        }
+        for &t in &self.t_grid {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(format!("spend rate {t} must be finite and non-negative"));
+            }
+        }
+        for label in self.networks.iter().chain(&self.algos).chain(std::iter::once(&self.name)) {
+            if label.chars().any(|c| c == ',' || c == '\n' || c == '=' || c == '/') {
+                return Err(format!(
+                    "label {label:?} contains a reserved character (, = / or newline)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates the grid in deterministic (network-major) order.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out =
+            Vec::with_capacity(self.networks.len() * self.algos.len() * self.t_grid.len());
+        for network in &self.networks {
+            for algo in &self.algos {
+                for &t in &self.t_grid {
+                    out.push(CellSpec { network: network.clone(), algo: algo.clone(), t });
+                }
+            }
+        }
+        out
+    }
+
+    /// Workload seed for trial `index` — shared across the whole grid so
+    /// cells replay identical schedules (and share cache entries).
+    pub fn workload_seed(&self, index: u32) -> u64 {
+        trial_seed(self.seed, index as u64)
+    }
+
+    /// Defense seed for trial `index` (see [`defense_seed`]).
+    pub fn defense_seed(&self, index: u32) -> u64 {
+        defense_seed(self.workload_seed(index))
+    }
+
+    /// Serializes to the versioned text format:
+    ///
+    /// ```text
+    /// sybil-exp-spec v1
+    /// name = figure8
+    /// networks = bitcoin,bittorrent,gnutella,ethereum
+    /// algos = ERGO,CCOM
+    /// t = 0,1,4,0x40a0000000000000
+    /// trials = 5
+    /// horizon = 10000
+    /// kappa = 0x3fac71c71c71c71c
+    /// seed = 1
+    /// ```
+    ///
+    /// Floats serialize as plain integers when exactly integral and as
+    /// `0x`-prefixed bit patterns otherwise, so a round trip is always
+    /// bit-exact.
+    pub fn to_text(&self) -> String {
+        let ts: Vec<String> = self.t_grid.iter().map(|&t| fmt_f64_exact(t)).collect();
+        format!(
+            "{SPEC_MAGIC} v{SPEC_VERSION}\n\
+             name = {}\n\
+             networks = {}\n\
+             algos = {}\n\
+             t = {}\n\
+             trials = {}\n\
+             horizon = {}\n\
+             kappa = {}\n\
+             seed = {}\n",
+            self.name,
+            self.networks.join(","),
+            self.algos.join(","),
+            ts.join(","),
+            self.trials,
+            fmt_f64_exact(self.horizon),
+            fmt_f64_exact(self.kappa),
+            self.seed,
+        )
+    }
+
+    /// Parses the text format written by [`to_text`]. Unknown keys are
+    /// rejected (they indicate a newer writer), as is a missing key or a
+    /// version this build does not read.
+    pub fn from_text(text: &str) -> Result<ExperimentSpec, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty spec")?;
+        let expect = format!("{SPEC_MAGIC} v{SPEC_VERSION}");
+        if header.trim() != expect {
+            return Err(format!("bad spec header {header:?} (this build reads {expect:?})"));
+        }
+        let parse_f = |s: &str| -> Result<f64, String> {
+            if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad float bits {s:?}: {e}"))
+            } else {
+                s.parse::<f64>().map_err(|e| format!("bad float {s:?}: {e}"))
+            }
+        };
+        let mut name = None;
+        let mut networks = None;
+        let mut algos = None;
+        let mut t_grid = None;
+        let mut trials = None;
+        let mut horizon = None;
+        let mut kappa = None;
+        let mut seed = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) =
+                line.split_once('=').ok_or_else(|| format!("malformed line {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let list = || -> Vec<String> {
+                value.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+            };
+            match key {
+                "name" => name = Some(value.to_string()),
+                "networks" => networks = Some(list()),
+                "algos" => algos = Some(list()),
+                "t" => {
+                    t_grid = Some(list().iter().map(|s| parse_f(s)).collect::<Result<Vec<_>, _>>()?)
+                }
+                "trials" => {
+                    trials = Some(
+                        value.parse::<u32>().map_err(|e| format!("bad trials {value:?}: {e}"))?,
+                    )
+                }
+                "horizon" => horizon = Some(parse_f(value)?),
+                "kappa" => kappa = Some(parse_f(value)?),
+                "seed" => {
+                    seed =
+                        Some(value.parse::<u64>().map_err(|e| format!("bad seed {value:?}: {e}"))?)
+                }
+                _ => return Err(format!("unknown spec key {key:?}")),
+            }
+        }
+        let spec = ExperimentSpec {
+            name: name.ok_or("missing key: name")?,
+            networks: networks.ok_or("missing key: networks")?,
+            algos: algos.ok_or("missing key: algos")?,
+            t_grid: t_grid.ok_or("missing key: t")?,
+            trials: trials.ok_or("missing key: trials")?,
+            horizon: horizon.ok_or("missing key: horizon")?,
+            kappa: kappa.ok_or("missing key: kappa")?,
+            seed: seed.ok_or("missing key: seed")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// SHA-256 of the canonical text form — the identity a results store
+    /// records so resumes can detect a changed grid.
+    pub fn fingerprint(&self) -> String {
+        text_fingerprint(&self.to_text())
+    }
+}
+
+/// SHA-256 fingerprint of an arbitrary canonical configuration text.
+///
+/// For experiments whose grids do not fit [`ExperimentSpec`] (e.g. the
+/// estimator-accuracy and ablation grids): write the full configuration —
+/// every knob that affects results — into one canonical string and bind
+/// the results store to its hash, so any change invalidates stale cells.
+pub fn text_fingerprint(text: &str) -> String {
+    sybil_crypto::hex::encode(sybil_crypto::sha256::Sha256::digest(text.as_bytes()).as_bytes())
+}
+
+/// Derives the deterministic seed for trial `index` of an experiment
+/// anchored at `base`. Pure function of its inputs (SplitMix64 finalizer),
+/// so results never depend on worker count or scheduling order.
+pub fn trial_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the defense-construction seed for a cell whose workload is
+/// seeded with `seed`.
+///
+/// Kept distinct from the workload seed so classifier-gated defenses do
+/// not share a stream with trace generation. Every runner that wants its
+/// results comparable (e.g. the perf scenarios and the sweep cells) must
+/// use this same derivation.
+pub fn defense_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(7919).wrapping_add(13)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "figure8-test".into(),
+            networks: vec!["gnutella".into(), "bitcoin".into()],
+            algos: vec!["ERGO".into(), "CCOM".into()],
+            t_grid: vec![0.0, 16.0, 0.5],
+            trials: 3,
+            horizon: 500.0,
+            kappa: 1.0 / 18.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_bit_exact() {
+        let s = spec();
+        let text = s.to_text();
+        let back = ExperimentSpec::from_text(&text).unwrap();
+        assert_eq!(s, back);
+        // κ = 1/18 is not integral: must survive via the bit-pattern form.
+        assert_eq!(back.kappa.to_bits(), s.kappa.to_bits());
+        assert_eq!(back.t_grid[2].to_bits(), 0.5f64.to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_bad_inputs() {
+        assert!(ExperimentSpec::from_text("").unwrap_err().contains("empty"));
+        assert!(ExperimentSpec::from_text("sybil-exp-spec v9\n").unwrap_err().contains("header"));
+        let mut text = spec().to_text();
+        text.push_str("mystery = 1\n");
+        assert!(ExperimentSpec::from_text(&text).unwrap_err().contains("unknown"));
+        // Missing key.
+        let partial = "sybil-exp-spec v1\nname = x\n";
+        assert!(ExperimentSpec::from_text(partial).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_grids() {
+        let mut s = spec();
+        s.trials = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.t_grid = vec![f64::NAN];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.algos = vec!["has,comma".into()];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.kappa = 1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn cells_enumerate_network_major() {
+        let s = spec();
+        let cells = s.cells();
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(cells[0].network, "gnutella");
+        assert_eq!(cells[0].algo, "ERGO");
+        assert_eq!(cells[0].t, 0.0);
+        assert_eq!(cells[1].t, 16.0);
+        assert_eq!(cells[3].algo, "CCOM");
+        assert_eq!(cells[6].network, "bitcoin");
+        // Ids are unique.
+        let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len());
+    }
+
+    #[test]
+    fn cell_ids_distinguish_close_floats() {
+        let a = CellSpec { network: "n".into(), algo: "a".into(), t: 0.1 };
+        // One ULP away: bit-distinct floats must never alias in the store.
+        let b = CellSpec {
+            network: "n".into(),
+            algo: "a".into(),
+            t: f64::from_bits(0.1f64.to_bits() + 1),
+        };
+        assert_ne!(a.id(), b.id());
+        let d = CellSpec { network: "n".into(), algo: "a".into(), t: 1024.0 };
+        assert_eq!(d.id(), "n/a/T=1024");
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "collisions in trial seeds");
+        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
+        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+        // Spec seed derivation chains trial → defense.
+        let s = spec();
+        assert_eq!(s.defense_seed(2), defense_seed(s.workload_seed(2)));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = spec();
+        let mut b = spec();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.trials += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().len(), 64);
+    }
+}
