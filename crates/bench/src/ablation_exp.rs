@@ -23,7 +23,7 @@ use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::params::{ErgoConfig, GoodJEstConfig, Ratio};
 use ergo_core::Ergo;
 use sybil_churn::networks;
-use sybil_exp::spec::text_fingerprint;
+use sybil_exp::spec::{text_fingerprint, AxisValue, CellSpec};
 use sybil_exp::{trial_seed, MetricSummary, Welford, WorkloadCache};
 use sybil_sim::adversary::BudgetJoiner;
 use sybil_sim::engine::{SimConfig, Simulation};
@@ -116,9 +116,17 @@ fn knob_grid() -> Vec<(String, String, ErgoConfig, f64)> {
     grid
 }
 
-/// The whitespace-free results-store key for one knob cell.
-fn cell_id(knob: &str, value: &str) -> String {
-    format!("{}/{}", knob.replace(' ', "-"), value.replace(['/', ' '], "-"))
+/// The axis assignment for one knob cell. The knob list is a union of
+/// per-knob sweeps rather than a cartesian product, so cells are built as
+/// explicit [`CellSpec`] assignments (axes `knob`, `value`) and run
+/// through [`sybil_exp::run_cell_grid`] — the canonical escaped ids keep
+/// values like `1/11` and `5/12` collision-free without the lossy
+/// character replacement the old free-form keys used.
+fn cell_spec(knob: &str, value: &str) -> CellSpec {
+    CellSpec::new(vec![
+        ("knob".into(), AxisValue::Str(knob.into())),
+        ("value".into(), AxisValue::Str(value.into())),
+    ])
 }
 
 /// Runs all ablations (multi-trial, cached workloads, resumable) and
@@ -133,19 +141,22 @@ pub fn run() -> Vec<AblationRow> {
     // The full knob grid (including the resolved ErgoConfigs) and the
     // churn model go into the fingerprint, so a code change to a default
     // constant or the Gnutella parameters re-runs the grid instead of
-    // resuming stale cells.
+    // resuming stale cells. v3 marks the switch to canonical escaped
+    // cell ids: the key scheme is part of the store's identity, so a
+    // store written under the old free-form keys is displaced rather
+    // than resumed with every lookup missing (and its records orphaned).
     let config = format!(
-        "ablation v2\nhorizon = {horizon}\nT = {t}\ntrials = {trials}\nseed = {base_seed}\n\
-         network = {:?}\nknobs = {grid:?}\n",
+        "ablation v3 (canonical cell ids)\nhorizon = {horizon}\nT = {t}\ntrials = {trials}\n\
+         seed = {base_seed}\nnetwork = {:?}\nknobs = {grid:?}\n",
         networks::gnutella(),
     );
 
-    let cells: Vec<(String, (String, String, ErgoConfig, f64))> =
-        grid.into_iter().map(|cell| (cell_id(&cell.0, &cell.1), cell)).collect();
+    let cells: Vec<(CellSpec, (String, String, ErgoConfig, f64))> =
+        grid.into_iter().map(|cell| (cell_spec(&cell.0, &cell.1), cell)).collect();
 
     let net = networks::gnutella();
     let cache_ref = &cache;
-    let outcome = sybil_exp::run_grid(
+    let outcome = sybil_exp::run_cell_grid(
         "ablation",
         &text_fingerprint(&config),
         &results_dir().join("ablation.store"),
@@ -273,10 +284,16 @@ mod tests {
         assert_eq!(grid.len(), 13);
         // Exercise the SAME id derivation run() uses for the store keys.
         let ids: std::collections::BTreeSet<String> =
-            grid.iter().map(|(k, v, _, _)| cell_id(k, v)).collect();
+            grid.iter().map(|(k, v, _, _)| cell_spec(k, v).id()).collect();
         assert_eq!(ids.len(), grid.len());
         for id in &ids {
             assert!(!id.chars().any(char::is_whitespace), "{id}");
         }
+        // The old lossy replacement collapsed e.g. "1/11" and "1-11";
+        // canonical escaping keeps such value pairs distinct.
+        assert_ne!(
+            cell_spec("iteration threshold", "1/11").id(),
+            cell_spec("iteration threshold", "1-11").id()
+        );
     }
 }

@@ -1,20 +1,35 @@
-//! CI smoke experiment for the `sybil-exp` subsystem: a tiny Figure-8
-//! grid run **cold** (fresh store, workloads generated into the cache)
-//! and then **warm** (same spec), asserting that
+//! CI smoke experiment for the `sybil-exp` subsystem, in two parts:
 //!
-//! * the cold run executes every cell and the warm run skips them all
-//!   (resume semantics), and
-//! * the warm run's records are bit-identical to the cold run's.
+//! 1. a tiny canonical three-axis Figure-8 grid run **cold** (fresh
+//!    store, workloads generated into the cache) and then **warm** (same
+//!    spec), asserting that the cold run executes every cell, the warm
+//!    run skips them all (resume semantics), and the warm records are
+//!    bit-identical to the cold ones;
+//! 2. a **four-axis** named-axis spec (network × algo × T ×
+//!    good-fraction, the fraction labels deliberately containing `/`)
+//!    run cold→warm the same way, additionally asserting the results
+//!    store holds exactly |grid| distinct cell keys — the structural
+//!    guard against the historical cell-id aliasing bug.
 //!
-//! Exits nonzero on any violation. CI uploads the resulting
-//! `results/exp_smoke.store` as an artifact alongside `BENCH_engine.json`.
+//! Exits nonzero on any violation. CI uploads the resulting stores as
+//! artifacts alongside `BENCH_engine.json`.
 
-use sybil_bench::grid::run_spend_grid;
-use sybil_bench::sweep::Algo;
+use sybil_bench::figure9;
+use sybil_bench::grid::{default_cache_dir, run_spend_grid};
+use sybil_bench::sweep::{default_workers, Algo};
 use sybil_bench::table::results_dir;
 use sybil_churn::networks;
+use sybil_exp::spec::{text_fingerprint, Axis, CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_T};
+use sybil_exp::{ExperimentSpec, ResultsStore, WorkloadCache};
+use sybil_sim::engine::SimConfig;
+use sybil_sim::time::Time;
 
 fn main() {
+    three_axis_smoke();
+    four_axis_smoke();
+}
+
+fn three_axis_smoke() {
     let name = "exp_smoke";
     let store = results_dir().join(format!("{name}.store"));
     // Guarantee a cold start: the smoke validates the cold→warm
@@ -63,5 +78,100 @@ fn main() {
         cold.cells_executed,
         warm.cells_skipped,
         store.display()
+    );
+}
+
+/// The four-axis smoke: a named-axis grid beyond the canonical
+/// `network × algo × T` shape, with a good-fraction axis whose labels
+/// contain the store-separator character `/`.
+fn four_axis_smoke() {
+    let name = "exp_smoke_axes";
+    let store_path = results_dir().join(format!("{name}.store"));
+    std::fs::remove_file(&store_path).ok();
+
+    let fracs: [(&str, f64); 2] = [("1/24", 1.0 / 24.0), ("1/6", 1.0 / 6.0)];
+    let horizon = 200.0;
+    let spec = ExperimentSpec {
+        name: name.into(),
+        axes: vec![
+            Axis::strs(AXIS_NETWORK, ["gnutella"]),
+            Axis::strs(AXIS_ALGO, ["ERGO"]),
+            Axis::floats(AXIS_T, [0.0, 1024.0]),
+            Axis::strs(figure9::AXIS_FRAC, fracs.iter().map(|&(label, _)| label)),
+        ],
+        trials: 2,
+        horizon,
+        kappa: SimConfig::default().kappa,
+        seed: 1,
+    };
+    let context = format!("exp_smoke 4-axis\nfracs = {fracs:?}\n");
+    let cache = WorkloadCache::open(default_cache_dir()).expect("cannot open workload cache");
+    let net = networks::gnutella();
+
+    let cache_ref = &cache;
+    let spec_ref = &spec;
+    let run = || {
+        sybil_exp::run_spec_grid(
+            spec_ref,
+            &context,
+            &results_dir(),
+            Some(cache_ref),
+            default_workers(),
+            |cell: &CellSpec| {
+                let frac_label = cell.str_value(figure9::AXIS_FRAC);
+                let fraction =
+                    fracs.iter().find(|(l, _)| *l == frac_label).expect("known fraction").1;
+                let t = cell.f64_value(AXIS_T);
+                let mut intervals = 0.0;
+                let mut median_sum = 0.0;
+                for trial in 0..spec_ref.trials {
+                    let disk = cache_ref
+                        .get_or_create(&net, Time(horizon), spec_ref.workload_seed(trial))
+                        .expect("workload cache failed");
+                    let q = figure9::run_trial(disk, fraction, t, horizon);
+                    intervals += q.intervals as f64;
+                    median_sum += q.median_ratio;
+                }
+                vec![("intervals".into(), intervals), ("median_sum".into(), median_sum)]
+            },
+        )
+        .expect("exp_smoke_axes grid failed")
+    };
+
+    println!("--- 4-axis cold run (fresh store) ---");
+    let cold = run();
+    let grid_size = spec.cells().len();
+    assert_eq!(grid_size, 4, "grid shape changed");
+    assert_eq!(cold.summary.cells_total, grid_size);
+    assert_eq!(cold.summary.cells_executed, grid_size, "cold run must execute every cell");
+
+    println!("--- 4-axis warm run (resume from store) ---");
+    let warm = run();
+    assert_eq!(warm.summary.cells_executed, 0, "warm run must skip all completed cells");
+    assert_eq!(warm.summary.cells_skipped, grid_size);
+    assert!(warm.summary.resumed);
+    for (a, b) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(a.cell_id, b.cell_id);
+        for ((an, av), (bn, bv)) in a.fields.iter().zip(&b.fields) {
+            assert_eq!(an, bn, "{}: field order changed", a.cell_id);
+            assert_eq!(av.to_bits(), bv.to_bits(), "{}/{an}: resumed value differs", a.cell_id);
+        }
+    }
+
+    // The store must hold exactly |grid| distinct cell keys: the two
+    // `/`-laden fraction labels may not collapse onto one key.
+    let fingerprint = text_fingerprint(&format!("{}\n{context}", spec.to_text()));
+    let (store, resumed) = ResultsStore::open(&store_path, &fingerprint).expect("reopen store");
+    assert!(resumed, "fingerprint recomputation must match the runner's");
+    assert_eq!(store.len(), grid_size, "store must hold exactly |grid| distinct cell keys");
+    for cell in spec.cells() {
+        assert!(store.is_done(&cell.id()), "missing cell {}", cell.id());
+    }
+
+    println!(
+        "exp_smoke_axes OK: {} distinct cell keys for a {}-cell 4-axis grid (store: {})",
+        store.len(),
+        grid_size,
+        store_path.display()
     );
 }

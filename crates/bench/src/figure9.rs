@@ -7,11 +7,17 @@
 //! GoodJEst interval we record the ratio of the estimate `J̃` to the true
 //! good join rate over that interval.
 //!
-//! Cells run through the `sybil-exp` subsystem: [`trials`] workload seeds
-//! per cell, each workload materialized once in the disk cache and
-//! streamed into all ten (fraction, T) cells of its network, the
-//! per-trial median ratio aggregated into `mean, ci95_lo, ci95_hi`, and
-//! every finished cell recorded in a resumable results store.
+//! Cells run through the `sybil-exp` subsystem as a first-class
+//! three-axis grid — `network × frac × T` declared as named
+//! [`ExperimentSpec`] axes, not encoded into free-form id strings. (The
+//! previous free-form scheme built ids via `label.replace('/', "of")`,
+//! which aliased distinct fraction labels like `1/2` and `1of2` onto one
+//! results-store key; canonical escaped axis ids make that collision
+//! impossible.) Each cell runs [`trials`] workload seeds, each workload
+//! materialized once in the disk cache and streamed into all ten
+//! (fraction, T) cells of its network, the per-trial median ratio
+//! aggregated into `mean, ci95_lo, ci95_hi`, and every finished cell
+//! recorded in a resumable results store.
 //!
 //! Expected shape (paper Section 10.2): all ratios within `(0.08, 1.2)` for
 //! `T = 0` and within `(0.08, 4)` under attack — i.e. the estimate is always
@@ -21,14 +27,18 @@ use crate::grid::default_cache_dir;
 use crate::sweep::{default_workers, fast_mode};
 use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::{Ergo, ErgoConfig};
+use std::collections::HashMap;
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
-use sybil_exp::spec::text_fingerprint;
-use sybil_exp::{trial_seed, MetricSummary, Welford, WorkloadCache};
+use sybil_exp::spec::{Axis, CellSpec, AXIS_NETWORK, AXIS_T};
+use sybil_exp::{ExperimentSpec, MetricSummary, Welford, WorkloadCache};
 use sybil_sim::adversary::FractionKeeper;
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
 use sybil_sim::workload::WorkloadSource;
+
+/// The non-canonical axis of this grid: the persistent Sybil fraction.
+pub const AXIS_FRAC: &str = "frac";
 
 /// The persistent Sybil fractions on Figure 9's x-axis.
 pub fn fractions() -> Vec<(String, f64)> {
@@ -150,50 +160,59 @@ pub fn run() -> Vec<EstimateQuality> {
     let cache = WorkloadCache::open(default_cache_dir())
         .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
 
-    // Canonical configuration text: any change — including to what the
-    // network labels or the defense default resolve to in code — re-runs
-    // the grid instead of resuming stale cells.
-    let config = format!(
-        "figure9 v2\nhorizon = {horizon}\ntrials = {trials}\nseed = {base_seed}\n\
-         fractions = {:?}\nts = [0, 10000]\nnetworks = {nets:?}\ndefense = {:?}\n",
+    // The grid, declared axis by axis: the Sybil-fraction labels (which
+    // contain `/`) are ordinary axis values — the canonical escaped cell
+    // ids cannot alias, unlike the former free-form id strings.
+    let spec = ExperimentSpec {
+        name: "figure9".into(),
+        axes: vec![
+            Axis::strs(AXIS_NETWORK, nets.iter().map(|n| n.name.to_string())),
+            Axis::strs(AXIS_FRAC, fractions().into_iter().map(|(label, _)| label)),
+            Axis::floats(AXIS_T, [0.0, 10_000.0]),
+        ],
+        trials,
+        horizon,
+        // The effective purge cap is derived per cell from the fraction
+        // (see run_trial); this is the base the derivation clamps to.
+        kappa: SimConfig::default().kappa,
+        seed: base_seed,
+    };
+    // The axes name networks and fractions by label; the fingerprint
+    // context carries what those labels resolve to — churn-model
+    // parameters, the label→fraction mapping, the defense config, and the
+    // per-cell kappa derivation — so a code change re-runs the grid
+    // instead of resuming stale cells.
+    let context = format!(
+        "fractions = {:?}\nnetworks = {nets:?}\ndefense = {:?}\n\
+         kappa_rule = (fraction * 1.5).clamp(1/18, 0.5)\n",
         fractions(),
         ErgoConfig::default(),
     );
-
-    struct Cell {
-        net: ChurnModel,
-        fraction: f64,
-        t: f64,
-    }
-    let mut cells: Vec<(String, Cell)> = Vec::new();
-    for net in &nets {
-        for (label, fraction) in fractions() {
-            for t in [0.0, 10_000.0] {
-                let id = format!("{}/frac={}/T={}", net.name, label.replace('/', "of"), t as u64);
-                cells.push((id, Cell { net: *net, fraction, t }));
-            }
-        }
-    }
+    let net_by_name: HashMap<String, &ChurnModel> =
+        nets.iter().map(|n| (n.name.to_string(), n)).collect();
+    let frac_by_label: HashMap<String, f64> = fractions().into_iter().collect();
 
     let cache_ref = &cache;
-    let outcome = sybil_exp::run_grid(
-        "figure9",
-        &text_fingerprint(&config),
-        &results_dir().join("figure9.store"),
-        cells,
+    let outcome = sybil_exp::run_spec_grid(
+        &spec,
+        &context,
+        &results_dir(),
         Some(cache_ref),
         default_workers(),
-        move |cell: &Cell| {
+        |cell: &CellSpec| {
+            let net = net_by_name[cell.str_value(AXIS_NETWORK)];
+            let fraction = frac_by_label[cell.str_value(AXIS_FRAC)];
+            let t = cell.f64_value(AXIS_T);
             let mut intervals = 0usize;
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
             let mut medians = Welford::new();
-            for trial in 0..trials {
-                let wseed = trial_seed(base_seed, trial as u64);
+            for trial in 0..spec.trials {
+                let wseed = spec.workload_seed(trial);
                 let disk = cache_ref
-                    .get_or_create(&cell.net, Time(horizon), wseed)
+                    .get_or_create(net, Time(horizon), wseed)
                     .unwrap_or_else(|e| panic!("workload cache failed: {e}"));
-                let q = run_trial(disk, cell.fraction, cell.t, horizon);
+                let q = run_trial(disk, fraction, t, horizon);
                 intervals += q.intervals;
                 if q.intervals > 0 {
                     min = min.min(q.min_ratio);
@@ -289,6 +308,28 @@ mod tests {
         assert_eq!(f.len(), 5);
         assert_eq!(f[0].0, "1/1536");
         assert_eq!(f[4].0, "1/6");
+    }
+
+    /// Regression for the store-key aliasing bug: fraction labels contain
+    /// `/`, and the old free-form ids (`label.replace('/', "of")`) mapped
+    /// distinct labels like `1/2` and `1of2` onto one key. Canonical axis
+    /// ids must keep every label distinct and store-safe.
+    #[test]
+    fn fraction_labels_cannot_alias_in_cell_ids() {
+        use sybil_exp::spec::AxisValue;
+        let cell = |label: &str| {
+            CellSpec::new(vec![
+                (AXIS_NETWORK.into(), AxisValue::Str("gnutella".into())),
+                (AXIS_FRAC.into(), AxisValue::Str(label.into())),
+                (AXIS_T.into(), AxisValue::F64(10_000.0)),
+            ])
+        };
+        assert_ne!(cell("1/2").id(), cell("1of2").id());
+        assert_eq!(cell("1/2").id(), "network=gnutella/frac=1%2f2/T=10000");
+        for (label, _) in fractions() {
+            let id = cell(&label).id();
+            assert!(!id.chars().any(char::is_whitespace), "{id}");
+        }
     }
 
     #[test]

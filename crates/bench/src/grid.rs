@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use sybil_churn::model::ChurnModel;
 use sybil_exp::runner::RunSummary;
-use sybil_exp::spec::CellSpec;
+use sybil_exp::spec::{CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_T};
 use sybil_exp::{ExperimentSpec, MetricSummary, Record, Welford, WorkloadCache};
 use sybil_sim::engine::SimConfig;
 use sybil_sim::time::Time;
@@ -111,23 +111,30 @@ pub fn run_spend_grid(
     let algo_by_label: HashMap<String, Algo> = roster.iter().map(|a| (a.label(), *a)).collect();
     assert_eq!(net_by_name.len(), nets.len(), "duplicate network names in {name}");
     assert_eq!(algo_by_label.len(), roster.len(), "duplicate algorithm labels in {name}");
+    for &t in t_grid {
+        // Spec validation only guarantees finiteness (axes are generic);
+        // a spend rate is additionally a rate, so pin the domain here
+        // before anything lands in a durable store.
+        assert!(t >= 0.0, "{name}: spend rate {t} must be non-negative");
+    }
 
-    let spec = ExperimentSpec {
-        name: name.to_string(),
-        networks: nets.iter().map(|n| n.name.to_string()).collect(),
-        algos: roster.iter().map(|a| a.label()).collect(),
-        t_grid: t_grid.to_vec(),
+    let spec = ExperimentSpec::three_axis(
+        name,
+        nets.iter().map(|n| n.name.to_string()).collect(),
+        roster.iter().map(|a| a.label()).collect(),
+        t_grid.to_vec(),
         trials,
         horizon,
-        kappa: sybil_sim::SimConfig::default().kappa,
-        seed: base_seed,
-    };
+        sybil_sim::SimConfig::default().kappa,
+        base_seed,
+    );
     let cache = WorkloadCache::open(default_cache_dir())
         .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
 
     let run_cell = |cell: &CellSpec| -> Vec<(String, f64)> {
-        let net = net_by_name[&cell.network];
-        let algo = algo_by_label[&cell.algo];
+        let net = net_by_name[cell.str_value(AXIS_NETWORK)];
+        let algo = algo_by_label[cell.str_value(AXIS_ALGO)];
+        let t = cell.f64_value(AXIS_T);
         let mut acc: [Welford; 4] = [Welford::new(); 4];
         for trial in 0..spec.trials {
             let wseed = spec.workload_seed(trial);
@@ -137,10 +144,10 @@ pub fn run_spend_grid(
             let cfg = SimConfig {
                 horizon: Time(spec.horizon),
                 kappa: spec.kappa,
-                adv_rate: cell.t,
+                adv_rate: t,
                 ..SimConfig::default()
             };
-            let report = run_report_with(cfg, algo, cell.t, spec.defense_seed(trial), disk);
+            let report = run_report_with(cfg, algo, t, spec.defense_seed(trial), disk);
             acc[0].push(report.good_spend_rate());
             acc[1].push(report.adv_spend_rate());
             acc[2].push(report.max_bad_fraction);
@@ -191,16 +198,19 @@ pub fn run_spend_grid(
         .zip(&outcome.records)
         .map(|(cell, record)| {
             let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
-            let algo = algo_by_label[&cell.algo];
+            let network = cell.str_value(AXIS_NETWORK);
+            let algo_label = cell.str_value(AXIS_ALGO);
+            let t = cell.f64_value(AXIS_T);
+            let algo = algo_by_label[algo_label];
             SpendSummary {
-                network: cell.network.clone(),
-                algo: cell.algo.clone(),
-                t: cell.t,
+                network: network.to_string(),
+                algo: algo_label.to_string(),
+                t,
                 good_rate: metric_from_record(record, "good_rate", trials),
                 adv_rate: metric_from_record(record, "adv_rate", trials),
                 max_bad_fraction: metric_from_record(record, "max_bad_fraction", trials),
                 purges: metric_from_record(record, "purges", trials),
-                guarantee: algo.guarantee_covers(cell.t, net_by_name[&cell.network].initial_size),
+                guarantee: algo.guarantee_covers(t, net_by_name[network].initial_size),
             }
         })
         .collect();

@@ -4,14 +4,21 @@
 //!
 //! The bound simulation is closed-form and seedless (no workload, no RNG),
 //! so cells are single deterministic runs — multi-trial confidence
-//! intervals would be zero-width by construction. The grid still runs
-//! through the `sybil-exp` runner for its resumable results store and
-//! instrumented pool.
+//! intervals would be zero-width by construction. The grid is a
+//! first-class two-axis [`ExperimentSpec`] (`cost × T`) run through the
+//! `sybil-exp` runner for its resumable results store and instrumented
+//! pool; cost-function labels (which contain spaces) are ordinary axis
+//! values under the canonical escaped cell ids.
 
 use crate::sweep::{default_workers, fast_mode};
 use crate::table::{fmt_num, results_dir, Table};
+use std::collections::HashMap;
 use sybil_defenses::lower_bound::{run_lower_bound, CostFunction, LowerBoundOutcome};
-use sybil_exp::spec::text_fingerprint;
+use sybil_exp::spec::{Axis, CellSpec, AXIS_T};
+use sybil_exp::ExperimentSpec;
+
+/// The non-canonical axis of this grid: the entrance cost function.
+pub const AXIS_COST: &str = "cost";
 
 /// The cost-function family swept by the experiment.
 pub fn cost_functions() -> Vec<CostFunction> {
@@ -30,28 +37,36 @@ pub fn run() -> Vec<LowerBoundOutcome> {
         if fast_mode() { vec![1e2, 1e4] } else { vec![0.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7] };
     let (j, n0, delta) = (2.0, 10_000u64, 1.0 / 11.0);
 
-    let config = format!(
-        "lower_bound v2\nhorizon = {horizon}\nj = {j}\nn0 = {n0}\ndelta = {delta}\n\
-         ts = {t_values:?}\ncost_functions = {:?}\n",
-        cost_functions().iter().map(|f| f.label()).collect::<Vec<_>>(),
-    );
+    // Deterministic closed-form cells: trials/seed are degenerate (one
+    // trial, seedless), but the axes are first-class, so the store keys
+    // are canonical and collision-free by construction.
+    let spec = ExperimentSpec {
+        name: "lower_bound".into(),
+        axes: vec![
+            Axis::strs(AXIS_COST, cost_functions().iter().map(|f| f.label())),
+            Axis::floats(AXIS_T, t_values.clone()),
+        ],
+        trials: 1,
+        horizon,
+        kappa: 0.0,
+        seed: 0,
+    };
+    // What the cost labels resolve to, plus the bound parameters the axes
+    // do not carry.
+    let context =
+        format!("j = {j}\nn0 = {n0}\ndelta = {delta}\ncost_functions = {:?}\n", cost_functions());
+    let cost_by_label: HashMap<String, CostFunction> =
+        cost_functions().into_iter().map(|f| (f.label(), f)).collect();
 
-    let mut cells: Vec<(String, (CostFunction, f64))> = Vec::new();
-    for f in cost_functions() {
-        for &t in &t_values {
-            let id = format!("{}/T={}", f.label().replace(' ', "_"), t);
-            cells.push((id, (f, t)));
-        }
-    }
-
-    let outcome = sybil_exp::run_grid(
-        "lower_bound",
-        &text_fingerprint(&config),
-        &results_dir().join("lower_bound.store"),
-        cells,
+    let outcome = sybil_exp::run_spec_grid(
+        &spec,
+        &context,
+        &results_dir(),
         None,
         default_workers(),
-        move |&(f, t): &(CostFunction, f64)| {
+        |cell: &CellSpec| {
+            let f = cost_by_label[cell.str_value(AXIS_COST)];
+            let t = cell.f64_value(AXIS_T);
             let o = run_lower_bound(f, t, j, n0, delta, horizon);
             vec![
                 ("j".into(), o.j),
@@ -124,9 +139,15 @@ mod tests {
 
     #[test]
     fn cell_ids_are_store_safe_and_unique() {
+        use sybil_exp::spec::AxisValue;
         let mut ids = std::collections::BTreeSet::new();
         for f in cost_functions() {
-            let id = format!("{}/T=100", f.label().replace(' ', "_"));
+            // The same derivation run() uses: canonical escaped axis ids.
+            let id = CellSpec::new(vec![
+                (AXIS_COST.into(), AxisValue::Str(f.label())),
+                (AXIS_T.into(), AxisValue::F64(100.0)),
+            ])
+            .id();
             assert!(!id.chars().any(char::is_whitespace), "{id}");
             assert!(ids.insert(id));
         }

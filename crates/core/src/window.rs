@@ -3,8 +3,9 @@
 //! Ergo's Step 1 (paper Figure 4) quotes each joiner a challenge of hardness
 //! "1 plus the number of IDs that have joined in the last `1/J̃` seconds of
 //! the current iteration". This module maintains the join history of the
-//! current iteration as a cumulative-count array, so the windowed count is a
-//! binary search and admitting a *batch* of `n` simultaneous joins has a
+//! current iteration as a cumulative-count array with a sliding window
+//! cursor, so the windowed count is O(1) for the engine's monotone query
+//! pattern, and admitting a *batch* of `n` simultaneous joins has a
 //! closed-form total cost
 //!
 //! ```text
@@ -15,14 +16,27 @@
 //! arithmetic-series escalation behind the paper's `Θ(x²)` adversary cost
 //! intuition (Section 7.1).
 
+use std::cell::Cell;
 use sybil_sim::time::Time;
 
-/// Join history of the current iteration, supporting O(log n) windowed
-/// counts and O(1) amortized appends.
+/// Join history of the current iteration, supporting O(1) amortized
+/// appends and windowed counts that are O(1) for the monotone query
+/// pattern the engine produces (a maintained sliding cursor), with an
+/// O(log n) binary-search fallback when the window edge jumps.
 #[derive(Clone, Debug, Default)]
 pub struct JoinWindow {
     /// `(time, cumulative joins up to and including time)`, time-sorted.
     entries: Vec<(f64, u64)>,
+    /// Memoized window boundary from the previous [`count_within`]
+    /// query: the index of the first entry strictly inside that window.
+    /// Simulation time is monotone and the window width (`1/J̃`) only
+    /// moves at estimator updates, so consecutive queries' boundaries are
+    /// usually within a step or two of each other — the next query walks
+    /// from here instead of searching. Interior-mutable because quoting
+    /// is a read-only operation to callers.
+    ///
+    /// [`count_within`]: JoinWindow::count_within
+    cursor: Cell<usize>,
 }
 
 impl JoinWindow {
@@ -69,21 +83,57 @@ impl JoinWindow {
             return 0;
         }
         let cutoff = now.as_secs() - width;
-        // Joins strictly after `cutoff` are inside the window. The window
-        // is a recent suffix of a long history, so gallop backwards from
-        // the end (recently-appended, cache-hot entries) to bracket the
-        // boundary, then binary-search the bracket. Equivalent to
-        // `partition_point` over the whole array, but touches O(log w)
-        // hot lines for a width-w window instead of O(log n) cold ones.
-        let mut step = 1usize;
-        let mut hi = n; // entries[hi..] are known > cutoff
-        while hi > 0 && self.entries[hi - 1].0 > cutoff {
-            hi = hi.saturating_sub(step);
-            step *= 2;
+        if cutoff.is_nan() {
+            // A NaN width (or NaN `now`) compares false to everything: the
+            // cursor walks below would silently stay wherever the previous
+            // query left them. Pin the pre-cursor behavior: count nothing,
+            // deterministically.
+            self.cursor.set(n);
+            return 0;
         }
-        // Boundary is within entries[hi..hi + step/2] (clamped).
-        let idx =
-            hi + self.entries[hi..(hi + step / 2).min(n)].partition_point(|&(t, _)| t <= cutoff);
+        // Joins strictly after `cutoff` are inside the window. Between
+        // estimator updates the width is constant and `now` is monotone,
+        // so the boundary index only creeps forward: resume the walk from
+        // the previous query's boundary instead of searching. A few steps
+        // in either direction covers the overwhelming share of queries;
+        // if the boundary jumped (width change at an estimator update, or
+        // a burst of appends), gallop outward from the stale cursor and
+        // binary-search the bracket — O(log distance) over entries near
+        // the cursor, never a cold full-array search.
+        const MAX_WALK: usize = 8;
+        let mut idx = self.cursor.get().min(n);
+        let mut walked = 0usize;
+        while walked < MAX_WALK && idx < n && self.entries[idx].0 <= cutoff {
+            idx += 1;
+            walked += 1;
+        }
+        while walked < MAX_WALK && idx > 0 && self.entries[idx - 1].0 > cutoff {
+            idx -= 1;
+            walked += 1;
+        }
+        if idx < n && self.entries[idx].0 <= cutoff {
+            // Boundary is further right: bracket it in (lo, hi].
+            let mut step = 1usize;
+            let mut lo = idx;
+            while idx + step < n && self.entries[idx + step].0 <= cutoff {
+                lo = idx + step;
+                step *= 2;
+            }
+            let hi = (idx + step).min(n);
+            idx = lo + 1 + self.entries[lo + 1..hi].partition_point(|&(t, _)| t <= cutoff);
+        } else if idx > 0 && self.entries[idx - 1].0 > cutoff {
+            // Boundary is further left: gallop down, bracket in
+            // [lo, lo + step/2] (clamped — we know it is below idx).
+            let mut step = 1usize;
+            let mut lo = idx;
+            while lo > 0 && self.entries[lo - 1].0 > cutoff {
+                lo = lo.saturating_sub(step);
+                step *= 2;
+            }
+            let hi = (lo + step / 2).min(idx);
+            idx = lo + self.entries[lo..hi].partition_point(|&(t, _)| t <= cutoff);
+        }
+        self.cursor.set(idx);
         let before = if idx == 0 { 0 } else { self.entries[idx - 1].1 };
         self.total() - before
     }
@@ -92,6 +142,7 @@ impl JoinWindow {
     /// "of the current iteration").
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.cursor.set(0);
     }
 }
 
@@ -172,6 +223,23 @@ mod tests {
         assert_eq!(w.count_within(Time(1.0), 0.5), 3);
     }
 
+    /// A NaN width must return 0 regardless of where earlier queries left
+    /// the cursor (regression: the walk loops all compare false on NaN and
+    /// would otherwise serve a stale-cursor-dependent count).
+    #[test]
+    fn nan_width_counts_nothing_independent_of_cursor_state() {
+        let mut w = JoinWindow::new();
+        for i in 0..20 {
+            w.record(Time(i as f64), 1);
+        }
+        for prime_width in [0.0, 3.0, 1e9] {
+            w.count_within(Time(19.0), prime_width); // park the cursor somewhere
+            assert_eq!(w.count_within(Time(19.0), f64::NAN), 0, "after width {prime_width}");
+        }
+        // And the cursor recovers for ordinary queries afterwards.
+        assert_eq!(w.count_within(Time(19.0), 1e9), 20);
+    }
+
     #[test]
     fn clear_resets() {
         let mut w = JoinWindow::new();
@@ -246,6 +314,53 @@ mod tests {
             let cutoff = 100.0 - width;
             let expect: u64 = joins.iter().filter(|&&(t, _)| t > cutoff).map(|&(_, n)| n).sum();
             assert_eq!(w.count_within(now, width), expect, "case {case}");
+        }
+    }
+
+    /// The sliding cursor stays exact over realistic query *sequences*:
+    /// monotone `now` interleaved with appends, widths that shrink and
+    /// grow (moving the cutoff backwards), zero/huge widths, and clears.
+    /// Every answer must match brute force over the raw history.
+    #[test]
+    fn cursor_sequences_match_brute_force() {
+        for case in 0u64..64 {
+            let mut rng = StdRng::seed_from_u64(0x33cc_0000 + case);
+            let mut w = JoinWindow::new();
+            let mut joins: Vec<(f64, u64)> = Vec::new();
+            let mut now = 0.0f64;
+            for step in 0..200 {
+                match rng.gen_range(0u32..10) {
+                    0..=3 => {
+                        now += rng.gen_range(0.0f64..2.0);
+                        let n = rng.gen_range(1u64..4);
+                        w.record(Time(now), n);
+                        joins.push((now, n));
+                    }
+                    4 if step % 37 == 4 => {
+                        w.clear();
+                        joins.clear();
+                    }
+                    _ => {
+                        now += rng.gen_range(0.0f64..0.5);
+                        // Mix tiny, medium, and whole-history widths so the
+                        // cutoff sweeps forward and backward across queries.
+                        let width = match rng.gen_range(0u32..4) {
+                            0 => 0.0,
+                            1 => rng.gen_range(0.0f64..1.0),
+                            2 => rng.gen_range(0.0f64..20.0),
+                            _ => 1e9,
+                        };
+                        let cutoff = now - width;
+                        let expect: u64 =
+                            joins.iter().filter(|&&(t, _)| t > cutoff).map(|&(_, n)| n).sum();
+                        assert_eq!(
+                            w.count_within(Time(now), width),
+                            expect,
+                            "case {case} step {step} width {width}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -23,7 +23,10 @@
 //! counts vs file length) via [`DiskWorkload::open`]; a truncated or
 //! corrupt entry is deleted and regenerated, never silently replayed.
 //! After each insertion the cache enforces a byte budget by evicting
-//! oldest-modified entries first (the just-written file is exempt).
+//! oldest-modified entries first, ties broken by path so 1-second-mtime
+//! filesystems still evict deterministically (the just-written file is
+//! exempt, and entries whose mtime cannot be read are never preferred
+//! victims).
 
 use std::fs;
 use std::io;
@@ -178,11 +181,19 @@ impl WorkloadCache {
     /// Evicts oldest-modified entries until the cache fits the budget.
     /// `keep` (the entry just written) is never evicted, so a single
     /// workload larger than the whole budget still works.
+    ///
+    /// Eviction order is `(mtime, path)`: on filesystems with 1-second
+    /// mtime granularity a whole batch of entries can tie, and sorting by
+    /// mtime alone made the victim depend on directory iteration order —
+    /// the path tie-break keeps it deterministic. An entry whose mtime
+    /// cannot be read still counts toward the total but is skipped as a
+    /// victim (the old `UNIX_EPOCH` fallback made exactly the entries we
+    /// know least about the *first* to die).
     fn enforce_budget(&self, keep: &Path) -> io::Result<()> {
         // Serialize eviction passes; concurrent evictors would both scan
         // and could double-count removals.
         let mut stats = self.stats.lock().expect("cache stats poisoned");
-        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
         let mut total = 0u64;
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
@@ -195,12 +206,14 @@ impl WorkloadCache {
                 Ok(m) => m,
                 Err(_) => continue, // raced with another evictor
             };
-            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
             total += meta.len();
-            entries.push((entry.path(), meta.len(), mtime));
+            // Unreadable mtime: counts toward the total, never a victim.
+            if let Ok(mtime) = meta.modified() {
+                entries.push((mtime, entry.path(), meta.len()));
+            }
         }
-        entries.sort_by_key(|(_, _, mtime)| *mtime);
-        for (path, len, _) in entries {
+        entries.sort();
+        for (_, path, len) in entries {
             if total <= self.budget_bytes {
                 break;
             }
@@ -330,6 +343,50 @@ mod tests {
         assert!(b.path().exists());
         assert!(!a.path().exists(), "older entry should have been evicted");
         assert!(cache.stats().evictions >= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Same-second mtimes (ubiquitous on 1 s-granularity filesystems) must
+    /// not make the victim depend on directory iteration order: ties break
+    /// by path, lexicographically smallest first.
+    #[test]
+    fn eviction_ties_break_deterministically_by_path() {
+        let dir = temp_dir("tie");
+        let model = toy_model();
+        // Materialize two entries and pin them to one identical mtime.
+        let sizes: Vec<(PathBuf, u64)> = (1u64..=2)
+            .map(|seed| {
+                let cache = WorkloadCache::open(&dir).unwrap();
+                let w = cache.get_or_create(&model, Time(200.0), seed).unwrap();
+                let p = w.path().to_path_buf();
+                let len = fs::metadata(&p).unwrap().len();
+                (p, len)
+            })
+            .collect();
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for (p, _) in &sizes {
+            fs::File::options().write(true).open(p).unwrap().set_modified(stamp).unwrap();
+        }
+        let survivor_by_path = sizes.iter().map(|(p, _)| p).max().unwrap().clone();
+        let victim_by_path = sizes.iter().map(|(p, _)| p).min().unwrap().clone();
+
+        // A third insertion over-budget by one byte must evict exactly one
+        // of the tied pair: the lexicographically smaller path.
+        let third_probe = {
+            let probe_dir = temp_dir("tie_probe");
+            let cache = WorkloadCache::open(&probe_dir).unwrap();
+            let w = cache.get_or_create(&model, Time(200.0), 3).unwrap();
+            let len = fs::metadata(w.path()).unwrap().len();
+            fs::remove_dir_all(&probe_dir).ok();
+            len
+        };
+        let budget = sizes.iter().map(|(_, l)| l).sum::<u64>() + third_probe - 1;
+        let cache = WorkloadCache::with_budget(&dir, budget).unwrap();
+        let third = cache.get_or_create(&model, Time(200.0), 3).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(third.path().exists(), "the just-written entry is exempt");
+        assert!(survivor_by_path.exists(), "tie must evict the smaller path first");
+        assert!(!victim_by_path.exists(), "smaller path should have been evicted");
         fs::remove_dir_all(&dir).ok();
     }
 

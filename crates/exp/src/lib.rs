@@ -1,12 +1,16 @@
 //! `sybil-exp` — experiment orchestration for paper-scale sweeps.
 //!
-//! The figure experiments are grids: churn network × defense × adversary
-//! spend rate, each cell repeated for several trials. This crate owns
-//! everything about running such a grid *well* at million-ID scale:
+//! The figure experiments are grids: an ordered set of **named axes**
+//! (churn network × defense × adversary spend rate for the spend sweeps;
+//! Sybil fraction, knob values, good fractions for the irregular ones),
+//! each cell repeated for several trials. This crate owns everything
+//! about running such a grid *well* at million-ID scale:
 //!
 //! * [`spec`] — declarative [`ExperimentSpec`](spec::ExperimentSpec)
-//!   (serializable, versioned) with deterministic cell→seed derivation
-//!   ([`spec::trial_seed`] / [`spec::defense_seed`]);
+//!   (serializable, versioned, named [`Axis`](spec::Axis) lists with
+//!   injective escaped cell ids) and deterministic cell→seed derivation
+//!   ([`spec::trial_seed`] / [`spec::defense_seed`] /
+//!   [`ExperimentSpec::cell_seed`](spec::ExperimentSpec::cell_seed));
 //! * [`cache`] — content-addressed on-disk
 //!   [`WorkloadCache`](cache::WorkloadCache): each (churn model, seed,
 //!   horizon) workload is generated once through
@@ -23,8 +27,10 @@
 //!   crate), now instrumented with per-worker job/chunk/busy counters
 //!   ([`PoolStats`](pool::PoolStats));
 //! * [`runner`] — [`run_grid`](runner::run_grid) /
+//!   [`run_cell_grid`](runner::run_cell_grid) /
 //!   [`run_spec_grid`](runner::run_spec_grid) tying the pieces together
-//!   with a [`RunSummary`](runner::RunSummary).
+//!   with a [`RunSummary`](runner::RunSummary), rejecting duplicate cell
+//!   ids up front.
 //!
 //! The bench crate's figure drivers (`figure8`, `figure9`, `figure10`,
 //! `lower_bound_exp`, `ablation_exp`) are thin maps from paper rosters to
@@ -43,7 +49,7 @@ pub mod store;
 
 pub use cache::{CacheStats, WorkloadCache};
 pub use pool::{run_parallel, run_parallel_stats, PoolStats};
-pub use runner::{run_grid, run_spec_grid, GridOutcome, RunSummary};
-pub use spec::{defense_seed, trial_seed, CellSpec, ExperimentSpec};
+pub use runner::{run_cell_grid, run_grid, run_spec_grid, GridOutcome, RunSummary};
+pub use spec::{defense_seed, trial_seed, Axis, AxisValue, CellSpec, ExperimentSpec};
 pub use stats::{MetricSummary, Welford};
 pub use store::{Record, ResultsStore};

@@ -9,7 +9,15 @@
 //!
 //! [`run_spec_grid`] layers the declarative [`ExperimentSpec`] on top: it
 //! validates the spec, writes its canonical text next to the store for
-//! provenance, and enumerates the (network × algorithm × T) grid.
+//! provenance, and enumerates the named-axis grid. [`run_cell_grid`] sits
+//! between the two: explicit [`CellSpec`] assignments (for cell sets that
+//! are not a full cartesian product, e.g. the ablation knob list) with the
+//! canonical collision-free id derivation.
+//!
+//! Every entry point rejects duplicate cell ids up front: two cells that
+//! would share a results-store key can only be a driver bug (the aliasing
+//! class the named-axis ids exist to prevent), and running them would
+//! silently merge their records.
 
 use crate::cache::{CacheStats, WorkloadCache};
 use crate::pool::{run_parallel_stats, PoolStats};
@@ -98,6 +106,17 @@ where
     F: Fn(&C) -> Vec<(String, f64)> + Send + Sync,
 {
     let started = Instant::now();
+    {
+        let mut ids = std::collections::BTreeSet::new();
+        for (id, _) in &cells {
+            if !ids.insert(id.as_str()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("experiment {name}: duplicate cell id {id:?} — two cells would alias in the results store"),
+                ));
+            }
+        }
+    }
     let cache_before = cache.map(|c| c.stats()).unwrap_or_default();
     let (store, resumed) = ResultsStore::open(store_path, fingerprint)?;
 
@@ -161,13 +180,37 @@ where
     })
 }
 
+/// Runs an explicit list of [`CellSpec`] cells with resume.
+///
+/// For experiments whose cells are not a full cartesian product (the
+/// ablation driver's per-knob value lists): each cell still gets the
+/// canonical escaped `name=value` id, so distinct assignments can never
+/// alias in the store, and `fingerprint` still binds the store to the
+/// full configuration.
+pub fn run_cell_grid<C, F>(
+    name: &str,
+    fingerprint: &str,
+    store_path: &Path,
+    cells: Vec<(CellSpec, C)>,
+    cache: Option<&WorkloadCache>,
+    workers: usize,
+    run_cell: F,
+) -> io::Result<GridOutcome>
+where
+    C: Send,
+    F: Fn(&C) -> Vec<(String, f64)> + Send + Sync,
+{
+    let cells = cells.into_iter().map(|(cell, payload)| (cell.id(), payload)).collect();
+    run_grid(name, fingerprint, store_path, cells, cache, workers, run_cell)
+}
+
 /// Runs a declarative [`ExperimentSpec`] grid with resume.
 ///
 /// The store lives at `<store_dir>/<name>.store`; the spec's canonical
 /// text is written next to it as `<name>.spec` for provenance. Cells are
-/// the spec's (network × algorithm × T) product; `run_cell` receives each
-/// [`CellSpec`] and returns the record fields for that cell (typically the
-/// multi-trial `mean,ci95_lo,ci95_hi` triples produced by
+/// the cartesian product of the spec's named axes; `run_cell` receives
+/// each [`CellSpec`] and returns the record fields for that cell
+/// (typically the multi-trial `mean,ci95_lo,ci95_hi` triples produced by
 /// [`crate::stats::Welford`]).
 ///
 /// `context` is extra text folded into the store's fingerprint alongside
@@ -211,16 +254,16 @@ mod tests {
     }
 
     fn toy_spec() -> ExperimentSpec {
-        ExperimentSpec {
-            name: "runner-test".into(),
-            networks: vec!["netA".into(), "netB".into()],
-            algos: vec!["X".into()],
-            t_grid: vec![0.0, 8.0],
-            trials: 2,
-            horizon: 10.0,
-            kappa: 0.05,
-            seed: 1,
-        }
+        ExperimentSpec::three_axis(
+            "runner-test",
+            vec!["netA".into(), "netB".into()],
+            vec!["X".into()],
+            vec![0.0, 8.0],
+            2,
+            10.0,
+            0.05,
+            1,
+        )
     }
 
     #[test]
@@ -230,7 +273,7 @@ mod tests {
         let runs = AtomicU64::new(0);
         let run_cell = |c: &CellSpec| {
             runs.fetch_add(1, Ordering::Relaxed);
-            vec![("mean".to_string(), c.t * 2.0)]
+            vec![("mean".to_string(), c.f64_value(crate::spec::AXIS_T) * 2.0)]
         };
         let cold = run_spec_grid(&spec, "ctx", &dir, None, 2, run_cell).unwrap();
         assert_eq!(cold.summary.cells_total, 4);
@@ -257,7 +300,7 @@ mod tests {
     fn changed_spec_invalidates_the_store() {
         let dir = temp_dir("invalidate");
         let spec = toy_spec();
-        let run_cell = |c: &CellSpec| vec![("mean".to_string(), c.t)];
+        let run_cell = |c: &CellSpec| vec![("mean".to_string(), c.f64_value(crate::spec::AXIS_T))];
         run_spec_grid(&spec, "ctx", &dir, None, 1, run_cell).unwrap();
         let mut changed = toy_spec();
         changed.seed = 2;
@@ -281,7 +324,7 @@ mod tests {
         drop(store);
 
         let out = run_spec_grid(&spec, "ctx", &dir, None, 2, |c: &CellSpec| {
-            vec![("mean".to_string(), c.t)]
+            vec![("mean".to_string(), c.f64_value(crate::spec::AXIS_T))]
         })
         .unwrap();
         assert_eq!(out.summary.cells_skipped, 1);
@@ -290,6 +333,45 @@ mod tests {
         assert_eq!(out.records[2].get("mean"), Some(123.0));
         let line = out.summary.render();
         assert!(line.contains("3 executed") && line.contains("1 skipped"), "{line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_cell_ids_are_rejected_up_front() {
+        let dir = temp_dir("dup");
+        let cells = vec![("same".to_string(), 1u32), ("same".to_string(), 2u32)];
+        let err = run_grid("dup-test", "fp", &dir.join("dup.store"), cells, None, 1, |_| vec![])
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate cell id"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_grid_runs_explicit_assignments_with_canonical_ids() {
+        use crate::spec::AxisValue;
+        let dir = temp_dir("cellgrid");
+        // Values that the old lossy-replace scheme would have aliased.
+        let cells: Vec<(CellSpec, f64)> = [("1/2", 0.5), ("1of2", 99.0)]
+            .iter()
+            .map(|&(label, v)| {
+                (CellSpec::new(vec![("frac".into(), AxisValue::Str(label.into()))]), v)
+            })
+            .collect();
+        let store_path = dir.join("cells.store");
+        let out =
+            run_cell_grid("cell-test", "fp", &store_path, cells.clone(), None, 1, |&v: &f64| {
+                vec![("mean".to_string(), v)]
+            })
+            .unwrap();
+        assert_eq!(out.summary.cells_executed, 2);
+        // Both cells landed under distinct keys and resume independently.
+        let warm = run_cell_grid("cell-test", "fp", &store_path, cells, None, 1, |&v: &f64| {
+            vec![("mean".to_string(), v)]
+        })
+        .unwrap();
+        assert_eq!(warm.summary.cells_skipped, 2);
+        assert_eq!(warm.records[0].get("mean"), Some(0.5));
+        assert_eq!(warm.records[1].get("mean"), Some(99.0));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

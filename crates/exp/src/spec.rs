@@ -1,47 +1,158 @@
 //! Declarative experiment specifications and deterministic seed derivation.
 //!
-//! An [`ExperimentSpec`] names a grid — churn networks × algorithm labels ×
-//! adversary spend rates — plus the trial count, horizon, and base seed
-//! that pin every cell down. The spec is serializable to a small versioned
-//! text format (see [`ExperimentSpec::to_text`]) so a results store can
-//! record exactly which grid produced it, and resumed runs can verify they
-//! are continuing the *same* experiment.
+//! An [`ExperimentSpec`] names a grid as an ordered list of **named axes**
+//! ([`Axis`]): each axis has a name and a list of values (strings or
+//! bit-exact floats), and the grid is their cartesian product. The three
+//! paper figures' canonical `network × algo × T` shape is just the
+//! three-axis special case ([`ExperimentSpec::three_axis`]); irregular
+//! grids (Figure 9's Sybil-fraction axis, a good-fraction sweep) declare
+//! their own axes instead of smuggling extra dimensions through free-form
+//! id strings.
+//!
+//! The spec serializes to a small versioned text format (see
+//! [`ExperimentSpec::to_text`]) so a results store can record exactly
+//! which grid produced it, and resumed runs can verify they are continuing
+//! the *same* experiment. The current writer emits **v2** (named axes);
+//! v1 texts (the fixed `networks`/`algos`/`t` keys) still parse and map
+//! onto the three canonical axes with bit-identical seed derivation.
+//!
+//! # Cell identity
+//!
+//! Every cell renders a canonical id: `name=value` pairs in axis order,
+//! joined by `/`, with every structural character inside a name or value
+//! percent-escaped ([`escape_component`]). The escaping is injective, so
+//! two distinct axis assignments can never collide in a results store —
+//! the aliasing bug class where `"1/2"` and `"1of2"` mapped to the same
+//! key (via a lossy `replace`) is impossible by construction.
 //!
 //! # Seed derivation
 //!
 //! Every cell's randomness is a pure function of the spec's `seed`:
 //!
 //! * workload seed for trial `i` = [`trial_seed`]`(seed, i)` — shared by
-//!   **all** cells of the grid, so every (algorithm, T) pair of a trial
-//!   replays the same good-ID schedule and the workload cache services the
-//!   whole grid row from one file;
+//!   **all** cells of the grid, so every cell of a trial replays the same
+//!   good-ID schedule and the workload cache services the whole grid row
+//!   from one file;
 //! * defense seed = [`defense_seed`]`(workload seed)` — a distinct stream
-//!   so classifier-gated defenses never share draws with trace generation.
+//!   so classifier-gated defenses never share draws with trace generation;
+//! * for drivers that need per-cell streams, [`ExperimentSpec::cell_seed`]
+//!   keys a seed on the canonical cell id (so it inherits the id's
+//!   no-collision guarantee).
 //!
-//! Both derivations are order-free (SplitMix64 finalizer), so results are
-//! identical regardless of worker count or cell scheduling.
+//! All derivations are order-free (SplitMix64 finalizer / SHA-256), so
+//! results are identical regardless of worker count or cell scheduling.
+//! The grid-wide `workload_seed`/`defense_seed` derivation is unchanged
+//! from v1: existing three-axis grids keep bit-identical seeds.
 
 /// Format tag on the first line of a serialized spec.
 pub const SPEC_MAGIC: &str = "sybil-exp-spec";
-/// Current (and only) spec format version.
-pub const SPEC_VERSION: u32 = 1;
+/// Current spec format version (named axes). Version 1 still parses.
+pub const SPEC_VERSION: u32 = 2;
 
-/// A declarative experiment grid.
+/// Canonical axis name for churn-network labels (v1 `networks`).
+pub const AXIS_NETWORK: &str = "network";
+/// Canonical axis name for algorithm labels (v1 `algos`).
+pub const AXIS_ALGO: &str = "algo";
+/// Canonical axis name for adversary spend rates (v1 `t`).
+pub const AXIS_T: &str = "T";
+
+/// One value of an axis: a driver-resolved label or a bit-exact float.
 ///
-/// Networks and algorithms are *labels*: the experiment driver that owns
-/// the spec maps them back to concrete churn models and defense
-/// constructors. Keeping the spec string-typed keeps this crate independent
-/// of any particular defense roster.
+/// Floats are carried and compared by bit pattern wherever identity
+/// matters (cell ids, the spec text), so two representable floats can
+/// never alias. An axis holds values of one kind only (see
+/// [`ExperimentSpec::validate`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxisValue {
+    /// A string label, resolved by the experiment driver.
+    Str(String),
+    /// A float swept directly (spend rates, durations, fractions).
+    F64(f64),
+}
+
+impl AxisValue {
+    /// Canonical rendering used in cell ids and the v2 text format:
+    /// strings are percent-escaped, floats go through [`fmt_f64_exact`].
+    ///
+    /// Injective across *both* kinds: a string that would render exactly
+    /// like a float rendering (`"1024"`, `"-3"`, `"0x…"` bit patterns)
+    /// has its first character force-escaped — digits and `-` are never
+    /// escaped otherwise and float renderings never contain `%`, so the
+    /// two kinds' renderings are disjoint. A driver that changes a
+    /// value's kind across releases therefore changes its cell id and
+    /// can never silently resume the other kind's record.
+    pub fn render(&self) -> String {
+        match self {
+            AxisValue::Str(s) => {
+                let esc = escape_component(s);
+                if looks_like_float_rendering(&esc) {
+                    let first = esc.as_bytes()[0];
+                    format!("%{first:02x}{}", &esc[1..])
+                } else {
+                    esc
+                }
+            }
+            AxisValue::F64(x) => fmt_f64_exact(*x),
+        }
+    }
+
+    /// The string label, if this is a [`AxisValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AxisValue::Str(s) => Some(s),
+            AxisValue::F64(_) => None,
+        }
+    }
+
+    /// The float, if this is a [`AxisValue::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AxisValue::F64(x) => Some(*x),
+            AxisValue::Str(_) => None,
+        }
+    }
+}
+
+/// One named axis of an experiment grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// Axis name (unique within a spec; arbitrary text — it is escaped
+    /// wherever it meets a structural format).
+    pub name: String,
+    /// The swept values, in sweep order. All of one kind.
+    pub values: Vec<AxisValue>,
+}
+
+impl Axis {
+    /// A string-valued axis.
+    pub fn strs<N: Into<String>, S: Into<String>>(
+        name: N,
+        values: impl IntoIterator<Item = S>,
+    ) -> Axis {
+        Axis {
+            name: name.into(),
+            values: values.into_iter().map(|s| AxisValue::Str(s.into())).collect(),
+        }
+    }
+
+    /// A float-valued axis.
+    pub fn floats<N: Into<String>>(name: N, values: impl IntoIterator<Item = f64>) -> Axis {
+        Axis { name: name.into(), values: values.into_iter().map(AxisValue::F64).collect() }
+    }
+}
+
+/// A declarative experiment grid: the cartesian product of named axes.
+///
+/// Axis values are *labels* as far as this crate is concerned: the
+/// experiment driver that owns the spec maps them back to concrete churn
+/// models, defense constructors, fractions, and so on. Keeping the spec
+/// string-typed keeps this crate independent of any particular roster.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentSpec {
     /// Experiment name (also names the results store / CSV artifacts).
     pub name: String,
-    /// Churn network labels (one workload family per entry).
-    pub networks: Vec<String>,
-    /// Algorithm labels (resolved by the driver).
-    pub algos: Vec<String>,
-    /// Adversary spend rates `T` swept per (network, algorithm).
-    pub t_grid: Vec<f64>,
+    /// The grid's axes, in enumeration order (first axis outermost).
+    pub axes: Vec<Axis>,
     /// Independent trials per cell (distinct workload seeds).
     pub trials: u32,
     /// Simulated seconds per run.
@@ -52,48 +163,239 @@ pub struct ExperimentSpec {
     pub seed: u64,
 }
 
-/// One (network, algorithm, T) cell of a spec's grid.
+/// One cell of a spec's grid: an ordered assignment of one value per axis.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellSpec {
-    /// Network label.
-    pub network: String,
-    /// Algorithm label.
-    pub algo: String,
-    /// Adversary spend rate `T`.
-    pub t: f64,
+    /// `(axis name, value)` pairs in the spec's axis order.
+    pub assignment: Vec<(String, AxisValue)>,
+}
+
+impl CellSpec {
+    /// Builds a cell from an explicit assignment. Useful for experiments
+    /// whose cells are not a full cartesian product (e.g. the ablation
+    /// knob list) but still want canonical, collision-free ids.
+    pub fn new(assignment: Vec<(String, AxisValue)>) -> CellSpec {
+        CellSpec { assignment }
+    }
+
+    /// The value assigned to `axis`, if present.
+    pub fn value(&self, axis: &str) -> Option<&AxisValue> {
+        self.assignment.iter().find(|(name, _)| name == axis).map(|(_, v)| v)
+    }
+
+    /// The string label assigned to `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is absent or float-valued — a driver/spec
+    /// mismatch, not a runtime condition.
+    pub fn str_value(&self, axis: &str) -> &str {
+        self.value(axis)
+            .and_then(AxisValue::as_str)
+            .unwrap_or_else(|| panic!("cell {} has no string axis {axis:?}", self.id()))
+    }
+
+    /// The float assigned to `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is absent or string-valued.
+    pub fn f64_value(&self, axis: &str) -> f64 {
+        self.value(axis)
+            .and_then(AxisValue::as_f64)
+            .unwrap_or_else(|| panic!("cell {} has no float axis {axis:?}", self.id()))
+    }
+
+    /// Stable identifier used as the results-store key: escaped
+    /// `name=value` pairs in axis order, joined by `/`.
+    ///
+    /// Injective: `/`, `=`, and every other structural character inside a
+    /// name or value is percent-escaped, floats render bit-exactly, and
+    /// string renderings are kept disjoint from float renderings (see
+    /// [`AxisValue::render`]), so two distinct assignments — even ones
+    /// differing only in value *kind* — always produce distinct ids.
+    pub fn id(&self) -> String {
+        self.assignment
+            .iter()
+            .map(|(name, value)| format!("{}={}", escape_component(name), value.render()))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
 }
 
 /// Bit-exact float rendering shared by cell ids and the spec text format:
 /// exactly-integral values print as plain integers (readable), everything
 /// else as a `0x`-prefixed bit pattern — two representable floats can
 /// never alias, and parsing the bit form back is lossless.
-fn fmt_f64_exact(x: f64) -> String {
-    if x == x.trunc() && x.abs() < 1e15 {
+///
+/// Negative zero compares equal to `0` and truncates to integer `0`, but
+/// its bit pattern differs: it takes the bit-pattern form so the two
+/// representable zeros never alias.
+pub fn fmt_f64_exact(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 && !(x == 0.0 && x.is_sign_negative()) {
         format!("{}", x as i64)
     } else {
         format!("0x{:016x}", x.to_bits())
     }
 }
 
-impl CellSpec {
-    /// Stable identifier used as the results-store key. Floats are encoded
-    /// via their bit pattern when fractional so distinct `T`s can never
-    /// alias in the store.
-    pub fn id(&self) -> String {
-        format!("{}/{}/T={}", self.network, self.algo, fmt_f64_exact(self.t))
+/// True iff `s` has the exact shape of a [`fmt_f64_exact`] output: an
+/// optionally-negative decimal integer, or `0x` + 16 hex digits. Used by
+/// [`AxisValue::render`] to keep string and float renderings disjoint.
+fn looks_like_float_rendering(s: &str) -> bool {
+    if let Some(hex) = s.strip_prefix("0x") {
+        return hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit());
+    }
+    let digits = s.strip_prefix('-').unwrap_or(s);
+    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Parses a float written by [`fmt_f64_exact`] (plain decimal or
+/// `0x`-prefixed bit pattern).
+pub fn parse_f64_exact(s: &str) -> Result<f64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("bad float bits {s:?}: {e}"))
+    } else {
+        s.parse::<f64>().map_err(|e| format!("bad float {s:?}: {e}"))
     }
 }
 
+/// Percent-escapes every character with structural meaning in cell ids or
+/// the spec text format: `%` itself, the separators `/`, `=`, `,`, `:`,
+/// and all whitespace/control characters (results-store keys must be
+/// whitespace-free).
+///
+/// Injective: a reserved character only ever appears in the output as the
+/// escape introducer `%`, and `%` is itself always escaped, so distinct
+/// inputs cannot produce equal outputs. [`unescape_component`] inverts it.
+pub fn escape_component(s: &str) -> String {
+    let reserved =
+        |c: char| matches!(c, '%' | '/' | '=' | ',' | ':') || c.is_whitespace() || c.is_control();
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if reserved(c) {
+            let mut buf = [0u8; 4];
+            for b in c.encode_utf8(&mut buf).bytes() {
+                out.push('%');
+                out.push_str(&format!("{b:02x}"));
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Inverts [`escape_component`]. Rejects malformed escapes.
+pub fn unescape_component(s: &str) -> Result<String, String> {
+    let mut bytes = Vec::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hi = chars.next().ok_or_else(|| format!("truncated escape in {s:?}"))?;
+            let lo = chars.next().ok_or_else(|| format!("truncated escape in {s:?}"))?;
+            let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+                .map_err(|e| format!("bad escape %{hi}{lo} in {s:?}: {e}"))?;
+            bytes.push(byte);
+        } else {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    String::from_utf8(bytes).map_err(|e| format!("escaped text {s:?} is not UTF-8: {e}"))
+}
+
 impl ExperimentSpec {
-    /// Checks the spec is runnable: non-empty grid, positive horizon and
-    /// trial count, κ in `[0, 1)`, finite non-negative spend rates, and
-    /// label characters that cannot corrupt the text format.
+    /// The canonical three-axis (`network × algo × T`) grid every spend
+    /// sweep uses — the entire shape v1 specs could express.
+    #[allow(clippy::too_many_arguments)]
+    pub fn three_axis(
+        name: impl Into<String>,
+        networks: Vec<String>,
+        algos: Vec<String>,
+        t_grid: Vec<f64>,
+        trials: u32,
+        horizon: f64,
+        kappa: f64,
+        seed: u64,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            axes: vec![
+                Axis::strs(AXIS_NETWORK, networks),
+                Axis::strs(AXIS_ALGO, algos),
+                Axis::floats(AXIS_T, t_grid),
+            ],
+            trials,
+            horizon,
+            kappa,
+            seed,
+        }
+    }
+
+    /// The values of a named axis, if present.
+    pub fn axis(&self, name: &str) -> Option<&Axis> {
+        self.axes.iter().find(|a| a.name == name)
+    }
+
+    /// Checks the spec is runnable: a non-empty grid of uniquely-named
+    /// axes, each axis single-kind with distinct values, positive horizon
+    /// and trial count, and κ in `[0, 1)`.
     pub fn validate(&self) -> Result<(), String> {
         if self.name.is_empty() {
             return Err("spec name is empty".into());
         }
-        if self.networks.is_empty() || self.algos.is_empty() || self.t_grid.is_empty() {
-            return Err("spec grid is empty (need networks, algos, and t values)".into());
+        if self.name.chars().any(|c| c == ',' || c == '\n' || c == '=' || c == '/') {
+            return Err(format!(
+                "spec name {:?} contains a reserved character (, = / or newline)",
+                self.name
+            ));
+        }
+        if self.axes.is_empty() {
+            return Err("spec has no axes".into());
+        }
+        let mut seen_names = std::collections::BTreeSet::new();
+        for axis in &self.axes {
+            if axis.name.is_empty() {
+                return Err("axis name is empty".into());
+            }
+            if !seen_names.insert(&axis.name) {
+                return Err(format!("duplicate axis name {:?}", axis.name));
+            }
+            if axis.values.is_empty() {
+                return Err(format!("axis {:?} has no values", axis.name));
+            }
+            let mixed = axis.values.iter().any(|v| v.as_str().is_some())
+                && axis.values.iter().any(|v| v.as_f64().is_some());
+            if mixed {
+                return Err(format!(
+                    "axis {:?} mixes string and float values (kinds cannot alias)",
+                    axis.name
+                ));
+            }
+            let mut seen_values = std::collections::BTreeSet::new();
+            for value in &axis.values {
+                if let Some(x) = value.as_f64() {
+                    if !x.is_finite() {
+                        return Err(format!(
+                            "axis {:?} has a non-finite value {x} (domain bounds beyond \
+                             finiteness are the driver's to enforce)",
+                            axis.name
+                        ));
+                    }
+                }
+                if value.render().is_empty() {
+                    return Err(format!(
+                        "axis {:?} has an empty value (unrepresentable in the text format)",
+                        axis.name
+                    ));
+                }
+                if !seen_values.insert(value.render()) {
+                    return Err(format!("axis {:?} repeats value {}", axis.name, value.render()));
+                }
+            }
         }
         if self.trials == 0 {
             return Err("spec needs at least one trial".into());
@@ -104,30 +406,31 @@ impl ExperimentSpec {
         if !(0.0..1.0).contains(&self.kappa) {
             return Err(format!("kappa {} must be in [0, 1)", self.kappa));
         }
-        for &t in &self.t_grid {
-            if !(t.is_finite() && t >= 0.0) {
-                return Err(format!("spend rate {t} must be finite and non-negative"));
-            }
-        }
-        for label in self.networks.iter().chain(&self.algos).chain(std::iter::once(&self.name)) {
-            if label.chars().any(|c| c == ',' || c == '\n' || c == '=' || c == '/') {
-                return Err(format!(
-                    "label {label:?} contains a reserved character (, = / or newline)"
-                ));
-            }
-        }
         Ok(())
     }
 
-    /// Enumerates the grid in deterministic (network-major) order.
+    /// Enumerates the grid in deterministic order: the first axis is the
+    /// outermost loop (for the canonical three axes this is the historical
+    /// network-major order).
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut out =
-            Vec::with_capacity(self.networks.len() * self.algos.len() * self.t_grid.len());
-        for network in &self.networks {
-            for algo in &self.algos {
-                for &t in &self.t_grid {
-                    out.push(CellSpec { network: network.clone(), algo: algo.clone(), t });
+        let total = self.axes.iter().map(|a| a.values.len()).product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0usize; self.axes.len()];
+        for _ in 0..total {
+            out.push(CellSpec {
+                assignment: self
+                    .axes
+                    .iter()
+                    .zip(&idx)
+                    .map(|(axis, &i)| (axis.name.clone(), axis.values[i].clone()))
+                    .collect(),
+            });
+            for pos in (0..idx.len()).rev() {
+                idx[pos] += 1;
+                if idx[pos] < self.axes[pos].values.len() {
+                    break;
                 }
+                idx[pos] = 0;
             }
         }
         out
@@ -135,6 +438,8 @@ impl ExperimentSpec {
 
     /// Workload seed for trial `index` — shared across the whole grid so
     /// cells replay identical schedules (and share cache entries).
+    /// Identical to the v1 derivation: migrating a spec to named axes
+    /// never changes its seeds.
     pub fn workload_seed(&self, index: u32) -> u64 {
         trial_seed(self.seed, index as u64)
     }
@@ -144,66 +449,83 @@ impl ExperimentSpec {
         defense_seed(self.workload_seed(index))
     }
 
+    /// A per-cell seed stream, keyed on the **canonical cell id** (so it
+    /// inherits the id's no-collision guarantee: distinct cells get
+    /// distinct streams, and the stream survives axis renames only if the
+    /// id is unchanged).
+    ///
+    /// No in-tree grid driver consumes this yet — they all deliberately
+    /// share [`workload_seed`](Self::workload_seed) grid-wide so every
+    /// cell of a trial replays one cached workload. It exists for drivers
+    /// whose cells must *not* share randomness; adopting it freezes the
+    /// derivation (SHA-256 of the id folded into the base seed) as a
+    /// compatibility contract.
+    pub fn cell_seed(&self, cell: &CellSpec, trial: u32) -> u64 {
+        let digest = sybil_crypto::sha256::Sha256::digest(cell.id().as_bytes());
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&digest.as_bytes()[..8]);
+        trial_seed(self.seed ^ u64::from_le_bytes(first), trial as u64)
+    }
+
     /// Serializes to the versioned text format:
     ///
     /// ```text
-    /// sybil-exp-spec v1
+    /// sybil-exp-spec v2
     /// name = figure8
-    /// networks = bitcoin,bittorrent,gnutella,ethereum
-    /// algos = ERGO,CCOM
-    /// t = 0,1,4,0x40a0000000000000
+    /// axis network = str:bitcoin,bittorrent,gnutella,ethereum
+    /// axis algo = str:ERGO,CCOM
+    /// axis T = f64:0,1,4,0x40a0000000000000
     /// trials = 5
     /// horizon = 10000
     /// kappa = 0x3fac71c71c71c71c
     /// seed = 1
     /// ```
     ///
-    /// Floats serialize as plain integers when exactly integral and as
-    /// `0x`-prefixed bit patterns otherwise, so a round trip is always
-    /// bit-exact.
+    /// Axis names and string values are percent-escaped; floats serialize
+    /// as plain integers when exactly integral and as `0x`-prefixed bit
+    /// patterns otherwise, so a round trip is always bit-exact.
     pub fn to_text(&self) -> String {
-        let ts: Vec<String> = self.t_grid.iter().map(|&t| fmt_f64_exact(t)).collect();
-        format!(
-            "{SPEC_MAGIC} v{SPEC_VERSION}\n\
-             name = {}\n\
-             networks = {}\n\
-             algos = {}\n\
-             t = {}\n\
-             trials = {}\n\
-             horizon = {}\n\
-             kappa = {}\n\
-             seed = {}\n",
-            self.name,
-            self.networks.join(","),
-            self.algos.join(","),
-            ts.join(","),
+        let mut out = format!("{SPEC_MAGIC} v{SPEC_VERSION}\nname = {}\n", self.name);
+        for axis in &self.axes {
+            let kind = if axis.values.iter().all(|v| v.as_f64().is_some()) { "f64" } else { "str" };
+            let values: Vec<String> = axis.values.iter().map(AxisValue::render).collect();
+            out.push_str(&format!(
+                "axis {} = {kind}:{}\n",
+                escape_component(&axis.name),
+                values.join(",")
+            ));
+        }
+        out.push_str(&format!(
+            "trials = {}\nhorizon = {}\nkappa = {}\nseed = {}\n",
             self.trials,
             fmt_f64_exact(self.horizon),
             fmt_f64_exact(self.kappa),
             self.seed,
-        )
+        ));
+        out
     }
 
-    /// Parses the text format written by [`to_text`]. Unknown keys are
-    /// rejected (they indicate a newer writer), as is a missing key or a
-    /// version this build does not read.
+    /// Parses the text format written by [`to_text`] — or, for
+    /// compatibility, the v1 format (fixed `networks`/`algos`/`t` keys),
+    /// which maps onto the three canonical axes [`AXIS_NETWORK`],
+    /// [`AXIS_ALGO`], [`AXIS_T`] with identical seed derivation. Unknown
+    /// keys are rejected (they indicate a newer writer), as is a missing
+    /// key or a version this build does not read.
     pub fn from_text(text: &str) -> Result<ExperimentSpec, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty spec")?;
-        let expect = format!("{SPEC_MAGIC} v{SPEC_VERSION}");
-        if header.trim() != expect {
-            return Err(format!("bad spec header {header:?} (this build reads {expect:?})"));
-        }
-        let parse_f = |s: &str| -> Result<f64, String> {
-            if let Some(hex) = s.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16)
-                    .map(f64::from_bits)
-                    .map_err(|e| format!("bad float bits {s:?}: {e}"))
-            } else {
-                s.parse::<f64>().map_err(|e| format!("bad float {s:?}: {e}"))
+        let version = match header.trim() {
+            h if h == format!("{SPEC_MAGIC} v1") => 1,
+            h if h == format!("{SPEC_MAGIC} v2") => 2,
+            h => {
+                return Err(format!(
+                    "bad spec header {h:?} (this build reads {SPEC_MAGIC} v1 and v2)"
+                ))
             }
         };
         let mut name = None;
+        let mut axes: Vec<Axis> = Vec::new();
+        // v1 legacy keys, mapped onto the canonical axes after the scan.
         let mut networks = None;
         let mut algos = None;
         let mut t_grid = None;
@@ -222,20 +544,46 @@ impl ExperimentSpec {
             let list = || -> Vec<String> {
                 value.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
             };
+            if let Some(axis_name) = key.strip_prefix("axis ") {
+                if version < 2 {
+                    return Err(format!("axis line {line:?} in a v1 spec"));
+                }
+                let name = unescape_component(axis_name.trim())?;
+                let (kind, values_text) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("axis line {line:?} lacks a kind tag"))?;
+                let raw: Vec<&str> =
+                    values_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                let values = match kind {
+                    "str" => raw
+                        .iter()
+                        .map(|s| unescape_component(s).map(AxisValue::Str))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    "f64" => raw
+                        .iter()
+                        .map(|s| parse_f64_exact(s).map(AxisValue::F64))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => return Err(format!("unknown axis kind {other:?} in {line:?}")),
+                };
+                axes.push(Axis { name, values });
+                continue;
+            }
             match key {
                 "name" => name = Some(value.to_string()),
-                "networks" => networks = Some(list()),
-                "algos" => algos = Some(list()),
-                "t" => {
-                    t_grid = Some(list().iter().map(|s| parse_f(s)).collect::<Result<Vec<_>, _>>()?)
+                "networks" if version == 1 => networks = Some(list()),
+                "algos" if version == 1 => algos = Some(list()),
+                "t" if version == 1 => {
+                    t_grid = Some(
+                        list().iter().map(|s| parse_f64_exact(s)).collect::<Result<Vec<_>, _>>()?,
+                    )
                 }
                 "trials" => {
                     trials = Some(
                         value.parse::<u32>().map_err(|e| format!("bad trials {value:?}: {e}"))?,
                     )
                 }
-                "horizon" => horizon = Some(parse_f(value)?),
-                "kappa" => kappa = Some(parse_f(value)?),
+                "horizon" => horizon = Some(parse_f64_exact(value)?),
+                "kappa" => kappa = Some(parse_f64_exact(value)?),
                 "seed" => {
                     seed =
                         Some(value.parse::<u64>().map_err(|e| format!("bad seed {value:?}: {e}"))?)
@@ -243,11 +591,25 @@ impl ExperimentSpec {
                 _ => return Err(format!("unknown spec key {key:?}")),
             }
         }
+        if version == 1 {
+            axes = vec![
+                Axis::strs(AXIS_NETWORK, networks.ok_or("missing key: networks")?),
+                Axis::strs(AXIS_ALGO, algos.ok_or("missing key: algos")?),
+                Axis {
+                    name: AXIS_T.into(),
+                    values: t_grid
+                        .ok_or("missing key: t")?
+                        .into_iter()
+                        .map(AxisValue::F64)
+                        .collect(),
+                },
+            ];
+        } else if axes.is_empty() {
+            return Err("v2 spec has no axis lines".into());
+        }
         let spec = ExperimentSpec {
             name: name.ok_or("missing key: name")?,
-            networks: networks.ok_or("missing key: networks")?,
-            algos: algos.ok_or("missing key: algos")?,
-            t_grid: t_grid.ok_or("missing key: t")?,
+            axes,
             trials: trials.ok_or("missing key: trials")?,
             horizon: horizon.ok_or("missing key: horizon")?,
             kappa: kappa.ok_or("missing key: kappa")?,
@@ -257,8 +619,10 @@ impl ExperimentSpec {
         Ok(spec)
     }
 
-    /// SHA-256 of the canonical text form — the identity a results store
-    /// records so resumes can detect a changed grid.
+    /// SHA-256 of the canonical (v2) text form — the identity a results
+    /// store records so resumes can detect a changed grid. A spec parsed
+    /// from a v1 text fingerprints identically to the same spec built via
+    /// [`three_axis`](Self::three_axis).
     pub fn fingerprint(&self) -> String {
         text_fingerprint(&self.to_text())
     }
@@ -266,10 +630,10 @@ impl ExperimentSpec {
 
 /// SHA-256 fingerprint of an arbitrary canonical configuration text.
 ///
-/// For experiments whose grids do not fit [`ExperimentSpec`] (e.g. the
-/// estimator-accuracy and ablation grids): write the full configuration —
-/// every knob that affects results — into one canonical string and bind
-/// the results store to its hash, so any change invalidates stale cells.
+/// Drivers fold everything their axis labels *resolve to* — churn-model
+/// parameters, defense configurations — into one canonical string and
+/// bind the results store to the hash of spec text plus this context, so
+/// a code change to a label's meaning invalidates stale cells.
 pub fn text_fingerprint(text: &str) -> String {
     sybil_crypto::hex::encode(sybil_crypto::sha256::Sha256::digest(text.as_bytes()).as_bytes())
 }
@@ -302,27 +666,109 @@ mod tests {
     use super::*;
 
     fn spec() -> ExperimentSpec {
-        ExperimentSpec {
-            name: "figure8-test".into(),
-            networks: vec!["gnutella".into(), "bitcoin".into()],
-            algos: vec!["ERGO".into(), "CCOM".into()],
-            t_grid: vec![0.0, 16.0, 0.5],
-            trials: 3,
-            horizon: 500.0,
-            kappa: 1.0 / 18.0,
-            seed: 7,
-        }
+        ExperimentSpec::three_axis(
+            "figure8-test",
+            vec!["gnutella".into(), "bitcoin".into()],
+            vec!["ERGO".into(), "CCOM".into()],
+            vec![0.0, 16.0, 0.5],
+            3,
+            500.0,
+            1.0 / 18.0,
+            7,
+        )
+    }
+
+    /// The exact v1 text the previous writer produced for `spec()`.
+    fn v1_text() -> String {
+        "sybil-exp-spec v1\n\
+         name = figure8-test\n\
+         networks = gnutella,bitcoin\n\
+         algos = ERGO,CCOM\n\
+         t = 0,16,0x3fe0000000000000\n\
+         trials = 3\n\
+         horizon = 500\n\
+         kappa = 0x3fac71c71c71c71c\n\
+         seed = 7\n"
+            .into()
     }
 
     #[test]
     fn text_roundtrip_is_bit_exact() {
         let s = spec();
         let text = s.to_text();
+        assert!(text.starts_with("sybil-exp-spec v2\n"), "{text}");
         let back = ExperimentSpec::from_text(&text).unwrap();
         assert_eq!(s, back);
         // κ = 1/18 is not integral: must survive via the bit-pattern form.
         assert_eq!(back.kappa.to_bits(), s.kappa.to_bits());
-        assert_eq!(back.t_grid[2].to_bits(), 0.5f64.to_bits());
+        let t = back.axis(AXIS_T).unwrap();
+        assert_eq!(t.values[2].as_f64().unwrap().to_bits(), 0.5f64.to_bits());
+    }
+
+    #[test]
+    fn v1_text_parses_onto_canonical_axes_with_identical_seeds() {
+        let parsed = ExperimentSpec::from_text(&v1_text()).unwrap();
+        assert_eq!(parsed, spec(), "v1 text must map onto the canonical three axes");
+        // Seed derivation is pinned: these values are what the v1
+        // implementation produced (grid-wide trial seeds, chained defense
+        // seeds) and must never drift.
+        assert_eq!(parsed.workload_seed(0), trial_seed(7, 0));
+        assert_eq!(parsed.workload_seed(0), 0x63cb_e1e4_5932_0dd7u64);
+        assert_eq!(parsed.workload_seed(2), 0xb5a7_c6fb_dbc4_2070u64);
+        assert_eq!(parsed.defense_seed(2), defense_seed(parsed.workload_seed(2)));
+        assert_eq!(parsed.defense_seed(2), 0x40f4_48e3_27e7_689du64);
+        // And re-serializing fingerprints stably (v2 canonical form).
+        assert_eq!(parsed.fingerprint(), spec().fingerprint());
+    }
+
+    #[test]
+    fn escaping_roundtrips_and_is_injective_on_nasty_strings() {
+        let nasty = [
+            "1/2",
+            "1of2",
+            "a=b",
+            "a%3Db",
+            "x,y",
+            "sp ace",
+            "tab\there",
+            "new\nline",
+            "per%cent",
+            "colon:kind",
+            "ünïcode",
+            "",
+            "%",
+            "%%",
+            "/=,:",
+            " ",
+        ];
+        let mut seen = std::collections::BTreeMap::new();
+        for s in nasty {
+            let esc = escape_component(s);
+            assert_eq!(unescape_component(&esc).unwrap(), s, "roundtrip of {s:?}");
+            assert!(
+                !esc.chars().any(|c| "/=,:".contains(c) || c.is_whitespace() || c.is_control()),
+                "escaped form {esc:?} leaks a structural character"
+            );
+            if let Some(prev) = seen.insert(esc.clone(), s) {
+                panic!("{prev:?} and {s:?} both escape to {esc:?}");
+            }
+        }
+        assert!(unescape_component("%zz").is_err());
+        assert!(unescape_component("abc%2").is_err());
+    }
+
+    #[test]
+    fn negative_zero_never_aliases_plain_zero() {
+        // Regression: -0.0 == 0.0 and truncates to 0, so it used to print
+        // as "0" — aliasing two representable floats in ids and spec text.
+        assert_eq!(fmt_f64_exact(0.0), "0");
+        assert_eq!(fmt_f64_exact(-0.0), "0x8000000000000000");
+        assert_ne!(fmt_f64_exact(0.0), fmt_f64_exact(-0.0));
+        let back = parse_f64_exact(&fmt_f64_exact(-0.0)).unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Ordinary negatives keep the readable integer form.
+        assert_eq!(fmt_f64_exact(-3.0), "-3");
+        assert_eq!(parse_f64_exact("-3").unwrap(), -3.0);
     }
 
     #[test]
@@ -333,8 +779,21 @@ mod tests {
         text.push_str("mystery = 1\n");
         assert!(ExperimentSpec::from_text(&text).unwrap_err().contains("unknown"));
         // Missing key.
-        let partial = "sybil-exp-spec v1\nname = x\n";
+        let partial = "sybil-exp-spec v2\nname = x\naxis a = f64:1\n";
         assert!(ExperimentSpec::from_text(partial).unwrap_err().contains("missing"));
+        // v2 without axes.
+        let no_axes = "sybil-exp-spec v2\nname = x\ntrials = 1\nhorizon = 1\nkappa = 0\nseed = 1\n";
+        assert!(ExperimentSpec::from_text(no_axes).unwrap_err().contains("axis"));
+        // v1 keys are not valid in v2 (and vice versa).
+        let mixed = "sybil-exp-spec v2\nname = x\nnetworks = a\naxis T = f64:1\n\
+                     trials = 1\nhorizon = 1\nkappa = 0\nseed = 1\n";
+        assert!(ExperimentSpec::from_text(mixed).unwrap_err().contains("unknown"));
+        let v1_axis = "sybil-exp-spec v1\nname = x\naxis T = f64:1\n";
+        assert!(ExperimentSpec::from_text(v1_axis).unwrap_err().contains("v1"));
+        // Unknown axis kind.
+        let bad_kind = "sybil-exp-spec v2\nname = x\naxis a = int:1\n\
+                        trials = 1\nhorizon = 1\nkappa = 0\nseed = 1\n";
+        assert!(ExperimentSpec::from_text(bad_kind).unwrap_err().contains("kind"));
     }
 
     #[test]
@@ -343,44 +802,180 @@ mod tests {
         s.trials = 0;
         assert!(s.validate().is_err());
         let mut s = spec();
-        s.t_grid = vec![f64::NAN];
+        s.axes[2].values = vec![AxisValue::F64(f64::NAN)];
         assert!(s.validate().is_err());
         let mut s = spec();
-        s.algos = vec!["has,comma".into()];
-        assert!(s.validate().is_err());
+        s.axes[2].values = vec![AxisValue::F64(f64::INFINITY)];
+        assert!(s.validate().unwrap_err().contains("non-finite"));
         let mut s = spec();
         s.kappa = 1.0;
         assert!(s.validate().is_err());
+        let mut s = spec();
+        s.axes.clear();
+        assert!(s.validate().is_err());
+        // Duplicate axis names.
+        let mut s = spec();
+        s.axes[1].name = AXIS_NETWORK.into();
+        assert!(s.validate().unwrap_err().contains("duplicate"));
+        // Duplicate values within an axis.
+        let mut s = spec();
+        s.axes[0].values.push(AxisValue::Str("gnutella".into()));
+        assert!(s.validate().unwrap_err().contains("repeats"));
+        // Mixed kinds within an axis could alias ("16" vs 16.0).
+        let mut s = spec();
+        s.axes[0].values.push(AxisValue::F64(16.0));
+        assert!(s.validate().unwrap_err().contains("mixes"));
+        // Empty axis.
+        let mut s = spec();
+        s.axes[0].values.clear();
+        assert!(s.validate().is_err());
+        // Labels with separators are fine now — escaping handles them.
+        let mut s = spec();
+        s.axes[1].values = vec![AxisValue::Str("has,comma".into()), AxisValue::Str("a/b".into())];
+        assert!(s.validate().is_ok());
     }
 
     #[test]
-    fn cells_enumerate_network_major() {
+    fn cells_enumerate_first_axis_major() {
         let s = spec();
         let cells = s.cells();
         assert_eq!(cells.len(), 2 * 2 * 3);
-        assert_eq!(cells[0].network, "gnutella");
-        assert_eq!(cells[0].algo, "ERGO");
-        assert_eq!(cells[0].t, 0.0);
-        assert_eq!(cells[1].t, 16.0);
-        assert_eq!(cells[3].algo, "CCOM");
-        assert_eq!(cells[6].network, "bitcoin");
-        // Ids are unique.
+        assert_eq!(cells[0].str_value(AXIS_NETWORK), "gnutella");
+        assert_eq!(cells[0].str_value(AXIS_ALGO), "ERGO");
+        assert_eq!(cells[0].f64_value(AXIS_T), 0.0);
+        assert_eq!(cells[1].f64_value(AXIS_T), 16.0);
+        assert_eq!(cells[3].str_value(AXIS_ALGO), "CCOM");
+        assert_eq!(cells[6].str_value(AXIS_NETWORK), "bitcoin");
+        // Ids are unique and canonical.
         let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), cells.len());
+        assert_eq!(cells[0].id(), "network=gnutella/algo=ERGO/T=0");
     }
 
     #[test]
     fn cell_ids_distinguish_close_floats() {
-        let a = CellSpec { network: "n".into(), algo: "a".into(), t: 0.1 };
+        let a = CellSpec::new(vec![("T".into(), AxisValue::F64(0.1))]);
         // One ULP away: bit-distinct floats must never alias in the store.
-        let b = CellSpec {
-            network: "n".into(),
-            algo: "a".into(),
-            t: f64::from_bits(0.1f64.to_bits() + 1),
-        };
+        let b =
+            CellSpec::new(vec![("T".into(), AxisValue::F64(f64::from_bits(0.1f64.to_bits() + 1)))]);
         assert_ne!(a.id(), b.id());
-        let d = CellSpec { network: "n".into(), algo: "a".into(), t: 1024.0 };
-        assert_eq!(d.id(), "n/a/T=1024");
+        let d = CellSpec::new(vec![("T".into(), AxisValue::F64(1024.0))]);
+        assert_eq!(d.id(), "T=1024");
+    }
+
+    /// A value that changes *kind* across releases must change its cell
+    /// id: `Str("1024")` and `F64(1024.0)` (and the `0x` bit-pattern
+    /// shapes) may never render identically, or a warm run could resume
+    /// the other kind's record. `run_cell_grid` cells bypass spec-level
+    /// kind validation, so the rendering itself must keep kinds disjoint.
+    #[test]
+    fn cell_ids_distinguish_value_kinds() {
+        let id = |v: AxisValue| CellSpec::new(vec![("v".into(), v)]).id();
+        assert_ne!(id(AxisValue::Str("1024".into())), id(AxisValue::F64(1024.0)));
+        assert_ne!(id(AxisValue::Str("-3".into())), id(AxisValue::F64(-3.0)));
+        assert_ne!(id(AxisValue::Str("0".into())), id(AxisValue::F64(0.0)));
+        let bits = fmt_f64_exact(0.5); // "0x3fe0000000000000"
+        assert_ne!(id(AxisValue::Str(bits.clone())), id(AxisValue::F64(0.5)));
+        // The forced escape still round-trips through the text format.
+        for s in ["1024", "-3", "0", &bits, "12a", "x1024"] {
+            let rendered = AxisValue::Str(s.into()).render();
+            assert_eq!(unescape_component(&rendered).unwrap(), s, "roundtrip of {s:?}");
+        }
+        // Distinct strings stay distinct under the forced escape too.
+        assert_ne!(
+            AxisValue::Str("1024".into()).render(),
+            AxisValue::Str("%31024".into()).render()
+        );
+    }
+
+    #[test]
+    fn cell_ids_distinguish_separator_laden_values() {
+        // The exact figure9 aliasing scenario: under the old
+        // `label.replace('/', "of")` scheme these two collided.
+        let a = CellSpec::new(vec![("frac".into(), AxisValue::Str("1/2".into()))]);
+        let b = CellSpec::new(vec![("frac".into(), AxisValue::Str("1of2".into()))]);
+        assert_ne!(a.id(), b.id());
+        // '=' and '%' probes: escaping must not be foolable either.
+        let c = CellSpec::new(vec![("k".into(), AxisValue::Str("a=b".into()))]);
+        let d = CellSpec::new(vec![("k".into(), AxisValue::Str("a%3Db".into()))]);
+        assert_ne!(c.id(), d.id());
+        // Ids stay store-safe (no whitespace) even for nasty values.
+        let e = CellSpec::new(vec![("k v".into(), AxisValue::Str("w x\ty".into()))]);
+        assert!(!e.id().chars().any(char::is_whitespace), "{}", e.id());
+    }
+
+    /// Injectivity property: distinct axis assignments never yield equal
+    /// cell ids, across randomized specs whose values deliberately contain
+    /// the separators, the escape character, and each other's escaped
+    /// forms. Round-trips through the text format stay bit-exact too.
+    #[test]
+    fn property_distinct_assignments_never_collide() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let alphabet: Vec<char> = "ab/=%,: \t.0x123of".chars().collect();
+        for case in 0u64..64 {
+            let mut rng = StdRng::seed_from_u64(0x5eed_0000 + case);
+            let n_axes = rng.gen_range(1usize..4);
+            let mut axes = Vec::new();
+            for a in 0..n_axes {
+                let float_axis = rng.gen_range(0u32..2) == 0;
+                let n_vals = rng.gen_range(1usize..5);
+                let mut values = Vec::new();
+                let mut rendered = std::collections::BTreeSet::new();
+                for _ in 0..n_vals {
+                    let v = if float_axis {
+                        AxisValue::F64(match rng.gen_range(0u32..4) {
+                            0 => rng.gen_range(0.0f64..4.0),
+                            1 => -rng.gen_range(0.0f64..4.0),
+                            2 => rng.gen_range(0.0f64..4.0).floor(),
+                            _ => {
+                                f64::from_bits(rng.gen_range(0u64..u64::MAX) & !0x7ff0000000000000)
+                            }
+                        })
+                    } else {
+                        let len = rng.gen_range(1usize..8);
+                        AxisValue::Str(
+                            (0..len)
+                                .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+                                .collect(),
+                        )
+                    };
+                    if rendered.insert(v.render()) {
+                        values.push(v);
+                    }
+                }
+                axes.push(Axis { name: format!("ax{a}"), values });
+            }
+            let spec = ExperimentSpec {
+                name: format!("prop-{case}"),
+                axes,
+                trials: 1,
+                horizon: 1.0,
+                kappa: 0.0,
+                seed: case,
+            };
+            spec.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
+            let cells = spec.cells();
+            let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+            assert_eq!(ids.len(), cells.len(), "case {case}: cell ids collided");
+            // Text round trip preserves the spec bit-exactly.
+            let back = ExperimentSpec::from_text(&spec.to_text())
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{}", spec.to_text()));
+            assert_eq!(back.name, spec.name, "case {case}");
+            assert_eq!(back.axes.len(), spec.axes.len(), "case {case}");
+            for (ba, sa) in back.axes.iter().zip(&spec.axes) {
+                assert_eq!(ba.name, sa.name, "case {case}");
+                for (bv, sv) in ba.values.iter().zip(&sa.values) {
+                    match (bv, sv) {
+                        (AxisValue::Str(b), AxisValue::Str(s)) => assert_eq!(b, s, "case {case}"),
+                        (AxisValue::F64(b), AxisValue::F64(s)) => {
+                            assert_eq!(b.to_bits(), s.to_bits(), "case {case}")
+                        }
+                        _ => panic!("case {case}: value kind changed in round trip"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -395,6 +990,21 @@ mod tests {
     }
 
     #[test]
+    fn cell_seed_is_keyed_on_the_canonical_id() {
+        let s = spec();
+        let cells = s.cells();
+        // Distinct cells get distinct streams; the same cell is stable.
+        let a = s.cell_seed(&cells[0], 0);
+        assert_eq!(a, s.cell_seed(&cells[0], 0));
+        assert_ne!(a, s.cell_seed(&cells[1], 0));
+        assert_ne!(a, s.cell_seed(&cells[0], 1));
+        // Keyed on the id, not the struct: an identical assignment built
+        // by hand produces the same seed.
+        let rebuilt = CellSpec::new(cells[0].assignment.clone());
+        assert_eq!(a, s.cell_seed(&rebuilt, 0));
+    }
+
+    #[test]
     fn fingerprint_tracks_content() {
         let a = spec();
         let mut b = spec();
@@ -402,5 +1012,9 @@ mod tests {
         b.trials += 1;
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint().len(), 64);
+        // Axis naming is part of the identity.
+        let mut c = spec();
+        c.axes[2].name = "rate".into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

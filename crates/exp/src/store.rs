@@ -390,6 +390,43 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Regression for the figure9 aliasing bug: two cells that differ only
+    /// by an axis value containing a separator character (`/`, `=`) must
+    /// round-trip to distinct store keys and resume independently. Under
+    /// the old `label.replace('/', "of")` id scheme, `"1/2"` and `"1of2"`
+    /// collapsed to one key and their records silently merged on resume.
+    #[test]
+    fn separator_laden_axis_values_resume_independently() {
+        use crate::spec::{AxisValue, CellSpec};
+        let path = temp_store("alias");
+        let cell = |v: &str| CellSpec::new(vec![("frac".into(), AxisValue::Str(v.into()))]);
+        for (a, b) in [("1/2", "1of2"), ("a=b", "a%3Db")] {
+            let (id_a, id_b) = (cell(a).id(), cell(b).id());
+            assert_ne!(id_a, id_b, "{a:?} vs {b:?} alias");
+
+            // Record only the first cell, as an interrupted run would.
+            let (store, _) = ResultsStore::open(&path, "fp").unwrap();
+            store.append(&Record::new(id_a.clone(), vec![("mean".into(), 1.0)])).unwrap();
+            drop(store);
+
+            // On resume the second cell is still pending — it must not be
+            // served the first cell's record.
+            let (store, resumed) = ResultsStore::open(&path, "fp").unwrap();
+            assert!(resumed);
+            assert!(store.is_done(&id_a), "{a:?} lost its record");
+            assert!(!store.is_done(&id_b), "{b:?} aliased onto {a:?}");
+            store.append(&Record::new(id_b.clone(), vec![("mean".into(), 2.0)])).unwrap();
+            drop(store);
+
+            // Both cells now round-trip with their own values.
+            let (store, _) = ResultsStore::open(&path, "fp").unwrap();
+            assert_eq!(store.get(&id_a).unwrap().get("mean"), Some(1.0));
+            assert_eq!(store.get(&id_b).unwrap().get("mean"), Some(2.0));
+            drop(store);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
     #[test]
     fn invalid_record_names_are_rejected() {
         let path = temp_store("invalid");
