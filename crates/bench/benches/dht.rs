@@ -14,8 +14,7 @@ fn main() {
     table.write_csv("dht_grid");
 
     println!("\n--- end to end: ring membership from an Ergo run under attack ---");
-    let cells: Vec<_> =
-        [0.0, 1_000.0, 100_000.0].into_iter().map(|t| dht_exp::run_end_to_end(t, 7)).collect();
+    let (cells, _) = dht_exp::run_end_to_end_grid();
     let table = dht_exp::end_to_end_table(&cells);
     println!("{}", table.render());
     table.write_csv("dht_end_to_end");

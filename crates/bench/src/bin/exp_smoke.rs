@@ -9,15 +9,18 @@
 //!    good-fraction, the fraction labels deliberately containing `/`)
 //!    run cold→warm the same way, additionally asserting the results
 //!    store holds exactly |grid| distinct cell keys — the structural
-//!    guard against the historical cell-id aliasing bug.
+//!    guard against the historical cell-id aliasing bug;
+//! 3. a **strategy-axis** grid (every registered attack strategy resolved
+//!    through the adversary registry) run cold→warm, asserting resume,
+//!    bit-identical aggregates, and the Lemma 9 invariant in every cell.
 //!
 //! Exits nonzero on any violation. CI uploads the resulting stores as
 //! artifacts alongside `BENCH_engine.json`.
 
-use sybil_bench::figure9;
 use sybil_bench::grid::{default_cache_dir, run_spend_grid};
 use sybil_bench::sweep::{default_workers, Algo};
 use sybil_bench::table::results_dir;
+use sybil_bench::{figure9, invariants_exp};
 use sybil_churn::networks;
 use sybil_exp::spec::{text_fingerprint, Axis, CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_T};
 use sybil_exp::{ExperimentSpec, ResultsStore, WorkloadCache};
@@ -27,6 +30,7 @@ use sybil_sim::time::Time;
 fn main() {
     three_axis_smoke();
     four_axis_smoke();
+    strategy_axis_smoke();
 }
 
 fn three_axis_smoke() {
@@ -172,6 +176,58 @@ fn four_axis_smoke() {
         "exp_smoke_axes OK: {} distinct cell keys for a {}-cell 4-axis grid (store: {})",
         store.len(),
         grid_size,
+        store_path.display()
+    );
+}
+
+/// The strategy-axis smoke: every registered attack strategy as axis
+/// values, resolved per cell through the adversary registry, run
+/// cold→warm through the shared invariant-grid engine.
+fn strategy_axis_smoke() {
+    let name = "exp_smoke_strategy";
+    let store_path = results_dir().join(format!("{name}.store"));
+    std::fs::remove_file(&store_path).ok();
+
+    let nets = [networks::gnutella()];
+    let strategies = invariants_exp::strategy_roster();
+    let run =
+        || invariants_exp::run_invariant_grid(name, &nets, &strategies, &[1_024.0], 2, 200.0, 1);
+
+    println!("--- strategy-axis cold run (fresh store) ---");
+    let (cold_rows, cold) = run();
+    assert_eq!(cold.cells_total, strategies.len(), "grid shape changed");
+    assert_eq!(cold.cells_executed, strategies.len(), "cold run must execute every cell");
+    assert_eq!(cold.cells_skipped, 0);
+
+    println!("--- strategy-axis warm run (resume from store) ---");
+    let (warm_rows, warm) = run();
+    assert_eq!(warm.cells_executed, 0, "warm run must skip all completed cells");
+    assert_eq!(warm.cells_skipped, strategies.len());
+    assert!(warm.resumed, "warm run must resume the existing store");
+
+    for (a, b) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(
+            a.max_bad_fraction.mean.to_bits(),
+            b.max_bad_fraction.mean.to_bits(),
+            "{}: resumed mean differs from computed mean",
+            a.strategy
+        );
+        assert_eq!(a.good_rate.mean.to_bits(), b.good_rate.mean.to_bits());
+        assert!(
+            a.held && a.worst_bad_fraction < a.bound,
+            "{}: Lemma 9 violated in the smoke grid ({} >= {})",
+            a.strategy,
+            a.worst_bad_fraction,
+            a.bound
+        );
+    }
+
+    println!(
+        "exp_smoke_strategy OK: {} strategy cells cold-executed, {} warm-skipped, \
+         Lemma 9 held (store: {})",
+        cold.cells_executed,
+        warm.cells_skipped,
         store_path.display()
     );
 }

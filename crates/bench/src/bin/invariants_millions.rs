@@ -1,0 +1,36 @@
+//! The 10⁶-ID strategy × network invariant grid: every registered attack
+//! strategy against the million-ID churn model, disk-streamed through the
+//! content-addressed workload cache, ≥ 5 trials per cell (2 with
+//! `SYBIL_BENCH_FAST=1`), Welford confidence intervals, resumable results
+//! store — Lemma 9 (`bad fraction < 3κ`) validated at the scale the
+//! ROADMAP's north star names.
+//!
+//! Re-running is incremental: completed cells are served from
+//! `results/invariants_millions.store`. Exits nonzero if any cell
+//! violates the invariant.
+
+use sybil_bench::invariants_exp;
+
+fn main() {
+    println!("=== Lemma 9 at 10^6 IDs: strategy x network invariant grid ===");
+    let start = std::time::Instant::now();
+    let rows = invariants_exp::run_invariants_millions();
+    let table = invariants_exp::invariants_table(&rows);
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv("invariants_millions") {
+        println!("csv: {}", path.display());
+    }
+    println!("elapsed: {:.1?}", start.elapsed());
+
+    let violated: Vec<_> = rows.iter().filter(|r| !r.held).collect();
+    if !violated.is_empty() {
+        for r in &violated {
+            eprintln!(
+                "VIOLATED: {}/{} at T={}: worst bad fraction {} >= bound {}",
+                r.network, r.strategy, r.t, r.worst_bad_fraction, r.bound
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("Lemma 9 held in all {} cells", rows.len());
+}

@@ -2,32 +2,46 @@
 //! and Lemma 18): committee size stays `Θ(log n)` and its good fraction
 //! stays ≥ 7/8 across iterations, under attack, while membership decisions
 //! and costs match centralized Ergo exactly.
+//!
+//! The adversary strategy is a first-class named axis: Section 12's
+//! guarantees, like Theorem 1's, are claimed against *every* strategy, so
+//! the grid runs each registered attack strategy (not just the
+//! purge-survivor worst case) through the `sybil-exp` subsystem —
+//! multi-trial with cached disk-streamed workloads, `mean, ci95_lo,
+//! ci95_hi` aggregation, and a resumable results store. The decentralized
+//! and centralized runs of a trial replay the *same* cached on-disk
+//! workload through two independent stream handles — the workload is
+//! never cloned resident, and the cost-equality comparison is exact by
+//! construction.
 
-use crate::sweep::{default_workers, fast_mode, run_parallel};
-use crate::table::{fmt_num, Table};
+use crate::grid::{default_cache_dir, default_trials};
+use crate::sweep::{default_workers, fast_mode};
+use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::{Ergo, ErgoConfig};
+use std::collections::HashMap;
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
 use sybil_committee::{DecentralConfig, DecentralizedErgo};
-use sybil_sim::adversary::PurgeSurvivor;
+use sybil_exp::runner::RunSummary;
+use sybil_exp::spec::{text_fingerprint, AxisValue, CellSpec, AXIS_NETWORK, AXIS_STRATEGY, AXIS_T};
+use sybil_exp::{trial_seed, MetricSummary, Welford, WorkloadCache};
+use sybil_sim::adversary::{build_strategy, strategy_fingerprint, StrategyParams, STRATEGY_NONE};
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
+use sybil_sim::workload::WorkloadSource;
 
-/// One decentralization run's summary.
+/// Lemma 18's committee good-fraction bound.
+pub const COMMITTEE_BOUND: f64 = 7.0 / 8.0;
+
+/// One decentralization trial (one workload seed, one strategy, one T).
 #[derive(Clone, Debug)]
-pub struct CommitteeOutcome {
-    /// Network name.
-    pub network: String,
-    /// Adversary spend rate.
-    pub t: f64,
+pub struct CommitteeTrial {
     /// Committees elected over the run.
     pub elections: usize,
     /// Mean committee size.
     pub mean_size: f64,
     /// Smallest good fraction any committee held (incl. attrition).
     pub min_good_fraction: f64,
-    /// Lemma 18's bound (7/8).
-    pub bound: f64,
     /// SMR messages exchanged.
     pub messages: u64,
     /// Good spend rate (must match centralized Ergo).
@@ -38,27 +52,39 @@ pub struct CommitteeOutcome {
     pub max_bad_fraction: f64,
 }
 
-/// Runs one (network, T) decentralization experiment.
+/// Runs one decentralization trial: the decentralized and centralized
+/// simulations replay `decentralized` and `centralized` — two independent
+/// streams of the *same* workload (two [`DiskWorkload`] handles onto one
+/// cache file in the grid; the old driver cloned a resident workload
+/// instead).
 ///
-/// Uses the purge-surviving adversary: it pays to retain the full
-/// `⌊κ·N⌋` cap at every purge, so each election samples from a membership
-/// with the worst-case post-purge Sybil fraction — the regime Lemma 18's
-/// 7/8 bound is about.
-pub fn run_cell(network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> CommitteeOutcome {
-    let workload = network.generate(Time(horizon), seed);
+/// [`DiskWorkload`]: sybil_sim::workload_io::DiskWorkload
+pub fn run_trial<W1, W2>(
+    decentralized: W1,
+    centralized: W2,
+    strategy: &str,
+    t: f64,
+    horizon: f64,
+) -> CommitteeTrial
+where
+    W1: WorkloadSource,
+    W2: WorkloadSource,
+{
     let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
-
+    let adversary =
+        build_strategy(strategy, &StrategyParams::rate(t)).unwrap_or_else(|e| panic!("{e}"));
     let (report, defense) = Simulation::new(
         cfg,
         DecentralizedErgo::new(DecentralConfig::default()),
-        PurgeSurvivor::new(t),
-        workload.clone(),
+        adversary,
+        decentralized,
     )
     .run_with_defense();
 
+    let adversary =
+        build_strategy(strategy, &StrategyParams::rate(t)).unwrap_or_else(|e| panic!("{e}"));
     let central =
-        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), PurgeSurvivor::new(t), workload)
-            .run();
+        Simulation::new(cfg, Ergo::new(ErgoConfig::default()), adversary, centralized).run();
 
     let history = defense.history();
     let mean_size = if history.is_empty() {
@@ -66,13 +92,10 @@ pub fn run_cell(network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> Commit
     } else {
         history.iter().map(|r| r.elected.size() as f64).sum::<f64>() / history.len() as f64
     };
-    CommitteeOutcome {
-        network: network.name.to_string(),
-        t,
+    CommitteeTrial {
         elections: history.len(),
         mean_size,
         min_good_fraction: defense.min_committee_good_fraction(),
-        bound: 7.0 / 8.0,
         messages: defense.messages(),
         good_rate: report.good_spend_rate(),
         centralized_rate: central.good_spend_rate(),
@@ -80,43 +103,237 @@ pub fn run_cell(network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> Commit
     }
 }
 
-/// Runs the full committee experiment grid.
-pub fn run() -> Vec<CommitteeOutcome> {
-    let horizon = if fast_mode() { 300.0 } else { 10_000.0 };
-    let mut jobs: Vec<Box<dyn FnOnce() -> CommitteeOutcome + Send>> = Vec::new();
-    for net in networks::all_networks() {
-        for t in [0.0, 10_000.0] {
-            jobs.push(Box::new(move || run_cell(&net, t, horizon, 17)));
-        }
-    }
-    run_parallel(jobs, default_workers())
+/// Runs one (network, strategy, T) trial with in-memory workloads — the
+/// single-trial form the quick tests use (the workload is generated twice;
+/// generation is deterministic, so both runs still replay one schedule).
+pub fn run_cell(
+    network: &ChurnModel,
+    strategy: &str,
+    t: f64,
+    horizon: f64,
+    seed: u64,
+) -> CommitteeTrial {
+    run_trial(
+        network.generate(Time(horizon), seed),
+        network.generate(Time(horizon), seed),
+        strategy,
+        t,
+        horizon,
+    )
 }
 
-/// Formats the outcomes as a table.
+/// One aggregated cell of the committee grid.
+#[derive(Clone, Debug)]
+pub struct CommitteeOutcome {
+    /// Network name.
+    pub network: String,
+    /// Adversary strategy registry name.
+    pub strategy: String,
+    /// Adversary spend rate.
+    pub t: f64,
+    /// Trials behind the confidence intervals.
+    pub trials: u64,
+    /// Committees elected, over trials.
+    pub elections: MetricSummary,
+    /// Mean committee size, over trials.
+    pub mean_size: MetricSummary,
+    /// Smallest good fraction any trial's committee held — the Lemma 18
+    /// verdict uses this worst case, not a mean.
+    pub min_good_fraction: f64,
+    /// Lemma 18's bound (7/8).
+    pub bound: f64,
+    /// SMR messages, over trials.
+    pub messages: MetricSummary,
+    /// Decentralized good spend rate, over trials.
+    pub good_rate: MetricSummary,
+    /// Centralized Ergo's good spend rate on the identical runs.
+    pub centralized_rate: MetricSummary,
+    /// Worst max-bad-fraction any trial reached.
+    pub max_bad_fraction: f64,
+}
+
+/// Runs the full committee experiment grid (network × strategy × T,
+/// multi-trial, cached disk-streamed workloads, resumable).
+pub fn run() -> Vec<CommitteeOutcome> {
+    let horizon = if fast_mode() { 300.0 } else { 10_000.0 };
+    let (rows, _) = run_committee_grid(
+        "committee",
+        &networks::all_networks(),
+        &crate::invariants_exp::strategy_roster(),
+        &[0.0, 10_000.0],
+        default_trials(),
+        horizon,
+        17,
+    );
+    rows
+}
+
+/// The explicit cell list: network × strategy × T, except that the T = 0
+/// baseline is strategy-independent — every funded strategy idles at rate
+/// 0 — so it runs **once** per network under the registry's `none`
+/// strategy instead of once per roster entry (at paper scale each
+/// baseline cell is `trials × 2` full-horizon simulations).
+fn grid_cells(nets: &[ChurnModel], strategies: &[&str], t_values: &[f64]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for net in nets {
+        for &t in t_values {
+            let cell_strategies: &[&str] = if t == 0.0 { &[STRATEGY_NONE] } else { strategies };
+            for strategy in cell_strategies {
+                cells.push(CellSpec::new(vec![
+                    (AXIS_NETWORK.into(), AxisValue::Str(net.name.to_string())),
+                    (AXIS_STRATEGY.into(), AxisValue::Str(strategy.to_string())),
+                    (AXIS_T.into(), AxisValue::F64(t)),
+                ]));
+            }
+        }
+    }
+    cells
+}
+
+/// The parameterized committee grid behind [`run`]. Cells are not a full
+/// cartesian product (the T = 0 baseline collapses the strategy axis, see
+/// [`grid_cells`]), so the grid runs through
+/// [`run_cell_grid`](sybil_exp::run_cell_grid) with explicit assignments.
+pub fn run_committee_grid(
+    name: &str,
+    nets: &[ChurnModel],
+    strategies: &[&str],
+    t_values: &[f64],
+    trials: u32,
+    horizon: f64,
+    base_seed: u64,
+) -> (Vec<CommitteeOutcome>, RunSummary) {
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+    let net_by_name: HashMap<String, &ChurnModel> =
+        nets.iter().map(|n| (n.name.to_string(), n)).collect();
+    assert_eq!(net_by_name.len(), nets.len(), "duplicate network names in {name}");
+    let config = format!(
+        "committee grid v2 (explicit cells; T=0 baseline runs once per network as \
+         strategy=none)\nhorizon = {horizon}\ntrials = {trials}\nseed = {base_seed}\n\
+         t_values = {t_values:?}\nnetworks = {nets:?}\ndecentral = {:?}\nergo = {:?}\n\
+         strategies = [{}]\n",
+        DecentralConfig::default(),
+        ErgoConfig::default(),
+        strategies
+            .iter()
+            .map(|s| strategy_fingerprint(s, &StrategyParams::rate(1.0)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let cells = grid_cells(nets, strategies, t_values);
+    let pairs: Vec<(CellSpec, CellSpec)> = cells.iter().map(|c| (c.clone(), c.clone())).collect();
+    let cache_ref = &cache;
+    let outcome = sybil_exp::run_cell_grid(
+        name,
+        &text_fingerprint(&config),
+        &results_dir().join(format!("{name}.store")),
+        pairs,
+        Some(cache_ref),
+        default_workers(),
+        |cell: &CellSpec| {
+            let net = net_by_name[cell.str_value(AXIS_NETWORK)];
+            let strategy = cell.str_value(AXIS_STRATEGY);
+            let t = cell.f64_value(AXIS_T);
+            let mut elections = Welford::new();
+            let mut mean_size = Welford::new();
+            let mut messages = Welford::new();
+            let mut good_rate = Welford::new();
+            let mut central_rate = Welford::new();
+            let mut min_good_fraction = f64::INFINITY;
+            let mut worst_bad = 0.0f64;
+            for trial in 0..trials {
+                // Two handles onto the same cached file: the decentralized
+                // and centralized runs replay one on-disk workload, no
+                // resident clone.
+                let wseed = trial_seed(base_seed, trial as u64);
+                let open = || {
+                    cache_ref
+                        .get_or_create(net, Time(horizon), wseed)
+                        .unwrap_or_else(|e| panic!("workload cache failed for {}: {e}", cell.id()))
+                };
+                let q = run_trial(open(), open(), strategy, t, horizon);
+                elections.push(q.elections as f64);
+                mean_size.push(q.mean_size);
+                messages.push(q.messages as f64);
+                good_rate.push(q.good_rate);
+                central_rate.push(q.centralized_rate);
+                min_good_fraction = min_good_fraction.min(q.min_good_fraction);
+                worst_bad = worst_bad.max(q.max_bad_fraction);
+            }
+            let mut fields = vec![("trials".to_string(), trials as f64)];
+            fields.extend(elections.summary().fields("elections"));
+            fields.extend(mean_size.summary().fields("mean_size"));
+            fields.push(("min_good_fraction".into(), min_good_fraction));
+            fields.extend(messages.summary().fields("messages"));
+            fields.extend(good_rate.summary().fields("good_rate"));
+            fields.extend(central_rate.summary().fields("centralized_rate"));
+            fields.push(("max_bad_fraction".into(), worst_bad));
+            fields
+        },
+    )
+    .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    let rows = cells
+        .iter()
+        .zip(&outcome.records)
+        .map(|(cell, record)| {
+            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            CommitteeOutcome {
+                network: cell.str_value(AXIS_NETWORK).to_string(),
+                strategy: cell.str_value(AXIS_STRATEGY).to_string(),
+                t: cell.f64_value(AXIS_T),
+                trials,
+                elections: MetricSummary::from_record(record, "elections", trials),
+                mean_size: MetricSummary::from_record(record, "mean_size", trials),
+                min_good_fraction: record.get("min_good_fraction").unwrap_or(f64::NAN),
+                bound: COMMITTEE_BOUND,
+                messages: MetricSummary::from_record(record, "messages", trials),
+                good_rate: MetricSummary::from_record(record, "good_rate", trials),
+                centralized_rate: MetricSummary::from_record(record, "centralized_rate", trials),
+                max_bad_fraction: record.get("max_bad_fraction").unwrap_or(f64::NAN),
+            }
+        })
+        .collect();
+    (rows, outcome.summary)
+}
+
+/// Formats the outcomes as a table with trial means and 95 % confidence
+/// bounds for the decentralized spend rate.
 pub fn to_table(outcomes: &[CommitteeOutcome]) -> Table {
     let mut table = Table::new(vec![
         "network",
+        "adversary",
         "T",
+        "trials",
         "elections",
         "mean size",
         "min good frac",
         "bound",
         "SMR msgs",
         "A decentralized",
+        "ci95_lo",
+        "ci95_hi",
         "A centralized",
         "max bad frac",
     ]);
     for o in outcomes {
         table.push(vec![
             o.network.clone(),
+            o.strategy.clone(),
             fmt_num(o.t),
-            o.elections.to_string(),
-            fmt_num(o.mean_size),
+            o.trials.to_string(),
+            fmt_num(o.elections.mean),
+            fmt_num(o.mean_size.mean),
             fmt_num(o.min_good_fraction),
             fmt_num(o.bound),
-            o.messages.to_string(),
-            fmt_num(o.good_rate),
-            fmt_num(o.centralized_rate),
+            fmt_num(o.messages.mean),
+            fmt_num(o.good_rate.mean),
+            fmt_num(o.good_rate.ci95_lo),
+            fmt_num(o.good_rate.ci95_hi),
+            fmt_num(o.centralized_rate.mean),
             fmt_num(o.max_bad_fraction),
         ]);
     }
@@ -126,10 +343,12 @@ pub fn to_table(outcomes: &[CommitteeOutcome]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sybil_sim::adversary::STRATEGY_PURGE_SURVIVE;
+    use sybil_sim::workload_io::DiskWorkload;
 
     #[test]
     fn decentralized_matches_centralized_costs_and_keeps_committee() {
-        let out = run_cell(&networks::gnutella(), 5_000.0, 400.0, 5);
+        let out = run_cell(&networks::gnutella(), STRATEGY_PURGE_SURVIVE, 5_000.0, 400.0, 5);
         assert!(
             (out.good_rate - out.centralized_rate).abs() / out.centralized_rate < 1e-9,
             "decentralized {} vs centralized {}",
@@ -137,8 +356,52 @@ mod tests {
             out.centralized_rate
         );
         assert!(out.elections > 0);
-        assert!(out.min_good_fraction >= out.bound, "{}", out.min_good_fraction);
+        assert!(out.min_good_fraction >= COMMITTEE_BOUND, "{}", out.min_good_fraction);
         assert!(out.messages > 0);
         assert!(out.max_bad_fraction < 1.0 / 6.0);
+    }
+
+    /// The T = 0 baseline is strategy-independent, so the cell list must
+    /// collapse it to a single `none` cell per network rather than
+    /// simulating the identical no-attack run once per roster entry.
+    #[test]
+    fn grid_collapses_the_t0_baseline_to_one_cell_per_network() {
+        let nets = [networks::gnutella(), networks::ethereum()];
+        let strategies = crate::invariants_exp::strategy_roster();
+        let cells = grid_cells(&nets, &strategies, &[0.0, 10_000.0]);
+        assert_eq!(cells.len(), nets.len() * (1 + strategies.len()));
+        let baselines: Vec<_> = cells.iter().filter(|c| c.f64_value(AXIS_T) == 0.0).collect();
+        assert_eq!(baselines.len(), nets.len());
+        for cell in baselines {
+            assert_eq!(cell.str_value(AXIS_STRATEGY), STRATEGY_NONE);
+        }
+        // Ids stay distinct (the run would reject duplicates anyway).
+        let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len());
+    }
+
+    /// The cost-equality claim, pinned bit-identically on the grid's real
+    /// replay path: both runs stream the same cached on-disk workload
+    /// (two handles, no resident clone), and the decentralized good spend
+    /// sum must equal centralized Ergo's to the last bit.
+    #[test]
+    fn decentralized_spend_is_bit_identical_on_shared_disk_workload() {
+        let dir = std::env::temp_dir().join(format!("sybil_committee_eq_{}", std::process::id()));
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let net = networks::gnutella();
+        let horizon = 300.0;
+        let open = || -> DiskWorkload { cache.get_or_create(&net, Time(horizon), 7).unwrap() };
+        for strategy in crate::invariants_exp::strategy_roster() {
+            let out = run_trial(open(), open(), strategy, 5_000.0, horizon);
+            assert_eq!(
+                out.good_rate.to_bits(),
+                out.centralized_rate.to_bits(),
+                "{strategy}: decentralized {} != centralized {}",
+                out.good_rate,
+                out.centralized_rate
+            );
+        }
+        assert_eq!(cache.stats().misses, 1, "one generation serves every replay");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use sybil_churn::model::ChurnModel;
 use sybil_exp::runner::RunSummary;
 use sybil_exp::spec::{CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_T};
-use sybil_exp::{ExperimentSpec, MetricSummary, Record, Welford, WorkloadCache};
+use sybil_exp::{ExperimentSpec, MetricSummary, Welford, WorkloadCache};
 use sybil_sim::engine::SimConfig;
 use sybil_sim::time::Time;
 
@@ -47,20 +47,9 @@ const METRICS: [&str; 4] = ["good_rate", "adv_rate", "max_bad_fraction", "purges
 fn summary_fields(trials: u64, summaries: &[(&str, MetricSummary)]) -> Vec<(String, f64)> {
     let mut fields = vec![("trials".to_string(), trials as f64)];
     for (name, s) in summaries {
-        fields.push((format!("{name}_mean"), s.mean));
-        fields.push((format!("{name}_ci95_lo"), s.ci95_lo));
-        fields.push((format!("{name}_ci95_hi"), s.ci95_hi));
+        fields.extend(s.fields(name));
     }
     fields
-}
-
-fn metric_from_record(record: &Record, name: &str, trials: u64) -> MetricSummary {
-    let get = |suffix: &str| {
-        record.get(&format!("{name}_{suffix}")).unwrap_or_else(|| {
-            panic!("results store record {} lacks field {name}_{suffix}", record.cell_id)
-        })
-    };
-    MetricSummary { n: trials, mean: get("mean"), ci95_lo: get("ci95_lo"), ci95_hi: get("ci95_hi") }
 }
 
 /// The trial count every figure experiment shares: 5 independent workload
@@ -206,10 +195,10 @@ pub fn run_spend_grid(
                 network: network.to_string(),
                 algo: algo_label.to_string(),
                 t,
-                good_rate: metric_from_record(record, "good_rate", trials),
-                adv_rate: metric_from_record(record, "adv_rate", trials),
-                max_bad_fraction: metric_from_record(record, "max_bad_fraction", trials),
-                purges: metric_from_record(record, "purges", trials),
+                good_rate: MetricSummary::from_record(record, "good_rate", trials),
+                adv_rate: MetricSummary::from_record(record, "adv_rate", trials),
+                max_bad_fraction: MetricSummary::from_record(record, "max_bad_fraction", trials),
+                purges: MetricSummary::from_record(record, "purges", trials),
                 guarantee: algo.guarantee_covers(t, net_by_name[network].initial_size),
             }
         })

@@ -6,153 +6,378 @@
 //!    churn-forcers (join/depart cycles), and purge-survivors that pay to
 //!    retain the full κ-fraction at every purge.
 //! 2. **Scaling**: Ergo's good spend rate grows like `√T` — we fit the
-//!    log-log slope of `A(T)` over the attack regime and expect ≈ 0.5
-//!    (CCom's, for contrast, is ≈ 1).
+//!    log-log slope of `A(T)` per trial and report the fitted exponent with
+//!    a 95 % confidence interval; Theorem 1 says ≈ 0.5 for Ergo (CCom's,
+//!    for contrast, is ≈ 1).
+//!
+//! Both sweeps run through the `sybil-exp` subsystem: the adversary
+//! strategy is a first-class named axis ([`AXIS_STRATEGY`]) whose values
+//! are registry names resolved per cell via
+//! [`sybil_sim::adversary::build_strategy`], workloads are materialized
+//! once per trial in the content-addressed disk cache and streamed into
+//! every cell, each cell aggregates its trials into `mean, ci95_lo,
+//! ci95_hi`, and finished cells land in a resumable results store.
+//! [`run_invariant_grid`] is the shared engine: the paper-scale
+//! [`run_invariants`], the 10⁶-ID [`run_invariants_millions`] bin, and the
+//! CI smoke's strategy-axis grid are all parameterizations of it.
 
-use crate::sweep::{default_workers, fast_mode, run_parallel, Algo, RunParams};
-use crate::table::{fmt_num, Table};
+use crate::grid::{default_cache_dir, default_trials};
+use crate::sweep::{default_workers, fast_mode, run_report_with, Algo};
+use crate::table::{fmt_num, results_dir, Table};
 use ergo_core::{Ergo, ErgoConfig};
+use std::collections::HashMap;
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
-use sybil_sim::adversary::{BudgetJoiner, BurstJoiner, ChurnForcer, PurgeSurvivor};
+use sybil_exp::runner::RunSummary;
+use sybil_exp::spec::{Axis, CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_STRATEGY, AXIS_T};
+use sybil_exp::{ExperimentSpec, MetricSummary, Welford, WorkloadCache};
+use sybil_sim::adversary::{
+    build_strategy, strategy_fingerprint, StrategyParams, STRATEGY_BUDGET, STRATEGY_BURST,
+    STRATEGY_CHURN_FORCE, STRATEGY_PURGE_SURVIVE,
+};
 use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::time::Time;
 use sybil_sim::SimReport;
 
-/// Adversary strategies exercised by the invariant sweep.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Strategy {
-    /// Steady entrance-cost spender (the Figure 8 adversary).
-    Budget,
-    /// Saves budget, bursts every 60 s (stress-tests β-burstiness handling).
-    Burst,
-    /// Join-and-depart cycles to force purges.
-    ChurnForce,
-    /// Pays to retain the κ-fraction cap at every purge (Lemma 9 worst case).
-    PurgeSurvive,
+/// The strategy axis of the invariant experiments: every attack strategy
+/// in the adversary registry (the `none` baseline is excluded — a cell
+/// with no attack validates nothing about Lemma 9).
+pub fn strategy_roster() -> Vec<&'static str> {
+    vec![STRATEGY_BUDGET, STRATEGY_BURST, STRATEGY_CHURN_FORCE, STRATEGY_PURGE_SURVIVE]
 }
 
-impl Strategy {
-    /// All strategies.
-    pub fn all() -> Vec<Strategy> {
-        vec![Strategy::Budget, Strategy::Burst, Strategy::ChurnForce, Strategy::PurgeSurvive]
-    }
-
-    /// Label for tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Strategy::Budget => "budget-joiner",
-            Strategy::Burst => "burst-joiner",
-            Strategy::ChurnForce => "churn-forcer",
-            Strategy::PurgeSurvive => "purge-survivor",
-        }
-    }
-
-    fn run(&self, network: &ChurnModel, t: f64, horizon: f64, seed: u64) -> SimReport {
-        let workload = network.generate(Time(horizon), seed);
-        let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
-        let ergo = Ergo::new(ErgoConfig::default());
-        match self {
-            Strategy::Budget => Simulation::new(cfg, ergo, BudgetJoiner::new(t), workload).run(),
-            Strategy::Burst => {
-                Simulation::new(cfg, ergo, BurstJoiner::new(t, 60.0), workload).run()
-            }
-            Strategy::ChurnForce => Simulation::new(cfg, ergo, ChurnForcer::new(t), workload).run(),
-            Strategy::PurgeSurvive => {
-                Simulation::new(cfg, ergo, PurgeSurvivor::new(t), workload).run()
-            }
-        }
-    }
+/// Registry parameters for one invariant cell: spend rate `t`, canonical
+/// defaults for everything else (60 s burst period).
+pub fn cell_params(t: f64) -> StrategyParams {
+    StrategyParams::rate(t)
 }
 
-/// One invariant-sweep row.
+/// Runs one strategy against one in-memory workload — the single-trial
+/// form the quick tests use; the grids stream cached disk workloads
+/// through the same configuration instead.
+pub fn run_strategy_once(
+    strategy: &str,
+    network: &ChurnModel,
+    t: f64,
+    horizon: f64,
+    seed: u64,
+) -> SimReport {
+    let workload = network.generate(Time(horizon), seed);
+    let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+    let adversary = build_strategy(strategy, &cell_params(t)).unwrap_or_else(|e| panic!("{e}"));
+    Simulation::new(cfg, Ergo::new(ErgoConfig::default()), adversary, workload).run()
+}
+
+/// One invariant-sweep cell, aggregated over trials.
 #[derive(Clone, Debug)]
 pub struct InvariantOutcome {
     /// Network.
     pub network: String,
-    /// Strategy label.
-    pub strategy: &'static str,
+    /// Strategy registry name.
+    pub strategy: String,
     /// Adversary spend rate.
     pub t: f64,
-    /// Maximum instantaneous Sybil fraction.
-    pub max_bad_fraction: f64,
-    /// The Lemma 9 bound `3κ = 1/6`.
+    /// Trials behind the confidence intervals.
+    pub trials: u64,
+    /// Maximum instantaneous Sybil fraction, over trials.
+    pub max_bad_fraction: MetricSummary,
+    /// The single worst instantaneous fraction any trial reached — the
+    /// invariant is about the worst case, so the pass/fail verdict uses
+    /// this, not the mean.
+    pub worst_bad_fraction: f64,
+    /// The Lemma 9 bound `3κ` (= 1/6 at the paper's κ = 1/18).
     pub bound: f64,
-    /// Whether the invariant held throughout.
+    /// Whether every trial held the invariant throughout.
     pub held: bool,
-    /// Good spend rate.
-    pub good_rate: f64,
+    /// Good spend rate over trials.
+    pub good_rate: MetricSummary,
 }
 
-/// Runs the invariant sweep.
+/// Runs a (network × strategy × T) invariant grid through the `sybil-exp`
+/// subsystem: multi-trial, cached disk-streamed workloads, resumable
+/// store at `results/<name>.store`.
+///
+/// The strategy axis carries registry names; each cell resolves its name
+/// through [`build_strategy`] with [`cell_params`]`(t)`. The per-strategy
+/// parameter fingerprints are folded into the store's configuration
+/// context, so a change to what a registry name *means* (a different
+/// burst period, say) re-runs the grid instead of resuming stale cells.
+///
+/// # Panics
+///
+/// Panics if the cache or store directories are unusable, or if a
+/// strategy name is not registered.
+pub fn run_invariant_grid(
+    name: &str,
+    nets: &[ChurnModel],
+    strategies: &[&str],
+    t_values: &[f64],
+    trials: u32,
+    horizon: f64,
+    base_seed: u64,
+) -> (Vec<InvariantOutcome>, RunSummary) {
+    let spec = ExperimentSpec {
+        name: name.into(),
+        axes: vec![
+            Axis::strs(AXIS_NETWORK, nets.iter().map(|n| n.name.to_string())),
+            Axis::strs(AXIS_STRATEGY, strategies.iter().map(|s| s.to_string())),
+            Axis::floats(AXIS_T, t_values.to_vec()),
+        ],
+        trials,
+        horizon,
+        kappa: SimConfig::default().kappa,
+        seed: base_seed,
+    };
+    let bound = 3.0 * spec.kappa;
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+    let net_by_name: HashMap<String, &ChurnModel> =
+        nets.iter().map(|n| (n.name.to_string(), n)).collect();
+    assert_eq!(net_by_name.len(), nets.len(), "duplicate network names in {name}");
+
+    // The axes name networks and strategies by label; the context carries
+    // what the labels resolve to. The strategy fingerprint is taken at a
+    // sentinel rate (the actual rate is the cell's T-axis value, already
+    // part of the spec): it pins the *fixed* parameters a registry name
+    // implies, like the burst period.
+    let context = format!(
+        "invariants grid\nnetworks = {nets:?}\ndefense = {:?}\nstrategies = [{}]\n",
+        ErgoConfig::default(),
+        strategies
+            .iter()
+            .map(|s| strategy_fingerprint(s, &cell_params(1.0)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let cache_ref = &cache;
+    let spec_ref = &spec;
+    let outcome = sybil_exp::run_spec_grid(
+        &spec,
+        &context,
+        &results_dir(),
+        Some(cache_ref),
+        default_workers(),
+        |cell: &CellSpec| {
+            let net = net_by_name[cell.str_value(AXIS_NETWORK)];
+            let strategy = cell.str_value(AXIS_STRATEGY);
+            let t = cell.f64_value(AXIS_T);
+            let mut frac = Welford::new();
+            let mut rate = Welford::new();
+            let mut worst = 0.0f64;
+            for trial in 0..spec_ref.trials {
+                let disk = cache_ref
+                    .get_or_create(net, Time(spec_ref.horizon), spec_ref.workload_seed(trial))
+                    .unwrap_or_else(|e| panic!("workload cache failed for {}: {e}", cell.id()));
+                let cfg = SimConfig {
+                    horizon: Time(spec_ref.horizon),
+                    kappa: spec_ref.kappa,
+                    adv_rate: t,
+                    ..SimConfig::default()
+                };
+                let adversary = build_strategy(strategy, &cell_params(t))
+                    .unwrap_or_else(|e| panic!("cell {}: {e}", cell.id()));
+                let report =
+                    Simulation::new(cfg, Ergo::new(ErgoConfig::default()), adversary, disk).run();
+                frac.push(report.max_bad_fraction);
+                rate.push(report.good_spend_rate());
+                worst = worst.max(report.max_bad_fraction);
+            }
+            let mut fields = vec![("trials".to_string(), spec_ref.trials as f64)];
+            fields.extend(frac.summary().fields("max_bad_fraction"));
+            fields.push(("worst_bad_fraction".into(), worst));
+            fields.extend(rate.summary().fields("good_rate"));
+            fields
+        },
+    )
+    .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    let rows = spec
+        .cells()
+        .iter()
+        .zip(&outcome.records)
+        .map(|(cell, record)| {
+            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            let worst = record.get("worst_bad_fraction").unwrap_or(f64::NAN);
+            InvariantOutcome {
+                network: cell.str_value(AXIS_NETWORK).to_string(),
+                strategy: cell.str_value(AXIS_STRATEGY).to_string(),
+                t: cell.f64_value(AXIS_T),
+                trials,
+                max_bad_fraction: MetricSummary::from_record(record, "max_bad_fraction", trials),
+                worst_bad_fraction: worst,
+                bound,
+                held: worst < bound,
+                good_rate: MetricSummary::from_record(record, "good_rate", trials),
+            }
+        })
+        .collect();
+    (rows, outcome.summary)
+}
+
+/// Runs the paper-scale invariant sweep: Gnutella and Ethereum churn,
+/// every registered attack strategy, three spend-rate decades.
 pub fn run_invariants() -> Vec<InvariantOutcome> {
     let horizon = if fast_mode() { 300.0 } else { 5_000.0 };
     let t_values = if fast_mode() { vec![1e3] } else { vec![1e2, 1e4, 1e6] };
-    let bound = 1.0 / 6.0;
-    let mut jobs: Vec<Box<dyn FnOnce() -> InvariantOutcome + Send>> = Vec::new();
-    for net in [networks::gnutella(), networks::ethereum()] {
-        for strat in Strategy::all() {
-            for &t in &t_values {
-                jobs.push(Box::new(move || {
-                    let r = strat.run(&net, t, horizon, 23);
-                    InvariantOutcome {
-                        network: net.name.to_string(),
-                        strategy: strat.label(),
-                        t,
-                        max_bad_fraction: r.max_bad_fraction,
-                        bound,
-                        held: r.max_bad_fraction < bound,
-                        good_rate: r.good_spend_rate(),
-                    }
-                }));
-            }
-        }
-    }
-    run_parallel(jobs, default_workers())
+    let (rows, _) = run_invariant_grid(
+        "invariants",
+        &[networks::gnutella(), networks::ethereum()],
+        &strategy_roster(),
+        &t_values,
+        default_trials(),
+        horizon,
+        23,
+    );
+    rows
 }
 
-/// Log-log slope fit of `A(T)` for an algorithm over the attack regime.
+/// The 10⁶-ID strategy × network invariant grid (the `invariants_millions`
+/// bin): every attack strategy against the million-ID churn model,
+/// disk-streamed through the workload cache at the `macro_millions`
+/// horizon — Lemma 9 at the scale the ROADMAP's north star names.
+pub fn run_invariants_millions() -> Vec<InvariantOutcome> {
+    let (rows, _) = run_invariant_grid(
+        "invariants_millions",
+        &[networks::millions(1_000_000)],
+        &strategy_roster(),
+        &[4_096.0, 65_536.0],
+        default_trials(),
+        500.0,
+        23,
+    );
+    rows
+}
+
+/// Log-log slope fit of `A(T)` for an algorithm over the attack regime,
+/// aggregated over per-trial fits.
 #[derive(Clone, Debug)]
 pub struct ScalingFit {
     /// Network.
     pub network: String,
     /// Algorithm label.
     pub algo: String,
-    /// Fitted exponent of `A ∝ T^e`.
-    pub exponent: f64,
-    /// Points used in the fit.
+    /// Fitted exponent of `A ∝ T^e`: the slope is fit per trial (each
+    /// trial contributes one full `A(T)` curve over its own workload) and
+    /// the fits aggregate to a mean with a 95 % confidence interval.
+    pub exponent: MetricSummary,
+    /// Points in each per-trial fit.
     pub points: usize,
 }
 
 /// Fits the spend-rate scaling exponents for Ergo and CCom (Theorem 1 says
 /// ≈ 0.5 for Ergo; CCom's `O(T+J)` gives ≈ 1).
+///
+/// Runs as a (network × algo × T) grid: each cell stores its per-trial
+/// good spend rates (plus the `mean, ci95_lo, ci95_hi` triple), and the
+/// slope fit is computed afterwards from the per-trial columns — so a
+/// resumed grid re-fits from the store without re-running anything.
 pub fn run_scaling() -> Vec<ScalingFit> {
     let horizon = if fast_mode() { 500.0 } else { 10_000.0 };
     let exponents: Vec<u32> =
         if fast_mode() { vec![12, 14, 16] } else { vec![10, 12, 14, 16, 18, 20] };
-    let mut jobs: Vec<Box<dyn FnOnce() -> ScalingFit + Send>> = Vec::new();
-    for net in [networks::gnutella(), networks::bittorrent()] {
-        for algo in [Algo::Ergo, Algo::CCom] {
-            let ts: Vec<f64> = exponents.iter().map(|&e| (1u64 << e) as f64).collect();
-            jobs.push(Box::new(move || {
-                let params = RunParams { horizon, ..RunParams::default() };
-                let pts: Vec<(f64, f64)> = ts
+    let ts: Vec<f64> = exponents.iter().map(|&e| (1u64 << e) as f64).collect();
+    let nets = [networks::gnutella(), networks::bittorrent()];
+    let roster = [Algo::Ergo, Algo::CCom];
+    let trials = default_trials();
+
+    let spec = ExperimentSpec {
+        name: "scaling".into(),
+        axes: vec![
+            Axis::strs(AXIS_NETWORK, nets.iter().map(|n| n.name.to_string())),
+            Axis::strs(AXIS_ALGO, roster.iter().map(|a| a.label())),
+            Axis::floats(AXIS_T, ts.clone()),
+        ],
+        trials,
+        horizon,
+        kappa: SimConfig::default().kappa,
+        seed: 23,
+    };
+    let cache = WorkloadCache::open(default_cache_dir())
+        .unwrap_or_else(|e| panic!("cannot open workload cache: {e}"));
+    let net_by_name: HashMap<String, &ChurnModel> =
+        nets.iter().map(|n| (n.name.to_string(), n)).collect();
+    let algo_by_label: HashMap<String, Algo> = roster.iter().map(|a| (a.label(), *a)).collect();
+    let context = format!(
+        "scaling grid\nnetworks = {nets:?}\nroster = {roster:?}\nergo = {:?}\nccom = {:?}\n",
+        ErgoConfig::default(),
+        ergo_core::params::ErgoConfig::ccom(),
+    );
+
+    let cache_ref = &cache;
+    let spec_ref = &spec;
+    let outcome = sybil_exp::run_spec_grid(
+        &spec,
+        &context,
+        &results_dir(),
+        Some(cache_ref),
+        default_workers(),
+        |cell: &CellSpec| {
+            let net = net_by_name[cell.str_value(AXIS_NETWORK)];
+            let algo = algo_by_label[cell.str_value(AXIS_ALGO)];
+            let t = cell.f64_value(AXIS_T);
+            let mut acc = Welford::new();
+            let mut fields = vec![("trials".to_string(), spec_ref.trials as f64)];
+            for trial in 0..spec_ref.trials {
+                let disk = cache_ref
+                    .get_or_create(net, Time(spec_ref.horizon), spec_ref.workload_seed(trial))
+                    .unwrap_or_else(|e| panic!("workload cache failed for {}: {e}", cell.id()));
+                let cfg = SimConfig {
+                    horizon: Time(spec_ref.horizon),
+                    kappa: spec_ref.kappa,
+                    adv_rate: t,
+                    ..SimConfig::default()
+                };
+                let report = run_report_with(cfg, algo, t, spec_ref.defense_seed(trial), disk);
+                let rate = report.good_spend_rate();
+                acc.push(rate);
+                // Per-trial columns so the slope can be fit per trial from
+                // a resumed store.
+                fields.push((format!("good_rate_trial{trial}"), rate));
+            }
+            fields.extend(acc.summary().fields("good_rate"));
+            fields
+        },
+    )
+    .unwrap_or_else(|e| panic!("experiment scaling failed: {e}"));
+    eprint!("{}", outcome.summary.render());
+
+    // Regroup the grid's records by (network, algo) and fit one slope per
+    // trial across the T axis.
+    let cells = spec.cells();
+    let mut fits = Vec::new();
+    for net in &nets {
+        for algo in &roster {
+            let label = algo.label();
+            let mut slopes = Welford::new();
+            for trial in 0..trials {
+                let pts: Vec<(f64, f64)> = cells
                     .iter()
-                    .map(|&t| {
-                        let p = crate::sweep::run_point(&net, algo, t, params);
-                        (t.ln(), p.good_rate.max(1e-12).ln())
+                    .zip(&outcome.records)
+                    .filter(|(cell, _)| {
+                        cell.str_value(AXIS_NETWORK) == net.name
+                            && cell.str_value(AXIS_ALGO) == label
+                    })
+                    .map(|(cell, record)| {
+                        let rate =
+                            record.get(&format!("good_rate_trial{trial}")).unwrap_or_else(|| {
+                                panic!("record {} lacks trial {trial} column", record.cell_id)
+                            });
+                        (cell.f64_value(AXIS_T).ln(), rate.max(1e-12).ln())
                     })
                     .collect();
-                ScalingFit {
-                    network: net.name.to_string(),
-                    algo: algo.label(),
-                    exponent: slope(&pts),
-                    points: pts.len(),
-                }
-            }));
+                slopes.push(slope(&pts));
+            }
+            fits.push(ScalingFit {
+                network: net.name.to_string(),
+                algo: label.clone(),
+                exponent: slopes.summary(),
+                points: ts.len(),
+            });
         }
     }
-    run_parallel(jobs, default_workers())
+    fits
 }
 
 /// Least-squares slope of `(x, y)` pairs.
@@ -165,33 +390,61 @@ fn slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
-/// Formats the invariant sweep.
+/// Formats the invariant sweep with trial means and 95 % confidence
+/// bounds; the `held` verdict reflects the worst trial.
 pub fn invariants_table(outcomes: &[InvariantOutcome]) -> Table {
-    let mut table =
-        Table::new(vec!["network", "adversary", "T", "max bad frac", "bound (3k)", "held", "A"]);
+    let mut table = Table::new(vec![
+        "network",
+        "adversary",
+        "T",
+        "trials",
+        "max bad frac",
+        "ci95_lo",
+        "ci95_hi",
+        "worst",
+        "bound (3k)",
+        "held",
+        "A",
+    ]);
     for o in outcomes {
         table.push(vec![
             o.network.clone(),
-            o.strategy.to_string(),
+            o.strategy.clone(),
             fmt_num(o.t),
-            fmt_num(o.max_bad_fraction),
+            o.trials.to_string(),
+            fmt_num(o.max_bad_fraction.mean),
+            fmt_num(o.max_bad_fraction.ci95_lo),
+            fmt_num(o.max_bad_fraction.ci95_hi),
+            fmt_num(o.worst_bad_fraction),
             fmt_num(o.bound),
             if o.held { "yes".into() } else { "VIOLATED".to_string() },
-            fmt_num(o.good_rate),
+            fmt_num(o.good_rate.mean),
         ]);
     }
     table
 }
 
-/// Formats the scaling fits.
+/// Formats the scaling fits with per-trial-fit confidence bounds.
 pub fn scaling_table(fits: &[ScalingFit]) -> Table {
-    let mut table = Table::new(vec!["network", "algorithm", "A~T^e fit", "points", "theory"]);
+    let mut table = Table::new(vec![
+        "network",
+        "algorithm",
+        "trials",
+        "A~T^e mean",
+        "ci95_lo",
+        "ci95_hi",
+        "points",
+        "theory",
+    ]);
     for f in fits {
         let theory = if f.algo == "ERGO" { "0.5 (Thm 1)" } else { "1.0 (O(T+J))" };
         table.push(vec![
             f.network.clone(),
             f.algo.clone(),
-            fmt_num(f.exponent),
+            f.exponent.n.to_string(),
+            fmt_num(f.exponent.mean),
+            fmt_num(f.exponent.ci95_lo),
+            fmt_num(f.exponent.ci95_hi),
             f.points.to_string(),
             theory.to_string(),
         ]);
@@ -211,22 +464,59 @@ mod tests {
 
     #[test]
     fn invariant_holds_for_all_strategies_small() {
-        for strat in Strategy::all() {
-            let r = strat.run(&networks::gnutella(), 2_000.0, 200.0, 29);
-            assert!(
-                r.max_bad_fraction < 1.0 / 6.0,
-                "{}: fraction {}",
-                strat.label(),
-                r.max_bad_fraction
-            );
+        for strat in strategy_roster() {
+            let r = run_strategy_once(strat, &networks::gnutella(), 2_000.0, 200.0, 29);
+            assert!(r.max_bad_fraction < 1.0 / 6.0, "{strat}: fraction {}", r.max_bad_fraction);
         }
     }
 
     #[test]
     fn purge_survivor_pays_purge_costs() {
-        let r = Strategy::PurgeSurvive.run(&networks::gnutella(), 5_000.0, 200.0, 31);
+        let r =
+            run_strategy_once(STRATEGY_PURGE_SURVIVE, &networks::gnutella(), 5_000.0, 200.0, 31);
         assert!(r.ledger.adversary_purge().value() > 0.0);
         // Still bounded, despite retention at the cap.
         assert!(r.max_bad_fraction < 1.0 / 6.0, "{}", r.max_bad_fraction);
+    }
+
+    /// The Lemma 9 assertion over the *migrated* grid path: a small
+    /// strategy-axis grid (every registered attack strategy) through the
+    /// real cache + store machinery must hold `max_bad_fraction < 3κ` in
+    /// every cell, and resume bit-identically.
+    #[test]
+    fn migrated_grid_holds_lemma9_across_strategies_and_resumes() {
+        let name = format!("invariants-test-{}", std::process::id());
+        let nets = [networks::gnutella()];
+        let run = || run_invariant_grid(&name, &nets, &strategy_roster(), &[2_000.0], 2, 120.0, 29);
+        let (rows, summary) = run();
+        assert_eq!(rows.len(), strategy_roster().len());
+        assert_eq!(summary.cells_executed, rows.len());
+        for row in &rows {
+            assert!((row.bound - 1.0 / 6.0).abs() < 1e-12, "bound is 3k = 1/6");
+            assert!(
+                row.held && row.worst_bad_fraction < row.bound,
+                "{}/{}: worst fraction {} >= {}",
+                row.network,
+                row.strategy,
+                row.worst_bad_fraction,
+                row.bound
+            );
+            assert_eq!(row.trials, 2);
+            assert!(
+                row.max_bad_fraction.ci95_lo <= row.max_bad_fraction.mean
+                    && row.max_bad_fraction.mean <= row.max_bad_fraction.ci95_hi
+            );
+        }
+        // Warm re-run resumes every cell with bit-identical aggregates.
+        let (rows2, summary2) = run();
+        assert_eq!(summary2.cells_executed, 0);
+        assert_eq!(summary2.cells_skipped, rows.len());
+        for (a, b) in rows.iter().zip(&rows2) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.max_bad_fraction.mean.to_bits(), b.max_bad_fraction.mean.to_bits());
+            assert_eq!(a.good_rate.mean.to_bits(), b.good_rate.mean.to_bits());
+        }
+        std::fs::remove_file(results_dir().join(format!("{name}.store"))).ok();
+        std::fs::remove_file(results_dir().join(format!("{name}.spec"))).ok();
     }
 }

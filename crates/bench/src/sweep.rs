@@ -303,11 +303,46 @@ pub fn default_workers() -> usize {
     }
 }
 
+/// Parses a `SYBIL_BENCH_FAST` setting: `1` is fast mode, `0` (or unset)
+/// is the full paper-scale run.
+///
+/// Strict, like [`workers_from_env`]: any other value — `true`, `yes`, a
+/// typo — is an error, not a silent full-scale run. The old
+/// `v == "1"` check made `SYBIL_BENCH_FAST=true` quietly launch the
+/// hours-long paper suite on a machine that asked for the one-minute
+/// smoke.
+fn parse_fast_mode(raw: Result<String, std::env::VarError>) -> Result<bool, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(false),
+        Err(e) => Err(format!("SYBIL_BENCH_FAST is not valid unicode: {e}")),
+        Ok(v) => match v.trim() {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            other => Err(format!(
+                "SYBIL_BENCH_FAST={other:?} is not valid: use 1 (fast smoke grids) or 0 / \
+                 unset (full paper-scale run)"
+            )),
+        },
+    }
+}
+
 /// True when `SYBIL_BENCH_FAST=1`: benches shrink grids/horizons so the
 /// whole suite completes in about a minute (CI mode). The full paper-scale
-/// run is the default.
+/// run is the default; an invalid setting aborts with the parse error
+/// rather than being silently ignored.
+///
+/// The result is read once and cached for the process lifetime — grid
+/// drivers consult it per cell (and some helpers per trial), and the
+/// environment cannot change under a running bench anyway.
 pub fn fast_mode() -> bool {
-    std::env::var("SYBIL_BENCH_FAST").is_ok_and(|v| v == "1")
+    static FAST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FAST.get_or_init(|| match parse_fast_mode(std::env::var("SYBIL_BENCH_FAST")) {
+        Ok(fast) => fast,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -384,6 +419,25 @@ mod tests {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),
         }
+    }
+
+    /// Regression for the silent fast-mode miss: `SYBIL_BENCH_FAST=true`
+    /// (or any non-`1` value) used to silently run the full paper-scale
+    /// suite. The parser is pure, so no env mutation is needed here.
+    #[test]
+    fn fast_mode_parsing_is_strict() {
+        let parse = |v: &str| parse_fast_mode(Ok(v.to_string()));
+        assert_eq!(parse("1"), Ok(true));
+        assert_eq!(parse("0"), Ok(false));
+        assert_eq!(parse(" 1 "), Ok(true), "whitespace is trimmed like the workers parser");
+        assert_eq!(parse_fast_mode(Err(std::env::VarError::NotPresent)), Ok(false));
+        for bad in ["true", "false", "yes", "FAST", "2", ""] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("SYBIL_BENCH_FAST"), "{err}");
+            assert!(err.contains("use 1"), "error must be actionable: {err}");
+        }
+        // The cached accessor is stable across calls.
+        assert_eq!(fast_mode(), fast_mode());
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub const AXIS_NETWORK: &str = "network";
 pub const AXIS_ALGO: &str = "algo";
 /// Canonical axis name for adversary spend rates (v1 `t`).
 pub const AXIS_T: &str = "T";
+/// Canonical axis name for adversary strategy labels.
+///
+/// Values on this axis are registry names (`budget`, `burst`,
+/// `churn-force`, `purge-survive`, …) that the experiment driver resolves
+/// back to adversary constructors — see `sybil_sim::adversary`'s strategy
+/// registry. This crate treats them as opaque labels like any other axis
+/// value.
+pub const AXIS_STRATEGY: &str = "strategy";
 
 /// One value of an axis: a driver-resolved label or a bit-exact float.
 ///
@@ -452,19 +460,15 @@ impl ExperimentSpec {
     /// A per-cell seed stream, keyed on the **canonical cell id** (so it
     /// inherits the id's no-collision guarantee: distinct cells get
     /// distinct streams, and the stream survives axis renames only if the
-    /// id is unchanged).
-    ///
-    /// No in-tree grid driver consumes this yet — they all deliberately
-    /// share [`workload_seed`](Self::workload_seed) grid-wide so every
-    /// cell of a trial replays one cached workload. It exists for drivers
-    /// whose cells must *not* share randomness; adopting it freezes the
-    /// derivation (SHA-256 of the id folded into the base seed) as a
-    /// compatibility contract.
+    /// id is unchanged). Workload seeds deliberately stay grid-wide
+    /// ([`workload_seed`](Self::workload_seed)) so every cell of a trial
+    /// replays one cached workload; this stream is for the randomness
+    /// cells must *not* share — the DHT end-to-end driver derives its
+    /// per-cell lookup RNG from it, which freezes the derivation (see
+    /// [`cell_seed`]) as a compatibility contract: changing it would
+    /// silently change stored results under resume.
     pub fn cell_seed(&self, cell: &CellSpec, trial: u32) -> u64 {
-        let digest = sybil_crypto::sha256::Sha256::digest(cell.id().as_bytes());
-        let mut first = [0u8; 8];
-        first.copy_from_slice(&digest.as_bytes()[..8]);
-        trial_seed(self.seed ^ u64::from_le_bytes(first), trial as u64)
+        cell_seed(self.seed, cell, trial as u64)
     }
 
     /// Serializes to the versioned text format:
@@ -636,6 +640,23 @@ impl ExperimentSpec {
 /// a code change to a label's meaning invalidates stale cells.
 pub fn text_fingerprint(text: &str) -> String {
     sybil_crypto::hex::encode(sybil_crypto::sha256::Sha256::digest(text.as_bytes()).as_bytes())
+}
+
+/// Derives the per-cell seed stream for `(base seed, cell, trial)`: the
+/// first 8 bytes of SHA-256 of the canonical cell id folded into the base
+/// seed, then chained through [`trial_seed`].
+///
+/// The free-function form exists for drivers that assemble explicit
+/// [`CellSpec`] lists (via `run_cell_grid`) without an
+/// [`ExperimentSpec`]; [`ExperimentSpec::cell_seed`] delegates here. The
+/// derivation is a **frozen compatibility contract**: stores record
+/// results produced under it, and a resumed grid must replay identical
+/// streams.
+pub fn cell_seed(base: u64, cell: &CellSpec, trial: u64) -> u64 {
+    let digest = sybil_crypto::sha256::Sha256::digest(cell.id().as_bytes());
+    let mut first = [0u8; 8];
+    first.copy_from_slice(&digest.as_bytes()[..8]);
+    trial_seed(base ^ u64::from_le_bytes(first), trial)
 }
 
 /// Derives the deterministic seed for trial `index` of an experiment
@@ -1002,6 +1023,8 @@ mod tests {
         // by hand produces the same seed.
         let rebuilt = CellSpec::new(cells[0].assignment.clone());
         assert_eq!(a, s.cell_seed(&rebuilt, 0));
+        // The free-function form is the same frozen derivation.
+        assert_eq!(a, cell_seed(s.seed, &cells[0], 0));
     }
 
     #[test]

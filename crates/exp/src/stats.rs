@@ -103,6 +103,41 @@ pub struct MetricSummary {
     pub ci95_hi: f64,
 }
 
+impl MetricSummary {
+    /// The `<name>_mean`, `<name>_ci95_lo`, `<name>_ci95_hi` store-field
+    /// triple every grid driver records per metric. This is the naming
+    /// contract [`from_record`](Self::from_record) reads back; keeping
+    /// both sides here keeps it single-sourced across drivers.
+    pub fn fields(&self, name: &str) -> [(String, f64); 3] {
+        [
+            (format!("{name}_mean"), self.mean),
+            (format!("{name}_ci95_lo"), self.ci95_lo),
+            (format!("{name}_ci95_hi"), self.ci95_hi),
+        ]
+    }
+
+    /// Reads the triple written by [`fields`](Self::fields) back out of a
+    /// results-store record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record lacks one of the three fields — a driver/store
+    /// schema mismatch, not a runtime condition.
+    pub fn from_record(record: &crate::store::Record, name: &str, trials: u64) -> MetricSummary {
+        let get = |suffix: &str| {
+            record.get(&format!("{name}_{suffix}")).unwrap_or_else(|| {
+                panic!("results store record {} lacks field {name}_{suffix}", record.cell_id)
+            })
+        };
+        MetricSummary {
+            n: trials,
+            mean: get("mean"),
+            ci95_lo: get("ci95_lo"),
+            ci95_hi: get("ci95_hi"),
+        }
+    }
+}
+
 /// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
 ///
 /// Exact table through df = 30, then the standard coarse rows (40, 60,
@@ -129,6 +164,18 @@ pub fn t_critical_95(df: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metric_summary_fields_roundtrip_through_a_record() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 4.0] {
+            w.push(x);
+        }
+        let s = w.summary();
+        let record = crate::store::Record::new("cell", s.fields("good_rate").into_iter().collect());
+        let back = MetricSummary::from_record(&record, "good_rate", s.n);
+        assert_eq!(back, s);
+    }
 
     #[test]
     fn welford_matches_naive_mean_and_variance() {

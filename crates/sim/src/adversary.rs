@@ -81,6 +81,64 @@ pub trait Adversary {
     fn periodic_retention(&mut self, view: &DefenseView, cost_per_id: Cost, budget: Cost) -> u64;
 }
 
+/// Boxed strategies forward every callback, so registry-constructed
+/// adversaries (see [`build_strategy`]) plug into the generic engine.
+/// Sweeps that care about the last percent of wakeup dispatch cost should
+/// keep using concrete types; the experiment drivers, whose cells are
+/// dominated by the simulation itself, take the one virtual call.
+impl Adversary for Box<dyn Adversary> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        (**self).next_wakeup(now)
+    }
+
+    fn needs_quote(&self) -> bool {
+        (**self).needs_quote()
+    }
+
+    fn act(&mut self, view: &DefenseView, budget: Cost) -> AdversaryAction {
+        (**self).act(view, budget)
+    }
+
+    fn purge_retention(&mut self, view: &DefenseView, cap: u64, budget: Cost) -> u64 {
+        (**self).purge_retention(view, cap, budget)
+    }
+
+    fn periodic_retention(&mut self, view: &DefenseView, cost_per_id: Cost, budget: Cost) -> u64 {
+        (**self).periodic_retention(view, cost_per_id, budget)
+    }
+}
+
+/// Precomputes the wakeup step `clamp(1/rate, min_step, max_step)` shared
+/// by the rate-funded strategies, `∞` for an idle (rate-0) adversary.
+///
+/// The step is consulted once per adversary wakeup — the hottest event
+/// class in attack sweeps — so strategies cache this value at construction
+/// and [`next_wakeup_at`] reads it without recomputing the clamp. The
+/// bounds: a floor so event counts stay bounded, a ceiling so quotes are
+/// re-checked as defense windows decay.
+fn wakeup_step(rate: f64, min_step: f64, max_step: f64) -> f64 {
+    assert!(min_step > 0.0 && max_step >= min_step);
+    if rate == 0.0 {
+        f64::INFINITY
+    } else {
+        min_step.max(1.0 / rate).min(max_step)
+    }
+}
+
+/// The next wakeup for a cached [`wakeup_step`]: `None` when idle (the
+/// infinite step is the single source of truth for "never wakes").
+fn next_wakeup_at(step: f64, now: Time) -> Option<Time> {
+    if step.is_infinite() {
+        None
+    } else {
+        Some(now + step)
+    }
+}
+
 /// No adversary: the baseline "no attack" configuration (`T = 0`).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullAdversary;
@@ -119,12 +177,7 @@ impl Adversary for NullAdversary {
 pub struct BudgetJoiner {
     /// Budget accrual rate `T` (used to compute the next affordable instant).
     rate: f64,
-    /// Smallest wakeup step, to bound event counts.
-    min_step: f64,
-    /// Largest wakeup step, so quotes are re-checked as windows decay.
-    max_step: f64,
-    /// Precomputed `clamp(1/rate, min_step, max_step)` — the wakeup step
-    /// is consulted once per adversary event, the hottest event class.
+    /// Cached [`wakeup_step`] (`∞` when idle).
     step: f64,
 }
 
@@ -132,26 +185,13 @@ impl BudgetJoiner {
     /// Creates a joiner for spend rate `rate` (may be 0, which idles).
     pub fn new(rate: f64) -> Self {
         assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative");
-        let mut j = BudgetJoiner { rate, min_step: 0.01, max_step: 0.5, step: 0.0 };
-        j.recompute_step();
-        j
+        BudgetJoiner { rate, step: wakeup_step(rate, 0.01, 0.5) }
     }
 
     /// Overrides the wakeup step bounds (testing/precision control).
     pub fn with_steps(mut self, min_step: f64, max_step: f64) -> Self {
-        assert!(min_step > 0.0 && max_step >= min_step);
-        self.min_step = min_step;
-        self.max_step = max_step;
-        self.recompute_step();
+        self.step = wakeup_step(self.rate, min_step, max_step);
         self
-    }
-
-    fn recompute_step(&mut self) {
-        self.step = if self.rate == 0.0 {
-            f64::INFINITY
-        } else {
-            self.min_step.max(1.0 / self.rate).min(self.max_step)
-        };
     }
 }
 
@@ -165,11 +205,7 @@ impl Adversary for BudgetJoiner {
     }
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {
-        if self.rate == 0.0 {
-            None
-        } else {
-            Some(now + self.step)
-        }
+        next_wakeup_at(self.step, now)
     }
 
     fn act(&mut self, _view: &DefenseView, budget: Cost) -> AdversaryAction {
@@ -215,11 +251,14 @@ impl FractionKeeper {
     }
 
     fn target_bad(&self, n_members: u64, n_bad: u64) -> u64 {
-        // Solve b / (g + b) = f for the current good population g.
-        let good = n_members - n_bad;
         if self.target_fraction <= 0.0 {
             return 0;
         }
+        // Solve b / (g + b) = f for the current good population g. Around
+        // purges the view can be assembled mid-update and transiently
+        // report more Sybil IDs than total members; treat that as zero
+        // good IDs rather than underflowing.
+        let good = n_members.saturating_sub(n_bad);
         ((self.target_fraction / (1.0 - self.target_fraction)) * good as f64).round() as u64
     }
 }
@@ -360,14 +399,22 @@ impl Adversary for ChurnForcer {
 #[derive(Clone, Copy, Debug)]
 pub struct PurgeSurvivor {
     rate: f64,
-    min_step: f64,
+    /// Cached [`wakeup_step`], shared with [`BudgetJoiner`] (the old form
+    /// recomputed `min_step.max(1/rate).min(0.5)` on every wakeup).
+    step: f64,
 }
 
 impl PurgeSurvivor {
     /// Creates a purge-surviving adversary funded at `rate`.
     pub fn new(rate: f64) -> Self {
         assert!(rate >= 0.0 && rate.is_finite());
-        PurgeSurvivor { rate, min_step: 0.01 }
+        PurgeSurvivor { rate, step: wakeup_step(rate, 0.01, 0.5) }
+    }
+
+    /// Overrides the wakeup step bounds (testing/precision control).
+    pub fn with_steps(mut self, min_step: f64, max_step: f64) -> Self {
+        self.step = wakeup_step(self.rate, min_step, max_step);
+        self
     }
 }
 
@@ -381,11 +428,7 @@ impl Adversary for PurgeSurvivor {
     }
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {
-        if self.rate == 0.0 {
-            None
-        } else {
-            Some(now + self.min_step.max(1.0 / self.rate).min(0.5))
-        }
+        next_wakeup_at(self.step, now)
     }
 
     fn act(&mut self, _view: &DefenseView, budget: Cost) -> AdversaryAction {
@@ -405,6 +448,149 @@ impl Adversary for PurgeSurvivor {
             ((budget.value() / cost_per_id.value()) as u64).min(view.n_bad)
         }
     }
+}
+
+/// Registry name for [`NullAdversary`].
+pub const STRATEGY_NONE: &str = "none";
+/// Registry name for [`BudgetJoiner`].
+pub const STRATEGY_BUDGET: &str = "budget";
+/// Registry name for [`BurstJoiner`].
+pub const STRATEGY_BURST: &str = "burst";
+/// Registry name for [`ChurnForcer`].
+pub const STRATEGY_CHURN_FORCE: &str = "churn-force";
+/// Registry name for [`PurgeSurvivor`].
+pub const STRATEGY_PURGE_SURVIVE: &str = "purge-survive";
+/// Registry name for [`FractionKeeper`].
+pub const STRATEGY_FRACTION_KEEP: &str = "fraction-keep";
+
+/// Every name [`build_strategy`] accepts, in canonical roster order.
+///
+/// These are the labels experiment specs put on a `strategy` axis
+/// (`axis strategy = str:budget,burst,churn-force,purge-survive`); the
+/// experiment driver resolves each label back through the registry.
+pub const STRATEGY_NAMES: [&str; 6] = [
+    STRATEGY_NONE,
+    STRATEGY_BUDGET,
+    STRATEGY_BURST,
+    STRATEGY_CHURN_FORCE,
+    STRATEGY_PURGE_SURVIVE,
+    STRATEGY_FRACTION_KEEP,
+];
+
+/// Parameters a registry-constructed strategy may consume.
+///
+/// One flat parameter struct instead of per-strategy types: an experiment
+/// grid sweeps *names* along an axis and holds the parameters fixed per
+/// cell, so every constructor must accept the same input. A strategy reads
+/// the fields it cares about and ignores the rest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrategyParams {
+    /// Budget accrual rate `T` (every funded strategy).
+    pub rate: f64,
+    /// Seconds between bursts (`burst` only).
+    pub burst_period: f64,
+    /// Persistent Sybil fraction to hold (`fraction-keep` only).
+    pub target_fraction: f64,
+    /// Seed reserved for stochastic strategies. None of the current
+    /// strategies draw randomness, but the registry contract carries it so
+    /// a future randomized strategy stays a pure function of
+    /// `(name, params)` — drivers derive it per cell and trial.
+    pub seed: u64,
+}
+
+impl StrategyParams {
+    /// Params for spend rate `rate` with the canonical defaults the
+    /// invariant experiments use: 60 s burst period (the E6 saver cadence),
+    /// no persistent fraction, seed 0.
+    pub fn rate(rate: f64) -> StrategyParams {
+        StrategyParams { rate, burst_period: 60.0, target_fraction: 0.0, seed: 0 }
+    }
+
+    /// Sets the burst period.
+    pub fn with_burst_period(mut self, period: f64) -> StrategyParams {
+        self.burst_period = period;
+        self
+    }
+
+    /// Sets the persistent target fraction.
+    pub fn with_target_fraction(mut self, fraction: f64) -> StrategyParams {
+        self.target_fraction = fraction;
+        self
+    }
+
+    /// Sets the strategy seed.
+    pub fn with_seed(mut self, seed: u64) -> StrategyParams {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Constructs the strategy registered under `name`, boxed for the generic
+/// engine (which accepts `Box<dyn Adversary>` directly).
+///
+/// This is the resolution step behind a spec's `strategy` axis: the axis
+/// carries registry names as plain labels, and the experiment driver calls
+/// this per cell with the cell's parameters. Unknown names report the full
+/// roster so a typo in a spec fails loudly and actionably.
+///
+/// # Errors
+///
+/// Returns an error for a name outside [`STRATEGY_NAMES`], or parameters
+/// the strategy's constructor rejects (negative rate, fraction outside
+/// `[0, 1)`, non-positive burst period).
+pub fn build_strategy(name: &str, params: &StrategyParams) -> Result<Box<dyn Adversary>, String> {
+    let check = |ok: bool, why: &str| -> Result<(), String> {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("strategy {name:?}: {why} (params: {params:?})"))
+        }
+    };
+    check(params.rate >= 0.0 && params.rate.is_finite(), "rate must be finite and non-negative")?;
+    Ok(match name {
+        STRATEGY_NONE => Box::new(NullAdversary),
+        STRATEGY_BUDGET => Box::new(BudgetJoiner::new(params.rate)),
+        STRATEGY_BURST => {
+            check(
+                params.burst_period > 0.0 && params.burst_period.is_finite(),
+                "burst period must be positive and finite",
+            )?;
+            Box::new(BurstJoiner::new(params.rate, params.burst_period))
+        }
+        STRATEGY_CHURN_FORCE => Box::new(ChurnForcer::new(params.rate)),
+        STRATEGY_PURGE_SURVIVE => Box::new(PurgeSurvivor::new(params.rate)),
+        STRATEGY_FRACTION_KEEP => {
+            check(
+                (0.0..1.0).contains(&params.target_fraction),
+                "target fraction must be in [0, 1)",
+            )?;
+            Box::new(FractionKeeper::new(params.target_fraction, params.rate))
+        }
+        other => {
+            return Err(format!(
+                "unknown adversary strategy {other:?} (registered: {})",
+                STRATEGY_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+/// Canonical fingerprint of a `(name, params)` pair, for folding into an
+/// experiment store's configuration context.
+///
+/// Injective: registry names contain no `(`, and the parameter suffix has
+/// a fixed shape with floats rendered as bit patterns, so two distinct
+/// `(name, params)` pairs can never fingerprint identically — a store
+/// keyed on this can never silently resume cells produced under different
+/// adversary parameters.
+pub fn strategy_fingerprint(name: &str, params: &StrategyParams) -> String {
+    format!(
+        "{name}(rate=0x{:016x}, burst_period=0x{:016x}, target_fraction=0x{:016x}, seed={})",
+        params.rate.to_bits(),
+        params.burst_period.to_bits(),
+        params.target_fraction.to_bits(),
+        params.seed,
+    )
 }
 
 #[cfg(test)]
@@ -468,5 +654,108 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn fraction_keeper_rejects_bad_fraction() {
         let _ = FractionKeeper::new(1.0, 0.0);
+    }
+
+    /// Regression: `n_members - n_bad` underflowed (debug-build panic,
+    /// release-build garbage target) when a mid-purge view transiently
+    /// reported more Sybil IDs than members, and was computed even on the
+    /// `target_fraction <= 0` early-return path.
+    #[test]
+    fn fraction_keeper_survives_bad_exceeding_members() {
+        let a = FractionKeeper::new(0.2, 0.0);
+        // More bad than members: zero good IDs, so the target is zero.
+        assert_eq!(a.target_bad(5, 9), 0);
+        let mut a = FractionKeeper::new(0.2, 0.0);
+        let act = a.act(&view(5, 9), Cost::ZERO);
+        assert_eq!(act.departs, 9, "all Sybil IDs are over target");
+        assert_eq!(a.purge_retention(&view(5, 9), 3, Cost::ZERO), 0);
+        // The zero-fraction early return must not touch the subtraction.
+        let zero = FractionKeeper::new(0.0, 0.0);
+        assert_eq!(zero.target_bad(5, 9), 0);
+    }
+
+    #[test]
+    fn purge_survivor_step_is_cached_and_matches_budget_joiner() {
+        // The cached step must equal the formula the old per-wakeup
+        // recomputation used: clamp(1/rate, 0.01, 0.5).
+        for rate in [0.5f64, 10.0, 1_000.0, 1e6] {
+            let expected = (1.0 / rate).clamp(0.01, 0.5);
+            let now = Time(3.0);
+            let s = PurgeSurvivor::new(rate).next_wakeup(now).unwrap();
+            assert_eq!(s.0.to_bits(), (now.0 + expected).to_bits(), "rate {rate}");
+            let b = BudgetJoiner::new(rate).next_wakeup(now).unwrap();
+            assert_eq!(s.0.to_bits(), b.0.to_bits(), "rate {rate}: shared step diverged");
+        }
+        assert_eq!(PurgeSurvivor::new(0.0).next_wakeup(Time(0.0)), None);
+        // with_steps overrides both bounds, as on BudgetJoiner.
+        let wide = PurgeSurvivor::new(1.0).with_steps(2.0, 8.0);
+        assert_eq!(wide.next_wakeup(Time(0.0)), Some(Time(2.0)));
+    }
+
+    #[test]
+    fn registry_roundtrip_constructs_every_strategy() {
+        let params = StrategyParams::rate(100.0).with_target_fraction(0.1);
+        for name in STRATEGY_NAMES {
+            let adv = build_strategy(name, &params)
+                .unwrap_or_else(|e| panic!("registered strategy {name:?} failed to build: {e}"));
+            assert!(!adv.name().is_empty());
+            // The boxed forwarding impl must reach the concrete strategy.
+            let mut adv = adv;
+            let _ = adv.act(&view(100, 5), Cost(10.0));
+            let _ = adv.next_wakeup(Time(1.0));
+            let _ = adv.needs_quote();
+            let _ = adv.purge_retention(&view(100, 5), 3, Cost(10.0));
+            let _ = adv.periodic_retention(&view(100, 5), Cost(1.0), Cost(10.0));
+        }
+        let unknown = build_strategy("no-such-strategy", &params).err().unwrap();
+        assert!(unknown.contains("purge-survive"), "{unknown}");
+        // Parameter domain errors are reported per strategy.
+        assert!(build_strategy(STRATEGY_BUDGET, &StrategyParams::rate(-1.0)).is_err());
+        assert!(build_strategy(STRATEGY_BURST, &StrategyParams::rate(1.0).with_burst_period(0.0))
+            .is_err());
+        assert!(build_strategy(
+            STRATEGY_FRACTION_KEEP,
+            &StrategyParams::rate(1.0).with_target_fraction(1.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_fingerprints_are_injective() {
+        let mut seen = std::collections::BTreeMap::new();
+        let params = [
+            StrategyParams::rate(0.0),
+            StrategyParams::rate(100.0),
+            StrategyParams::rate(100.0).with_burst_period(30.0),
+            StrategyParams::rate(100.0).with_target_fraction(0.25),
+            StrategyParams::rate(100.0).with_seed(7),
+            // -0.0 vs 0.0 rate: bit patterns differ, fingerprints must too.
+            StrategyParams::rate(-0.0),
+        ];
+        for name in STRATEGY_NAMES {
+            for p in &params {
+                let fp = strategy_fingerprint(name, p);
+                if let Some(prev) = seen.insert(fp.clone(), (name, *p)) {
+                    panic!("{prev:?} and {:?} share fingerprint {fp}", (name, p));
+                }
+            }
+        }
+        assert_eq!(seen.len(), STRATEGY_NAMES.len() * params.len());
+    }
+
+    #[test]
+    fn boxed_adversary_forwards_like_the_concrete_type() {
+        let rate = 500.0;
+        let mut concrete = BudgetJoiner::new(rate);
+        let mut boxed: Box<dyn Adversary> = Box::new(BudgetJoiner::new(rate));
+        assert_eq!(boxed.name(), concrete.name());
+        assert_eq!(boxed.needs_quote(), concrete.needs_quote());
+        assert_eq!(boxed.next_wakeup(Time(2.0)), concrete.next_wakeup(Time(2.0)));
+        let v = view(50, 10);
+        assert_eq!(boxed.act(&v, Cost(9.0)), concrete.act(&v, Cost(9.0)));
+        assert_eq!(
+            boxed.periodic_retention(&v, Cost(1.0), Cost(4.0)),
+            concrete.periodic_retention(&v, Cost(1.0), Cost(4.0))
+        );
     }
 }
