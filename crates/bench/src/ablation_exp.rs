@@ -199,12 +199,14 @@ pub fn run() -> Vec<AblationRow> {
         .iter()
         .zip(&outcome.records)
         .map(|((knob, value, _, _), r)| {
-            let n = r.get("trials").unwrap_or(f64::NAN) as u64;
+            // Quarantined cell → None → all-NaN summaries → blank cells.
+            let r = r.as_ref();
+            let n = r.and_then(|r| r.get("trials")).unwrap_or(f64::NAN) as u64;
             let metric = |name: &str| MetricSummary {
                 n,
-                mean: r.get(&format!("{name}_mean")).unwrap_or(f64::NAN),
-                ci95_lo: r.get(&format!("{name}_ci95_lo")).unwrap_or(f64::NAN),
-                ci95_hi: r.get(&format!("{name}_ci95_hi")).unwrap_or(f64::NAN),
+                mean: r.and_then(|r| r.get(&format!("{name}_mean"))).unwrap_or(f64::NAN),
+                ci95_lo: r.and_then(|r| r.get(&format!("{name}_ci95_lo"))).unwrap_or(f64::NAN),
+                ci95_hi: r.and_then(|r| r.get(&format!("{name}_ci95_hi"))).unwrap_or(f64::NAN),
             };
             AblationRow {
                 knob: knob.clone(),

@@ -5,18 +5,26 @@
 //!
 //! Re-running is incremental: completed cells are served from
 //! `results/figure8_millions.store`. Set `SYBIL_BENCH_FAST=1` to drop to
-//! 2 trials for smoke runs.
+//! 2 trials for smoke runs. Exits nonzero if any cell was quarantined
+//! (its rows render blank); a plain re-run re-attempts exactly the holes.
 
 use sybil_bench::figure8;
 
 fn main() {
     println!("=== Figure 8 at 10^6 IDs: A vs T, disk-streamed multi-trial grid ===");
     let start = std::time::Instant::now();
-    let rows = figure8::run_millions();
+    let (rows, summary) = figure8::run_millions();
     let table = figure8::to_table(&rows);
     println!("{}", table.render());
     if let Some(path) = table.write_csv("figure8_millions") {
         println!("csv: {}", path.display());
     }
     println!("elapsed: {:.1?}", start.elapsed());
+    if summary.has_holes() {
+        eprintln!(
+            "{} cell(s) quarantined — their rows are blank; re-run to fill the holes",
+            summary.quarantined.len()
+        );
+        std::process::exit(1);
+    }
 }

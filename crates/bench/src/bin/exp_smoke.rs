@@ -154,7 +154,11 @@ fn four_axis_smoke() {
     assert_eq!(warm.summary.cells_executed, 0, "warm run must skip all completed cells");
     assert_eq!(warm.summary.cells_skipped, grid_size);
     assert!(warm.summary.resumed);
+    assert!(!cold.summary.has_holes(), "smoke run must not quarantine any cell");
+    assert!(!warm.summary.has_holes(), "warm smoke run must not quarantine any cell");
     for (a, b) in cold.records.iter().zip(&warm.records) {
+        let a = a.as_ref().expect("no holes in smoke");
+        let b = b.as_ref().expect("no holes in smoke");
         assert_eq!(a.cell_id, b.cell_id);
         for ((an, av), (bn, bv)) in a.fields.iter().zip(&b.fields) {
             assert_eq!(an, bn, "{}: field order changed", a.cell_id);

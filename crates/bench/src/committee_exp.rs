@@ -280,20 +280,30 @@ pub fn run_committee_grid(
         .iter()
         .zip(&outcome.records)
         .map(|(cell, record)| {
-            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            // Quarantined cell → None → all-NaN summaries → blank cells.
+            let record = record.as_ref();
+            let trials = record.and_then(|r| r.get("trials")).unwrap_or(f64::NAN) as u64;
             CommitteeOutcome {
                 network: cell.str_value(AXIS_NETWORK).to_string(),
                 strategy: cell.str_value(AXIS_STRATEGY).to_string(),
                 t: cell.f64_value(AXIS_T),
                 trials,
-                elections: MetricSummary::from_record(record, "elections", trials),
-                mean_size: MetricSummary::from_record(record, "mean_size", trials),
-                min_good_fraction: record.get("min_good_fraction").unwrap_or(f64::NAN),
+                elections: MetricSummary::from_record_opt(record, "elections", trials),
+                mean_size: MetricSummary::from_record_opt(record, "mean_size", trials),
+                min_good_fraction: record
+                    .and_then(|r| r.get("min_good_fraction"))
+                    .unwrap_or(f64::NAN),
                 bound: COMMITTEE_BOUND,
-                messages: MetricSummary::from_record(record, "messages", trials),
-                good_rate: MetricSummary::from_record(record, "good_rate", trials),
-                centralized_rate: MetricSummary::from_record(record, "centralized_rate", trials),
-                max_bad_fraction: record.get("max_bad_fraction").unwrap_or(f64::NAN),
+                messages: MetricSummary::from_record_opt(record, "messages", trials),
+                good_rate: MetricSummary::from_record_opt(record, "good_rate", trials),
+                centralized_rate: MetricSummary::from_record_opt(
+                    record,
+                    "centralized_rate",
+                    trials,
+                ),
+                max_bad_fraction: record
+                    .and_then(|r| r.get("max_bad_fraction"))
+                    .unwrap_or(f64::NAN),
             }
         })
         .collect();

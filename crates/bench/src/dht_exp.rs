@@ -224,14 +224,16 @@ pub fn run_end_to_end_grid() -> (Vec<EndToEndSummary>, RunSummary) {
         .iter()
         .zip(&outcome.records)
         .map(|(cell, record)| {
-            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            // Quarantined cell → None → all-NaN summaries → blank cells.
+            let record = record.as_ref();
+            let trials = record.and_then(|r| r.get("trials")).unwrap_or(f64::NAN) as u64;
             EndToEndSummary {
                 strategy: cell.str_value(AXIS_STRATEGY).to_string(),
                 t: cell.f64_value(AXIS_T),
                 trials,
-                ring_size: MetricSummary::from_record(record, "ring_size", trials),
-                bad_fraction: MetricSummary::from_record(record, "bad_fraction", trials),
-                success_rate: MetricSummary::from_record(record, "success_rate", trials),
+                ring_size: MetricSummary::from_record_opt(record, "ring_size", trials),
+                bad_fraction: MetricSummary::from_record_opt(record, "bad_fraction", trials),
+                success_rate: MetricSummary::from_record_opt(record, "success_rate", trials),
             }
         })
         .collect();

@@ -59,8 +59,11 @@ pub fn run() -> Vec<SpendSummary> {
 /// The horizon is 500 s (as in the `macro_millions` perf scenario): at
 /// this scale each trial replays ~170 k events, so the full grid is
 /// minutes, not hours, and still exercises every million-ID code path.
-pub fn run_millions() -> Vec<SpendSummary> {
-    let (rows, _) = run_spend_grid(
+///
+/// Returns the run summary too, so the `exp_millions` bin can exit
+/// nonzero when cells were quarantined.
+pub fn run_millions() -> (Vec<SpendSummary>, sybil_exp::RunSummary) {
+    run_spend_grid(
         "figure8_millions",
         &[networks::millions(1_000_000)],
         &[Algo::Ergo, Algo::CCom, Algo::SybilControl],
@@ -68,8 +71,7 @@ pub fn run_millions() -> Vec<SpendSummary> {
         trials(),
         500.0,
         1,
-    );
-    rows
+    )
 }
 
 /// Formats the cells as the per-network series the paper plots, with the

@@ -244,8 +244,9 @@ pub fn run() -> Vec<EstimateQuality> {
     for net in &nets {
         for (label, _) in fractions() {
             for t in [0.0, 10_000.0] {
-                let r = records.next().expect("record per cell");
-                let get = |name: &str| r.get(name).unwrap_or(f64::NAN);
+                // Quarantined cell → None → NaN → blank cells downstream.
+                let r = records.next().expect("record slot per cell").as_ref();
+                let get = |name: &str| r.and_then(|r| r.get(name)).unwrap_or(f64::NAN);
                 rows.push(EstimateQuality {
                     network: net.name.to_string(),
                     fraction: label.clone(),

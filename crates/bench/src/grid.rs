@@ -186,7 +186,10 @@ pub fn run_spend_grid(
         .iter()
         .zip(&outcome.records)
         .map(|(cell, record)| {
-            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
+            // A quarantined cell is `None`: its summaries go NaN, which
+            // the table/CSV renderers show as blank cells.
+            let record = record.as_ref();
+            let trials = record.and_then(|r| r.get("trials")).unwrap_or(f64::NAN) as u64;
             let network = cell.str_value(AXIS_NETWORK);
             let algo_label = cell.str_value(AXIS_ALGO);
             let t = cell.f64_value(AXIS_T);
@@ -195,10 +198,14 @@ pub fn run_spend_grid(
                 network: network.to_string(),
                 algo: algo_label.to_string(),
                 t,
-                good_rate: MetricSummary::from_record(record, "good_rate", trials),
-                adv_rate: MetricSummary::from_record(record, "adv_rate", trials),
-                max_bad_fraction: MetricSummary::from_record(record, "max_bad_fraction", trials),
-                purges: MetricSummary::from_record(record, "purges", trials),
+                good_rate: MetricSummary::from_record_opt(record, "good_rate", trials),
+                adv_rate: MetricSummary::from_record_opt(record, "adv_rate", trials),
+                max_bad_fraction: MetricSummary::from_record_opt(
+                    record,
+                    "max_bad_fraction",
+                    trials,
+                ),
+                purges: MetricSummary::from_record_opt(record, "purges", trials),
                 guarantee: algo.guarantee_covers(t, net_by_name[network].initial_size),
             }
         })

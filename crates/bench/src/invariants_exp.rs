@@ -87,7 +87,9 @@ pub struct InvariantOutcome {
     pub worst_bad_fraction: f64,
     /// The Lemma 9 bound `3κ` (= 1/6 at the paper's κ = 1/18).
     pub bound: f64,
-    /// Whether every trial held the invariant throughout.
+    /// Whether every trial held the invariant throughout. Also `false`
+    /// when the cell was quarantined and has no data — check
+    /// `worst_bad_fraction.is_nan()` to tell "no data" from "violated".
     pub held: bool,
     /// Good spend rate over trials.
     pub good_rate: MetricSummary,
@@ -115,6 +117,33 @@ pub fn run_invariant_grid(
     trials: u32,
     horizon: f64,
     base_seed: u64,
+) -> (Vec<InvariantOutcome>, RunSummary) {
+    run_invariant_grid_opts(
+        name,
+        nets,
+        strategies,
+        t_values,
+        trials,
+        horizon,
+        base_seed,
+        &sybil_exp::GridOptions::default(),
+    )
+}
+
+/// [`run_invariant_grid`] with explicit [`sybil_exp::GridOptions`] — the
+/// `invariants_millions` bin passes [`sybil_exp::Durability::Sync`] so
+/// acknowledged cells of a multi-hour run survive machine crashes, not
+/// just process kills.
+#[allow(clippy::too_many_arguments)] // mirrors run_invariant_grid plus opts
+pub fn run_invariant_grid_opts(
+    name: &str,
+    nets: &[ChurnModel],
+    strategies: &[&str],
+    t_values: &[f64],
+    trials: u32,
+    horizon: f64,
+    base_seed: u64,
+    opts: &sybil_exp::GridOptions,
 ) -> (Vec<InvariantOutcome>, RunSummary) {
     let spec = ExperimentSpec {
         name: name.into(),
@@ -152,12 +181,13 @@ pub fn run_invariant_grid(
 
     let cache_ref = &cache;
     let spec_ref = &spec;
-    let outcome = sybil_exp::run_spec_grid(
+    let outcome = sybil_exp::run_spec_grid_opts(
         &spec,
         &context,
         &results_dir(),
         Some(cache_ref),
         default_workers(),
+        opts,
         |cell: &CellSpec| {
             let net = net_by_name[cell.str_value(AXIS_NETWORK)];
             let strategy = cell.str_value(AXIS_STRATEGY);
@@ -198,18 +228,26 @@ pub fn run_invariant_grid(
         .iter()
         .zip(&outcome.records)
         .map(|(cell, record)| {
-            let trials = record.get("trials").unwrap_or(f64::NAN) as u64;
-            let worst = record.get("worst_bad_fraction").unwrap_or(f64::NAN);
+            // Quarantined cell → None → NaN: `held` goes false (NaN is
+            // never `< bound`) and the table renders "no-data", not a
+            // fabricated verdict either way.
+            let record = record.as_ref();
+            let trials = record.and_then(|r| r.get("trials")).unwrap_or(f64::NAN) as u64;
+            let worst = record.and_then(|r| r.get("worst_bad_fraction")).unwrap_or(f64::NAN);
             InvariantOutcome {
                 network: cell.str_value(AXIS_NETWORK).to_string(),
                 strategy: cell.str_value(AXIS_STRATEGY).to_string(),
                 t: cell.f64_value(AXIS_T),
                 trials,
-                max_bad_fraction: MetricSummary::from_record(record, "max_bad_fraction", trials),
+                max_bad_fraction: MetricSummary::from_record_opt(
+                    record,
+                    "max_bad_fraction",
+                    trials,
+                ),
                 worst_bad_fraction: worst,
                 bound,
                 held: worst < bound,
-                good_rate: MetricSummary::from_record(record, "good_rate", trials),
+                good_rate: MetricSummary::from_record_opt(record, "good_rate", trials),
             }
         })
         .collect();
@@ -237,8 +275,12 @@ pub fn run_invariants() -> Vec<InvariantOutcome> {
 /// bin): every attack strategy against the million-ID churn model,
 /// disk-streamed through the workload cache at the `macro_millions`
 /// horizon — Lemma 9 at the scale the ROADMAP's north star names.
-pub fn run_invariants_millions() -> Vec<InvariantOutcome> {
-    let (rows, _) = run_invariant_grid(
+///
+/// Runs with [`sybil_exp::Durability::Sync`]: every acknowledged cell is
+/// fsynced, so a machine crash mid-run costs only in-flight cells. Returns
+/// the summary too, so the bin can exit nonzero on quarantined holes.
+pub fn run_invariants_millions() -> (Vec<InvariantOutcome>, RunSummary) {
+    run_invariant_grid_opts(
         "invariants_millions",
         &[networks::millions(1_000_000)],
         &strategy_roster(),
@@ -246,8 +288,11 @@ pub fn run_invariants_millions() -> Vec<InvariantOutcome> {
         default_trials(),
         500.0,
         23,
-    );
-    rows
+        &sybil_exp::GridOptions {
+            durability: sybil_exp::Durability::Sync,
+            ..sybil_exp::GridOptions::default()
+        },
+    )
 }
 
 /// Log-log slope fit of `A(T)` for an algorithm over the attack regime,
@@ -359,12 +404,15 @@ pub fn run_scaling() -> Vec<ScalingFit> {
                         cell.str_value(AXIS_NETWORK) == net.name
                             && cell.str_value(AXIS_ALGO) == label
                     })
-                    .map(|(cell, record)| {
+                    .filter_map(|(cell, record)| {
+                        // Quarantined cells drop out of the fit; the
+                        // remaining T points still constrain the slope.
+                        let record = record.as_ref()?;
                         let rate =
                             record.get(&format!("good_rate_trial{trial}")).unwrap_or_else(|| {
                                 panic!("record {} lacks trial {trial} column", record.cell_id)
                             });
-                        (cell.f64_value(AXIS_T).ln(), rate.max(1e-12).ln())
+                        Some((cell.f64_value(AXIS_T).ln(), rate.max(1e-12).ln()))
                     })
                     .collect();
                 slopes.push(slope(&pts));
@@ -417,7 +465,13 @@ pub fn invariants_table(outcomes: &[InvariantOutcome]) -> Table {
             fmt_num(o.max_bad_fraction.ci95_hi),
             fmt_num(o.worst_bad_fraction),
             fmt_num(o.bound),
-            if o.held { "yes".into() } else { "VIOLATED".to_string() },
+            if o.worst_bad_fraction.is_nan() {
+                "no-data".to_string() // quarantined cell: no verdict
+            } else if o.held {
+                "yes".to_string()
+            } else {
+                "VIOLATED".to_string()
+            },
             fmt_num(o.good_rate.mean),
         ]);
     }

@@ -84,8 +84,9 @@ pub fn run() -> Vec<LowerBoundOutcome> {
     let mut records = outcome.records.iter();
     for f in cost_functions() {
         for &t in &t_values {
-            let r = records.next().expect("record per cell");
-            let get = |name: &str| r.get(name).unwrap_or(f64::NAN);
+            // Quarantined cell → None → NaN → blank cells downstream.
+            let r = records.next().expect("record slot per cell").as_ref();
+            let get = |name: &str| r.and_then(|r| r.get(name)).unwrap_or(f64::NAN);
             rows.push(LowerBoundOutcome {
                 label: f.label(),
                 t,

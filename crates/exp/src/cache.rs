@@ -28,6 +28,7 @@
 //! exempt, and entries whose mtime cannot be read are never preferred
 //! victims).
 
+use crate::fault::{self, Site};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -52,15 +53,30 @@ pub struct CacheStats {
     pub rejected: u64,
     /// Files evicted by the size budget.
     pub evictions: u64,
+    /// Stale `.tmp_*` files removed by the open-time sweep. Unlike the
+    /// other counters this is absolute per cache open, not per call.
+    pub temps_swept: u64,
+    /// Stale temp files the open-time sweep could not inspect or remove —
+    /// each one is a multi-megabyte leak outside the byte budget, so a
+    /// nonzero count here deserves a look at the cache directory.
+    pub temp_sweep_failures: u64,
 }
 
 impl CacheStats {
-    /// Renders as a compact `hits/misses/rejected/evictions` summary.
+    /// Renders as a compact `hits/misses/rejected/evictions` summary, with
+    /// temp-sweep activity appended only when there was any.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "cache: {} hits, {} misses, {} rejected, {} evicted",
             self.hits, self.misses, self.rejected, self.evictions
-        )
+        );
+        if self.temps_swept > 0 {
+            out.push_str(&format!(", {} stale temps swept", self.temps_swept));
+        }
+        if self.temp_sweep_failures > 0 {
+            out.push_str(&format!(", {} temp sweeps FAILED", self.temp_sweep_failures));
+        }
+        out
     }
 }
 
@@ -88,8 +104,9 @@ impl WorkloadCache {
     pub fn with_budget<P: AsRef<Path>>(dir: P, budget_bytes: u64) -> io::Result<WorkloadCache> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        sweep_stale_temps(&dir);
-        Ok(WorkloadCache { dir, budget_bytes, stats: Mutex::new(CacheStats::default()) })
+        let (temps_swept, temp_sweep_failures) = sweep_stale_temps(&dir);
+        let stats = CacheStats { temps_swept, temp_sweep_failures, ..CacheStats::default() };
+        Ok(WorkloadCache { dir, budget_bytes, stats: Mutex::new(stats) })
     }
 
     /// The cache directory.
@@ -155,7 +172,9 @@ impl WorkloadCache {
             // Generate OUTSIDE the lock; write to a unique temp name, then
             // rename into place. Racing generators produce byte-identical
             // deterministic files, so whichever rename lands last is
-            // correct.
+            // correct. A failed write or rename (real or injected) removes
+            // the temp and retries the whole attempt — regeneration is the
+            // fallback, never a propagated panic.
             let workload = model.generate(horizon, seed);
             let tmp = self.dir.join(format!(
                 ".tmp_{}_{}_{}",
@@ -163,8 +182,13 @@ impl WorkloadCache {
                 unique_suffix(),
                 path.file_name().and_then(|n| n.to_str()).unwrap_or("wk")
             ));
-            write_workload_file(&tmp, &workload)?;
-            fs::rename(&tmp, &path)?;
+            let key = Self::key(model, horizon, seed);
+            if let Err(e) = write_entry(&tmp, &path, &workload, &key) {
+                fs::remove_file(&tmp).ok();
+                last_err = Some(e);
+                drop(workload);
+                continue;
+            }
             drop(workload);
             self.stats.lock().expect("cache stats poisoned").misses += 1;
             self.enforce_budget(&path)?;
@@ -235,31 +259,74 @@ fn unique_suffix() -> u64 {
     COUNTER.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Removes `.tmp_*` files left behind by interrupted runs.
+/// Writes `workload` to `tmp` and renames it into place at `path`, routed
+/// through the fault seam: under `fault-inject` an active plan can fail the
+/// write outright ([`Site::CacheWrite`]), truncate it to a short write
+/// (leaving a torn temp, as `ENOSPC` mid-write would), or fail the rename
+/// ([`Site::CacheRename`]). Without the feature the seam calls compile to
+/// no-ops and this is exactly write-then-rename.
+fn write_entry(
+    tmp: &Path,
+    path: &Path,
+    workload: &sybil_sim::workload::Workload,
+    key: &str,
+) -> io::Result<()> {
+    fault::check_io(Site::CacheWrite, key)?;
+    write_workload_file(tmp, workload)?;
+    let full = fs::metadata(tmp)?.len();
+    if let Some(n) = fault::short_write_len(Site::CacheWrite, key, full as usize) {
+        // Simulate a torn write by cutting the finished file: the bytes
+        // past `n` never reached the disk.
+        fs::OpenOptions::new().write(true).open(tmp)?.set_len(n as u64)?;
+        return Err(io::Error::other(format!(
+            "injected fault: short cache write for {key} ({n}/{full} bytes)"
+        )));
+    }
+    fault::check_io(Site::CacheRename, key)?;
+    fs::rename(tmp, path)
+}
+
+/// Removes `.tmp_*` files left behind by interrupted runs, returning
+/// `(swept, failures)`.
 ///
 /// The eviction pass only sees `wk_*.wkld` names, so a run killed between
 /// write and rename would otherwise leak multi-megabyte temp files outside
 /// the byte budget forever. Only files older than an hour are swept: a
 /// live writer (this process or another) finishes its write-then-rename in
-/// seconds, so age is a safe liveness proxy. Best-effort — races with a
-/// concurrent remover are fine.
-fn sweep_stale_temps(dir: &Path) {
+/// seconds, so age is a safe liveness proxy. Best-effort, but no longer
+/// silent: a temp whose age cannot be read or whose removal fails counts
+/// as a failure so leaked files show up in [`CacheStats`] instead of
+/// accumulating invisibly. (An unlisted directory counts as one failure —
+/// nothing in it could be inspected.)
+fn sweep_stale_temps(dir: &Path) -> (u64, u64) {
     const STALE_SECS: u64 = 3600;
-    let Ok(entries) = fs::read_dir(dir) else { return };
+    let (mut swept, mut failures) = (0u64, 0u64);
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return (0, 1),
+    };
     for entry in entries.flatten() {
         if !entry.file_name().to_string_lossy().starts_with(".tmp_") {
             continue;
         }
-        let stale = entry
-            .metadata()
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|mtime| mtime.elapsed().ok())
-            .is_some_and(|age| age.as_secs() > STALE_SECS);
-        if stale {
-            fs::remove_file(entry.path()).ok();
+        match entry.metadata().and_then(|m| m.modified()) {
+            Ok(mtime) => {
+                let stale = mtime.elapsed().is_ok_and(|age| age.as_secs() > STALE_SECS);
+                if !stale {
+                    continue; // live writer (or clock skew): leave it alone
+                }
+                match fs::remove_file(entry.path()) {
+                    Ok(()) => swept += 1,
+                    // Losing the remove race to a peer sweep is success,
+                    // not a leak.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => swept += 1,
+                    Err(_) => failures += 1,
+                }
+            }
+            Err(_) => failures += 1,
         }
     }
+    (swept, failures)
 }
 
 #[cfg(test)]
@@ -411,6 +478,27 @@ mod tests {
             }
         });
         assert!(cache.stats().evictions > 0, "budget 1 must evict");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Sweeping is no longer silent: removed stale temps are counted into
+    /// the open-time stats, and fresh temps (a live writer's) are spared.
+    #[test]
+    fn stale_temp_sweep_is_counted_not_silent() {
+        let dir = temp_dir("sweep");
+        let stale = dir.join(".tmp_stale_leftover");
+        let fresh = dir.join(".tmp_fresh_writer");
+        fs::write(&stale, b"torn").unwrap();
+        fs::write(&fresh, b"torn").unwrap();
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(2 * 3600);
+        fs::File::options().write(true).open(&stale).unwrap().set_modified(old).unwrap();
+
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.temps_swept, 1, "exactly the stale temp is swept");
+        assert_eq!(stats.temp_sweep_failures, 0);
+        assert!(!stale.exists() && fresh.exists());
+        assert!(stats.render().contains("1 stale temps swept"), "{}", stats.render());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,444 @@
+//! Deterministic fault injection for the orchestration stack.
+//!
+//! The paper's claim is that the defense keeps working while the
+//! adversary induces churn and failure; this module lets the *experiment
+//! pipeline* be tested under the same duress. A [`FaultPlan`] is a seeded
+//! description of how often to inject worker panics, IO errors, short
+//! (torn) writes, and per-job delays. The store, cache, and grid runner
+//! route their fallible operations through the seam functions here
+//! ([`check_io`], [`short_write_len`], [`maybe_panic`], [`maybe_delay`]),
+//! so a single installed plan perturbs the whole stack.
+//!
+//! # Zero cost when disabled
+//!
+//! Everything here is gated on the `fault-inject` cargo feature. Without
+//! it, every seam function is an `#[inline(always)]` no-op returning
+//! "no fault" — the hot path carries no branches, no locks, and no plan
+//! state. Release builds of the drivers never enable the feature.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of `(plan seed, site, key, attempt)`
+//! where `attempt` is a per-`(site, key)` counter. Keys are stable
+//! identities (cell ids, cache file names), never thread ids or wall
+//! clock, so a plan injects the *same* faults into the same logical
+//! operations regardless of worker count or scheduling — chaos runs are
+//! reproducible bit-for-bit. The attempt counter makes retries of the
+//! same operation draw fresh decisions (otherwise a deterministic
+//! function of the key alone would fail the same cell forever), and
+//! [`FaultPlan::fault_cap`] bounds the total faults per `(site, key)` so
+//! convergence tests terminate by construction.
+//!
+//! # Enabling
+//!
+//! Tests install a plan with [`with_plan`] (which also serializes chaos
+//! tests against each other — the plan is process-global). Binaries built
+//! with the feature can set the `SYBIL_FAULT_PLAN` environment variable,
+//! e.g. `SYBIL_FAULT_PLAN=seed=3,panic=0.1,io=0.05,short=0.05,delay=0.2:10,cap=2`;
+//! the grid runner calls [`init_from_env`] once per run.
+
+/// Where in the stack a fault is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// A grid-cell job, before its closure runs (panic / delay faults).
+    Job,
+    /// A results-store append ([`crate::store::ResultsStore::append`]).
+    StoreAppend,
+    /// A workload-cache entry write (the temp-file serialization).
+    CacheWrite,
+    /// The workload cache's temp→entry rename.
+    CacheRename,
+}
+
+impl Site {
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    fn tag(self) -> u64 {
+        match self {
+            Site::Job => 0x4a4f42,
+            Site::StoreAppend => 0x53544f52,
+            Site::CacheWrite => 0x43575254,
+            Site::CacheRename => 0x43524e4d,
+        }
+    }
+}
+
+/// A seeded description of which faults to inject and how often.
+///
+/// All probabilities are in `[0, 1]`; a plan with every probability zero
+/// injects nothing. Construct with [`FaultPlan::new`] and the builder
+/// methods, or [`FaultPlan::chaos`] for the canonical mixed plan the
+/// chaos suite replays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; every decision hashes it with site, key, and attempt.
+    pub seed: u64,
+    /// Probability a [`Site::Job`] panics before its closure runs.
+    pub panic_prob: f64,
+    /// Probability an IO operation fails outright.
+    pub io_error_prob: f64,
+    /// Probability a write is torn: a strict prefix is written, then the
+    /// operation fails.
+    pub short_write_prob: f64,
+    /// Probability a [`Site::Job`] sleeps before running.
+    pub delay_prob: f64,
+    /// Upper bound (ms) on an injected delay.
+    pub max_delay_ms: u64,
+    /// Maximum faults injected per `(site, key)` before that operation is
+    /// left alone — the convergence bound for chaos tests. `u32::MAX`
+    /// means unbounded.
+    pub fault_cap: u32,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until builder methods enable faults.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_prob: 0.0,
+            io_error_prob: 0.0,
+            short_write_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_ms: 0,
+            fault_cap: u32::MAX,
+        }
+    }
+
+    /// The canonical mixed plan the chaos suite replays per seed: every
+    /// fault class enabled at moderate rates, capped so any single
+    /// operation is eventually left alone.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_panics(0.3)
+            .with_io_errors(0.2)
+            .with_short_writes(0.2)
+            .with_delays(0.2, 2)
+            .with_cap(3)
+    }
+
+    /// Sets the job-panic probability.
+    pub fn with_panics(mut self, p: f64) -> FaultPlan {
+        self.panic_prob = check_prob(p);
+        self
+    }
+
+    /// Sets the IO-error probability.
+    pub fn with_io_errors(mut self, p: f64) -> FaultPlan {
+        self.io_error_prob = check_prob(p);
+        self
+    }
+
+    /// Sets the short-write probability.
+    pub fn with_short_writes(mut self, p: f64) -> FaultPlan {
+        self.short_write_prob = check_prob(p);
+        self
+    }
+
+    /// Sets the job-delay probability and maximum delay.
+    pub fn with_delays(mut self, p: f64, max_delay_ms: u64) -> FaultPlan {
+        self.delay_prob = check_prob(p);
+        self.max_delay_ms = max_delay_ms;
+        self
+    }
+
+    /// Bounds injected faults per `(site, key)`.
+    pub fn with_cap(mut self, cap: u32) -> FaultPlan {
+        self.fault_cap = cap;
+        self
+    }
+}
+
+fn check_prob(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "fault probability {p} outside [0, 1]");
+    p
+}
+
+/// SplitMix64 finalizer — the same mix the seed derivations use. Also
+/// used by the grid runner's deterministic retry jitter.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string, for hashing keys into the decision stream.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+impl FaultPlan {
+    /// The decision stream for `(site, key, attempt, salt)`: a uniform
+    /// u64, pure in its inputs. `salt` separates independent draws for
+    /// the same operation (fire/don't-fire vs magnitude).
+    fn roll(&self, site: Site, key: &str, attempt: u32, salt: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(mix(site.tag()))
+            .wrapping_add(mix(fnv1a(key.as_bytes())))
+            .wrapping_add(mix(attempt as u64))
+            .wrapping_add(mix(salt)))
+    }
+
+    fn decide(&self, prob: f64, site: Site, key: &str, attempt: u32, salt: u64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        // 53 high bits → uniform in [0, 1).
+        let u = (self.roll(site, key, attempt, salt) >> 11) as f64 / (1u64 << 53) as f64;
+        u < prob
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod active {
+    use super::{FaultPlan, Site};
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// The installed plan plus its per-`(site, key)` attempt and injected
+    /// counters. Attempt counters are keyed — not global — so the
+    /// decision sequence for one logical operation is independent of how
+    /// operations interleave across threads.
+    struct ActivePlan {
+        plan: FaultPlan,
+        attempts: HashMap<(Site, String), u32>,
+        injected: HashMap<(Site, String), u32>,
+    }
+
+    fn state() -> MutexGuard<'static, Option<ActivePlan>> {
+        static STATE: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+        STATE.get_or_init(|| Mutex::new(None)).lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Serializes [`super::with_plan`] callers: the plan is process-global,
+    /// so two concurrent chaos tests would otherwise see each other's
+    /// faults.
+    fn serial_lock() -> MutexGuard<'static, ()> {
+        static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+        SERIAL.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Uninstalls the plan when a `with_plan` scope ends, even by panic.
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            *state() = None;
+        }
+    }
+
+    /// Installs `plan` for the duration of `f`, then uninstalls it (even
+    /// if `f` panics). Callers are serialized process-wide: the plan is
+    /// global state, so concurrent chaos tests must not overlap.
+    pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+        let _serial = serial_lock();
+        *state() = Some(ActivePlan { plan, attempts: HashMap::new(), injected: HashMap::new() });
+        let _uninstall = Uninstall;
+        f()
+    }
+
+    /// Installs a plan from `SYBIL_FAULT_PLAN` (see [`super::parse_plan`])
+    /// if the variable is set and no plan is already installed. A plan
+    /// installed by [`with_plan`] always wins.
+    pub fn init_from_env() {
+        let Ok(text) = std::env::var("SYBIL_FAULT_PLAN") else { return };
+        let mut guard = state();
+        if guard.is_some() {
+            return; // an explicitly installed plan wins
+        }
+        let plan =
+            super::parse_plan(&text).unwrap_or_else(|e| panic!("SYBIL_FAULT_PLAN {text:?}: {e}"));
+        *guard = Some(ActivePlan { plan, attempts: HashMap::new(), injected: HashMap::new() });
+    }
+
+    /// One decision against the active plan: bumps the attempt counter,
+    /// enforces the fault cap, and returns the roll salt-stream if the
+    /// fault fires.
+    fn fire(
+        site: Site,
+        key: &str,
+        prob_of: impl Fn(&FaultPlan) -> f64,
+    ) -> Option<(FaultPlan, u32)> {
+        let mut guard = state();
+        let active = guard.as_mut()?;
+        let slot = (site, key.to_string());
+        let attempt = {
+            let a = active.attempts.entry(slot.clone()).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let injected = active.injected.get(&slot).copied().unwrap_or(0);
+        if injected >= active.plan.fault_cap {
+            return None;
+        }
+        if active.plan.decide(prob_of(&active.plan), site, key, attempt, 0) {
+            *active.injected.entry(slot).or_insert(0) += 1;
+            Some((active.plan, attempt))
+        } else {
+            None
+        }
+    }
+
+    /// The [`Site::Job`] panic seam: panics if the active plan says this
+    /// `(key, attempt)` should.
+    pub fn maybe_panic(key: &str) {
+        if let Some((_, attempt)) = fire(Site::Job, key, |p| p.panic_prob) {
+            panic!("injected fault: worker panic for {key} (attempt {attempt})");
+        }
+    }
+
+    /// The [`Site::Job`] delay seam: sleeps up to the plan's
+    /// `max_delay_ms` if the decision stream says so.
+    pub fn maybe_delay(key: &str) {
+        if let Some((plan, attempt)) = fire(Site::Job, key, |p| p.delay_prob) {
+            if plan.max_delay_ms > 0 {
+                let ms = plan.roll(Site::Job, key, attempt, 1) % (plan.max_delay_ms + 1);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+
+    /// The IO-error seam: returns an injected [`io::Error`] if the plan
+    /// fails this `(site, key, attempt)`.
+    pub fn check_io(site: Site, key: &str) -> io::Result<()> {
+        if let Some((_, attempt)) = fire(site, key, |p| p.io_error_prob) {
+            return Err(io::Error::other(format!(
+                "injected fault: {site:?} IO error for {key} (attempt {attempt})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The short-write seam: `Some(n)` means only the first `n < full`
+    /// bytes of this write should land before it fails.
+    pub fn short_write_len(site: Site, key: &str, full: usize) -> Option<usize> {
+        if full == 0 {
+            return None;
+        }
+        let (plan, attempt) = fire(site, key, |p| p.short_write_prob)?;
+        // A strict prefix: at least 0, at most full - 1 bytes land.
+        Some((plan.roll(site, key, attempt, 2) % full as u64) as usize)
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use active::{check_io, init_from_env, maybe_delay, maybe_panic, short_write_len, with_plan};
+
+/// Parses a `SYBIL_FAULT_PLAN` comma-list, e.g.
+/// `seed=3,panic=0.1,io=0.05,short=0.05,delay=0.2:10,cap=2`.
+/// Unknown keys are errors — a typo must not silently run fault-free.
+pub fn parse_plan(text: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new(0);
+    for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+        let fval = || value.parse::<f64>().map_err(|e| format!("{key}: {e}"));
+        match key {
+            "seed" => plan.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+            "panic" => plan = plan.with_panics(fval()?),
+            "io" => plan = plan.with_io_errors(fval()?),
+            "short" => plan = plan.with_short_writes(fval()?),
+            "delay" => {
+                let (p, ms) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("delay wants prob:max_ms, got {value:?}"))?;
+                plan = plan.with_delays(
+                    p.parse().map_err(|e| format!("delay prob: {e}"))?,
+                    ms.parse().map_err(|e| format!("delay max_ms: {e}"))?,
+                );
+            }
+            "cap" => plan = plan.with_cap(value.parse().map_err(|e| format!("cap: {e}"))?),
+            other => return Err(format!("unknown fault-plan key {other:?}")),
+        }
+    }
+    Ok(plan)
+}
+
+// ---- Disabled: every seam compiles to a no-op. -------------------------
+
+/// No-op without the `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn maybe_panic(_key: &str) {}
+
+/// No-op without the `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn maybe_delay(_key: &str) {}
+
+/// No-op without the `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn check_io(_site: Site, _key: &str) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// No-op without the `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn short_write_len(_site: Site, _key: &str, _full: usize) -> Option<usize> {
+    None
+}
+
+/// No-op without the `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn init_from_env() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parse_roundtrips_every_key() {
+        let plan = parse_plan("seed=7,panic=0.25,io=0.5,short=0.125,delay=0.1:12,cap=3").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_prob, 0.25);
+        assert_eq!(plan.io_error_prob, 0.5);
+        assert_eq!(plan.short_write_prob, 0.125);
+        assert_eq!(plan.delay_prob, 0.1);
+        assert_eq!(plan.max_delay_ms, 12);
+        assert_eq!(plan.fault_cap, 3);
+        assert_eq!(parse_plan("").unwrap(), FaultPlan::new(0));
+        assert!(parse_plan("typo=1").unwrap_err().contains("unknown"));
+        assert!(parse_plan("panic").unwrap_err().contains("key=value"));
+        assert!(parse_plan("delay=0.5").unwrap_err().contains("prob:max_ms"));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_their_inputs() {
+        let plan = FaultPlan::new(42).with_io_errors(0.5);
+        for attempt in 0..8 {
+            let a = plan.decide(0.5, Site::StoreAppend, "cell-a", attempt, 0);
+            let b = plan.decide(0.5, Site::StoreAppend, "cell-a", attempt, 0);
+            assert_eq!(a, b, "same inputs must decide identically");
+        }
+        // Distinct keys / attempts / sites draw independent streams: over
+        // many draws at p = 0.5 both outcomes must occur.
+        let fired = (0..64)
+            .filter(|&i| plan.decide(0.5, Site::StoreAppend, &format!("cell-{i}"), 1, 0))
+            .count();
+        assert!(fired > 8 && fired < 56, "p=0.5 fired {fired}/64");
+    }
+
+    #[test]
+    fn zero_and_one_probabilities_are_exact() {
+        let plan = FaultPlan::new(9);
+        for i in 0..32 {
+            assert!(!plan.decide(0.0, Site::Job, &format!("k{i}"), i, 0));
+            assert!(plan.decide(1.0, Site::Job, &format!("k{i}"), i, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_probability_is_rejected() {
+        let _ = FaultPlan::new(1).with_panics(1.5);
+    }
+}

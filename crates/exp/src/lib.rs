@@ -24,23 +24,32 @@
 //!   flushed line per finished cell, so interrupted grids resume by
 //!   skipping completed cells;
 //! * [`pool`] — the chunked work-stealing pool (moved from the bench
-//!   crate), now instrumented with per-worker job/chunk/busy counters
-//!   ([`PoolStats`](pool::PoolStats));
+//!   crate), instrumented with per-worker job/chunk/busy counters
+//!   ([`PoolStats`](pool::PoolStats)) and panic-isolated: each job runs
+//!   under `catch_unwind`, so one poisoned cell never aborts its
+//!   siblings ([`run_parallel_catch`](pool::run_parallel_catch));
+//! * [`fault`] — deterministic, seeded fault injection
+//!   ([`FaultPlan`](fault::FaultPlan)) behind the `fault-inject` cargo
+//!   feature: worker panics, IO errors, torn writes, and delays, pure in
+//!   `(seed, site, key, attempt)` so chaos runs reproduce bit-for-bit;
 //! * [`runner`] — [`run_grid`](runner::run_grid) /
 //!   [`run_cell_grid`](runner::run_cell_grid) /
 //!   [`run_spec_grid`](runner::run_spec_grid) tying the pieces together
 //!   with a [`RunSummary`](runner::RunSummary), rejecting duplicate cell
-//!   ids up front.
+//!   ids up front, retrying failed cells with bounded backoff, and
+//!   quarantining cells that exhaust their retries as explicit holes
+//!   (see the [`runner`] module docs for the failure semantics).
 //!
 //! The bench crate's figure drivers (`figure8`, `figure9`, `figure10`,
 //! `lower_bound_exp`, `ablation_exp`) are thin maps from paper rosters to
-//! this machinery. See `crates/exp/README.md` for the file formats and
-//! resume semantics.
+//! this machinery. See `crates/exp/README.md` for the file formats,
+//! resume semantics, and failure semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod pool;
 pub mod runner;
 pub mod spec;
@@ -48,8 +57,12 @@ pub mod stats;
 pub mod store;
 
 pub use cache::{CacheStats, WorkloadCache};
-pub use pool::{run_parallel, run_parallel_stats, PoolStats};
-pub use runner::{run_cell_grid, run_grid, run_spec_grid, GridOutcome, RunSummary};
+pub use fault::FaultPlan;
+pub use pool::{run_parallel, run_parallel_catch, run_parallel_stats, JobOutcome, PoolStats};
+pub use runner::{
+    run_cell_grid, run_cell_grid_opts, run_grid, run_grid_opts, run_spec_grid, run_spec_grid_opts,
+    CellFailure, GridOptions, GridOutcome, RetryPolicy, RunSummary,
+};
 pub use spec::{defense_seed, trial_seed, Axis, AxisValue, CellSpec, ExperimentSpec};
 pub use stats::{MetricSummary, Welford};
-pub use store::{Record, ResultsStore};
+pub use store::{Durability, Record, ResultsStore};

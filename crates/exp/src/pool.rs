@@ -4,7 +4,9 @@
 //! runner and the figure drivers share one scheduler; `sweep` re-exports
 //! these names, so existing callers are unaffected.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::PoisonError;
 use std::time::Instant;
 
 /// Per-worker scheduling counters from one pool run.
@@ -16,6 +18,8 @@ pub struct WorkerStats {
     /// many more chunks than `jobs / chunk size` would imply under static
     /// partitioning has been stealing slack from slower siblings.
     pub chunks: u64,
+    /// Jobs whose closure panicked (caught; the worker kept running).
+    pub panics: u64,
     /// Wall seconds this worker spent inside job closures.
     pub busy_secs: f64,
 }
@@ -66,11 +70,40 @@ impl PoolStats {
         }
     }
 
+    /// Total jobs whose closure panicked (caught, not fatal).
+    pub fn total_panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.panics).sum()
+    }
+
+    /// Merges another run's counters into this one: per-worker counters
+    /// add elementwise (extra workers append), wall time accumulates.
+    /// Used by the grid runner to fold retry rounds into one report; the
+    /// chunk size stays the first (bulk) round's.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        for (i, w) in other.workers.iter().enumerate() {
+            if i < self.workers.len() {
+                let mine = &mut self.workers[i];
+                mine.jobs += w.jobs;
+                mine.chunks += w.chunks;
+                mine.panics += w.panics;
+                mine.busy_secs += w.busy_secs;
+            } else {
+                self.workers.push(*w);
+            }
+        }
+        self.wall_secs += other.wall_secs;
+        if self.chunk_size == 0 {
+            self.chunk_size = other.chunk_size;
+        }
+    }
+
     /// One-line human summary for experiment run reports.
     pub fn render(&self) -> String {
         let jobs: Vec<u64> = self.workers.iter().map(|w| w.jobs).collect();
+        let panics = self.total_panics();
+        let panic_note = if panics > 0 { format!(", {panics} panicked") } else { String::new() };
         format!(
-            "pool: {} jobs on {} workers in {:.2}s (chunk {}, idle {:.1}%, imbalance {:.2}, per-worker jobs {:?})",
+            "pool: {} jobs on {} workers in {:.2}s (chunk {}, idle {:.1}%, imbalance {:.2}{panic_note}, per-worker jobs {:?})",
             self.total_jobs(),
             self.workers.len(),
             self.wall_secs,
@@ -79,6 +112,38 @@ impl PoolStats {
             self.job_imbalance(),
             jobs,
         )
+    }
+}
+
+/// What happened to one job under [`run_parallel_catch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The closure returned normally.
+    Done(T),
+    /// The closure panicked; the payload's message (panics are caught per
+    /// job, so one poisoned cell can never abort its siblings).
+    Panicked(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// The value, if the job completed.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            JobOutcome::Done(v) => Some(v),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `&str` / `String` forms `panic!`
+/// produces; anything else is labelled opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -107,7 +172,51 @@ where
 /// theirs from `trial_seed`) and never on which worker runs it, so the
 /// returned vector is identical regardless of `workers` or scheduling —
 /// only [`PoolStats`] varies between runs.
+///
+/// # Panics
+///
+/// Panics *after every job has been given its chance to run* if any job
+/// panicked — one panic per run on the calling thread, never a cascade of
+/// poisoned-mutex aborts across workers. Callers that need per-job panic
+/// outcomes use [`run_parallel_catch`].
 pub fn run_parallel_stats<T, F>(jobs: Vec<F>, workers: usize) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let (outcomes, stats) = run_parallel_catch(jobs, workers);
+    let mut first_panic: Option<String> = None;
+    let mut panics = 0usize;
+    let results: Vec<T> = outcomes
+        .into_iter()
+        .filter_map(|o| match o {
+            JobOutcome::Done(v) => Some(v),
+            JobOutcome::Panicked(msg) => {
+                panics += 1;
+                first_panic.get_or_insert(msg);
+                None
+            }
+        })
+        .collect();
+    if let Some(msg) = first_panic {
+        panic!("{panics} pool job(s) panicked; first: {msg}");
+    }
+    (results, stats)
+}
+
+/// One worker's buffered output: `(job index, outcome)` pairs plus stats.
+type WorkerBuffer<T> = (Vec<(usize, JobOutcome<T>)>, WorkerStats);
+
+/// Runs `jobs` on `workers` threads, catching per-job panics.
+///
+/// Same scheduling contract as [`run_parallel_stats`], but each job runs
+/// under [`catch_unwind`]: a panicking closure yields
+/// [`JobOutcome::Panicked`] with its message while every other job — on
+/// the same worker or its siblings — runs to completion. Job-slot claims
+/// ignore mutex poisoning (a slot's guard is never held across user code,
+/// so poison there can only mean a *sibling* worker's panic mid-claim,
+/// which must not cascade).
+pub fn run_parallel_catch<T, F>(jobs: Vec<F>, workers: usize) -> (Vec<JobOutcome<T>>, PoolStats)
 where
     T: Send,
     F: FnOnce() -> T + Send,
@@ -125,12 +234,12 @@ where
         jobs.into_iter().map(|f| std::sync::Mutex::new(Some(f))).collect();
     let cursor = AtomicUsize::new(0);
     let started = Instant::now();
-    let mut buffers: Vec<(Vec<(usize, T)>, WorkerStats)> = Vec::new();
+    let mut buffers: Vec<WorkerBuffer<T>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut local: Vec<(usize, JobOutcome<T>)> = Vec::new();
                     let mut stats = WorkerStats::default();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -142,11 +251,18 @@ where
                         for (slot, idx) in jobs[start..end].iter().zip(start..end) {
                             let f = slot
                                 .lock()
-                                .expect("job slot poisoned")
+                                .unwrap_or_else(PoisonError::into_inner)
                                 .take()
                                 .expect("job claimed twice");
                             let job_started = Instant::now();
-                            local.push((idx, f()));
+                            let outcome = match catch_unwind(AssertUnwindSafe(f)) {
+                                Ok(value) => JobOutcome::Done(value),
+                                Err(payload) => {
+                                    stats.panics += 1;
+                                    JobOutcome::Panicked(panic_message(payload))
+                                }
+                            };
+                            local.push((idx, outcome));
                             stats.busy_secs += job_started.elapsed().as_secs_f64();
                             stats.jobs += 1;
                         }
@@ -155,10 +271,12 @@ where
                 })
             })
             .collect();
-        buffers = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        // Workers catch job panics, so a join can only fail if the worker
+        // thread itself died (e.g. an abort) — genuinely unrecoverable.
+        buffers = handles.into_iter().map(|h| h.join().expect("worker thread died")).collect();
     });
     let wall_secs = started.elapsed().as_secs_f64();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
     let mut worker_stats = Vec::with_capacity(buffers.len());
     for (buffer, stats) in buffers {
         worker_stats.push(stats);
@@ -167,7 +285,7 @@ where
         }
     }
     let stats = PoolStats { workers: worker_stats, wall_secs, chunk_size: chunk };
-    (results.into_iter().map(|r| r.expect("job completed")).collect(), stats)
+    (results.into_iter().map(|r| r.expect("job resolved")).collect(), stats)
 }
 
 #[cfg(test)]
@@ -216,6 +334,90 @@ mod tests {
         // Render mentions the headline numbers.
         let line = stats.render();
         assert!(line.contains("40 jobs") && line.contains("4 workers"), "{line}");
+    }
+
+    /// Regression for the pre-hardening cascade: a deliberately panicking
+    /// job used to poison shared state and convert every sibling worker's
+    /// slot claim into an `expect("job slot poisoned")` abort, and the
+    /// join into `expect("worker panicked")`. Now the panic is caught per
+    /// job: every other job completes and reports its value.
+    #[test]
+    fn panicking_job_does_not_cascade_to_siblings() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..24usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 7 {
+                        panic!("deliberate test panic in job {i}");
+                    }
+                    i * 10
+                }) as _
+            })
+            .collect();
+        let (outcomes, stats) = run_parallel_catch(jobs, 4);
+        assert_eq!(outcomes.len(), 24);
+        assert_eq!(stats.total_jobs(), 24, "every job must still be claimed and run");
+        assert_eq!(stats.total_panics(), 1);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                JobOutcome::Done(v) => {
+                    assert_ne!(i, 7);
+                    assert_eq!(v, i * 10);
+                }
+                JobOutcome::Panicked(msg) => {
+                    assert_eq!(i, 7);
+                    assert!(msg.contains("deliberate test panic in job 7"), "{msg}");
+                }
+            }
+        }
+        let line = stats.render();
+        assert!(line.contains("1 panicked"), "{line}");
+    }
+
+    /// The strict variant still fails loudly — but with one aggregate
+    /// panic on the caller after all jobs ran, never a worker-side abort.
+    #[test]
+    fn run_parallel_stats_reports_panics_once_after_draining() {
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let ran_ref = &ran;
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    ran_ref.fetch_add(1, Ordering::Relaxed);
+                    if i == 2 {
+                        panic!("boom");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| run_parallel_stats(jobs, 2)));
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("1 pool job(s) panicked") && msg.contains("boom"), "{msg}");
+        assert_eq!(ran.load(Ordering::Relaxed), 8, "siblings must drain before the panic");
+    }
+
+    #[test]
+    fn absorb_merges_worker_counters_elementwise() {
+        let mut a = PoolStats {
+            workers: vec![WorkerStats { jobs: 3, chunks: 1, panics: 0, busy_secs: 0.5 }],
+            wall_secs: 1.0,
+            chunk_size: 2,
+        };
+        let b = PoolStats {
+            workers: vec![
+                WorkerStats { jobs: 2, chunks: 2, panics: 1, busy_secs: 0.25 },
+                WorkerStats { jobs: 4, chunks: 1, panics: 0, busy_secs: 0.75 },
+            ],
+            wall_secs: 0.5,
+            chunk_size: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.total_jobs(), 9);
+        assert_eq!(a.total_panics(), 1);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.workers[0].jobs, 5);
+        assert_eq!(a.wall_secs, 1.5);
+        assert_eq!(a.chunk_size, 2, "first round's chunk size wins");
     }
 
     #[test]

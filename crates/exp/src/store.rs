@@ -18,16 +18,34 @@
 //! must reproduce *exactly* what the original run measured, so the store
 //! never round-trips floats through decimal.
 
+use crate::fault::{self, Site};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Format tag on the first line of a store file.
 pub const STORE_MAGIC: &str = "sybil-exp-results";
 /// Current (and only) store format version.
 pub const STORE_VERSION: u32 = 1;
+
+/// How hard an append pushes a record toward the platter.
+///
+/// [`Durability::Flush`] hands the line to the OS (one `write(2)` per
+/// append): a killed *process* loses at most in-flight cells, but a
+/// kernel panic or power cut can still lose recently appended ones.
+/// [`Durability::Sync`] adds `fdatasync(2)` per append, so a record the
+/// store acknowledged survives machine crashes too — the mode
+/// crash-safety-critical runs (e.g. `invariants_millions`) default to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Write-and-flush to the OS; no fsync. The default.
+    #[default]
+    Flush,
+    /// `fdatasync` after every append (and after the header on create).
+    Sync,
+}
 
 /// One finished cell: its id plus named metric values.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,6 +86,17 @@ impl Record {
     }
 }
 
+/// The file handle plus the length of the durable, well-formed prefix.
+/// Tracking `valid_len` lets a failed append *self-heal*: the file is
+/// truncated back to the last good record, so an injected (or real) torn
+/// write can never corrupt the line a later append starts.
+#[derive(Debug)]
+struct StoreWriter {
+    file: File,
+    valid_len: u64,
+    durability: Durability,
+}
+
 /// The append-only results store for one experiment.
 ///
 /// Appends are serialized through an internal lock, so worker threads can
@@ -75,13 +104,14 @@ impl Record {
 #[derive(Debug)]
 pub struct ResultsStore {
     path: PathBuf,
+    fingerprint: String,
     done: BTreeMap<String, Record>,
-    writer: Mutex<BufWriter<File>>,
+    writer: Mutex<StoreWriter>,
 }
 
 impl ResultsStore {
     /// Opens the store at `path` for the experiment identified by
-    /// `spec_fingerprint`.
+    /// `spec_fingerprint`, with the default [`Durability::Flush`].
     ///
     /// * No file: a fresh store is created with a header.
     /// * Existing file with a matching header: its records load as
@@ -97,6 +127,15 @@ impl ResultsStore {
         path: P,
         spec_fingerprint: &str,
     ) -> io::Result<(ResultsStore, bool)> {
+        Self::open_with(path, spec_fingerprint, Durability::Flush)
+    }
+
+    /// [`open`](Self::open) with an explicit [`Durability`] mode.
+    pub fn open_with<P: AsRef<Path>>(
+        path: P,
+        spec_fingerprint: &str,
+        durability: Durability,
+    ) -> io::Result<(ResultsStore, bool)> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -110,8 +149,12 @@ impl ResultsStore {
                         // drop it so the next append starts a clean line.
                         file.set_len(valid_len)?;
                     }
-                    let store =
-                        ResultsStore { path, done, writer: Mutex::new(BufWriter::new(file)) };
+                    let store = ResultsStore {
+                        path,
+                        fingerprint: spec_fingerprint.to_string(),
+                        done,
+                        writer: Mutex::new(StoreWriter { file, valid_len, durability }),
+                    };
                     return Ok((store, true));
                 }
                 Err(_) => {
@@ -130,13 +173,24 @@ impl ResultsStore {
                 }
             }
         }
-        let mut file = BufWriter::new(File::create(&path)?);
-        writeln!(file, "{STORE_MAGIC} v{STORE_VERSION}")?;
-        writeln!(file, "spec_fingerprint = {spec_fingerprint}")?;
-        file.flush()?;
-        let file = file.into_inner().map_err(|e| io::Error::other(e.to_string()))?;
+        let mut file = File::create(&path)?;
+        let header =
+            format!("{STORE_MAGIC} v{STORE_VERSION}\nspec_fingerprint = {spec_fingerprint}\n");
+        file.write_all(header.as_bytes())?;
+        if durability == Durability::Sync {
+            file.sync_data()?;
+        }
         Ok((
-            ResultsStore { path, done: BTreeMap::new(), writer: Mutex::new(BufWriter::new(file)) },
+            ResultsStore {
+                path,
+                fingerprint: spec_fingerprint.to_string(),
+                done: BTreeMap::new(),
+                writer: Mutex::new(StoreWriter {
+                    file,
+                    valid_len: header.len() as u64,
+                    durability,
+                }),
+            },
             false,
         ))
     }
@@ -241,19 +295,74 @@ impl ResultsStore {
 
     /// Appends a finished cell and flushes it to disk. Thread-safe.
     ///
+    /// The whole line goes down in one `write(2)` (plus `fdatasync` under
+    /// [`Durability::Sync`]). If the write fails partway — a real `ENOSPC`
+    /// or an injected short write — the file is truncated back to the last
+    /// good record before the error is returned, so a failed append can
+    /// never corrupt the line a retried append starts.
+    ///
     /// Appending does not update the in-memory `done` set — the set
     /// answers "was this done before *this* run", and cells are only run
     /// once per run.
     pub fn append(&self, record: &Record) -> io::Result<()> {
         record.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let line = Self::render_line(record);
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let result = Self::write_line(&mut writer, &record.cell_id, line.as_bytes());
+        if result.is_err() {
+            // Self-heal: drop any torn bytes so the next append starts a
+            // clean line. If even the truncation fails, the torn fragment
+            // stays on disk and reopen-time truncation handles it.
+            let valid_len = writer.valid_len;
+            let _ = writer.file.set_len(valid_len);
+            let _ = writer.file.seek(SeekFrom::Start(valid_len));
+        }
+        result
+    }
+
+    fn write_line(writer: &mut StoreWriter, cell_id: &str, line: &[u8]) -> io::Result<()> {
+        fault::check_io(Site::StoreAppend, cell_id)?;
+        if let Some(n) = fault::short_write_len(Site::StoreAppend, cell_id, line.len()) {
+            writer.file.write_all(&line[..n])?;
+            return Err(io::Error::other(format!(
+                "injected fault: short store append for {cell_id} ({n}/{} bytes)",
+                line.len()
+            )));
+        }
+        writer.file.write_all(line)?;
+        if writer.durability == Durability::Sync {
+            writer.file.sync_data()?;
+        }
+        writer.valid_len += line.len() as u64;
+        Ok(())
+    }
+
+    fn render_line(record: &Record) -> String {
         let fields: Vec<String> = record
             .fields
             .iter()
             .map(|(name, value)| format!("{name}=0x{:016x}", value.to_bits()))
             .collect();
-        let mut writer = self.writer.lock().expect("store writer poisoned");
-        writeln!(writer, "cell {} {}", record.cell_id, fields.join(","))?;
-        writer.flush()
+        format!("cell {} {}\n", record.cell_id, fields.join(","))
+    }
+
+    /// The order-insensitive canonical rendering of the store on disk:
+    /// header, fingerprint line, then one line per cell sorted by id.
+    ///
+    /// Parallel workers and retry rounds append records in nondeterministic
+    /// order, so two equivalent runs rarely produce byte-identical *files*.
+    /// They do produce identical canonical bytes, which is the identity the
+    /// chaos suite asserts for crash-equivalence (fault-injected run +
+    /// resume == fault-free run, bit for bit).
+    pub fn canonical_bytes(&self) -> io::Result<Vec<u8>> {
+        let (done, _) = Self::load(&self.path, &self.fingerprint)?;
+        let mut out =
+            format!("{STORE_MAGIC} v{STORE_VERSION}\nspec_fingerprint = {}\n", self.fingerprint)
+                .into_bytes();
+        for record in done.values() {
+            out.extend_from_slice(Self::render_line(record).as_bytes());
+        }
+        Ok(out)
     }
 }
 
@@ -351,6 +460,76 @@ mod tests {
         let (store, _) = ResultsStore::open(&path, "fp").unwrap();
         assert_eq!(store.len(), 3);
         assert_eq!(store.get("c").unwrap().get("mean"), Some(3.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A kill can also tear a write *mid-record*: the line made it partway
+    /// to disk, cut inside the field list rather than appended cleanly as
+    /// a short trailing fragment. The cut record is lost, everything before
+    /// it survives, and re-appending the cell works.
+    #[test]
+    fn torn_write_mid_record_keeps_prior_cells() {
+        let path = temp_store("torn_mid");
+        let (store, _) = ResultsStore::open(&path, "fp").unwrap();
+        store.append(&record("a", 1.0)).unwrap();
+        store.append(&record("b", 2.0)).unwrap();
+        drop(store);
+        // Cut the file in the middle of b's record (well past "cell b "
+        // but before its newline), as a crash mid-write(2) would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let b_start = text.find("cell b ").unwrap();
+        let cut = b_start + "cell b mean=0x40".len();
+        assert!(cut < text.len() - 1, "cut must land mid-record");
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut as u64).unwrap();
+        drop(file);
+
+        let (store, resumed) = ResultsStore::open(&path, "fp").unwrap();
+        assert!(resumed, "a mid-record tear must not discard the store");
+        assert_eq!(store.len(), 1);
+        assert!(store.is_done("a") && !store.is_done("b"));
+        store.append(&record("b", 2.0)).unwrap();
+        drop(store);
+        let (store, _) = ResultsStore::open(&path, "fp").unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("b").unwrap().get("mean"), Some(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Append order differs between runs (parallel workers, retries);
+    /// canonical bytes are the order-insensitive identity.
+    #[test]
+    fn canonical_bytes_ignore_append_order() {
+        let path_ab = temp_store("canon_ab");
+        let path_ba = temp_store("canon_ba");
+        let (ab, _) = ResultsStore::open(&path_ab, "fp").unwrap();
+        ab.append(&record("a", 1.0)).unwrap();
+        ab.append(&record("b", 2.0)).unwrap();
+        let (ba, _) = ResultsStore::open(&path_ba, "fp").unwrap();
+        ba.append(&record("b", 2.0)).unwrap();
+        ba.append(&record("a", 1.0)).unwrap();
+        assert_ne!(
+            std::fs::read(&path_ab).unwrap(),
+            std::fs::read(&path_ba).unwrap(),
+            "raw files should differ (order)"
+        );
+        assert_eq!(ab.canonical_bytes().unwrap(), ba.canonical_bytes().unwrap());
+        // Canonical bytes see records appended this run, not just loaded ones.
+        assert!(String::from_utf8(ab.canonical_bytes().unwrap()).unwrap().contains("cell a "));
+        std::fs::remove_file(&path_ab).ok();
+        std::fs::remove_file(&path_ba).ok();
+    }
+
+    #[test]
+    fn sync_durability_roundtrips() {
+        let path = temp_store("sync");
+        let (store, resumed) = ResultsStore::open_with(&path, "fp", Durability::Sync).unwrap();
+        assert!(!resumed);
+        store.append(&record("a", 1.0)).unwrap();
+        drop(store);
+        let (store, resumed) = ResultsStore::open_with(&path, "fp", Durability::Sync).unwrap();
+        assert!(resumed);
+        assert_eq!(store.get("a").unwrap().get("mean"), Some(1.0));
         std::fs::remove_file(&path).ok();
     }
 
