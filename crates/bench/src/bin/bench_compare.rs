@@ -7,6 +7,15 @@
 //! drifts (fingerprints are seed-pinned counters, so drift means the
 //! simulation's *behavior* changed, not just its speed).
 //!
+//! The `macro_scale_s<N>` family additionally gates **shard scaling**
+//! within the fresh report alone: every `_s<N≥4>` scenario must match its
+//! `_s1` sibling's fingerprint bit-for-bit (sharding may never change
+//! behavior), and on machines with at least 4 cores — the fresh report
+//! records its `available_parallelism` — it must also run at least
+//! [`MIN_SHARD_SPEEDUP`]× faster. On narrower machines the speedup gate is
+//! skipped (announced on stdout): extra shards on one core can only add
+//! coordination cost, and an honest number should show that.
+//!
 //! ```text
 //! Usage: bench_compare BASELINE.json FRESH.json [--tolerance 0.25]
 //! ```
@@ -63,6 +72,14 @@ struct Scenario {
     events_per_sec: f64,
     fingerprint: Fp,
 }
+
+/// Minimum `_s4`-over-`_s1` throughput ratio on machines wide enough to
+/// demonstrate shard scaling (the PR acceptance floor).
+const MIN_SHARD_SPEEDUP: f64 = 1.5;
+
+/// Cores below which the shard *speedup* gate is skipped (the fingerprint
+/// gate always applies).
+const MIN_SCALING_CORES: f64 = 4.0;
 
 /// Extracts the balanced `{...}` starting at `json[open..]` (which must
 /// point at a `{`).
@@ -229,6 +246,53 @@ fn compare(
     failures
 }
 
+/// Splits a scenario name following the `<base>_s<N>` shard-family
+/// convention into `(base, N)`; `None` for ordinary scenario names.
+fn shard_pair(name: &str) -> Option<(&str, u32)> {
+    let (base, suffix) = name.rsplit_once("_s")?;
+    suffix.parse().ok().map(|n| (base, n))
+}
+
+/// Gates shard scaling within one (fresh) report: fingerprint identity
+/// between every wide `_s<N≥4>` scenario and its `_s1` sibling, plus the
+/// [`MIN_SHARD_SPEEDUP`] throughput floor when the machine that produced
+/// the report has at least [`MIN_SCALING_CORES`] cores.
+fn shard_scaling_failures(fresh: &[Scenario], parallelism: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for wide in fresh {
+        let Some((base, shards)) = shard_pair(&wide.name) else { continue };
+        if shards < MIN_SCALING_CORES as u32 {
+            continue;
+        }
+        let Some(narrow) = fresh.iter().find(|s| shard_pair(&s.name) == Some((base, 1))) else {
+            failures.push(format!(
+                "scenario {:?} has no 1-shard sibling {base:?}_s1 to scale against",
+                wide.name
+            ));
+            continue;
+        };
+        if !narrow.fingerprint.matches(&wide.fingerprint) {
+            failures.push(format!(
+                "scenario {:?}: behavior fingerprint differs from its 1-shard sibling {:?} — \
+                 sharding changed the simulation\n  s1: {:?}\n  s{shards}: {:?}",
+                wide.name, narrow.name, narrow.fingerprint, wide.fingerprint
+            ));
+        }
+        if parallelism < MIN_SCALING_CORES {
+            continue; // Announced by the caller; not silently dropped.
+        }
+        let speedup = wide.events_per_sec / narrow.events_per_sec.max(1e-12);
+        if speedup < MIN_SHARD_SPEEDUP {
+            failures.push(format!(
+                "scenario {:?}: only {speedup:.2}× over {:?} on a {parallelism:.0}-core machine \
+                 (shard-scaling floor {MIN_SHARD_SPEEDUP}×)",
+                wide.name, narrow.name
+            ));
+        }
+    }
+    failures
+}
+
 fn usage() -> ! {
     eprintln!("Usage: bench_compare BASELINE.json FRESH.json [--tolerance 0.25]");
     std::process::exit(2);
@@ -250,15 +314,18 @@ fn main() -> ExitCode {
     if paths.len() != 2 || !(0.0..1.0).contains(&tolerance) {
         usage();
     }
-    let read = |path: &str| -> (Vec<Scenario>, Vec<(String, f64)>) {
+    let read = |path: &str| -> (Vec<Scenario>, Vec<(String, f64)>, f64) {
         let json =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let scenarios =
             parse_scenarios(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
-        (scenarios, parse_queue(&json))
+        // Reports predating the shard work lack the field; treat them as
+        // 1-core so the speedup gate stays off.
+        let parallelism = field_f64(&json, "available_parallelism").unwrap_or(1.0);
+        (scenarios, parse_queue(&json), parallelism)
     };
-    let (baseline, base_queue) = read(&paths[0]);
-    let (fresh, fresh_queue) = read(&paths[1]);
+    let (baseline, base_queue, _) = read(&paths[0]);
+    let (fresh, fresh_queue, fresh_cores) = read(&paths[1]);
     let ratio = speed_ratio(&base_queue, &fresh_queue);
     println!(
         "comparing {} baseline scenario(s) against {} (machine speed ratio {ratio:.2})",
@@ -281,7 +348,14 @@ fn main() -> ExitCode {
             println!("  {:<28} new scenario (no baseline), {:.0} ev/s", s.name, s.events_per_sec);
         }
     }
-    let failures = compare(&baseline, &fresh, tolerance, ratio);
+    let mut failures = compare(&baseline, &fresh, tolerance, ratio);
+    if fresh_cores < MIN_SCALING_CORES {
+        println!(
+            "shard speedup gate skipped: fresh report ran on {fresh_cores:.0} core(s), \
+             need {MIN_SCALING_CORES:.0} (fingerprint gate still applies)"
+        );
+    }
+    failures.extend(shard_scaling_failures(&fresh, fresh_cores));
     if failures.is_empty() {
         println!(
             "OK: no scenario regressed more than {:.0}% (machine-adjusted)",
@@ -358,6 +432,7 @@ mod tests {
                 events_per_sec: 2000.0,
                 peak_queue_len: 3,
                 resident_bytes: 64,
+                shards: 1,
                 fingerprint: Fingerprint {
                     good_joins_admitted: 1,
                     bad_joins_admitted: 2,
@@ -435,6 +510,72 @@ mod tests {
         let failures = compare(&baseline, &drifted, 0.25, 1.0);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("fingerprint"), "{}", failures[0]);
+    }
+
+    fn scale_scenario(name: &str, eps: f64, purges: f64) -> Scenario {
+        Scenario { name: name.into(), events_per_sec: eps, fingerprint: fp(purges) }
+    }
+
+    #[test]
+    fn shard_pair_follows_the_family_convention() {
+        assert_eq!(shard_pair("macro_scale_s1"), Some(("macro_scale", 1)));
+        assert_eq!(shard_pair("macro_scale_s16"), Some(("macro_scale", 16)));
+        assert_eq!(shard_pair("macro_sweep"), None);
+        assert_eq!(shard_pair("gnutella_sybilcontrol_t64"), None);
+    }
+
+    #[test]
+    fn shard_speedup_gate_enforced_on_wide_machines() {
+        let fresh = vec![
+            scale_scenario("macro_scale_s1", 1000.0, 7.0),
+            scale_scenario("macro_scale_s4", 1200.0, 7.0), // only 1.2×
+        ];
+        let failures = shard_scaling_failures(&fresh, 8.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("shard-scaling floor"), "{}", failures[0]);
+        // A 2× speedup passes.
+        let scaled = vec![
+            scale_scenario("macro_scale_s1", 1000.0, 7.0),
+            scale_scenario("macro_scale_s4", 2000.0, 7.0),
+        ];
+        assert!(shard_scaling_failures(&scaled, 8.0).is_empty());
+    }
+
+    #[test]
+    fn shard_speedup_gate_skipped_on_narrow_machines() {
+        // The same 1.2× family passes on one core: no speedup is expected
+        // there. Sub-s4 shard counts are never speed-gated.
+        let fresh = vec![
+            scale_scenario("macro_scale_s1", 1000.0, 7.0),
+            scale_scenario("macro_scale_s2", 900.0, 7.0),
+            scale_scenario("macro_scale_s4", 1200.0, 7.0),
+        ];
+        assert!(shard_scaling_failures(&fresh, 1.0).is_empty());
+    }
+
+    #[test]
+    fn shard_fingerprint_identity_gated_on_every_machine() {
+        let fresh = vec![
+            scale_scenario("macro_scale_s1", 1000.0, 7.0),
+            scale_scenario("macro_scale_s4", 5000.0, 8.0), // fast but wrong
+        ];
+        for cores in [1.0, 8.0] {
+            let failures = shard_scaling_failures(&fresh, cores);
+            assert_eq!(failures.len(), 1, "cores {cores}");
+            assert!(failures[0].contains("sharding changed"), "{}", failures[0]);
+        }
+        // A wide scenario without its s1 sibling is itself a failure.
+        let orphan = vec![scale_scenario("macro_scale_s4", 5000.0, 7.0)];
+        assert!(shard_scaling_failures(&orphan, 1.0)[0].contains("no 1-shard sibling"));
+    }
+
+    #[test]
+    fn parallelism_field_parses_from_the_real_report_shape() {
+        let json = "{\n  \"generated_unix_secs\": 1,\n  \"available_parallelism\": 64,\n  \
+                    \"queue\": {}\n}\n";
+        assert_eq!(field_f64(json, "available_parallelism"), Some(64.0));
+        // Pre-shard baselines lack the field entirely.
+        assert_eq!(field_f64("{\"queue\": {}}", "available_parallelism"), None);
     }
 
     #[test]

@@ -16,9 +16,12 @@ use std::path::PathBuf;
 use sybil_churn::model::ChurnModel;
 use sybil_exp::runner::RunSummary;
 use sybil_exp::spec::{CellSpec, AXIS_ALGO, AXIS_NETWORK, AXIS_T};
-use sybil_exp::{ExperimentSpec, MetricSummary, Welford, WorkloadCache};
+use sybil_exp::{
+    default_shards, shard_budget, ExperimentSpec, MetricSummary, Welford, WorkloadCache,
+};
 use sybil_sim::engine::SimConfig;
 use sybil_sim::time::Time;
+use sybil_sim::ShardedWorkload;
 
 /// One aggregated cell of a spend-rate grid: per-metric trial statistics.
 #[derive(Clone, Debug)]
@@ -86,6 +89,11 @@ pub fn default_cache_dir() -> PathBuf {
 ///
 /// Panics if the cache or store directories are unusable, or if a label
 /// in `roster`/`nets` is not unique — cells would alias in the store.
+///
+/// Cell simulations replay through [`default_shards`] engine shards
+/// (`SYBIL_BENCH_SHARDS` override, 1 otherwise); see
+/// [`run_spend_grid_sharded`] for the explicit-shard-count form and the
+/// worker-budget interaction.
 pub fn run_spend_grid(
     name: &str,
     nets: &[ChurnModel],
@@ -94,6 +102,32 @@ pub fn run_spend_grid(
     trials: u32,
     horizon: f64,
     base_seed: u64,
+) -> (Vec<SpendSummary>, RunSummary) {
+    run_spend_grid_sharded(name, nets, roster, t_grid, trials, horizon, base_seed, default_shards())
+}
+
+/// [`run_spend_grid`] with an explicit per-cell shard count.
+///
+/// Each cell's simulation replays its cached workload through `shards`
+/// shared-nothing engine shards ([`ShardedWorkload`]); the outer cell
+/// pool is shrunk by [`shard_budget`] so the total thread count stays
+/// within the worker budget instead of multiplying by `shards`.
+///
+/// The shard count is deliberately **not** part of the experiment spec or
+/// its fingerprint context: the sharded engine is bit-identical to the
+/// monolithic one, so stores written at any shard count resume at any
+/// other. `shards = 1` replays through the plain disk stream (no
+/// merged-loop indirection) — the pre-sharding code path, byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_spend_grid_sharded(
+    name: &str,
+    nets: &[ChurnModel],
+    roster: &[Algo],
+    t_grid: &[f64],
+    trials: u32,
+    horizon: f64,
+    base_seed: u64,
+    shards: usize,
 ) -> (Vec<SpendSummary>, RunSummary) {
     let net_by_name: HashMap<String, &ChurnModel> =
         nets.iter().map(|n| (n.name.to_string(), n)).collect();
@@ -136,7 +170,12 @@ pub fn run_spend_grid(
                 adv_rate: t,
                 ..SimConfig::default()
             };
-            let report = run_report_with(cfg, algo, t, spec.defense_seed(trial), disk);
+            let report = if shards == 1 {
+                run_report_with(cfg, algo, t, spec.defense_seed(trial), disk)
+            } else {
+                let source = ShardedWorkload::from_disk(disk, shards);
+                run_report_with(cfg, algo, t, spec.defense_seed(trial), source)
+            };
             acc[0].push(report.good_spend_rate());
             acc[1].push(report.adv_spend_rate());
             acc[2].push(report.max_bad_fraction);
@@ -175,7 +214,7 @@ pub fn run_spend_grid(
         &context,
         &results_dir(),
         Some(&cache),
-        default_workers(),
+        shard_budget(default_workers(), shards),
         run_cell,
     )
     .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
@@ -249,5 +288,42 @@ mod tests {
         // Clean up this test's store artifacts.
         std::fs::remove_file(results_dir().join(format!("{name}.store"))).ok();
         std::fs::remove_file(results_dir().join(format!("{name}.spec"))).ok();
+    }
+
+    /// The shard count must be invisible to the results layer: a store
+    /// written by a sharded grid resumes (all cells skipped) under the
+    /// plain grid, and a fresh sharded grid computes bit-identical
+    /// metrics to a fresh unsharded one.
+    #[test]
+    fn sharded_grid_shares_stores_and_bits_with_the_plain_grid() {
+        let name = format!("grid-shard-test-{}", std::process::id());
+        let ref_name = format!("{name}-ref");
+        let net = networks::gnutella();
+        let roster = [Algo::Ergo];
+        let t_grid = [0.0, 64.0];
+        let nets = std::slice::from_ref(&net);
+        let (sharded_rows, cold) =
+            run_spend_grid_sharded(&name, nets, &roster, &t_grid, 2, 50.0, 5, 3);
+        assert_eq!(cold.cells_executed, 2);
+        // Plain warm run against the sharded store: identical cell keys
+        // and spec fingerprint, so everything resumes.
+        let (warm_rows, warm) = run_spend_grid(&name, nets, &roster, &t_grid, 2, 50.0, 5);
+        assert_eq!(warm.cells_executed, 0, "plain grid must resume the sharded store");
+        assert_eq!(warm.cells_skipped, 2);
+        // Plain cold run under a fresh name: the computed (not resumed)
+        // metrics must be bit-identical to the sharded computation.
+        let (plain_rows, _) = run_spend_grid(&ref_name, &[net], &roster, &t_grid, 2, 50.0, 5);
+        for ((a, b), c) in sharded_rows.iter().zip(&warm_rows).zip(&plain_rows) {
+            for (x, y) in [(a, b), (a, c)] {
+                assert_eq!(x.good_rate.mean.to_bits(), y.good_rate.mean.to_bits());
+                assert_eq!(x.adv_rate.mean.to_bits(), y.adv_rate.mean.to_bits());
+                assert_eq!(x.max_bad_fraction.mean.to_bits(), y.max_bad_fraction.mean.to_bits());
+                assert_eq!(x.purges.mean.to_bits(), y.purges.mean.to_bits());
+            }
+        }
+        for n in [&name, &ref_name] {
+            std::fs::remove_file(results_dir().join(format!("{n}.store"))).ok();
+            std::fs::remove_file(results_dir().join(format!("{n}.spec"))).ok();
+        }
     }
 }

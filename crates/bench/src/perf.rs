@@ -16,7 +16,7 @@
 //! run's counter fingerprint so regressions in *behavior* (not just speed)
 //! are visible in the artifact diff.
 
-use crate::sweep::{run_report, Algo, AlgoVisitor, RunParams};
+use crate::sweep::{defense_seed, run_report, run_report_with, Algo, AlgoVisitor, RunParams};
 use std::time::Instant;
 use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
@@ -26,7 +26,7 @@ use sybil_sim::engine::{SimConfig, Simulation};
 use sybil_sim::queue::EventQueue;
 use sybil_sim::time::Time;
 use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
-use sybil_sim::SimReport;
+use sybil_sim::{ShardedWorkload, SimReport};
 
 /// One measured macro scenario.
 #[derive(Clone, Debug)]
@@ -46,6 +46,9 @@ pub struct ScenarioResult {
     /// stream retains (for disk-streamed scenarios, two read buffers; for
     /// in-memory ones, the schedule vectors).
     pub resident_bytes: usize,
+    /// Workload shards the scenario replayed with (1 = the monolithic
+    /// engine loop; the `macro_scale_s*` family varies this).
+    pub shards: usize,
     /// Behavior fingerprint: counters that must not change for identical
     /// seeds when only performance work happens.
     pub fingerprint: Fingerprint,
@@ -167,6 +170,7 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
         events_per_sec: events as f64 / best_wall.max(1e-12),
         peak_queue_len: peak,
         resident_bytes: resident,
+        shards: 1,
         fingerprint: fp,
     }
 }
@@ -245,8 +249,97 @@ fn run_macro_millions() -> ScenarioResult {
         events_per_sec: events as f64 / best_wall.max(1e-12),
         peak_queue_len: peak,
         resident_bytes: resident,
+        shards: 1,
         fingerprint: fp,
     }
+}
+
+/// The shard counts the `macro_scale` family measures. The scenario names
+/// carry the count (`macro_scale_s1`, …) so `bench_compare` can pair a
+/// wide run with its 1-shard baseline and gate the speedup.
+const MACRO_SCALE_SHARDS: [usize; 3] = [1, 2, 4];
+
+/// The `macro_scale_s{1,2,4}` scenarios: one 10 000 000-initial-ID
+/// workload generated once, written to disk, and replayed through the
+/// sharded shared-nothing engine ([`ShardedWorkload`]) at each shard
+/// count.
+///
+/// The event counts and behavior fingerprints are asserted identical
+/// across shard counts before anything is reported — the engine's
+/// determinism contract at bench scale. Throughput scaling across the
+/// `_s*` columns is what `bench_compare` gates on machines with enough
+/// cores (recorded as the report's `available_parallelism`); on a 1-core
+/// runner the extra shards only add coordination cost, which is exactly
+/// what the honest numbers should show.
+fn run_macro_scale_family() -> Vec<ScenarioResult> {
+    let (algo, t, horizon, seed) = (Algo::Ergo, 4096.0, 300.0, 1u64);
+    let path = std::env::temp_dir().join(format!("sybil_macro_scale_{}.wkld", std::process::id()));
+    {
+        let workload = networks::millions(10_000_000).generate(Time(horizon), seed);
+        write_workload_file(&path, &workload)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    } // The resident schedule is dropped here; replays stream from disk.
+
+    let mut out = Vec::new();
+    for shards in MACRO_SCALE_SHARDS {
+        let name = format!("macro_scale_s{shards}");
+        let mut best_wall = f64::INFINITY;
+        let mut events = 0u64;
+        let mut peak = 0usize;
+        let mut resident = 0usize;
+        let mut fp = Fingerprint::default();
+        for rep in 0..reps() {
+            let started = Instant::now();
+            let disk = DiskWorkload::open(&path)
+                .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+            let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
+            let report = run_report_with(
+                cfg,
+                algo,
+                t,
+                defense_seed(seed),
+                ShardedWorkload::from_disk(disk, shards),
+            );
+            let wall = started.elapsed().as_secs_f64();
+            let rep_fp = Fingerprint {
+                good_joins_admitted: report.good_joins_admitted,
+                bad_joins_admitted: report.bad_joins_admitted,
+                purges: report.purges,
+                good_spend: report.ledger.good_total().value(),
+                adv_spend: report.ledger.adversary_total().value(),
+            };
+            if rep == 0 {
+                events = report.events_processed;
+                peak = report.peak_queue_len;
+                resident = report.admission_bytes + report.workload_stream_bytes;
+                fp = rep_fp;
+            } else {
+                assert_eq!(report.events_processed, events, "{name}: nondeterministic");
+                assert_eq!(rep_fp, fp, "{name}: nondeterministic fingerprint");
+            }
+            best_wall = best_wall.min(wall);
+        }
+        out.push(ScenarioResult {
+            name,
+            events,
+            wall_secs: best_wall,
+            events_per_sec: events as f64 / best_wall.max(1e-12),
+            peak_queue_len: peak,
+            resident_bytes: resident,
+            shards,
+            fingerprint: fp,
+        });
+    }
+    std::fs::remove_file(&path).ok();
+    for s in &out[1..] {
+        assert_eq!(s.events, out[0].events, "{}: event count varies with shard count", s.name);
+        assert_eq!(
+            s.fingerprint, out[0].fingerprint,
+            "{}: behavior fingerprint varies with shard count",
+            s.name
+        );
+    }
+    out
 }
 
 /// Engine-like queue access pattern: a standing population of pending
@@ -307,8 +400,11 @@ pub fn run_suite() -> PerfReport {
         scenario_specs().iter().map(|(name, cells)| run_scenario(name, cells)).collect();
     // Million-ID scale runs at full size even in FAST mode: the replay is
     // subsecond, and keeping it identical keeps its fingerprint comparable
-    // between CI and the committed baseline.
+    // between CI and the committed baseline. The 10⁷-ID shard-scaling
+    // family follows the same rule: shrinking it in FAST mode would change
+    // its fingerprint and break the `bench_compare` drift gate.
     scenarios.push(run_macro_millions());
+    scenarios.extend(run_macro_scale_family());
     PerfReport { queue, scenarios }
 }
 
@@ -329,6 +425,10 @@ pub fn to_json(report: &PerfReport) -> String {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     out.push_str(&format!("  \"generated_unix_secs\": {unix_secs},\n"));
+    // Recorded so `bench_compare` can make its shard-scaling gate
+    // hardware-aware: a 1-core runner cannot demonstrate a speedup.
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     out.push_str("  \"queue\": {\n");
     for (i, q) in report.queue.iter().enumerate() {
         out.push_str(&format!(
@@ -344,13 +444,14 @@ pub fn to_json(report: &PerfReport) -> String {
     out.push_str("  \"scenarios\": {\n");
     for (i, s) in report.scenarios.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"resident_bytes\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
+            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"resident_bytes\": {},\n      \"shards\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
             s.name,
             s.events,
             json_f64(s.wall_secs),
             json_f64(s.events_per_sec),
             s.peak_queue_len,
             s.resident_bytes,
+            s.shards,
             s.fingerprint.good_joins_admitted,
             s.fingerprint.bad_joins_admitted,
             s.fingerprint.purges,
@@ -420,12 +521,15 @@ mod tests {
                 events_per_sec: 10.0,
                 peak_queue_len: 3,
                 resident_bytes: 4096,
+                shards: 4,
                 fingerprint: Fingerprint::default(),
             }],
         };
         let json = to_json(&report);
         assert!(json.contains("\"queue_heap\""));
         assert!(json.contains("\"events_per_sec\": 10"));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"available_parallelism\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

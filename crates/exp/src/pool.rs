@@ -6,8 +6,110 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::PoisonError;
+use std::sync::{OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Parses a `SYBIL_BENCH_CHUNK` setting: a positive integer overrides the
+/// pool's computed chunk size for cursor claims.
+///
+/// Strict, like `SYBIL_BENCH_WORKERS`: garbage (including `0`, which
+/// would make the claim cursor spin forever without claiming) is an
+/// error, not a silently ignored knob. The hard-coded
+/// `n / (workers · 8)` heuristic has only ever been observed on 1-core
+/// CI; this override exists so multi-core hosts can tune it and record
+/// the effective value through [`PoolStats::chunk_size`].
+pub fn parse_chunk(raw: Result<String, std::env::VarError>) -> Result<Option<usize>, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("SYBIL_BENCH_CHUNK is not valid unicode: {e}")),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err("SYBIL_BENCH_CHUNK=0 is invalid: workers claim at least one job \
+                 per chunk (unset the variable for the computed default)"
+                .to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "SYBIL_BENCH_CHUNK={v:?} is not a positive integer (example: SYBIL_BENCH_CHUNK=4)"
+            )),
+        },
+    }
+}
+
+/// Reads [`parse_chunk`] from the environment.
+pub fn chunk_from_env() -> Result<Option<usize>, String> {
+    parse_chunk(std::env::var("SYBIL_BENCH_CHUNK"))
+}
+
+/// The cached `SYBIL_BENCH_CHUNK` override; an invalid setting aborts with
+/// the parse error rather than being silently ignored.
+fn chunk_override() -> Option<usize> {
+    static CHUNK: OnceLock<Option<usize>> = OnceLock::new();
+    *CHUNK.get_or_init(|| match chunk_from_env() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    })
+}
+
+/// Parses a `SYBIL_BENCH_SHARDS` setting: how many engine shards each
+/// grid cell's simulation replays with (see `sybil_sim::shard`).
+///
+/// Strict, like `SYBIL_BENCH_WORKERS`: `0` or garbage aborts instead of
+/// silently running unsharded.
+pub fn parse_shards(raw: Result<String, std::env::VarError>) -> Result<Option<usize>, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("SYBIL_BENCH_SHARDS is not valid unicode: {e}")),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err("SYBIL_BENCH_SHARDS=0 is invalid: a simulation needs at least one \
+                 shard (unset the variable to run unsharded)"
+                .to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "SYBIL_BENCH_SHARDS={v:?} is not a positive integer (example: SYBIL_BENCH_SHARDS=4)"
+            )),
+        },
+    }
+}
+
+/// Reads [`parse_shards`] from the environment.
+pub fn shards_from_env() -> Result<Option<usize>, String> {
+    parse_shards(std::env::var("SYBIL_BENCH_SHARDS"))
+}
+
+/// Shards per cell: the `SYBIL_BENCH_SHARDS` override, else 1 (unsharded —
+/// the pre-sharding behavior). Aborts on an invalid override.
+pub fn default_shards() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| match shards_from_env() {
+        Ok(v) => v.unwrap_or(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    })
+}
+
+/// Splits a worker budget between the cell pool and in-cell shards.
+///
+/// With `shards` worker threads running inside every cell, an outer pool
+/// of `workers` would put `workers × shards` runnable threads on the
+/// machine. This keeps the product within the original budget by shrinking
+/// the outer pool: `max(1, workers / shards)`. Shards beyond the whole
+/// budget are allowed (a single cell may legitimately want more shards
+/// than cores — correctness never depends on shard count), so the outer
+/// pool just degrades to 1.
+///
+/// # Panics
+///
+/// Panics if either argument is 0 — both are validated counts
+/// ([`default_shards`], `default_workers`) by the time they get here.
+pub fn shard_budget(workers: usize, shards: usize) -> usize {
+    assert!(workers > 0, "need at least one worker");
+    assert!(shards > 0, "need at least one shard");
+    (workers / shards).max(1)
+}
 
 /// Per-worker scheduling counters from one pool run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -228,8 +330,10 @@ where
     }
     let workers = workers.min(n);
     // Chunks small enough that a slow chunk can be compensated by steals,
-    // large enough to amortize the atomic claim.
-    let chunk = (n / (workers * 8)).max(1);
+    // large enough to amortize the atomic claim; SYBIL_BENCH_CHUNK
+    // overrides the heuristic (the effective value is recorded in
+    // PoolStats::chunk_size either way).
+    let chunk = chunk_override().unwrap_or_else(|| (n / (workers * 8)).max(1));
     let jobs: Vec<std::sync::Mutex<Option<F>>> =
         jobs.into_iter().map(|f| std::sync::Mutex::new(Some(f))).collect();
     let cursor = AtomicUsize::new(0);
@@ -394,6 +498,47 @@ mod tests {
         let msg = panic_message(caught.unwrap_err());
         assert!(msg.contains("1 pool job(s) panicked") && msg.contains("boom"), "{msg}");
         assert_eq!(ran.load(Ordering::Relaxed), 8, "siblings must drain before the panic");
+    }
+
+    #[test]
+    fn chunk_and_shard_parsing_is_strict() {
+        use std::env::VarError;
+        // Valid values and absence.
+        assert_eq!(parse_chunk(Err(VarError::NotPresent)), Ok(None));
+        assert_eq!(parse_chunk(Ok("4".into())), Ok(Some(4)));
+        assert_eq!(parse_chunk(Ok(" 16 ".into())), Ok(Some(16)));
+        assert_eq!(parse_shards(Err(VarError::NotPresent)), Ok(None));
+        assert_eq!(parse_shards(Ok("2".into())), Ok(Some(2)));
+        // Garbage aborts the run (here: errors), never a silent default.
+        for bad in ["0", "-1", "four", "4.5", ""] {
+            let err = parse_chunk(Ok(bad.into())).unwrap_err();
+            assert!(err.contains("SYBIL_BENCH_CHUNK"), "{err}");
+            let err = parse_shards(Ok(bad.into())).unwrap_err();
+            assert!(err.contains("SYBIL_BENCH_SHARDS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn shard_budget_keeps_the_thread_product_bounded() {
+        assert_eq!(shard_budget(8, 1), 8);
+        assert_eq!(shard_budget(8, 2), 4);
+        assert_eq!(shard_budget(8, 3), 2);
+        assert_eq!(shard_budget(4, 4), 1);
+        // Oversubscribed shards: outer pool degrades to 1, never 0.
+        assert_eq!(shard_budget(2, 16), 1);
+        assert_eq!(shard_budget(1, 1), 1);
+    }
+
+    #[test]
+    fn chunk_override_is_recorded_in_stats() {
+        // The override is a process-global OnceLock, so this test cannot
+        // set the env var without racing siblings; it pins the *absence*
+        // path: stats report the computed chunk.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..64usize).map(|i| Box::new(move || i) as _).collect();
+        let (_, stats) = run_parallel_stats(jobs, 2);
+        let expected = chunk_from_env().unwrap().unwrap_or(64 / (2 * 8));
+        assert_eq!(stats.chunk_size, expected);
     }
 
     #[test]

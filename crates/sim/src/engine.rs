@@ -39,7 +39,7 @@ use crate::defense::{BatchStop, Defense};
 use crate::queue::EventQueue;
 use crate::report::{SimReport, TimelinePoint};
 use crate::time::Time;
-use crate::workload::{SessionIndex, Workload, WorkloadSource, WorkloadStream};
+use crate::workload::{SessionIndex, StreamEvent, Workload, WorkloadSource, WorkloadStream};
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -151,6 +151,13 @@ enum Event {
     PurgeResolve,
     /// Timeline sampling tick.
     Sample,
+}
+
+/// What the merged run loop picked at one merge step: the head of the
+/// external workload feed or the head of the internal queue.
+enum MergedEvent {
+    Workload(StreamEvent),
+    Internal(Event),
 }
 
 /// A single simulation run binding a defense, an adversary, and a workload.
@@ -288,6 +295,9 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     /// state (for inspecting defense-internal history such as committee
     /// evolution).
     pub fn run_with_defense(mut self) -> (SimReport, D) {
+        if self.stream.merged() {
+            return self.run_merged();
+        }
         self.schedule_workload();
         self.initialize();
         // Loop-local counters: `dispatch(&mut self)` would otherwise force
@@ -309,6 +319,63 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         self.finish()
     }
 
+    /// The run loop for *merged* streams (sharded workloads): the stream
+    /// yields fully ordered `(time, seq, event)` triples, and this loop
+    /// k-way-merges them against the internal event queue by the global
+    /// `(time, seq)` key — the exact total order the monolithic loop pops.
+    ///
+    /// Internal events (adversary wakeups, periodic charges, purge
+    /// resolutions, samples) draw sequence numbers above the workload's
+    /// reserved floor in the same order as the monolithic scheduler
+    /// (workload pushes never bump the counter there), so every key — and
+    /// with it every `SimReport` bit — matches the 1-shard run.
+    fn run_merged(mut self) -> (SimReport, D) {
+        self.queue.advance_seq_to(self.stream.seq_floor());
+        self.schedule_internal();
+        self.initialize();
+        let mut events_processed = 0u64;
+        let mut peak_queue_len = self.queue.len();
+        let mut next_workload = self.stream.next_event();
+        loop {
+            // Keys are globally unique, so strict `<` decides the merge.
+            let workload_key = next_workload.as_ref().map(|&(t, s, _)| (t, s));
+            let take_workload = match (workload_key, self.queue.peek_key()) {
+                (Some(w), Some(q)) => w < q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, ev) = if take_workload {
+                let (t, _, ev) = next_workload.take().expect("workload head exists");
+                next_workload = self.stream.next_event();
+                (t, MergedEvent::Workload(ev))
+            } else {
+                let (t, ev) = self.queue.pop().expect("queue head exists");
+                (t, MergedEvent::Internal(ev))
+            };
+            // Streams only yield in-horizon events, so (as in the
+            // monolithic loop) only an internal event can end the run.
+            if t > self.cfg.horizon {
+                break;
+            }
+            events_processed += 1;
+            self.accrue_budget(t);
+            match ev {
+                MergedEvent::Workload(StreamEvent::Join(i)) => self.handle_good_join(t, i),
+                MergedEvent::Workload(StreamEvent::Depart(i, joined_at)) => {
+                    self.handle_good_depart(t, i, joined_at)
+                }
+                MergedEvent::Workload(StreamEvent::InitialDepart) => self.handle_initial_depart(t),
+                MergedEvent::Internal(ev) => self.dispatch(t, ev),
+            }
+            self.check_purge(t);
+            peak_queue_len = peak_queue_len.max(self.queue.len());
+        }
+        self.events_processed = events_processed;
+        self.peak_queue_len = peak_queue_len;
+        self.finish()
+    }
+
     /// Primes the streaming schedule: reserves the workload's sequence
     /// range, then queues just the *first* good join and the *first*
     /// initial departure; the rest stream in lazily as their predecessors
@@ -317,6 +384,13 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         self.queue.advance_seq_to(self.stream.seq_floor());
         self.stream_next_session();
         self.stream_next_initial_depart();
+        self.schedule_internal();
+    }
+
+    /// Queues the initial internal events (adversary wakeup, first timeline
+    /// sample). Push order matters: these draw the first sequence numbers
+    /// above the workload floor, in both the monolithic and merged modes.
+    fn schedule_internal(&mut self) {
         if self.cfg.adv_rate > 0.0 {
             self.queue.push(Time::ZERO, Event::AdvWake);
         }
@@ -389,6 +463,49 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         }
     }
 
+    /// Semantic effect of a good join: defense verdict, ledger charge,
+    /// admission record, counters. Shared verbatim by the monolithic
+    /// dispatch and the merged loop — bit-identity between the two modes
+    /// rests on this being one code path.
+    fn handle_good_join(&mut self, now: Time, i: SessionIndex) {
+        let admission = self.defense.good_join(now);
+        self.ledger.charge_good(Purpose::Entrance, admission.cost());
+        if admission.is_admitted() {
+            self.admitted.set(i as u64, AdmissionState::Admitted);
+            self.good_joins_admitted += 1;
+            if self.cfg.record_good_joins {
+                match self.cfg.max_good_join_times {
+                    Some(cap) if self.good_join_times.len() >= cap => {
+                        self.good_join_times_dropped += 1;
+                    }
+                    _ => self.good_join_times.push(now),
+                }
+            }
+        } else {
+            self.admitted.set(i as u64, AdmissionState::Refused);
+            self.good_joins_refused += 1;
+        }
+        self.note_membership_change(now);
+    }
+
+    /// Semantic effect of an arrival session's departure: only admitted
+    /// sessions count (the admission verdict was decided at join time by
+    /// this same coordinator state).
+    fn handle_good_depart(&mut self, now: Time, i: SessionIndex, joined_at: Time) {
+        if self.admitted.get(i as u64) == AdmissionState::Admitted {
+            self.defense.good_depart(now, joined_at);
+            self.good_departures += 1;
+            self.note_membership_change(now);
+        }
+    }
+
+    /// Semantic effect of a t=0 resident's departure.
+    fn handle_initial_depart(&mut self, now: Time) {
+        self.defense.good_depart(now, Time::ZERO);
+        self.good_departures += 1;
+        self.note_membership_change(now);
+    }
+
     fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
             Event::GoodJoin(i) => {
@@ -401,37 +518,12 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
                     self.queue.push_with_seq(at, seq, Event::GoodDepart(i, now));
                 }
                 self.stream_next_session();
-                let admission = self.defense.good_join(now);
-                self.ledger.charge_good(Purpose::Entrance, admission.cost());
-                if admission.is_admitted() {
-                    self.admitted.set(i as u64, AdmissionState::Admitted);
-                    self.good_joins_admitted += 1;
-                    if self.cfg.record_good_joins {
-                        match self.cfg.max_good_join_times {
-                            Some(cap) if self.good_join_times.len() >= cap => {
-                                self.good_join_times_dropped += 1;
-                            }
-                            _ => self.good_join_times.push(now),
-                        }
-                    }
-                } else {
-                    self.admitted.set(i as u64, AdmissionState::Refused);
-                    self.good_joins_refused += 1;
-                }
-                self.note_membership_change(now);
+                self.handle_good_join(now, i);
             }
-            Event::GoodDepart(i, joined_at) => {
-                if self.admitted.get(i as u64) == AdmissionState::Admitted {
-                    self.defense.good_depart(now, joined_at);
-                    self.good_departures += 1;
-                    self.note_membership_change(now);
-                }
-            }
+            Event::GoodDepart(i, joined_at) => self.handle_good_depart(now, i, joined_at),
             Event::InitialDepart => {
                 self.stream_next_initial_depart();
-                self.defense.good_depart(now, Time::ZERO);
-                self.good_departures += 1;
-                self.note_membership_change(now);
+                self.handle_initial_depart(now);
             }
             Event::AdvWake => {
                 self.adversary_turn(now);

@@ -16,6 +16,8 @@
 //!   attack strategy implement;
 //! * [`engine`] — the simulation loop with budgeted adversaries, purge
 //!   rounds, periodic charges, and invariant tracking;
+//! * [`shard`] — shared-nothing sharded workload replay, bit-identical to
+//!   the single-threaded loop for every shard count;
 //! * [`report`] / [`stats`] — run outputs and summary statistics.
 //!
 //! Ground truth (which IDs are Sybil) lives in the engine and the adversary;
@@ -49,6 +51,7 @@ pub mod engine;
 pub mod id;
 pub mod queue;
 pub mod report;
+pub mod shard;
 pub mod stats;
 pub mod testutil;
 pub mod time;
@@ -61,6 +64,7 @@ pub use defense::{Admission, BatchAdmission, BatchStop, Defense};
 pub use engine::{SimBuildError, SimConfig, Simulation};
 pub use id::{Id, IdAllocator, Kind};
 pub use report::SimReport;
+pub use shard::ShardedWorkload;
 pub use time::Time;
-pub use workload::{Session, SessionIndex, Workload, WorkloadSource, WorkloadStream};
+pub use workload::{Session, SessionIndex, StreamEvent, Workload, WorkloadSource, WorkloadStream};
 pub use workload_io::{write_workload, write_workload_file, DiskWorkload};

@@ -290,11 +290,32 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes and returns the earliest event together with its full
+    /// `(time, seq)` ordering key.
+    ///
+    /// The merged (sharded) engine loop compares this key against the
+    /// heads of external pre-ordered feeds, so it needs the sequence
+    /// number [`pop`](Self::pop) discards.
+    pub fn pop_keyed(&mut self) -> Option<(Time, u64, E)> {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|Reverse(e)| (e.at, e.seq, e.event)),
+            Backend::Calendar(cal) => cal.pop().map(|e| (e.at, e.seq, e.event)),
+        }
+    }
+
     /// The earliest pending event, if any, without removing it.
     pub fn peek(&self) -> Option<(Time, &E)> {
         match &self.backend {
             Backend::Heap(heap) => heap.peek().map(|Reverse(e)| (e.at, &e.event)),
             Backend::Calendar(cal) => cal.peek().map(|e| (e.at, &e.event)),
+        }
+    }
+
+    /// Full `(time, seq)` ordering key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<(Time, u64)> {
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|Reverse(e)| e.key()),
+            Backend::Calendar(cal) => cal.peek().map(|e| e.key()),
         }
     }
 
@@ -352,6 +373,22 @@ mod tests {
             assert_eq!(q.peek_time(), Some(Time(5.0)));
             assert_eq!(q.peek(), Some((Time(5.0), &0)));
             assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn keyed_accessors_expose_seq_on_both_backends() {
+        for mut q in both_backends() {
+            q.push(Time(2.0), 20); // seq 0
+            q.push(Time(1.0), 10); // seq 1
+            q.push(Time(2.0), 21); // seq 2
+            assert_eq!(q.peek_key(), Some((Time(1.0), 1)));
+            assert_eq!(q.pop_keyed(), Some((Time(1.0), 1, 10)));
+            assert_eq!(q.peek_key(), Some((Time(2.0), 0)));
+            assert_eq!(q.pop_keyed(), Some((Time(2.0), 0, 20)));
+            assert_eq!(q.pop_keyed(), Some((Time(2.0), 2, 21)));
+            assert_eq!(q.pop_keyed(), None);
+            assert_eq!(q.peek_key(), None);
         }
     }
 

@@ -146,6 +146,26 @@ pub trait WorkloadSource {
     fn into_stream(self, horizon: Time) -> Self::Stream;
 }
 
+/// One pre-ordered workload event, as yielded by a *merged* stream (see
+/// [`WorkloadStream::next_event`]).
+///
+/// Unlike the pull-based `next_session`/`next_initial_departure` pair —
+/// where the engine re-derives departures from joins and interleaves the
+/// two cursors itself — a merged stream has already done that work
+/// (typically on shard threads) and hands the engine fully ordered
+/// `(time, seq, event)` triples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamEvent {
+    /// Session `index` joins.
+    Join(SessionIndex),
+    /// Session `index` (if admitted at join time) departs; the carried
+    /// time is the join time, which the defense needs for lifetime
+    /// accounting — the engine never re-reads the schedule record.
+    Depart(SessionIndex, Time),
+    /// One of the IDs present at `t = 0` departs.
+    InitialDepart,
+}
+
 /// A cursor over one workload's in-horizon events.
 ///
 /// # The sequence-number contract
@@ -181,6 +201,27 @@ pub trait WorkloadStream {
     /// Approximate resident bytes held by this stream (buffers, cursors,
     /// and any retained schedule data), for memory reporting.
     fn resident_bytes(&self) -> usize;
+
+    /// True if this stream is *merged*: it yields fully ordered
+    /// `(time, seq, event)` triples through
+    /// [`next_event`](Self::next_event) instead of the pull-based cursor
+    /// pair above. The engine switches to its k-way-merge loop for merged
+    /// streams (see `crates/sim/README.md`, "Sharded runs").
+    fn merged(&self) -> bool {
+        false
+    }
+
+    /// Next workload event in global `(time, seq)` order, for merged
+    /// streams. Non-merged streams never have this called and return
+    /// `None`.
+    ///
+    /// The contract mirrors the eager scheduler exactly: the triples
+    /// across all of a merged stream's shards, sorted by `(time, seq)`,
+    /// are precisely the in-horizon workload events the engine would have
+    /// derived itself, with the same sequence numbers.
+    fn next_event(&mut self) -> Option<(Time, u64, StreamEvent)> {
+        None
+    }
 }
 
 /// In-memory stream over a [`Workload`].

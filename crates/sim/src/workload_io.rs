@@ -141,28 +141,14 @@ impl DiskWorkload {
         file.seek(SeekFrom::Start(offset))?;
         Ok(BufReader::new(file))
     }
-}
 
-fn read_f64(r: &mut impl Read) -> io::Result<f64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(f64::from_le_bytes(buf))
-}
-
-impl WorkloadSource for DiskWorkload {
-    type Stream = DiskStream;
-
-    fn initial_size(&self) -> u64 {
-        self.initial_count
-    }
-
-    fn session_count(&self) -> u64 {
-        self.session_count
-    }
-
-    /// Pre-scans the file once (sequential, O(1) memory) to count
-    /// in-horizon sequence numbers — the same totals the in-memory pass
-    /// computes — then reopens both regions for the replay cursors.
+    /// Pre-scans the file sequentially (O(1) memory) to count in-horizon
+    /// sequence numbers — the same totals the in-memory pass computes —
+    /// validating record ordering and finiteness along the way.
+    ///
+    /// Shared by [`into_stream`](WorkloadSource::into_stream) and the
+    /// sharded replay (`crate::shard`), which needs the totals to place
+    /// each shard's sequence numbers without consuming the workload.
     ///
     /// # Panics
     ///
@@ -170,7 +156,7 @@ impl WorkloadSource for DiskWorkload {
     /// format invariants (unsorted, non-finite, inverted sessions);
     /// [`write_workload`] can produce neither, so this indicates a
     /// corrupt or foreign file.
-    fn into_stream(self, horizon: Time) -> DiskStream {
+    pub(crate) fn prescan(&self, horizon: Time) -> PreScan {
         let fail = |e: &dyn std::fmt::Display| -> ! {
             panic!("workload file {}: {e}", self.path.display())
         };
@@ -209,7 +195,121 @@ impl WorkloadSource for DiskWorkload {
                 session_seqs += 1;
             }
         }
-        let seq_floor = session_seqs + initial_in_horizon;
+        PreScan { session_seqs, initial_in_horizon }
+    }
+
+    /// Opens a raw sequential cursor over both record regions, for the
+    /// sharded replay. No horizon filtering or seq assignment — the shard
+    /// producer does both, so the cursor just decodes records in stored
+    /// order.
+    pub(crate) fn records(&self) -> io::Result<DiskRecords> {
+        Ok(DiskRecords {
+            sessions: self.reader_at(self.sessions_offset())?,
+            initial: self.reader_at(HEADER_LEN)?,
+            path: self.path.clone(),
+            sessions_remaining: self.session_count,
+            initial_remaining: self.initial_count,
+        })
+    }
+}
+
+/// In-horizon sequence-number totals from a [`DiskWorkload::prescan`].
+pub(crate) struct PreScan {
+    /// Sequence numbers assigned to session events (joins + in-horizon
+    /// departures), `0..session_seqs`.
+    pub(crate) session_seqs: u64,
+    /// In-horizon initial departures, numbered `session_seqs..floor`.
+    pub(crate) initial_in_horizon: u64,
+}
+
+impl PreScan {
+    /// Total workload sequence numbers (`seq_floor`).
+    pub(crate) fn seq_floor(&self) -> u64 {
+        self.session_seqs + self.initial_in_horizon
+    }
+}
+
+/// Raw sequential record cursor over a workload file: sessions in stored
+/// (join-sorted) order and initial departures in stored (ascending) order,
+/// with no horizon filtering. Invariants were already checked by
+/// [`DiskWorkload::prescan`]; a read failure here means the file changed
+/// underneath us, which panics like the mid-replay paths of
+/// [`DiskStream`].
+pub(crate) struct DiskRecords {
+    sessions: BufReader<File>,
+    initial: BufReader<File>,
+    path: PathBuf,
+    sessions_remaining: u64,
+    initial_remaining: u64,
+}
+
+impl DiskRecords {
+    /// Next stored session record, or `None` at the end of the region.
+    pub(crate) fn next_session(&mut self) -> Option<Session> {
+        if self.sessions_remaining == 0 {
+            return None;
+        }
+        self.sessions_remaining -= 1;
+        let mut record = |what: &str| -> f64 {
+            read_f64(&mut self.sessions).unwrap_or_else(|e| {
+                panic!("workload file {}: {what} unreadable mid-replay: {e}", self.path.display())
+            })
+        };
+        let join = record("session join");
+        let depart = record("session depart");
+        Some(Session::new(Time(join), Time(depart)))
+    }
+
+    /// Next stored initial departure, or `None` at the end of the region.
+    pub(crate) fn next_initial(&mut self) -> Option<Time> {
+        if self.initial_remaining == 0 {
+            return None;
+        }
+        self.initial_remaining -= 1;
+        let d = read_f64(&mut self.initial).unwrap_or_else(|e| {
+            panic!(
+                "workload file {}: initial departure unreadable mid-replay: {e}",
+                self.path.display()
+            )
+        });
+        Some(Time(d))
+    }
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+impl WorkloadSource for DiskWorkload {
+    type Stream = DiskStream;
+
+    fn initial_size(&self) -> u64 {
+        self.initial_count
+    }
+
+    fn session_count(&self) -> u64 {
+        self.session_count
+    }
+
+    /// Pre-scans the file once (sequential, O(1) memory) to count
+    /// in-horizon sequence numbers — the same totals the in-memory pass
+    /// computes — then reopens both regions for the replay cursors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be read or its records violate the
+    /// format invariants (unsorted, non-finite, inverted sessions);
+    /// [`write_workload`] can produce neither, so this indicates a
+    /// corrupt or foreign file.
+    fn into_stream(self, horizon: Time) -> DiskStream {
+        let fail = |e: &dyn std::fmt::Display| -> ! {
+            panic!("workload file {}: {e}", self.path.display())
+        };
+        let scan = self.prescan(horizon);
+        let (session_seqs, initial_in_horizon) = (scan.session_seqs, scan.initial_in_horizon);
+        let seq_floor = scan.seq_floor();
         DiskStream {
             sessions: self.reader_at(self.sessions_offset()).unwrap_or_else(|e| fail(&e)),
             initial: self.reader_at(HEADER_LEN).unwrap_or_else(|e| fail(&e)),

@@ -1,0 +1,215 @@
+//! Property test: the sharded shared-nothing replay produces bit-identical
+//! `SimReport`s for every shard count, in memory and from disk.
+//!
+//! Three layers of equality are pinned, strongest first:
+//!
+//! * S-shard vs 1-shard (`ShardedWorkload` either way): **full**
+//!   `SimReport` bit equality — every gauge included. Sharding may not
+//!   leak into a single bit.
+//! * sharded-from-memory vs sharded-from-disk: full bit equality — the
+//!   canonical (sorted) memory order is exactly the on-disk order.
+//! * sharded vs the monolithic engine loop: equality after zeroing the
+//!   two representation gauges that legitimately differ
+//!   (`workload_stream_bytes`: buffers live shard-side;
+//!   `peak_queue_len`: the merged loop's queue holds only internal
+//!   events). All behavioral fields — counters, ledgers, invariants,
+//!   timelines — compare bit-for-bit.
+//!
+//! Randomized (seeded-loop) workloads on a coarse 0.5 s grid stress FIFO
+//! tie-breaking across shard boundaries, horizon straddles, and ties with
+//! dynamic events; adversary strategies from the registry stress the
+//! float-accumulation order (budget accrual partitions sums at every
+//! event pop).
+
+use sybil_sim::adversary::{build_strategy, StrategyParams, STRATEGY_NAMES};
+use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::shard::ShardedWorkload;
+use sybil_sim::testutil::UnitCostDefense;
+use sybil_sim::time::Time;
+use sybil_sim::workload::{Session, Workload};
+use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
+use sybil_sim::SimReport;
+
+/// The shard counts the acceptance criteria pin.
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+
+/// SplitMix64: a tiny deterministic generator for the trial workloads.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized workload on a coarse 0.5 s time grid (duplicate join
+/// times, collisions with integer-time dynamic events), with sessions and
+/// initial departures on both sides of the horizon.
+fn random_workload(seed: u64, horizon: f64) -> Workload {
+    let mut s = seed;
+    let grid = |r: u64, span: f64| (r % (span * 2.0) as u64) as f64 * 0.5;
+    let n_initial = 5 + (splitmix(&mut s) % 40) as usize;
+    let initial: Vec<Time> =
+        (0..n_initial).map(|_| Time(grid(splitmix(&mut s), horizon * 1.5))).collect();
+    let n_sessions = 30 + (splitmix(&mut s) % 90) as usize;
+    let sessions: Vec<Session> = (0..n_sessions)
+        .map(|_| {
+            let join = grid(splitmix(&mut s), horizon * 1.2);
+            let len = grid(splitmix(&mut s), horizon);
+            Session::new(Time(join), Time(join + len))
+        })
+        .collect();
+    Workload::new(initial, sessions)
+}
+
+fn temp_path(tag: &str, n: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sybil_shard_eq_{tag}_{}_{n}.bin", std::process::id()))
+}
+
+/// Representation gauges that legitimately differ between the monolithic
+/// and merged loops; every behavioral field stays bit-compared.
+fn vs_monolithic(mut report: SimReport) -> SimReport {
+    report.workload_stream_bytes = 0;
+    report.peak_queue_len = 0;
+    report
+}
+
+fn run_sharded(cfg: SimConfig, t: f64, source: ShardedWorkload) -> SimReport {
+    let adversary = build_strategy("budget", &StrategyParams::rate(t)).expect("registry strategy");
+    Simulation::new(cfg, UnitCostDefense::new(), adversary, source).run()
+}
+
+#[test]
+fn every_shard_count_is_bit_identical_in_memory_and_from_disk() {
+    let horizon = 50.0;
+    let cfg = SimConfig {
+        horizon: Time(horizon),
+        adv_rate: 3.0,
+        initial_bad: 2,
+        record_good_joins: true,
+        timeline_resolution: Some(1.0),
+        ..SimConfig::default()
+    };
+    for trial in 0..12u64 {
+        let workload = random_workload(trial.wrapping_mul(0xD1CE_5EED).wrapping_add(7), horizon);
+        workload.validate().expect("generated workload is valid");
+        let path = temp_path("counts", trial);
+        write_workload_file(&path, &workload).expect("write workload");
+
+        let baseline = run_sharded(cfg, 3.0, ShardedWorkload::from_workload(workload.clone(), 1));
+        for shards in SHARD_COUNTS {
+            let mem =
+                run_sharded(cfg, 3.0, ShardedWorkload::from_workload(workload.clone(), shards));
+            assert_eq!(mem, baseline, "memory, {shards} shards, trial {trial}");
+            let disk = DiskWorkload::open(&path).expect("open workload");
+            let dsk = run_sharded(cfg, 3.0, ShardedWorkload::from_disk(disk, shards));
+            assert_eq!(dsk, baseline, "disk, {shards} shards, trial {trial}");
+        }
+
+        // And the whole sharded family must match the monolithic loop on
+        // every behavioral field.
+        let mono = Simulation::new(
+            cfg,
+            UnitCostDefense::new(),
+            build_strategy("budget", &StrategyParams::rate(3.0)).unwrap(),
+            workload,
+        )
+        .run();
+        assert_eq!(vs_monolithic(baseline), vs_monolithic(mono), "trial {trial}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn every_registry_strategy_is_shard_invariant() {
+    let horizon = 60.0;
+    let workload = random_workload(0xBEEF, horizon);
+    let path = temp_path("strategies", 0);
+    write_workload_file(&path, &workload).expect("write workload");
+    for strategy in STRATEGY_NAMES {
+        let t = 5.0;
+        let cfg = SimConfig {
+            horizon: Time(horizon),
+            adv_rate: t,
+            initial_bad: 3,
+            timeline_resolution: Some(2.0),
+            ..SimConfig::default()
+        };
+        let params = StrategyParams::rate(t).with_target_fraction(0.2).with_seed(11);
+        let run = |source: ShardedWorkload| -> SimReport {
+            let adversary = build_strategy(strategy, &params).expect("registry strategy");
+            Simulation::new(cfg, UnitCostDefense::new(), adversary, source).run()
+        };
+        let baseline = run(ShardedWorkload::from_workload(workload.clone(), 1));
+        for shards in SHARD_COUNTS {
+            let mem = run(ShardedWorkload::from_workload(workload.clone(), shards));
+            assert_eq!(mem, baseline, "{strategy}, memory, {shards} shards");
+            let disk = DiskWorkload::open(&path).expect("open workload");
+            assert_eq!(
+                run(ShardedWorkload::from_disk(disk, shards)),
+                baseline,
+                "{strategy}, disk, {shards} shards"
+            );
+        }
+        let mono = Simulation::new(
+            cfg,
+            UnitCostDefense::new(),
+            build_strategy(strategy, &params).unwrap(),
+            workload.clone(),
+        )
+        .run();
+        assert_eq!(vs_monolithic(baseline), vs_monolithic(mono), "{strategy} vs monolithic");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn heavy_tie_workload_is_shard_invariant() {
+    // Worst-case FIFO stress across shard boundaries: two join waves, a
+    // departure wave tying with the second join wave, departures exactly
+    // at the horizon, and tied initial departures — neighbors in time are
+    // owned by different shards by construction (index mod S).
+    let horizon = 10.0;
+    let sessions: Vec<Session> = (0..60)
+        .map(|i| {
+            let join = if i % 2 == 0 { 2.0 } else { 5.0 };
+            let depart = match i % 4 {
+                0 => 5.0,
+                1 => horizon,
+                2 => horizon + 50.0,
+                _ => 7.5,
+            };
+            Session::new(Time(join), Time(depart))
+        })
+        .collect();
+    let workload = Workload::new(vec![Time(2.0); 10], sessions);
+    let cfg = SimConfig { horizon: Time(horizon), adv_rate: 1.0, ..SimConfig::default() };
+    let baseline = run_sharded(cfg, 1.0, ShardedWorkload::from_workload(workload.clone(), 1));
+    assert_eq!(baseline.good_joins_admitted + baseline.good_joins_refused, 60);
+    for shards in SHARD_COUNTS {
+        let report =
+            run_sharded(cfg, 1.0, ShardedWorkload::from_workload(workload.clone(), shards));
+        assert_eq!(report, baseline, "{shards} shards");
+    }
+}
+
+#[test]
+fn empty_and_tiny_workloads_shard_cleanly() {
+    // Degenerate slices: more shards than events, shards with nothing to
+    // do, a workload with no sessions at all.
+    let cases = [
+        Workload::empty(),
+        Workload::new(vec![Time(1.0)], vec![]),
+        Workload::new(vec![], vec![Session::new(Time(1.0), Time(2.0))]),
+        Workload::new(vec![Time(5.0); 3], vec![Session::new(Time(0.0), Time(100.0))]),
+    ];
+    let cfg = SimConfig { horizon: Time(10.0), adv_rate: 2.0, ..SimConfig::default() };
+    for (case, workload) in cases.into_iter().enumerate() {
+        let baseline = run_sharded(cfg, 2.0, ShardedWorkload::from_workload(workload.clone(), 1));
+        for shards in SHARD_COUNTS {
+            let report =
+                run_sharded(cfg, 2.0, ShardedWorkload::from_workload(workload.clone(), shards));
+            assert_eq!(report, baseline, "case {case}, {shards} shards");
+        }
+    }
+}
