@@ -34,6 +34,14 @@
 //!   ulps across libm versions; they are compared with a 1e-9 relative
 //!   tolerance. The integer counters are compared exactly.
 //!
+//! Reports may also (or only) carry a `"gate"` section — the admission
+//! service baseline `gate_bench` writes to `BENCH_gate.json`. Gate
+//! scenarios are gated on two axes: the `decision_fingerprint` (a SHA-256
+//! over the service's wall-clock-free decision log) must match the
+//! baseline exactly, and `verifications_per_sec` must clear the same
+//! machine-adjusted floor the engine scenarios use. A report whose only
+//! payload is a gate section needs no `"scenarios"` block.
+//!
 //! The JSON is the hand-rolled format `bench_report` writes (the build
 //! environment has no serde); the scanner below reads exactly that shape
 //! and tolerates added per-scenario keys, so the baseline may predate
@@ -130,9 +138,17 @@ fn section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     balanced_object(json, open)
 }
 
-/// Parses the `"scenarios"` section of a `BENCH_engine.json`.
+/// Parses the `"scenarios"` section of a `BENCH_engine.json`. A report
+/// carrying only a `"gate"` section (`BENCH_gate.json`) legitimately has
+/// no scenarios; anything else without them is malformed.
 fn parse_scenarios(json: &str) -> Result<Vec<Scenario>, String> {
-    let block = section(json, "scenarios").ok_or("no \"scenarios\" section")?;
+    let Some(block) = section(json, "scenarios") else {
+        return if section(json, "gate").is_some() {
+            Ok(Vec::new())
+        } else {
+            Err("no \"scenarios\" section".to_string())
+        };
+    };
     let mut out = Vec::new();
     for (name, body) in object_entries(block)? {
         let fp =
@@ -154,6 +170,75 @@ fn parse_scenarios(json: &str) -> Result<Vec<Scenario>, String> {
         });
     }
     Ok(out)
+}
+
+/// One admission-gate scenario's comparable slice of a `BENCH_gate.json`.
+#[derive(Clone, Debug, PartialEq)]
+struct GateScenario {
+    name: String,
+    verifications_per_sec: f64,
+    /// Hex SHA-256 of the service's decision log; machine-independent by
+    /// construction (the log carries no wall-clock data), so it is
+    /// compared exactly.
+    decision_fingerprint: String,
+}
+
+/// Parses the optional `"gate"` section into gate scenarios.
+fn parse_gate(json: &str) -> Result<Vec<GateScenario>, String> {
+    let Some(block) = section(json, "gate") else { return Ok(Vec::new()) };
+    let mut out = Vec::new();
+    for (name, body) in object_entries(block)? {
+        out.push(GateScenario {
+            verifications_per_sec: field_f64(body, "verifications_per_sec")
+                .ok_or_else(|| format!("{name}: no verifications_per_sec"))?,
+            decision_fingerprint: field_str(body, "decision_fingerprint")
+                .ok_or_else(|| format!("{name}: no decision_fingerprint"))?,
+            name,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares gate scenarios: exact decision-fingerprint identity, plus the
+/// machine-adjusted verifications/sec floor.
+fn compare_gate(
+    baseline: &[GateScenario],
+    fresh: &[GateScenario],
+    tolerance: f64,
+    speed_ratio: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|s| s.name == base.name) else {
+            failures
+                .push(format!("gate scenario {:?} disappeared from the fresh report", base.name));
+            continue;
+        };
+        if base.decision_fingerprint != now.decision_fingerprint {
+            failures.push(format!(
+                "gate scenario {:?}: decision fingerprint drifted — the admission decisions \
+                 changed, not just their speed\n  baseline: {}\n  fresh:    {}",
+                base.name, base.decision_fingerprint, now.decision_fingerprint
+            ));
+        }
+        let expected = base.verifications_per_sec * speed_ratio;
+        let floor = expected * (1.0 - tolerance);
+        if now.verifications_per_sec < floor {
+            failures.push(format!(
+                "gate scenario {:?}: {:.0} verifications/s is a {:.0}% regression from the \
+                 machine-adjusted baseline {:.0} (raw baseline {:.0} × speed ratio {:.2}; \
+                 tolerance {:.0}%)",
+                base.name,
+                now.verifications_per_sec,
+                100.0 * (1.0 - now.verifications_per_sec / expected),
+                expected,
+                base.verifications_per_sec,
+                speed_ratio,
+                100.0 * tolerance,
+            ));
+        }
+    }
+    failures
 }
 
 /// Parses the `"queue"` section into `(name, ops_per_sec)` pairs.
@@ -194,6 +279,14 @@ fn field_f64(body: &str, key: &str) -> Option<f64> {
     let end =
         tail.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(tail.len());
     tail[..end].parse().ok()
+}
+
+/// Reads a string field `"key": "..."` from an object body.
+fn field_str(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let tail = body[at..].trim_start().strip_prefix('"')?;
+    Some(tail[..tail.find('"')?].to_string())
 }
 
 /// Reads a nested-object field `"key": {...}` from an object body.
@@ -314,18 +407,20 @@ fn main() -> ExitCode {
     if paths.len() != 2 || !(0.0..1.0).contains(&tolerance) {
         usage();
     }
-    let read = |path: &str| -> (Vec<Scenario>, Vec<(String, f64)>, f64) {
+    type Report = (Vec<Scenario>, Vec<GateScenario>, Vec<(String, f64)>, f64);
+    let read = |path: &str| -> Report {
         let json =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let scenarios =
             parse_scenarios(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let gate = parse_gate(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
         // Reports predating the shard work lack the field; treat them as
         // 1-core so the speedup gate stays off.
         let parallelism = field_f64(&json, "available_parallelism").unwrap_or(1.0);
-        (scenarios, parse_queue(&json), parallelism)
+        (scenarios, gate, parse_queue(&json), parallelism)
     };
-    let (baseline, base_queue, _) = read(&paths[0]);
-    let (fresh, fresh_queue, fresh_cores) = read(&paths[1]);
+    let (baseline, base_gate, base_queue, _) = read(&paths[0]);
+    let (fresh, fresh_gate, fresh_queue, fresh_cores) = read(&paths[1]);
     let ratio = speed_ratio(&base_queue, &fresh_queue);
     println!(
         "comparing {} baseline scenario(s) against {} (machine speed ratio {ratio:.2})",
@@ -348,7 +443,19 @@ fn main() -> ExitCode {
             println!("  {:<28} new scenario (no baseline), {:.0} ev/s", s.name, s.events_per_sec);
         }
     }
+    for base in &base_gate {
+        if let Some(now) = fresh_gate.iter().find(|s| s.name == base.name) {
+            println!(
+                "  {:<28} baseline {:>14.0} vf/s   fresh {:>14.0} vf/s   ({:+.1}%)",
+                base.name,
+                base.verifications_per_sec,
+                now.verifications_per_sec,
+                100.0 * (now.verifications_per_sec / base.verifications_per_sec - 1.0),
+            );
+        }
+    }
     let mut failures = compare(&baseline, &fresh, tolerance, ratio);
+    failures.extend(compare_gate(&base_gate, &fresh_gate, tolerance, ratio));
     if fresh_cores < MIN_SCALING_CORES {
         println!(
             "shard speedup gate skipped: fresh report ran on {fresh_cores:.0} core(s), \
@@ -567,6 +674,58 @@ mod tests {
         // A wide scenario without its s1 sibling is itself a failure.
         let orphan = vec![scale_scenario("macro_scale_s4", 5000.0, 7.0)];
         assert!(shard_scaling_failures(&orphan, 1.0)[0].contains("no 1-shard sibling"));
+    }
+
+    fn gate_json(vps: f64, fingerprint: &str) -> String {
+        format!(
+            "{{\n  \"generated_unix_secs\": 1,\n  \"available_parallelism\": 4,\n  \
+             \"queue\": {{\n    \"sha256_64b\": {{\"ops\": 1, \"wall_secs\": 1, \
+             \"ops_per_sec\": 3000000}}\n  }},\n  \"gate\": {{\n    \"gate_honest\": {{\n      \
+             \"connections\": 110000,\n      \"verifications_per_sec\": {vps},\n      \
+             \"latency_p99_ns\": 840,\n      \"decision_fingerprint\": \"{fingerprint}\"\n    \
+             }}\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn gate_only_reports_parse_without_a_scenarios_section() {
+        let json = gate_json(50000.0, "abc123");
+        assert_eq!(parse_scenarios(&json).unwrap(), Vec::new());
+        let gate = parse_gate(&json).unwrap();
+        assert_eq!(gate.len(), 1);
+        assert_eq!(gate[0].name, "gate_honest");
+        assert_eq!(gate[0].verifications_per_sec, 50000.0);
+        assert_eq!(gate[0].decision_fingerprint, "abc123");
+        // The calibration entry feeds the shared speed-ratio machinery.
+        assert_eq!(parse_queue(&json), vec![("sha256_64b".to_string(), 3000000.0)]);
+        // But an engine report with neither section is still malformed.
+        assert!(parse_scenarios("{\"queue\": {}}").is_err());
+    }
+
+    #[test]
+    fn gate_fingerprint_drift_fails_even_when_fast() {
+        let baseline = parse_gate(&gate_json(50000.0, "abc123")).unwrap();
+        let drifted = parse_gate(&gate_json(90000.0, "def456")).unwrap();
+        let failures = compare_gate(&baseline, &drifted, 0.25, 1.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("decision fingerprint drifted"), "{}", failures[0]);
+        // Identical fingerprints and healthy throughput: clean.
+        let same = parse_gate(&gate_json(48000.0, "abc123")).unwrap();
+        assert!(compare_gate(&baseline, &same, 0.25, 1.0).is_empty());
+    }
+
+    #[test]
+    fn gate_throughput_floor_is_machine_adjusted() {
+        let baseline = parse_gate(&gate_json(50000.0, "abc123")).unwrap();
+        let halved = parse_gate(&gate_json(25000.0, "abc123")).unwrap();
+        // On a machine whose sha256 proxy runs at half speed this is fine…
+        assert!(compare_gate(&baseline, &halved, 0.25, 0.5).is_empty());
+        // …but on an equal machine it is a real regression.
+        let failures = compare_gate(&baseline, &halved, 0.25, 1.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regression"), "{}", failures[0]);
+        // Disappearance is flagged.
+        assert!(compare_gate(&baseline, &[], 0.25, 1.0)[0].contains("disappeared"));
     }
 
     #[test]

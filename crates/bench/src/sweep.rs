@@ -273,34 +273,19 @@ pub fn t_grid() -> Vec<f64> {
 /// actionable message) when it is set to zero or garbage — silent
 /// fallbacks here used to mask typos like `SYBIL_BENCH_WORKERS=all`.
 pub fn workers_from_env() -> Result<Option<usize>, String> {
-    match std::env::var("SYBIL_BENCH_WORKERS") {
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("SYBIL_BENCH_WORKERS is not valid unicode: {e}")),
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) => Err("SYBIL_BENCH_WORKERS=0 is invalid: need at least one worker \
-                 (unset the variable to use all cores)"
-                .to_string()),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!(
-                "SYBIL_BENCH_WORKERS={v:?} is not a positive integer \
-                 (example: SYBIL_BENCH_WORKERS=8)"
-            )),
-        },
-    }
+    sybil_exp::env::positive_usize(
+        "SYBIL_BENCH_WORKERS",
+        std::env::var("SYBIL_BENCH_WORKERS"),
+        "need at least one worker (unset the variable to use all cores)",
+    )
 }
 
 /// Number of worker threads to use (`SYBIL_BENCH_WORKERS` overrides; an
 /// invalid override aborts with the parse error rather than being
 /// silently ignored).
 pub fn default_workers() -> usize {
-    match workers_from_env() {
-        Ok(Some(n)) => n,
-        Ok(None) => std::thread::available_parallelism().map_or(4, |n| n.get()),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    }
+    sybil_exp::env::or_abort(workers_from_env())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
 }
 
 /// Parses a `SYBIL_BENCH_FAST` setting: `1` is fast mode, `0` (or unset)
@@ -312,18 +297,13 @@ pub fn default_workers() -> usize {
 /// hours-long paper suite on a machine that asked for the one-minute
 /// smoke.
 fn parse_fast_mode(raw: Result<String, std::env::VarError>) -> Result<bool, String> {
-    match raw {
-        Err(std::env::VarError::NotPresent) => Ok(false),
-        Err(e) => Err(format!("SYBIL_BENCH_FAST is not valid unicode: {e}")),
-        Ok(v) => match v.trim() {
-            "1" => Ok(true),
-            "0" => Ok(false),
-            other => Err(format!(
-                "SYBIL_BENCH_FAST={other:?} is not valid: use 1 (fast smoke grids) or 0 / \
-                 unset (full paper-scale run)"
-            )),
-        },
-    }
+    let parsed = sybil_exp::env::parse("SYBIL_BENCH_FAST", raw, |v| match v {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        _ => Err("is not valid: use 1 (fast smoke grids) or 0 / unset (full paper-scale run)"
+            .to_string()),
+    })?;
+    Ok(parsed.unwrap_or(false))
 }
 
 /// True when `SYBIL_BENCH_FAST=1`: benches shrink grids/horizons so the
@@ -336,12 +316,8 @@ fn parse_fast_mode(raw: Result<String, std::env::VarError>) -> Result<bool, Stri
 /// environment cannot change under a running bench anyway.
 pub fn fast_mode() -> bool {
     static FAST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FAST.get_or_init(|| match parse_fast_mode(std::env::var("SYBIL_BENCH_FAST")) {
-        Ok(fast) => fast,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
+    *FAST.get_or_init(|| {
+        sybil_exp::env::or_abort(parse_fast_mode(std::env::var("SYBIL_BENCH_FAST")))
     })
 }
 

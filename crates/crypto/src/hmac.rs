@@ -7,6 +7,67 @@ const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
 
+/// A streaming HMAC-SHA256 context.
+///
+/// Allocation-free: the key block and pads live on the stack, and message
+/// parts are absorbed incrementally — callers authenticating a composite
+/// message (header fields followed by a payload) never concatenate into a
+/// heap buffer first. The result is bit-identical to
+/// [`hmac_sha256`] over the concatenation of the parts.
+///
+/// # Example
+///
+/// ```
+/// use sybil_crypto::hmac::{hmac_sha256, HmacSha256};
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"header|");
+/// mac.update(b"payload");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"key", b"header|payload"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// The outer pad (`key ⊕ opad`), kept for [`finalize`](Self::finalize).
+    opad_block: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Starts an HMAC computation with `key` (hashed first if longer than
+    /// the 64-byte block, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..32].copy_from_slice(Sha256::digest(key).as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_block = key_block;
+        let mut opad_block = key_block;
+        for (i, o) in ipad_block.iter_mut().zip(opad_block.iter_mut()) {
+            *i ^= IPAD;
+            *o ^= OPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_block);
+        HmacSha256 { inner, opad_block }
+    }
+
+    /// Absorbs the next message part.
+    pub fn update(&mut self, part: &[u8]) {
+        self.inner.update(part);
+    }
+
+    /// Finishes the computation and returns the tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_block);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
 /// Computes `HMAC-SHA256(key, message)`.
 ///
 /// Keys longer than the 64-byte block are first hashed, per RFC 2104.
@@ -23,25 +84,9 @@ const OPAD: u8 = 0x5c;
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
-    let mut key_block = [0u8; BLOCK_LEN];
-    if key.len() > BLOCK_LEN {
-        let hashed = Sha256::digest(key);
-        key_block[..32].copy_from_slice(hashed.as_bytes());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-
-    let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
-    outer.update(&opad);
-    outer.update(inner_digest.as_bytes());
-    outer.finalize()
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
 }
 
 /// Constant-time-ish comparison of two digests.
@@ -97,6 +142,31 @@ mod tests {
         let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
         assert_eq!(
             tag.to_string(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let message = b"a composite message long enough to cross a block boundary when \
+                        combined with the 64-byte ipad prefix absorbed before it";
+        let expect = hmac_sha256(b"stream-key", message);
+        for split in 0..=message.len() {
+            let (a, b) = message.split_at(split);
+            let mut mac = HmacSha256::new(b"stream-key");
+            mac.update(a);
+            mac.update(b);
+            assert_eq!(mac.finalize(), expect, "split {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_long_key_matches_one_shot() {
+        let key = [0xaau8; 131];
+        let mut mac = HmacSha256::new(&key);
+        mac.update(b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            mac.finalize().to_string(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

@@ -36,6 +36,6 @@ pub mod hmac;
 pub mod pow;
 pub mod sha256;
 
-pub use hmac::hmac_sha256;
-pub use pow::{Challenge, Solution, Solver};
+pub use hmac::{hmac_sha256, HmacSha256};
+pub use pow::{Challenge, Solution, Solver, ZeroHardness};
 pub use sha256::{Digest, Sha256};

@@ -36,17 +36,45 @@ pub struct Solution {
     pub nonce: u64,
 }
 
+/// The one way a challenge construction can fail: hardness 0.
+///
+/// A 0-hard challenge is meaningless (its target would divide by zero), but
+/// services that *compute* hardness from live load must be able to handle a
+/// bad schedule without panicking — hence [`Challenge::try_new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZeroHardness;
+
+impl std::fmt::Display for ZeroHardness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("challenge hardness must be >= 1 (a 0-hard challenge is meaningless)")
+    }
+}
+
+impl std::error::Error for ZeroHardness {}
+
 impl Challenge {
     /// Creates a challenge binding `nonce` (challenger randomness) and
     /// `solver_id` (the identity that must do the work) at the given
-    /// `hardness`.
+    /// `hardness`, or [`ZeroHardness`] if `hardness == 0`.
     ///
-    /// # Panics
+    /// This is the constructor for callers whose hardness is *computed* —
+    /// e.g. a difficulty schedule driven by a live load estimate — where a
+    /// bad schedule must surface as an error, not a panic.
+    pub fn try_new(nonce: &[u8], solver_id: &[u8], hardness: u64) -> Result<Self, ZeroHardness> {
+        if hardness == 0 {
+            return Err(ZeroHardness);
+        }
+        Ok(Challenge { nonce: nonce.to_vec(), solver_id: solver_id.to_vec(), hardness })
+    }
+
+    /// Creates a challenge like [`Challenge::try_new`], clamping
+    /// `hardness` up to the minimum of 1.
     ///
-    /// Panics if `hardness == 0`; a 0-hard challenge is meaningless.
+    /// A convenience for callers with literal or already-validated
+    /// hardness; computed schedules should prefer [`Challenge::try_new`]
+    /// so a zero surfaces instead of being silently rounded up.
     pub fn new(nonce: &[u8], solver_id: &[u8], hardness: u64) -> Self {
-        assert!(hardness >= 1, "challenge hardness must be >= 1");
-        Challenge { nonce: nonce.to_vec(), solver_id: solver_id.to_vec(), hardness }
+        Challenge::try_new(nonce, solver_id, hardness.max(1)).expect("hardness clamped to >= 1")
     }
 
     /// The hardness `k` of this challenge.
@@ -174,9 +202,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "hardness")]
-    fn zero_hardness_panics() {
-        let _ = Challenge::new(b"a", b"b", 0);
+    fn zero_hardness_is_fallible_not_fatal() {
+        // try_new surfaces the error a computed schedule needs to see…
+        assert_eq!(Challenge::try_new(b"a", b"b", 0), Err(ZeroHardness));
+        assert!(!ZeroHardness.to_string().is_empty());
+        // …while the literal-hardness convenience clamps to 1.
+        let clamped = Challenge::new(b"a", b"b", 0);
+        assert_eq!(clamped.hardness(), 1);
+        assert_eq!(clamped, Challenge::try_new(b"a", b"b", 1).unwrap());
     }
 
     #[test]
@@ -184,5 +217,64 @@ mod tests {
         let easy = Challenge::new(b"a", b"b", 2);
         let hard = Challenge::new(b"a", b"b", 1000);
         assert!(hard.target() < easy.target());
+    }
+
+    #[test]
+    fn target_boundary_at_hardness_one() {
+        // k = 1 must accept every digest: the target is the full range, so
+        // the very first attempt succeeds (pinned by one_hard_challenge_is_free)
+        // and no u128 prefix can miss it short of the all-ones digest.
+        let c = Challenge::try_new(b"a", b"b", 1).unwrap();
+        assert_eq!(c.target(), u128::MAX);
+        // k = 2 halves the range — the boundary moves strictly down from k = 1.
+        assert_eq!(Challenge::new(b"a", b"b", 2).target(), u128::MAX / 2);
+    }
+
+    /// Property: for a fixed (nonce, id), the work to solve is monotone
+    /// non-decreasing in hardness — raising k shrinks the target, so the
+    /// first qualifying attempt index can only move later. Deterministic
+    /// (no tolerance) because the attempt sequence is fixed.
+    #[test]
+    fn solve_work_monotone_in_hardness() {
+        for case in 0u64..8 {
+            let nonce = case.to_be_bytes();
+            let mut prev_work = 0u64;
+            for k in [1u64, 2, 4, 16, 64, 256] {
+                let c = Challenge::try_new(&nonce, b"monotone", k).unwrap();
+                let mut solver = Solver::new();
+                let s = solver.solve(&c);
+                assert!(c.verify(&s));
+                assert!(
+                    solver.work() >= prev_work,
+                    "case {case}: work {} at k={k} fell below {prev_work}",
+                    solver.work()
+                );
+                prev_work = solver.work();
+            }
+        }
+    }
+
+    /// Property: a solution verifies under a *re-constructed* challenge
+    /// (same nonce, id, hardness built from scratch) — the service-side
+    /// pattern where the verifier never holds the solver's instance — and
+    /// fails under any reconstruction that differs in one component.
+    #[test]
+    fn roundtrip_survives_challenge_reconstruction() {
+        for i in 0u64..16 {
+            let nonce = (i * 31).to_be_bytes();
+            let id = (i * 131).to_be_bytes();
+            let k = 1 + i % 7;
+            let sol = Solver::new().solve(&Challenge::try_new(&nonce, &id, k).unwrap());
+            let rebuilt = Challenge::try_new(&nonce, &id, k).unwrap();
+            assert!(rebuilt.verify(&sol), "case {i}: rebuilt challenge rejected the solution");
+            // Tightening the hardness far enough must reject: the digest is
+            // fixed, so it falls out of a small enough target. k·2¹⁶ keeps
+            // the acceptance odds per nonce at 2⁻¹⁶ — any accidental pass
+            // here is a real bug, not noise, for these fixed inputs.
+            let tightened = Challenge::try_new(&nonce, &id, k << 16).unwrap();
+            if tightened.verify(&sol) {
+                panic!("case {i}: solution survived a 2^16 hardness tightening");
+            }
+        }
     }
 }

@@ -1,0 +1,113 @@
+//! Strict environment-variable parsing, shared by every `SYBIL_*` knob.
+//!
+//! The repo's contract for configuration knobs: unset means the default,
+//! a valid value overrides, and *anything else aborts with an actionable
+//! message* — a typo like `SYBIL_BENCH_WORKERS=all` must never silently
+//! launch an hours-long run with the wrong shape. This pattern used to be
+//! hand-rolled in three places (`SYBIL_BENCH_FAST`, `SYBIL_BENCH_SHARDS`,
+//! `SYBIL_BENCH_CHUNK`); this module is the one implementation, and the
+//! gate service's `SYBIL_GATE_*` knobs use it too.
+//!
+//! Parsers are pure over the raw `std::env::var` result so tests exercise
+//! them without touching the process environment (env mutation would race
+//! parallel tests).
+
+/// Parses the raw `std::env::var(name)` result with `parse`.
+///
+/// * unset → `Ok(None)` (the caller's default applies);
+/// * non-unicode → `Err` naming the variable;
+/// * set → `parse` sees the trimmed value; its error is a *reason
+///   fragment* (e.g. `"is not a positive integer"`) that gets prefixed
+///   with `name="value"` so every knob's errors read the same way.
+pub fn parse<T>(
+    name: &str,
+    raw: Result<String, std::env::VarError>,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<Option<T>, String> {
+    match raw {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("{name} is not valid unicode: {e}")),
+        Ok(v) => {
+            let trimmed = v.trim();
+            parse(trimmed).map(Some).map_err(|reason| format!("{name}={trimmed:?} {reason}"))
+        }
+    }
+}
+
+/// [`parse`] for the common positive-integer knob: `0` is rejected with
+/// `zero_reason` (each knob has its own story for why zero is
+/// meaningless), garbage with an example of a valid setting.
+pub fn positive_usize(
+    name: &str,
+    raw: Result<String, std::env::VarError>,
+    zero_reason: &str,
+) -> Result<Option<usize>, String> {
+    parse(name, raw, |v| match v.parse::<usize>() {
+        Ok(0) => Err(format!("is invalid: {zero_reason}")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("is not a positive integer (example: {name}=4)")),
+    })
+}
+
+/// Unwraps an env parse result, aborting the process (exit code 2) with
+/// the parse error on stderr — the shared "garbage knob" failure path.
+pub fn or_abort<T>(parsed: Result<T, String>) -> T {
+    match parsed {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env::VarError;
+
+    #[test]
+    fn unset_is_the_default() {
+        assert_eq!(parse("X", Err(VarError::NotPresent), |_| Ok::<u32, String>(1)), Ok(None));
+        assert_eq!(positive_usize("X", Err(VarError::NotPresent), "zero"), Ok(None));
+    }
+
+    #[test]
+    fn values_are_trimmed_before_parsing() {
+        assert_eq!(positive_usize("X", Ok(" 16 ".into()), "zero"), Ok(Some(16)));
+    }
+
+    #[test]
+    fn errors_name_the_variable_and_the_value() {
+        let err = positive_usize("SYBIL_TEST_KNOB", Ok("four".into()), "zero").unwrap_err();
+        assert!(err.contains("SYBIL_TEST_KNOB=\"four\""), "{err}");
+        assert!(err.contains("example: SYBIL_TEST_KNOB=4"), "{err}");
+    }
+
+    #[test]
+    fn zero_gets_the_knob_specific_reason() {
+        let err = positive_usize("K", Ok("0".into()), "this knob needs at least 1").unwrap_err();
+        assert!(err.contains("this knob needs at least 1"), "{err}");
+        assert!(err.contains("K=\"0\""), "{err}");
+    }
+
+    #[test]
+    fn custom_parsers_compose() {
+        let parse_bit = |v: &str| match v {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            _ => Err("is not valid: use 1 or 0".to_string()),
+        };
+        assert_eq!(parse("B", Ok("1".into()), parse_bit), Ok(Some(true)));
+        assert_eq!(parse("B", Ok("0".into()), parse_bit), Ok(Some(false)));
+        let err = parse("B", Ok("yes".into()), parse_bit).unwrap_err();
+        assert!(err.contains("B=\"yes\"") && err.contains("use 1 or 0"), "{err}");
+    }
+
+    #[test]
+    fn or_abort_passes_ok_through() {
+        assert_eq!(or_abort(Ok::<_, String>(7)), 7);
+        // The Err arm exits the process; exercising it would kill the test
+        // runner, so it is covered by the bins' integration with a bad env.
+    }
+}

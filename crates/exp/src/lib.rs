@@ -17,6 +17,10 @@
 //!   [`sybil_sim::workload_io`] and disk-streamed into every cell and
 //!   trial that shares it, with header validation on reuse and an
 //!   oldest-first size-budget eviction policy;
+//! * [`env`] — the strict `SYBIL_*` environment-knob parsing contract
+//!   (unset → default, valid → override, garbage → abort with an
+//!   actionable message), shared by the bench knobs and the gate
+//!   service's `SYBIL_GATE_*` settings;
 //! * [`stats`] — streaming [`Welford`](stats::Welford) mean/variance and
 //!   t-based 95 % confidence intervals, so multi-trial aggregation never
 //!   holds a cell's reports resident together;
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod env;
 pub mod fault;
 pub mod pool;
 pub mod runner;

@@ -19,19 +19,11 @@ use std::time::Instant;
 /// CI; this override exists so multi-core hosts can tune it and record
 /// the effective value through [`PoolStats::chunk_size`].
 pub fn parse_chunk(raw: Result<String, std::env::VarError>) -> Result<Option<usize>, String> {
-    match raw {
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("SYBIL_BENCH_CHUNK is not valid unicode: {e}")),
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) => Err("SYBIL_BENCH_CHUNK=0 is invalid: workers claim at least one job \
-                 per chunk (unset the variable for the computed default)"
-                .to_string()),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!(
-                "SYBIL_BENCH_CHUNK={v:?} is not a positive integer (example: SYBIL_BENCH_CHUNK=4)"
-            )),
-        },
-    }
+    crate::env::positive_usize(
+        "SYBIL_BENCH_CHUNK",
+        raw,
+        "workers claim at least one job per chunk (unset the variable for the computed default)",
+    )
 }
 
 /// Reads [`parse_chunk`] from the environment.
@@ -43,13 +35,7 @@ pub fn chunk_from_env() -> Result<Option<usize>, String> {
 /// the parse error rather than being silently ignored.
 fn chunk_override() -> Option<usize> {
     static CHUNK: OnceLock<Option<usize>> = OnceLock::new();
-    *CHUNK.get_or_init(|| match chunk_from_env() {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    })
+    *CHUNK.get_or_init(|| crate::env::or_abort(chunk_from_env()))
 }
 
 /// Parses a `SYBIL_BENCH_SHARDS` setting: how many engine shards each
@@ -58,19 +44,11 @@ fn chunk_override() -> Option<usize> {
 /// Strict, like `SYBIL_BENCH_WORKERS`: `0` or garbage aborts instead of
 /// silently running unsharded.
 pub fn parse_shards(raw: Result<String, std::env::VarError>) -> Result<Option<usize>, String> {
-    match raw {
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("SYBIL_BENCH_SHARDS is not valid unicode: {e}")),
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) => Err("SYBIL_BENCH_SHARDS=0 is invalid: a simulation needs at least one \
-                 shard (unset the variable to run unsharded)"
-                .to_string()),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!(
-                "SYBIL_BENCH_SHARDS={v:?} is not a positive integer (example: SYBIL_BENCH_SHARDS=4)"
-            )),
-        },
-    }
+    crate::env::positive_usize(
+        "SYBIL_BENCH_SHARDS",
+        raw,
+        "a simulation needs at least one shard (unset the variable to run unsharded)",
+    )
 }
 
 /// Reads [`parse_shards`] from the environment.
@@ -82,13 +60,7 @@ pub fn shards_from_env() -> Result<Option<usize>, String> {
 /// the pre-sharding behavior). Aborts on an invalid override.
 pub fn default_shards() -> usize {
     static SHARDS: OnceLock<usize> = OnceLock::new();
-    *SHARDS.get_or_init(|| match shards_from_env() {
-        Ok(v) => v.unwrap_or(1),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    })
+    *SHARDS.get_or_init(|| crate::env::or_abort(shards_from_env()).unwrap_or(1))
 }
 
 /// Splits a worker budget between the cell pool and in-cell shards.

@@ -1,0 +1,226 @@
+//! `gate_bench` — the admission-service performance baseline.
+//!
+//! Replays a ~110k-session churn workload (written to disk and read back
+//! through the SYBWKLD0 loader, same as the engine benchmarks) through
+//! the loopback transport twice — once all-honest, once with 30%
+//! adversarial joins — and writes verification throughput, decision
+//! latency percentiles, and the decision-log fingerprint to
+//! `BENCH_gate.json`.
+//!
+//! ```text
+//! Usage: gate_bench [OUTPUT_PATH]
+//!
+//!   OUTPUT_PATH   where to write the JSON (default: BENCH_gate.json)
+//! ```
+//!
+//! The scenarios always run at full size: the fingerprint gate in
+//! `bench_compare` needs byte-identical decision logs between CI and the
+//! committed baseline, and shrinking the workload would change them. The
+//! `sha256_64b` calibration entry gives `bench_compare` a machine-speed
+//! proxy so its throughput floor adapts to slow runners.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use sybil_churn::{ArrivalProcess, ChurnModel, SessionModel};
+use sybil_crypto::{hex, Sha256};
+use sybil_gate::memhard::MemHardParams;
+use sybil_gate::{replay, GateConfig, GateService, ReplayConfig, ReplayReport};
+use sybil_sim::{write_workload_file, DiskWorkload, Time, WorkloadSource};
+
+/// The benchmark workload: sized so the replay opens well over 10⁵
+/// connections (the committed-baseline contract).
+const HORIZON: Time = Time(1100.0);
+const WORKLOAD_SEED: u64 = 41;
+
+fn model() -> ChurnModel {
+    ChurnModel {
+        name: "gate",
+        initial_size: 2000,
+        arrival: ArrivalProcess::Poisson { rate: 100.0 },
+        session: SessionModel::Exponential { mean: 600.0 },
+    }
+}
+
+fn gate_cfg(initial_size: u64) -> GateConfig {
+    GateConfig {
+        difficulty_floor: 8,
+        difficulty_cap: 1 << 16,
+        mine_bits: 2,
+        mem: MemHardParams { blocks: 32, passes: 1 },
+        initial_size,
+        ..GateConfig::default()
+    }
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    report: ReplayReport,
+    counters: sybil_gate::GateCounters,
+    fingerprint: String,
+    wall_secs: f64,
+}
+
+fn run_scenario(
+    name: &'static str,
+    source: DiskWorkload,
+    adversarial_fraction: f64,
+) -> ScenarioResult {
+    let initial = source.initial_size();
+    let cfg = ReplayConfig { horizon: HORIZON, adversarial_fraction, seed: 23 };
+    let started = Instant::now();
+    let (gate, report) = replay(source, GateService::new(gate_cfg(initial)), &cfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+    ScenarioResult {
+        name,
+        counters: gate.counters(),
+        fingerprint: hex::encode(gate.fingerprint().as_bytes()),
+        report,
+        wall_secs,
+    }
+}
+
+/// Hashes 64-byte messages for a fixed iteration count: the machine-speed
+/// calibration `bench_compare` uses to scale its throughput floor.
+fn sha256_calibration() -> (u64, f64) {
+    let ops: u64 = 1_000_000;
+    let mut msg = [0u8; 64];
+    let started = Instant::now();
+    for i in 0..ops {
+        msg[..8].copy_from_slice(&i.to_le_bytes());
+        let digest = Sha256::digest(&msg);
+        msg[8..40].copy_from_slice(digest.as_bytes());
+    }
+    (ops, started.elapsed().as_secs_f64())
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(calibration: (u64, f64), scenarios: &[ScenarioResult]) -> String {
+    let mut out = String::from("{\n");
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    out.push_str(&format!("  \"generated_unix_secs\": {unix_secs},\n"));
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    let (ops, wall) = calibration;
+    out.push_str("  \"queue\": {\n");
+    out.push_str(&format!(
+        "    \"sha256_64b\": {{\"ops\": {ops}, \"wall_secs\": {}, \"ops_per_sec\": {}}}\n",
+        json_f64(wall),
+        json_f64(ops as f64 / wall)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"gate\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let c = s.counters;
+        let r = &s.report;
+        let verifications_per_sec = if r.pow_handle_secs > 0.0 {
+            c.pow_verifications as f64 / r.pow_handle_secs
+        } else {
+            f64::NAN
+        };
+        let decision_secs = r.pow_handle_secs + r.mine_handle_secs;
+        let decisions_per_sec =
+            if decision_secs > 0.0 { r.hist.count() as f64 / decision_secs } else { f64::NAN };
+        out.push_str(&format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"connections\": {},\n",
+                "      \"granted\": {},\n",
+                "      \"admitted\": {},\n",
+                "      \"rejected_pow\": {},\n",
+                "      \"refused_mine\": {},\n",
+                "      \"departed\": {},\n",
+                "      \"pow_verifications\": {},\n",
+                "      \"mem_verifications\": {},\n",
+                "      \"client_pow_work\": {},\n",
+                "      \"mine_attempts\": {},\n",
+                "      \"verifications_per_sec\": {},\n",
+                "      \"decisions_per_sec\": {},\n",
+                "      \"wall_secs\": {},\n",
+                "      \"latency_p50_ns\": {},\n",
+                "      \"latency_p99_ns\": {},\n",
+                "      \"latency_p999_ns\": {},\n",
+                "      \"latency_max_ns\": {},\n",
+                "      \"decision_fingerprint\": \"{}\"\n",
+                "    }}{}\n",
+            ),
+            s.name,
+            r.connections,
+            c.granted,
+            c.admitted,
+            c.rejected_pow,
+            c.refused_mine,
+            c.departed,
+            c.pow_verifications,
+            c.mem_verifications,
+            r.client_pow_work,
+            r.mine_attempts,
+            json_f64(verifications_per_sec),
+            json_f64(decisions_per_sec),
+            json_f64(s.wall_secs),
+            r.hist.percentile(0.50),
+            r.hist.percentile(0.99),
+            r.hist.percentile(0.999),
+            r.hist.max(),
+            s.fingerprint,
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gate.json".to_string());
+    println!("=== Admission gate baseline ===");
+    let started = Instant::now();
+
+    let workload = model().generate(HORIZON, WORKLOAD_SEED);
+    assert!(
+        workload.session_count() >= 100_000,
+        "benchmark contract: >= 1e5 sessions, got {}",
+        workload.session_count()
+    );
+    // Round-trip through the on-disk format so the bench exercises the
+    // same loader a real deployment replays captured traces with.
+    let wl_path = std::env::temp_dir()
+        .join(format!("gate_bench_{}_{WORKLOAD_SEED}.sybwkld", std::process::id()));
+    write_workload_file(&wl_path, &workload).expect("write benchmark workload");
+
+    let open = || DiskWorkload::open(&wl_path).expect("reopen benchmark workload");
+    let mut scenarios = Vec::new();
+    for (name, fraction) in [("gate_honest", 0.0), ("gate_adversarial", 0.3)] {
+        let result = run_scenario(name, open(), fraction);
+        let c = result.counters;
+        println!(
+            "{name:>18}: {} conns, {} admitted, {} rejected, {:.0} verifications/s, p99 {} ns",
+            result.report.connections,
+            c.admitted,
+            c.rejected_pow,
+            c.pow_verifications as f64 / result.report.pow_handle_secs,
+            result.report.hist.percentile(0.99),
+        );
+        scenarios.push(result);
+    }
+    let _ = std::fs::remove_file(&wl_path);
+
+    println!("calibrating machine speed (sha256_64b)...");
+    let calibration = sha256_calibration();
+
+    let json = to_json(calibration, &scenarios);
+    let mut file =
+        std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    file.write_all(json.as_bytes()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+    println!("elapsed: {:.1?}", started.elapsed());
+}

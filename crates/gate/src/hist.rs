@@ -1,0 +1,161 @@
+//! A fixed-footprint log-linear latency histogram (HDR style).
+//!
+//! Recording a sample is two shifts and an increment; percentile queries
+//! scan the bucket array once. Values are bucketed with 6 significant
+//! bits, so every bucket's lower bound is within ~1.6% of any value it
+//! holds — plenty for p50/p99/p999 reporting — and the whole histogram
+//! is a flat `Vec<u64>` of a few thousand counters regardless of how
+//! many samples land in it. No dynamic allocation after construction,
+//! no sorting, no retained samples.
+
+/// Significant bits of precision per bucket (values within a bucket
+/// differ by at most `2^-PRECISION_BITS` relative error).
+const PRECISION_BITS: u32 = 6;
+/// Buckets in the linear region and per logarithmic half-decade.
+const SUB_BUCKETS: usize = 1 << PRECISION_BITS;
+/// Exponent range above the linear region for 64-bit values.
+const EXP_GROUPS: usize = 64 - PRECISION_BITS as usize;
+
+/// A log-linear histogram of `u64` samples (nanoseconds, here).
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of `value`: identity below [`SUB_BUCKETS`], then 64
+/// buckets per power of two keeping the top 6 bits.
+fn index_of(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // >= PRECISION_BITS here
+    let group = (exp - PRECISION_BITS + 1) as usize;
+    let sub = ((value >> (exp - PRECISION_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    group * SUB_BUCKETS + sub
+}
+
+/// Lower bound of the values mapping to bucket `index` (the reported
+/// representative; true values are at most ~1.6% above it).
+fn value_of(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let group = (index / SUB_BUCKETS) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let exp = group + PRECISION_BITS - 1;
+    (1u64 << exp) | (sub << (exp - PRECISION_BITS))
+}
+
+impl LatencyHist {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        LatencyHist { buckets: vec![0; (EXP_GROUPS + 1) * SUB_BUCKETS], count: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[index_of(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, exact.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (e.g. `0.99` for p99):
+    /// the representative of the bucket containing the `ceil(q·count)`-th
+    /// smallest sample. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max; // The top rank is the exact observed maximum.
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_value_are_consistent() {
+        // value_of(index_of(v)) must be <= v with bounded relative error.
+        let mut probes: Vec<u64> = (0..200).collect();
+        for shift in (0..64).step_by(4) {
+            let v = 1u64 << shift;
+            probes.extend([v.saturating_sub(1), v, v + 1, v.saturating_mul(3)]);
+        }
+        probes.push(u64::MAX);
+        for &p in &probes {
+            let lower = value_of(index_of(p));
+            assert!(lower <= p, "lower {lower} above probe {p}");
+            if p >= SUB_BUCKETS as u64 {
+                // Relative error bounded by the 6-bit precision.
+                assert!(
+                    (p - lower) as f64 / p as f64 <= 1.0 / SUB_BUCKETS as f64,
+                    "probe {p} lower {lower}"
+                );
+            } else {
+                assert_eq!(lower, p, "linear region is exact");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = LatencyHist::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in 1µs steps
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        // Each estimate is a lower bound within one bucket width.
+        assert!(p50 <= 500_000 && p50 as f64 >= 500_000.0 * (1.0 - 2.0 / 64.0), "p50 {p50}");
+        assert!(p99 <= 990_000 && p99 as f64 >= 990_000.0 * (1.0 - 2.0 / 64.0), "p99 {p99}");
+        assert!(p999 <= 1_000_000 && p999 as f64 >= 999_000.0 * (1.0 - 2.0 / 64.0), "p999 {p999}");
+        assert!(p50 <= p99 && p99 <= p999, "percentiles must be monotone");
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let mut h = LatencyHist::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.count(), 0);
+        h.record(0);
+        assert_eq!(h.percentile(0.5), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // p100 is capped at the exact observed max.
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

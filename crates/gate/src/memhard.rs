@@ -1,0 +1,193 @@
+//! Memory-hard identity mining: the second admission phase.
+//!
+//! The pre-handshake PoW (phase one) is a pure compute race, which
+//! favors an adversary with ASIC-style hash throughput. Phase two makes
+//! the *full* admission cost memory-bound instead: the miner must fill a
+//! buffer of hash blocks, then mix it with data-dependent reads whose
+//! addresses come out of the blocks themselves, so the whole buffer has
+//! to stay resident — there is no shortcut that recomputes blocks on
+//! demand without paying the fill cost again per read.
+//!
+//! This is a deliberately small, dependency-free stand-in for an
+//! Argon2-class function (the build environment is offline): SHA-256
+//! fill, data-dependent mix, sequential salt search. The *shape* of the
+//! cost (memory × passes, unpredictable addressing) is what the gate's
+//! economics need; the constants are tuned for test-speed, not for
+//! production hardness.
+
+use sybil_crypto::{Digest, Sha256};
+
+/// Size of the fill buffer and number of mix passes over it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemHardParams {
+    /// Number of 32-byte blocks in the fill buffer (minimum 1).
+    pub blocks: u32,
+    /// Number of data-dependent mix passes over the buffer (minimum 1).
+    pub passes: u32,
+}
+
+impl Default for MemHardParams {
+    fn default() -> Self {
+        MemHardParams { blocks: 64, passes: 1 }
+    }
+}
+
+/// Outcome of a successful [`mine`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MineResult {
+    /// The salt whose digest met the difficulty.
+    pub salt: u64,
+    /// The winning digest (callers re-verify with [`fill_and_mix`]).
+    pub digest: Digest,
+    /// Salts tried, including the winner — the miner's paid work.
+    pub attempts: u64,
+}
+
+/// Computes the memory-hard digest of `material` under `salt`.
+///
+/// Deterministic: both the miner and the verifier run this exact
+/// function, so a submitted salt is checked by one evaluation. The cost
+/// is `blocks` fill hashes plus `blocks × passes` mix hashes, each mix
+/// step reading a block chosen by the previous digest's bits.
+pub fn fill_and_mix(material: &[u8], salt: u64, p: &MemHardParams) -> Digest {
+    let n = p.blocks.max(1) as usize;
+    let passes = p.passes.max(1);
+    let mut blocks: Vec<Digest> = Vec::with_capacity(n);
+
+    // Fill: a hash chain seeded from the material and salt. Block i
+    // depends on block i-1, so the fill itself is sequential.
+    let mut h = Sha256::new();
+    h.update(&(material.len() as u64).to_be_bytes());
+    h.update(material);
+    h.update(&salt.to_be_bytes());
+    h.update(&0u64.to_be_bytes());
+    blocks.push(h.finalize());
+    for i in 1..n {
+        let mut h = Sha256::new();
+        h.update(blocks[i - 1].as_bytes());
+        h.update(&(i as u64).to_be_bytes());
+        blocks.push(h.finalize());
+    }
+
+    // Mix: every step reads a partner block addressed by the current
+    // block's own bits, which are unknowable before the fill completes.
+    let mut counter: u64 = 0;
+    for _ in 0..passes {
+        for i in 0..n {
+            let partner = (blocks[i].prefix_u128() % n as u128) as usize;
+            counter += 1;
+            let mut h = Sha256::new();
+            h.update(blocks[i].as_bytes());
+            h.update(blocks[partner].as_bytes());
+            h.update(&counter.to_be_bytes());
+            blocks[i] = h.finalize();
+        }
+    }
+
+    // Final: the last block plus one more data-dependent read.
+    let last = blocks[n - 1];
+    let partner = (last.prefix_u128() % n as u128) as usize;
+    let mut h = Sha256::new();
+    h.update(last.as_bytes());
+    h.update(blocks[partner].as_bytes());
+    h.finalize()
+}
+
+/// True when the digest ends in at least `bits` zero bits.
+///
+/// Trailing bits, not leading, so the difficulty predicate is disjoint
+/// from the leading-prefix comparison the phase-one PoW uses — a digest
+/// good for one says nothing about the other.
+pub fn meets_difficulty(digest: &Digest, bits: u8) -> bool {
+    let mut remaining = u32::from(bits);
+    for byte in digest.as_bytes().iter().rev() {
+        if remaining == 0 {
+            return true;
+        }
+        let zeros = (*byte).trailing_zeros().min(8);
+        if zeros < remaining.min(8) {
+            return false;
+        }
+        remaining = remaining.saturating_sub(8);
+    }
+    remaining == 0
+}
+
+/// Mines the smallest salt whose [`fill_and_mix`] digest meets `bits`
+/// trailing zero bits. Deterministic for fixed inputs.
+pub fn mine(material: &[u8], bits: u8, p: &MemHardParams) -> MineResult {
+    let mut salt = 0u64;
+    loop {
+        let digest = fill_and_mix(material, salt, p);
+        if meets_difficulty(&digest, bits) {
+            return MineResult { salt, digest, attempts: salt + 1 };
+        }
+        salt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: MemHardParams = MemHardParams { blocks: 8, passes: 2 };
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let a = fill_and_mix(b"material", 7, &P);
+        let b = fill_and_mix(b"material", 7, &P);
+        assert_eq!(a, b);
+        assert_ne!(a, fill_and_mix(b"material", 8, &P));
+        assert_ne!(a, fill_and_mix(b"materiaL", 7, &P));
+        assert_ne!(a, fill_and_mix(b"material", 7, &MemHardParams { blocks: 9, passes: 2 }));
+        assert_ne!(a, fill_and_mix(b"material", 7, &MemHardParams { blocks: 8, passes: 3 }));
+    }
+
+    #[test]
+    fn difficulty_counts_trailing_zero_bits() {
+        let mut zeros = [0u8; 32];
+        assert!(meets_difficulty(&Digest(zeros), 255));
+        zeros[31] = 0b0000_1000; // 3 trailing zero bits
+        let d = Digest(zeros);
+        for bits in 0..=3 {
+            assert!(meets_difficulty(&d, bits), "bits {bits}");
+        }
+        assert!(!meets_difficulty(&d, 4));
+        // A full zero byte then a partial one: 8 + 1 = 9 trailing zeros.
+        let mut bytes = [0xffu8; 32];
+        bytes[31] = 0;
+        bytes[30] = 0b0000_0010;
+        let d = Digest(bytes);
+        assert!(meets_difficulty(&d, 9));
+        assert!(!meets_difficulty(&d, 10));
+    }
+
+    #[test]
+    fn mine_finds_smallest_salt_and_verifier_agrees() {
+        let result = mine(b"token-bytes", 3, &P);
+        assert_eq!(result.attempts, result.salt + 1);
+        // Every earlier salt genuinely fails — the search is exhaustive.
+        for salt in 0..result.salt {
+            assert!(!meets_difficulty(&fill_and_mix(b"token-bytes", salt, &P), 3));
+        }
+        // One verifier evaluation reproduces the winner.
+        let check = fill_and_mix(b"token-bytes", result.salt, &P);
+        assert_eq!(check, result.digest);
+        assert!(meets_difficulty(&check, 3));
+    }
+
+    #[test]
+    fn expected_attempts_scale_with_bits() {
+        // Over many materials, mean attempts for k bits should be near
+        // 2^k. Loose bounds — this is a sanity check, not a statistics
+        // test.
+        let mut total = 0u64;
+        let cases = 32;
+        for i in 0..cases {
+            let material = format!("material-{i}");
+            total += mine(material.as_bytes(), 2, &P).attempts;
+        }
+        let mean = total as f64 / f64::from(cases);
+        assert!(mean > 1.0 && mean < 16.0, "mean attempts {mean}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Transports: in-process loopback and TCP.
+//!
+//! The loopback transport runs the full wire path — every frame is
+//! encoded to bytes and decoded back on both legs — without sockets, so
+//! tests and benchmarks exercise exactly the bytes a TCP peer would see
+//! while staying deterministic and sandbox-friendly. The TCP transport
+//! serves the same [`GateService`] behind a mutex, one reader thread per
+//! connection with a hard cap.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sybil_sim::Time;
+
+use crate::service::{GateService, Response};
+use crate::wire::{read_frame, Frame};
+
+/// An in-process connection to a gate, speaking real wire bytes.
+pub struct Loopback {
+    service: GateService,
+}
+
+impl Loopback {
+    /// Wraps a service in a loopback transport.
+    pub fn new(service: GateService) -> Self {
+        Loopback { service }
+    }
+
+    /// Opens a connection at `now`; returns the connection id and the
+    /// decoded hello frame, after pushing it through encode/decode as a
+    /// socket write would.
+    pub fn connect(&mut self, now: Time) -> (u64, Frame) {
+        let (conn, hello) = self.service.connect(now);
+        let bytes = hello.encode();
+        let (decoded, _) = Frame::decode(&bytes).expect("hello frames always round-trip");
+        (conn, decoded)
+    }
+
+    /// Sends one client frame and returns the server's reply, or `None`
+    /// when the server silently drops. Both directions cross the wire
+    /// encoding.
+    pub fn request(&mut self, conn: u64, frame: &Frame, now: Time) -> Option<Frame> {
+        let bytes = frame.encode();
+        let (decoded, _) = Frame::decode(&bytes).expect("well-formed frames round-trip");
+        match self.service.handle(conn, &decoded, now) {
+            Response::Drop => None,
+            Response::Reply(reply) => {
+                let bytes = reply.encode();
+                let (decoded, _) = Frame::decode(&bytes).expect("replies round-trip");
+                Some(decoded)
+            }
+        }
+    }
+
+    /// The wrapped service (counters, decision log, fingerprint).
+    pub fn service(&self) -> &GateService {
+        &self.service
+    }
+
+    /// Consumes the transport, returning the service.
+    pub fn into_service(self) -> GateService {
+        self.service
+    }
+}
+
+/// Locks a shared service, surviving a panic in another handler: the
+/// gate's state is append-only counters and maps, safe to keep serving.
+fn lock(service: &Mutex<GateService>) -> std::sync::MutexGuard<'_, GateService> {
+    service.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Serves a gate over TCP until the listener fails. Each accepted
+/// connection gets the hello immediately, then a read loop; at most
+/// `max_conns` handler threads run at once — excess connections are
+/// handled inline on the accept thread, a crude but effective
+/// backpressure. Timestamps are seconds since serve start.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<Mutex<GateService>>,
+    max_conns: usize,
+) -> std::io::Result<()> {
+    let start = Instant::now();
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        let slot = Arc::clone(&active);
+        let handler = move || {
+            let _ = handle_conn(stream, &service, start);
+            slot.fetch_sub(1, Ordering::Relaxed);
+        };
+        if active.fetch_add(1, Ordering::Relaxed) < max_conns.max(1) {
+            std::thread::spawn(handler);
+        } else {
+            handler();
+        }
+    }
+    Ok(())
+}
+
+/// One connection's lifecycle: hello, then frames until drop or EOF.
+fn handle_conn(
+    mut stream: std::net::TcpStream,
+    service: &Mutex<GateService>,
+    start: Instant,
+) -> std::io::Result<()> {
+    let now = || Time(start.elapsed().as_secs_f64());
+    let (conn, hello) = lock(service).connect(now());
+    stream.write_all(&hello.encode())?;
+    while let Some(frame) = read_frame(&mut stream)? {
+        match lock(service).handle(conn, &frame, now()) {
+            Response::Reply(reply) => stream.write_all(&reply.encode())?,
+            Response::Drop => break, // silent: close without a byte
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memhard::{mine, MemHardParams};
+    use crate::service::GateConfig;
+    use sybil_crypto::{Challenge, Solver};
+
+    fn small_cfg() -> GateConfig {
+        GateConfig {
+            difficulty_floor: 2,
+            mine_bits: 1,
+            mem: MemHardParams { blocks: 4, passes: 1 },
+            ..GateConfig::default()
+        }
+    }
+
+    /// Drives one full two-phase admission through a transport-agnostic
+    /// request function; shared by the loopback test here and the TCP
+    /// smoke test in `tests/loopback.rs`.
+    pub(crate) fn admit_via(
+        hello: &Frame,
+        mut request: impl FnMut(&Frame) -> Option<Frame>,
+        client_tag: u64,
+    ) -> Option<u64> {
+        let &Frame::Hello { difficulty, nonce, mine_bits, mem_blocks, mem_passes, .. } = hello
+        else {
+            return None;
+        };
+        let challenge = Challenge::new(&nonce, &client_tag.to_be_bytes(), difficulty);
+        let solution = Solver::new().solve(&challenge).nonce;
+        let reply = request(&Frame::Join { client_tag, solution })?;
+        let Frame::Granted { identity, token } = reply else { return None };
+        let mem = MemHardParams { blocks: mem_blocks, passes: mem_passes };
+        let mined = mine(&token, mine_bits, &mem);
+        let reply = request(&Frame::MineSubmit { identity, token, salt: mined.salt })?;
+        matches!(reply, Frame::Admitted { identity: i } if i == identity).then_some(identity)
+    }
+
+    #[test]
+    fn loopback_full_admission_crosses_the_wire() {
+        let mut lb = Loopback::new(GateService::new(small_cfg()));
+        let (conn, hello) = lb.connect(Time(1.0));
+        let identity = admit_via(&hello, |f| lb.request(conn, f, Time(1.0)), 7);
+        // Note: after the Join the connection state is consumed, but the
+        // MineSubmit carries its own credentials so the same conn id works.
+        assert_eq!(identity, Some(0));
+        let c = lb.service().counters();
+        assert_eq!((c.granted, c.admitted), (1, 1));
+    }
+
+    #[test]
+    fn loopback_drop_is_none() {
+        // A high floor so a garbage solution cannot fluke past the
+        // verifier (at difficulty d the fluke probability is 1/d).
+        let cfg = GateConfig { difficulty_floor: 1 << 30, ..small_cfg() };
+        let mut lb = Loopback::new(GateService::new(cfg));
+        let (conn, _) = lb.connect(Time(1.0));
+        let reply = lb.request(conn, &Frame::Join { client_tag: 1, solution: u64::MAX }, Time(1.0));
+        assert_eq!(reply, None);
+        assert_eq!(lb.service().counters().rejected_pow, 1);
+    }
+}

@@ -8,7 +8,7 @@
 //! two good nodes without the master secret.
 
 use crate::network::NodeId;
-use sybil_crypto::hmac::{hmac_sha256, verify_tag};
+use sybil_crypto::hmac::{verify_tag, HmacSha256};
 use sybil_crypto::sha256::Digest;
 
 /// Derives pairwise channel keys from a master secret.
@@ -27,12 +27,17 @@ impl AuthKeys {
     }
 
     /// The shared key for the unordered pair `{a, b}`.
+    ///
+    /// Allocation-free: seal/open sit on the gate service's per-request
+    /// path, so the 16 bytes of key material stay on the stack.
     fn pair_key(&self, a: NodeId, b: NodeId) -> Digest {
         let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        let mut material = Vec::with_capacity(16);
-        material.extend_from_slice(&lo.0.to_be_bytes());
-        material.extend_from_slice(&hi.0.to_be_bytes());
-        hmac_sha256(&self.master, &material)
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&lo.0.to_be_bytes());
+        material[8..].copy_from_slice(&hi.0.to_be_bytes());
+        let mut mac = HmacSha256::new(&self.master);
+        mac.update(&material);
+        mac.finalize()
     }
 
     /// Authenticates `payload` on the channel `from → to`.
@@ -54,12 +59,15 @@ impl AuthKeys {
     }
 }
 
+/// Tags `(from, to, payload)` under `key` by streaming the parts into the
+/// HMAC — no per-message heap concatenation, bit-identical to hashing the
+/// concatenated material (pinned by `tags_bit_identical_to_concatenation`).
 fn tag_for(key: &Digest, from: NodeId, to: NodeId, payload: &[u8]) -> Digest {
-    let mut material = Vec::with_capacity(16 + payload.len());
-    material.extend_from_slice(&from.0.to_be_bytes());
-    material.extend_from_slice(&to.0.to_be_bytes());
-    material.extend_from_slice(payload);
-    hmac_sha256(key.as_bytes(), &material)
+    let mut mac = HmacSha256::new(key.as_bytes());
+    mac.update(&from.0.to_be_bytes());
+    mac.update(&to.0.to_be_bytes());
+    mac.update(payload);
+    mac.finalize()
 }
 
 /// A message with sender/recipient binding and an HMAC tag.
@@ -123,5 +131,36 @@ mod tests {
     fn pair_key_is_symmetric() {
         let keys = AuthKeys::new(b"m");
         assert_eq!(keys.pair_key(NodeId(3), NodeId(8)), keys.pair_key(NodeId(8), NodeId(3)));
+    }
+
+    /// Pins the streaming construction bit-identical to the original
+    /// heap-concatenating one: any drift here would silently invalidate every
+    /// previously issued tag.
+    #[test]
+    fn tags_bit_identical_to_concatenation() {
+        use sybil_crypto::hmac::hmac_sha256;
+
+        let keys = AuthKeys::new(b"pin-master");
+        for (from, to, payload) in [
+            (NodeId(1), NodeId(2), &b"vote: entry 7"[..]),
+            (NodeId(u64::MAX), NodeId(0), &b""[..]),
+            (NodeId(42), NodeId(42), &[0u8; 200][..]),
+        ] {
+            // Old pair_key: HMAC(master, lo_be || hi_be).
+            let (lo, hi) = if from.0 <= to.0 { (from, to) } else { (to, from) };
+            let mut key_material = Vec::with_capacity(16);
+            key_material.extend_from_slice(&lo.0.to_be_bytes());
+            key_material.extend_from_slice(&hi.0.to_be_bytes());
+            let old_key = hmac_sha256(b"pin-master", &key_material);
+            // Old tag_for: HMAC(pair_key, from_be || to_be || payload).
+            let mut tag_material = Vec::with_capacity(16 + payload.len());
+            tag_material.extend_from_slice(&from.0.to_be_bytes());
+            tag_material.extend_from_slice(&to.0.to_be_bytes());
+            tag_material.extend_from_slice(payload);
+            let old_tag = hmac_sha256(old_key.as_bytes(), &tag_material);
+
+            let msg = keys.seal(from, to, payload);
+            assert_eq!(msg.tag, old_tag, "tag drifted for {from:?} -> {to:?}");
+        }
     }
 }

@@ -138,6 +138,19 @@ impl AdmissionMap {
         *word = (*word & !(0b11 << shift)) | (state.to_bits() << shift);
     }
 
+    /// Extends the map to address `len` sessions (no-op if it already
+    /// does). New sessions read as [`AdmissionState::Pending`] and cost
+    /// only directory slots until written — this is how a long-running
+    /// service grows its identity space without copying packed state.
+    pub fn grow(&mut self, len: u64) {
+        if len <= self.len {
+            return;
+        }
+        let n_segments = (len as usize).div_ceil(SEGMENT_ENTRIES);
+        self.segments.resize(n_segments, None);
+        self.len = len;
+    }
+
     /// Number of segments currently allocated.
     pub fn allocated_segments(&self) -> usize {
         self.allocated
@@ -214,6 +227,22 @@ mod tests {
         // 2 KiB per segment plus the directory.
         assert!(map.allocated_bytes() >= 2 * SEGMENT_WORDS * 8);
         assert!(map.allocated_bytes() < 3 * SEGMENT_WORDS * 8 + 1024);
+    }
+
+    #[test]
+    fn grow_extends_without_disturbing_state() {
+        let mut map = AdmissionMap::new(10);
+        map.set(3, AdmissionState::Admitted);
+        map.grow(5); // shrinking request is a no-op
+        assert_eq!(map.len(), 10);
+        map.grow(2 * SEGMENT_ENTRIES as u64 + 1);
+        assert_eq!(map.len(), 2 * SEGMENT_ENTRIES as u64 + 1);
+        assert_eq!(map.get(3), AdmissionState::Admitted);
+        assert_eq!(map.get(2 * SEGMENT_ENTRIES as u64), AdmissionState::Pending);
+        // Growth adds directory slots, not segment payloads.
+        assert_eq!(map.allocated_segments(), 1);
+        map.set(2 * SEGMENT_ENTRIES as u64, AdmissionState::Refused);
+        assert_eq!(map.get(2 * SEGMENT_ENTRIES as u64), AdmissionState::Refused);
     }
 
     #[test]
