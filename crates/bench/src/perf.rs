@@ -429,6 +429,17 @@ pub fn to_json(report: &PerfReport) -> String {
     // hardware-aware: a 1-core runner cannot demonstrate a speedup.
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    // The nested-parallelism split the experiment layer would use on
+    // this machine: `workers` outer grid cells × `cell_shards` in-cell
+    // shard workers (each also owning its slice of the defense state),
+    // with the outer pool shrunk to keep the thread product bounded.
+    let workers = crate::sweep::default_workers();
+    let cell_shards = sybil_exp::pool::default_shards();
+    out.push_str(&format!(
+        "  \"shard_budget\": {{\"workers\": {workers}, \"cell_shards\": {cell_shards}, \
+         \"outer_pool\": {}}},\n",
+        sybil_exp::pool::shard_budget(workers, cell_shards)
+    ));
     out.push_str("  \"queue\": {\n");
     for (i, q) in report.queue.iter().enumerate() {
         out.push_str(&format!(

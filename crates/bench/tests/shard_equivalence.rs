@@ -5,8 +5,8 @@
 //! engine's merge order; this one pins that nothing in the defense stack
 //! — entrance-cost math, purge scheduling, classifier gates, REMP's
 //! rate-limiting — observes the shard count either. Every run is compared
-//! as a full [`SimReport`] bit pattern across S ∈ {1, 2, 3, 7, 16}, in
-//! memory and disk-streamed.
+//! as a full [`SimReport`] bit pattern across S ∈ {1, 2, 3, 5, 7, 16, 32},
+//! in memory and disk-streamed.
 
 use sybil_bench::sweep::{defense_seed, run_report_with, Algo, AlgoVisitor};
 use sybil_churn::networks;
@@ -17,8 +17,11 @@ use sybil_sim::time::Time;
 use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
 use sybil_sim::{ShardedWorkload, SimReport, Workload};
 
-/// The shard counts the acceptance criteria pin.
-const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+/// The shard counts the acceptance criteria pin. 5 and 32 exercise the
+/// sharded defense state (per-shard admission slices and ledgers); a
+/// prime-heavy set against the generated gnutella trace guarantees
+/// non-divisor (ragged-slice) layouts at several scales.
+const SHARD_COUNTS: [usize; 7] = [1, 2, 3, 5, 7, 16, 32];
 
 fn workload(horizon: f64) -> Workload {
     networks::gnutella().generate(Time(horizon), 9)

@@ -498,6 +498,7 @@ impl Defense for Ergo {
                 adv_cost: Cost::ZERO,
                 bad_removed: 0,
                 skipped: true,
+                good_charged: 0,
             };
         }
         let retain = retain_bad.min(self.n_bad);
@@ -512,7 +513,13 @@ impl Defense for Ergo {
         self.sync_est_stamp(now);
         self.reset_iteration(now);
         self.events.push(DefenseEvent::PurgeCompleted { at: now, members_after: self.n_members() });
-        PurgeReport { good_cost, adv_cost, bad_removed: removed, skipped: false }
+        PurgeReport {
+            good_cost,
+            adv_cost,
+            bad_removed: removed,
+            skipped: false,
+            good_charged: self.n_good,
+        }
     }
 
     fn next_periodic(&self) -> Option<Time> {
@@ -524,7 +531,7 @@ impl Defense for Ergo {
     }
 
     fn periodic_apply(&mut self, _now: Time, _bad_retained: u64) -> PeriodicReport {
-        PeriodicReport { good_cost: Cost::ZERO, bad_dropped: 0 }
+        PeriodicReport { good_cost: Cost::ZERO, bad_dropped: 0, good_charged: 0 }
     }
 
     fn n_members(&self) -> u64 {

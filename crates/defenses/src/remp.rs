@@ -128,7 +128,13 @@ impl Defense for Remp {
     }
 
     fn purge(&mut self, _now: Time, _retain_bad: u64) -> PurgeReport {
-        PurgeReport { good_cost: Cost::ZERO, adv_cost: Cost::ZERO, bad_removed: 0, skipped: true }
+        PurgeReport {
+            good_cost: Cost::ZERO,
+            adv_cost: Cost::ZERO,
+            bad_removed: 0,
+            skipped: true,
+            good_charged: 0,
+        }
     }
 
     fn next_periodic(&self) -> Option<Time> {
@@ -146,7 +152,11 @@ impl Defense for Remp {
         let dropped = self.n_bad - bad_retained.min(self.n_bad);
         self.n_bad = bad_retained.min(self.n_bad);
         self.next_charge = now + self.cfg.period;
-        PeriodicReport { good_cost: Cost(self.n_good as f64 * per_id), bad_dropped: dropped }
+        PeriodicReport {
+            good_cost: Cost(self.n_good as f64 * per_id),
+            bad_dropped: dropped,
+            good_charged: self.n_good,
+        }
     }
 
     fn n_members(&self) -> u64 {

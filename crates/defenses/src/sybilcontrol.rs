@@ -131,6 +131,7 @@ impl Defense for SybilControl {
             adv_cost: Cost(retain as f64) * 0.0,
             bad_removed: 0,
             skipped: true,
+            good_charged: 0,
         }
     }
 
@@ -149,6 +150,7 @@ impl Defense for SybilControl {
         PeriodicReport {
             good_cost: Cost(self.n_good as f64 * self.cfg.tests_per_round),
             bad_dropped: dropped,
+            good_charged: self.n_good,
         }
     }
 

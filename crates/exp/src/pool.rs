@@ -39,7 +39,11 @@ fn chunk_override() -> Option<usize> {
 }
 
 /// Parses a `SYBIL_BENCH_SHARDS` setting: how many engine shards each
-/// grid cell's simulation replays with (see `sybil_sim::shard`).
+/// grid cell's simulation replays with (see `sybil_sim::shard`). Each
+/// shard owns its slice of the defense state too — admission bits and
+/// integer spend ledgers, reduced deterministically at epoch boundaries
+/// (see `sybil_sim::shard_state`) — so the count never changes results,
+/// only the work split.
 ///
 /// Strict, like `SYBIL_BENCH_WORKERS`: `0` or garbage aborts instead of
 /// silently running unsharded.

@@ -7,16 +7,18 @@
 //!   SYBIL_GATE_DIFFICULTY   PoW difficulty floor (positive; default 8)
 //!   SYBIL_GATE_WORKERS      max concurrent connection threads
 //!                           (positive; default 8)
+//!   SYBIL_GATE_SHARDS       shard workers for the admission state
+//!                           (positive; default 1)
 //! ```
 //!
 //! Every knob follows the repo's strict-parsing contract: unset means
 //! the default, garbage aborts with an actionable message.
 
 use std::net::TcpListener;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use sybil_exp::env;
-use sybil_gate::{transport, GateConfig, GateService};
+use sybil_gate::{transport, GateConfig, ShardedGate};
 
 fn main() {
     let addr =
@@ -39,6 +41,12 @@ fn main() {
         "the service needs at least one connection thread (unset the variable for the default)",
     ))
     .unwrap_or(8);
+    let shards = env::or_abort(env::positive_usize(
+        "SYBIL_GATE_SHARDS",
+        std::env::var("SYBIL_GATE_SHARDS"),
+        "the service needs at least one shard worker (unset the variable for the default)",
+    ))
+    .unwrap_or(1);
 
     let mut cfg = GateConfig::default();
     if let Some(d) = difficulty {
@@ -49,10 +57,11 @@ fn main() {
         std::process::exit(1)
     });
     println!(
-        "sybil-gate listening on {addr} (difficulty floor {}, mine bits {}, {workers} workers)",
+        "sybil-gate listening on {addr} (difficulty floor {}, mine bits {}, {workers} workers, \
+         {shards} shard(s))",
         cfg.difficulty_floor, cfg.mine_bits
     );
-    let service = Arc::new(Mutex::new(GateService::new(cfg)));
+    let service = Arc::new(ShardedGate::new(cfg, shards));
     if let Err(e) = transport::serve(listener, service, workers) {
         eprintln!("error: listener failed: {e}");
         std::process::exit(1);

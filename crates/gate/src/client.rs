@@ -24,7 +24,7 @@ use sybil_sim::{Time, WorkloadSource, WorkloadStream};
 
 use crate::hist::LatencyHist;
 use crate::memhard::{mine, MemHardParams};
-use crate::service::GateService;
+use crate::service::GateHandler;
 use crate::transport::Loopback;
 use crate::wire::Frame;
 
@@ -85,12 +85,13 @@ type DepartKey = Reverse<(u64, u64)>;
 
 /// Replays `source` against `gate` through the loopback transport.
 /// Returns the driven service (decision log, counters) and the
-/// client-side report.
-pub fn replay<S: WorkloadSource>(
+/// client-side report. Works against any [`GateHandler`] — the replay is
+/// how the equivalence tests pin the sharded gate to the monolithic one.
+pub fn replay<S: WorkloadSource, G: GateHandler>(
     source: S,
-    gate: GateService,
+    gate: G,
     cfg: &ReplayConfig,
-) -> (GateService, ReplayReport) {
+) -> (G, ReplayReport) {
     let mut lb = Loopback::new(gate);
     let mut report = ReplayReport::new();
     let mut stream = source.into_stream(cfg.horizon);
@@ -157,8 +158,8 @@ pub fn replay<S: WorkloadSource>(
 
 /// One honest join: solve the hello PoW, submit, mine, submit. Returns
 /// `(identity, token, client_tag, solution)` on full admission.
-fn honest_join(
-    lb: &mut Loopback,
+fn honest_join<G: GateHandler>(
+    lb: &mut Loopback<G>,
     report: &mut ReplayReport,
     cfg: &ReplayConfig,
     index: u32,
@@ -195,8 +196,8 @@ fn honest_join(
 /// completes phase two). Odd serials replay the last honest client's
 /// `(tag, solution)` on this fresh connection, which the per-connection
 /// nonce defeats.
-fn adversarial_join(
-    lb: &mut Loopback,
+fn adversarial_join<G: GateHandler>(
+    lb: &mut Loopback<G>,
     report: &mut ReplayReport,
     cfg: &ReplayConfig,
     index: u32,
@@ -219,12 +220,22 @@ fn adversarial_join(
     }
 }
 
-fn connect(lb: &mut Loopback, report: &mut ReplayReport, now: Time) -> (u64, Frame) {
+fn connect<G: GateHandler>(
+    lb: &mut Loopback<G>,
+    report: &mut ReplayReport,
+    now: Time,
+) -> (u64, Frame) {
     report.connections += 1;
     lb.connect(now)
 }
 
-fn depart(lb: &mut Loopback, report: &mut ReplayReport, identity: u64, token: [u8; 32], now: Time) {
+fn depart<G: GateHandler>(
+    lb: &mut Loopback<G>,
+    report: &mut ReplayReport,
+    identity: u64,
+    token: [u8; 32],
+    now: Time,
+) {
     let (conn, _) = connect(lb, report, now);
     let reply = lb.request(conn, &Frame::Depart { identity, token }, now);
     debug_assert!(
@@ -236,8 +247,8 @@ fn depart(lb: &mut Loopback, report: &mut ReplayReport, identity: u64, token: [u
 
 /// Issues one request, recording its round-trip in the latency histogram
 /// and the matching handle-time accumulator.
-fn timed_request(
-    lb: &mut Loopback,
+fn timed_request<G: GateHandler>(
+    lb: &mut Loopback<G>,
     report: &mut ReplayReport,
     conn: u64,
     frame: &Frame,
@@ -259,7 +270,7 @@ fn timed_request(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::GateConfig;
+    use crate::service::{GateConfig, GateService};
     use sybil_churn::{ArrivalProcess, ChurnModel, SessionModel};
 
     fn workload() -> sybil_sim::Workload {

@@ -7,7 +7,11 @@
 //! join / challenge-response / depart requests over a length-prefixed
 //! binary protocol ([`wire`]), either on TCP ([`transport::serve`]) or
 //! through an in-process loopback that exercises the identical byte path
-//! without sockets ([`transport::Loopback`]).
+//! without sockets ([`transport::Loopback`]). The TCP path serves any
+//! [`SharedGate`]: the monolithic service behind one global mutex, or
+//! the [`ShardedGate`] — N shard workers routed by identity congruence,
+//! with every expensive verification outside all locks — which makes the
+//! same decisions byte for byte.
 //!
 //! Two defense layers stand between a connection and membership:
 //!
@@ -32,6 +36,7 @@
 //! * [`memhard`] — fill-and-mix digest, difficulty predicate, miner.
 //! * [`hist`] — fixed-footprint log-linear latency histogram.
 //! * [`service`] — the admission state machine and decision log.
+//! * [`sharded`] — the state-sharded service behind the same protocol.
 //! * [`transport`] — loopback and TCP front ends.
 //! * [`client`] — deterministic workload replay driver.
 
@@ -42,12 +47,14 @@ pub mod client;
 pub mod hist;
 pub mod memhard;
 pub mod service;
+pub mod sharded;
 pub mod transport;
 pub mod wire;
 
 pub use client::{replay, ReplayConfig, ReplayReport};
 pub use hist::LatencyHist;
 pub use memhard::{fill_and_mix, meets_difficulty, mine, MemHardParams, MineResult};
-pub use service::{GateConfig, GateCounters, GateService, Response};
-pub use transport::Loopback;
+pub use service::{GateConfig, GateCounters, GateHandler, GateService, Response};
+pub use sharded::ShardedGate;
+pub use transport::{Loopback, SharedGate};
 pub use wire::{read_frame, Frame, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -75,21 +75,21 @@ impl Default for GateConfig {
 }
 
 /// What the server has promised one live connection.
-struct ConnState {
+pub(crate) struct ConnState {
     /// Challenge nonce sent in this connection's hello.
-    nonce: [u8; 16],
+    pub(crate) nonce: [u8; 16],
     /// Difficulty quoted in this connection's hello.
-    difficulty: u64,
+    pub(crate) difficulty: u64,
 }
 
 /// What the gate remembers about one issued identity.
-struct IdentityRecord {
+pub(crate) struct IdentityRecord {
     /// The client tag bound into the identity's token.
-    client_tag: u64,
+    pub(crate) client_tag: u64,
     /// When the identity was granted (estimator old/new classification).
-    joined_at: Time,
+    pub(crate) joined_at: Time,
     /// True once the identity departed; departed identities are inert.
-    departed: bool,
+    pub(crate) departed: bool,
 }
 
 /// Monotone counters over a gate's lifetime.
@@ -126,7 +126,7 @@ pub enum Response {
 }
 
 /// Decision-log record kinds (first byte of each 17-byte record).
-mod logkind {
+pub(crate) mod logkind {
     pub const HELLO: u8 = 0;
     pub const GRANTED: u8 = 1;
     pub const REJECTED_POW: u8 = 2;
@@ -134,6 +134,71 @@ mod logkind {
     pub const MINE_REFUSED: u8 = 4;
     pub const DEPARTED: u8 = 5;
     pub const DROPPED: u8 = 6;
+}
+
+/// The deterministic challenge nonce for connection `conn` under `seed`.
+/// Shared by the monolithic and sharded services so their hellos are
+/// byte-identical for the same connection sequence.
+pub(crate) fn challenge_nonce(seed: u64, conn: u64) -> [u8; 16] {
+    let mut h = Sha256::new();
+    h.update(&seed.to_be_bytes());
+    h.update(&conn.to_be_bytes());
+    let digest = h.finalize();
+    let mut nonce = [0u8; 16];
+    nonce.copy_from_slice(&digest.as_bytes()[..16]);
+    nonce
+}
+
+/// The HMAC credential for (`identity`, `client_tag`) under `master_secret`.
+pub(crate) fn token_for(master_secret: &[u8], identity: u64, client_tag: u64) -> Digest {
+    let mut material = [0u8; 16];
+    material[..8].copy_from_slice(&identity.to_be_bytes());
+    material[8..].copy_from_slice(&client_tag.to_be_bytes());
+    hmac_sha256(master_secret, &material)
+}
+
+/// The adaptive difficulty schedule: floor plus the joins granted in the
+/// last `1/J̃` seconds, capped. When the estimator sees no good joins
+/// yet, the window is unbounded and every past join counts — the
+/// conservative quote for a gate that cannot yet tell burst from
+/// baseline.
+pub(crate) fn quote_difficulty(
+    cfg: &GateConfig,
+    est: &GoodJEst,
+    window: &JoinWindow,
+    now: Time,
+) -> u64 {
+    let rate = est.estimate();
+    let width = if rate > 0.0 { 1.0 / rate } else { f64::INFINITY };
+    let recent = window.count_within(now, width);
+    (cfg.difficulty_floor.max(1) + recent).min(cfg.difficulty_cap.max(1))
+}
+
+/// The operations a transport or replay driver needs from an admission
+/// service: open a connection, handle one frame, mint a bootstrap
+/// credential. Implemented by the monolithic [`GateService`] and the
+/// sharded [`ShardedGate`](crate::sharded::ShardedGate), so the loopback
+/// transport and the replay client drive either through the identical
+/// byte path.
+pub trait GateHandler {
+    /// Opens a connection; returns its id and the hello frame.
+    fn connect(&mut self, now: Time) -> (u64, Frame);
+    /// Handles one inbound client frame on connection `conn`.
+    fn handle(&mut self, conn: u64, frame: &Frame, now: Time) -> Response;
+    /// The dealt credential of a pre-admitted bootstrap identity.
+    fn bootstrap_token(&self, identity: u64) -> Option<Digest>;
+}
+
+impl GateHandler for GateService {
+    fn connect(&mut self, now: Time) -> (u64, Frame) {
+        GateService::connect(self, now)
+    }
+    fn handle(&mut self, conn: u64, frame: &Frame, now: Time) -> Response {
+        GateService::handle(self, conn, frame, now)
+    }
+    fn bootstrap_token(&self, identity: u64) -> Option<Digest> {
+        GateService::bootstrap_token(self, identity)
+    }
 }
 
 /// A long-running admission service instance.
@@ -186,13 +251,8 @@ impl GateService {
     pub fn connect(&mut self, now: Time) -> (u64, Frame) {
         let conn = self.next_conn;
         self.next_conn += 1;
-        let mut h = Sha256::new();
-        h.update(&self.cfg.seed.to_be_bytes());
-        h.update(&conn.to_be_bytes());
-        let digest = h.finalize();
-        let mut nonce = [0u8; 16];
-        nonce.copy_from_slice(&digest.as_bytes()[..16]);
-        let difficulty = self.quote_difficulty(now);
+        let nonce = challenge_nonce(self.cfg.seed, conn);
+        let difficulty = quote_difficulty(&self.cfg, &self.est, &self.window, now);
         self.conns.insert(conn, ConnState { nonce, difficulty });
         self.push_record(logkind::HELLO, conn, difficulty);
         let hello = Frame::Hello {
@@ -204,18 +264,6 @@ impl GateService {
             mem_passes: self.cfg.mem.passes,
         };
         (conn, hello)
-    }
-
-    /// The adaptive difficulty schedule: floor plus the joins granted in
-    /// the last `1/J̃` seconds, capped. When the estimator sees no good
-    /// joins yet, the window is unbounded and every past join counts —
-    /// the conservative quote for a gate that cannot yet tell burst from
-    /// baseline.
-    fn quote_difficulty(&self, now: Time) -> u64 {
-        let rate = self.est.estimate();
-        let width = if rate > 0.0 { 1.0 / rate } else { f64::INFINITY };
-        let recent = self.window.count_within(now, width);
-        (self.cfg.difficulty_floor.max(1) + recent).min(self.cfg.difficulty_cap.max(1))
     }
 
     /// Handles one client frame on connection `conn` at time `now`.
@@ -332,10 +380,7 @@ impl GateService {
     /// The HMAC credential for (`identity`, `client_tag`) under the
     /// master secret.
     fn token_for(&self, identity: u64, client_tag: u64) -> Digest {
-        let mut material = [0u8; 16];
-        material[..8].copy_from_slice(&identity.to_be_bytes());
-        material[8..].copy_from_slice(&client_tag.to_be_bytes());
-        hmac_sha256(&self.cfg.master_secret, &material)
+        token_for(&self.cfg.master_secret, identity, client_tag)
     }
 
     /// The credential of a pre-admitted bootstrap identity (`None` for

@@ -4,8 +4,9 @@
 //! encoded to bytes and decoded back on both legs — without sockets, so
 //! tests and benchmarks exercise exactly the bytes a TCP peer would see
 //! while staying deterministic and sandbox-friendly. The TCP transport
-//! serves the same [`GateService`] behind a mutex, one reader thread per
-//! connection with a hard cap.
+//! serves any [`SharedGate`] — the monolithic [`GateService`] behind one
+//! mutex, or the [`ShardedGate`](crate::sharded::ShardedGate) with its
+//! per-shard locks — one reader thread per connection with a hard cap.
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -15,17 +16,17 @@ use std::time::Instant;
 
 use sybil_sim::Time;
 
-use crate::service::{GateService, Response};
+use crate::service::{GateHandler, GateService, Response};
 use crate::wire::{read_frame, Frame};
 
 /// An in-process connection to a gate, speaking real wire bytes.
-pub struct Loopback {
-    service: GateService,
+pub struct Loopback<G = GateService> {
+    service: G,
 }
 
-impl Loopback {
+impl<G: GateHandler> Loopback<G> {
     /// Wraps a service in a loopback transport.
-    pub fn new(service: GateService) -> Self {
+    pub fn new(service: G) -> Self {
         Loopback { service }
     }
 
@@ -56,13 +57,34 @@ impl Loopback {
     }
 
     /// The wrapped service (counters, decision log, fingerprint).
-    pub fn service(&self) -> &GateService {
+    pub fn service(&self) -> &G {
         &self.service
     }
 
     /// Consumes the transport, returning the service.
-    pub fn into_service(self) -> GateService {
+    pub fn into_service(self) -> G {
         self.service
+    }
+}
+
+/// A gate the TCP front end can drive through shared references from
+/// many handler threads at once. `Mutex<GateService>` serializes every
+/// frame behind one global lock — the pre-sharding behavior — while
+/// [`ShardedGate`](crate::sharded::ShardedGate) takes per-shard locks
+/// and keeps the expensive verifications outside all of them.
+pub trait SharedGate: Send + Sync {
+    /// Opens a connection; see [`GateService::connect`].
+    fn connect(&self, now: Time) -> (u64, Frame);
+    /// Handles one client frame; see [`GateService::handle`].
+    fn handle(&self, conn: u64, frame: &Frame, now: Time) -> Response;
+}
+
+impl SharedGate for Mutex<GateService> {
+    fn connect(&self, now: Time) -> (u64, Frame) {
+        lock(self).connect(now)
+    }
+    fn handle(&self, conn: u64, frame: &Frame, now: Time) -> Response {
+        lock(self).handle(conn, frame, now)
     }
 }
 
@@ -76,10 +98,13 @@ fn lock(service: &Mutex<GateService>) -> std::sync::MutexGuard<'_, GateService> 
 /// connection gets the hello immediately, then a read loop; at most
 /// `max_conns` handler threads run at once — excess connections are
 /// handled inline on the accept thread, a crude but effective
-/// backpressure. Timestamps are seconds since serve start.
-pub fn serve(
+/// backpressure. A panicking handler costs exactly its own connection:
+/// the unwind is caught so the slot is always released and an inline
+/// handler can never take the acceptor loop down with it. Timestamps
+/// are seconds since serve start.
+pub fn serve<G: SharedGate + 'static>(
     listener: TcpListener,
-    service: Arc<Mutex<GateService>>,
+    service: Arc<G>,
     max_conns: usize,
 ) -> std::io::Result<()> {
     let start = Instant::now();
@@ -89,7 +114,9 @@ pub fn serve(
         let service = Arc::clone(&service);
         let slot = Arc::clone(&active);
         let handler = move || {
-            let _ = handle_conn(stream, &service, start);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = handle_conn(stream, &*service, start);
+            }));
             slot.fetch_sub(1, Ordering::Relaxed);
         };
         if active.fetch_add(1, Ordering::Relaxed) < max_conns.max(1) {
@@ -102,16 +129,16 @@ pub fn serve(
 }
 
 /// One connection's lifecycle: hello, then frames until drop or EOF.
-fn handle_conn(
+fn handle_conn<G: SharedGate>(
     mut stream: std::net::TcpStream,
-    service: &Mutex<GateService>,
+    service: &G,
     start: Instant,
 ) -> std::io::Result<()> {
     let now = || Time(start.elapsed().as_secs_f64());
-    let (conn, hello) = lock(service).connect(now());
+    let (conn, hello) = service.connect(now());
     stream.write_all(&hello.encode())?;
     while let Some(frame) = read_frame(&mut stream)? {
-        match lock(service).handle(conn, &frame, now()) {
+        match service.handle(conn, &frame, now()) {
             Response::Reply(reply) => stream.write_all(&reply.encode())?,
             Response::Drop => break, // silent: close without a byte
         }
@@ -179,5 +206,85 @@ mod tests {
         let reply = lb.request(conn, &Frame::Join { client_tag: 1, solution: u64::MAX }, Time(1.0));
         assert_eq!(reply, None);
         assert_eq!(lb.service().counters().rejected_pow, 1);
+    }
+
+    #[test]
+    fn poisoned_service_mutex_keeps_serving() {
+        // A handler that panics while holding the global mutex poisons
+        // it; the SharedGate impl recovers the guard, because every gate
+        // state transition is complete before any panic point a handler
+        // could hit.
+        let service = Arc::new(Mutex::new(GateService::new(small_cfg())));
+        let poisoner = Arc::clone(&service);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("deliberate test panic to poison the mutex");
+        })
+        .join();
+        assert!(service.lock().is_err(), "the mutex must actually be poisoned");
+        let (_, hello) = SharedGate::connect(&*service, Time(1.0));
+        assert!(matches!(hello, Frame::Hello { .. }));
+        assert_eq!(lock(&service).counters().dropped, 0);
+    }
+
+    /// A gate whose N-th `connect` panics: the deterministic stand-in
+    /// for a handler bug, used to pin that a panicking handler cannot
+    /// take the acceptor down.
+    struct FlakyGate {
+        inner: Mutex<GateService>,
+        calls: AtomicUsize,
+        panic_on: usize,
+    }
+
+    impl SharedGate for FlakyGate {
+        fn connect(&self, now: Time) -> (u64, Frame) {
+            if self.calls.fetch_add(1, Ordering::SeqCst) == self.panic_on {
+                panic!("deliberate test panic in a connection handler");
+            }
+            SharedGate::connect(&self.inner, now)
+        }
+        fn handle(&self, conn: u64, frame: &Frame, now: Time) -> Response {
+            SharedGate::handle(&self.inner, conn, frame, now)
+        }
+    }
+
+    #[test]
+    fn panicking_inline_handler_does_not_kill_the_acceptor() {
+        use std::io::Read;
+
+        let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a localhost listener in this sandbox");
+            return;
+        };
+        let addr = listener.local_addr().expect("bound listener has an address");
+        let gate = Arc::new(FlakyGate {
+            inner: Mutex::new(GateService::new(small_cfg())),
+            calls: AtomicUsize::new(0),
+            panic_on: 1,
+        });
+        std::thread::spawn(move || {
+            let _ = serve(listener, gate, 1);
+        });
+
+        // Connection A is healthy and holds the single handler slot open.
+        // Reading its hello proves its connect (call 0) has completed, so
+        // the panic is pinned to connection B.
+        let mut a = std::net::TcpStream::connect(addr).expect("connect A");
+        let mut hello_a = [0u8; 4];
+        a.read_exact(&mut hello_a).expect("hello A length prefix");
+
+        // Connection B overflows the cap, so it is handled inline on the
+        // acceptor thread — the worst case — and its connect panics.
+        // Pre-hardening, that unwind killed the accept loop.
+        let mut b = std::net::TcpStream::connect(addr).expect("connect B");
+        let mut buf = Vec::new();
+        let n = b.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "the panicked connection closes without a byte");
+
+        // Connection C proves the acceptor survived: it is also handled
+        // inline (A still occupies the slot) and gets a real hello.
+        let mut c = std::net::TcpStream::connect(addr).expect("connect C");
+        let mut hello_c = [0u8; 4];
+        c.read_exact(&mut hello_c).expect("the acceptor must still serve hellos");
     }
 }

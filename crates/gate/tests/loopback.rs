@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 
 use sybil_churn::{ArrivalProcess, ChurnModel, SessionModel};
 use sybil_gate::memhard::{mine, MemHardParams};
-use sybil_gate::{replay, Frame, GateConfig, GateService, ReplayConfig};
+use sybil_gate::{replay, Frame, GateConfig, GateService, ReplayConfig, ShardedGate};
 use sybil_sim::Time;
 
 fn workload() -> sybil_sim::Workload {
@@ -127,6 +127,59 @@ fn tcp_round_trip_admits_one_identity() {
 
     let counters = service.lock().expect("service lock").counters();
     assert_eq!((counters.granted, counters.admitted, counters.departed), (1, 1, 1));
+}
+
+/// The sharded service behind the same TCP front end: a full two-phase
+/// admission against a 3-shard gate, plus the serial replay equivalence
+/// that pins its fingerprint to the monolithic service's.
+#[test]
+fn tcp_sharded_service_admits_and_matches_monolithic_fingerprint() {
+    use std::io::Write;
+    use sybil_crypto::{Challenge, Solver};
+    use sybil_gate::{read_frame, transport};
+
+    // Serial replay equivalence first (no sockets needed): the sharded
+    // gate's decision fingerprint equals the monolithic gate's.
+    let run_cfg = ReplayConfig { horizon: Time(12.0), adversarial_fraction: 0.25, seed: 5 };
+    let wl = workload();
+    let initial = wl.initial_size();
+    let (mono, _) = replay(wl.clone(), GateService::new(gate_cfg(initial)), &run_cfg);
+    let (sharded, _) = replay(wl, ShardedGate::new(gate_cfg(initial), 3), &run_cfg);
+    assert_eq!(sharded.fingerprint(), mono.fingerprint(), "serial sharded replay must match");
+
+    let Ok(listener) = std::net::TcpListener::bind("127.0.0.1:0") else {
+        eprintln!("skipping TCP smoke test: cannot bind localhost in this environment");
+        return;
+    };
+    let addr = listener.local_addr().expect("bound listener has an address");
+    let service = Arc::new(ShardedGate::new(gate_cfg(0), 3));
+    let server = Arc::clone(&service);
+    std::thread::spawn(move || {
+        let _ = transport::serve(listener, server, 2);
+    });
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to local gate");
+    let hello = read_frame(&mut stream).expect("read hello").expect("hello before EOF");
+    let Frame::Hello { difficulty, nonce, mine_bits, mem_blocks, mem_passes, .. } = hello else {
+        panic!("first frame must be the hello, got {hello:?}")
+    };
+    let client_tag = 99u64;
+    let challenge = Challenge::new(&nonce, &client_tag.to_be_bytes(), difficulty);
+    let solution = Solver::new().solve(&challenge).nonce;
+    stream.write_all(&Frame::Join { client_tag, solution }.encode()).expect("send join");
+    let reply = read_frame(&mut stream).expect("read grant").expect("grant before EOF");
+    let Frame::Granted { identity, token } = reply else { panic!("expected grant, got {reply:?}") };
+    let mem = MemHardParams { blocks: mem_blocks, passes: mem_passes };
+    let mined = mine(&token, mine_bits, &mem);
+    stream
+        .write_all(&Frame::MineSubmit { identity, token, salt: mined.salt }.encode())
+        .expect("send mine");
+    let reply = read_frame(&mut stream).expect("read admit").expect("admit before EOF");
+    assert_eq!(reply, Frame::Admitted { identity });
+
+    let counters = service.counters();
+    assert_eq!((counters.granted, counters.admitted), (1, 1));
+    assert_eq!(service.shard_count(), 3);
 }
 
 /// A malformed frame over TCP closes the connection without a reply and

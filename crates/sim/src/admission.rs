@@ -44,9 +44,22 @@ impl AdmissionState {
 /// Sessions per segment. 8192 two-bit entries pack into 2 KiB, small
 /// enough that sparse access patterns waste little and large enough that
 /// the directory stays tiny (one pointer per 8192 sessions).
-const SEGMENT_ENTRIES: usize = 8192;
+pub(crate) const SEGMENT_ENTRIES: usize = 8192;
 /// `u64` words per segment (`SEGMENT_ENTRIES · 2 / 64`).
 const SEGMENT_WORDS: usize = SEGMENT_ENTRIES / 32;
+
+/// The canonical resident-bytes gauge for an admission space of `len`
+/// sessions of which `touched_segments` *global* segments hold
+/// non-Pending state: touched payloads plus the full directory. For a
+/// monolithic map this is exactly [`AdmissionMap::allocated_bytes`];
+/// sharded state (whose slices each hold partial segments) reports this
+/// same figure so the gauge is a pure function of the touched ID space,
+/// independent of the shard count.
+pub(crate) fn canonical_bytes(len: u64, touched_segments: usize) -> usize {
+    touched_segments * SEGMENT_WORDS * 8
+        + (len as usize).div_ceil(SEGMENT_ENTRIES)
+            * std::mem::size_of::<Option<Box<[u64; SEGMENT_WORDS]>>>()
+}
 
 /// A segmented 2-bit packed map from session index to [`AdmissionState`].
 ///

@@ -126,6 +126,20 @@ impl Ledger {
         Ledger::default()
     }
 
+    /// Builds a ledger from per-purpose balances in `[Entrance, Purge,
+    /// Periodic]` order — the seam through which the sharded fixed-point
+    /// ledger materializes its final float report.
+    pub(crate) fn from_parts(good: [Cost; 3], adv: [Cost; 3]) -> Ledger {
+        Ledger {
+            good_entrance: good[0],
+            good_purge: good[1],
+            good_periodic: good[2],
+            adv_entrance: adv[0],
+            adv_purge: adv[1],
+            adv_periodic: adv[2],
+        }
+    }
+
     /// Records spending by good IDs.
     pub fn charge_good(&mut self, purpose: Purpose, amount: Cost) {
         debug_assert!(amount.value() >= 0.0, "negative charge");

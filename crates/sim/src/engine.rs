@@ -9,9 +9,10 @@
 //! The engine is generic over its [`WorkloadSource`]: the same loop replays
 //! a resident [`Workload`] or a disk-backed
 //! [`crate::workload_io::DiskWorkload`], and resident state is
-//! O(active sessions) either way — the event queue streams, admission
-//! state is a 2-bit packed [`AdmissionMap`], and the disk stream holds two
-//! read buffers.
+//! O(active sessions) either way — the event queue streams, admission and
+//! spend state live in a [`ShardedDefenseState`] (2-bit packed admission
+//! slices plus fixed-point ledgers, one slice per workload shard), and the
+//! disk stream holds two read buffers.
 //!
 //! # Example
 //!
@@ -32,12 +33,12 @@
 //! assert_eq!(report.final_bad, 0);
 //! ```
 
-use crate::admission::{AdmissionMap, AdmissionState};
 use crate::adversary::{Adversary, DefenseView};
-use crate::cost::{Cost, Ledger, Purpose};
+use crate::cost::{Cost, Purpose};
 use crate::defense::{BatchStop, Defense};
 use crate::queue::EventQueue;
 use crate::report::{SimReport, TimelinePoint};
+use crate::shard_state::ShardedDefenseState;
 use crate::time::Time;
 use crate::workload::{SessionIndex, StreamEvent, Workload, WorkloadSource, WorkloadStream};
 
@@ -183,12 +184,13 @@ pub struct Simulation<D, A, W: WorkloadSource = Workload> {
     /// Departure `(time, seq)` of the session whose join is currently
     /// queued, if that departure falls within the horizon.
     pending_depart: Option<(Time, u64)>,
-    ledger: Ledger,
     budget: f64,
     last_budget_time: Time,
-    /// Admission status per arrival session, 2 bits each in lazily
-    /// allocated segments.
-    admitted: AdmissionMap,
+    /// Sharded defense state: per-shard admission slices, live counts,
+    /// and spend ledgers, reduced deterministically at epoch boundaries.
+    /// The shard count follows the workload source, so a sharded workload
+    /// keeps each session's state with the shard that decodes it.
+    state: ShardedDefenseState,
     purge_pending: bool,
     /// Current timeline sampling interval (doubles on decimation).
     timeline_dt: f64,
@@ -197,10 +199,7 @@ pub struct Simulation<D, A, W: WorkloadSource = Workload> {
     last_frac: f64,
     last_frac_time: Time,
     max_bad_fraction: f64,
-    // Counters.
-    good_joins_admitted: u64,
-    good_joins_refused: u64,
-    good_departures: u64,
+    // Counters (session-attributed counters live in `state`).
     bad_joins_admitted: u64,
     bad_join_attempts: u64,
     purges: u64,
@@ -248,6 +247,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             return Err(SimBuildError::TooManySessions { sessions: n_sessions });
         }
         let initial_size = workload.initial_size();
+        let state_shards = workload.state_shards();
         Ok(Simulation {
             cfg,
             defense,
@@ -258,19 +258,15 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             stream: workload.into_stream(cfg.horizon),
             initial_size,
             pending_depart: None,
-            ledger: Ledger::new(),
             budget: 0.0,
             last_budget_time: Time::ZERO,
-            admitted: AdmissionMap::new(n_sessions),
+            state: ShardedDefenseState::new(n_sessions, state_shards),
             purge_pending: false,
             timeline_dt: 0.0,
             frac_integral: 0.0,
             last_frac: 0.0,
             last_frac_time: Time::ZERO,
             max_bad_fraction: 0.0,
-            good_joins_admitted: 0,
-            good_joins_refused: 0,
-            good_departures: 0,
             bad_joins_admitted: 0,
             bad_join_attempts: 0,
             purges: 0,
@@ -309,6 +305,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
                 break;
             }
             events_processed += 1;
+            self.state.note_event();
             self.accrue_budget(t);
             self.dispatch(t, ev);
             self.check_purge(t);
@@ -359,6 +356,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
                 break;
             }
             events_processed += 1;
+            self.state.note_event();
             self.accrue_budget(t);
             match ev {
                 MergedEvent::Workload(StreamEvent::Join(i)) => self.handle_good_join(t, i),
@@ -425,8 +423,8 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         let n_good = self.initial_size;
         let n_bad = self.cfg.initial_bad;
         let per_id = self.defense.init(Time::ZERO, n_good, n_bad);
-        self.ledger.charge_good(Purpose::Entrance, per_id * n_good as f64);
-        self.ledger.charge_adversary(Purpose::Entrance, per_id * n_bad as f64);
+        self.state.charge_root_good(Purpose::Entrance, per_id * n_good as f64);
+        self.state.charge_root_adversary(Purpose::Entrance, per_id * n_bad as f64);
         if let Some(next) = self.defense.next_periodic() {
             self.queue.push(next, Event::Periodic);
         }
@@ -464,45 +462,39 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     }
 
     /// Semantic effect of a good join: defense verdict, ledger charge,
-    /// admission record, counters. Shared verbatim by the monolithic
-    /// dispatch and the merged loop — bit-identity between the two modes
-    /// rests on this being one code path.
+    /// admission record, counters — all recorded on the session's owning
+    /// state shard. Shared verbatim by the monolithic dispatch and the
+    /// merged loop — bit-identity between the two modes rests on this
+    /// being one code path.
     fn handle_good_join(&mut self, now: Time, i: SessionIndex) {
         let admission = self.defense.good_join(now);
-        self.ledger.charge_good(Purpose::Entrance, admission.cost());
-        if admission.is_admitted() {
-            self.admitted.set(i as u64, AdmissionState::Admitted);
-            self.good_joins_admitted += 1;
-            if self.cfg.record_good_joins {
-                match self.cfg.max_good_join_times {
-                    Some(cap) if self.good_join_times.len() >= cap => {
-                        self.good_join_times_dropped += 1;
-                    }
-                    _ => self.good_join_times.push(now),
+        self.state.record_good_join(i as u64, admission.is_admitted(), admission.cost());
+        if admission.is_admitted() && self.cfg.record_good_joins {
+            match self.cfg.max_good_join_times {
+                Some(cap) if self.good_join_times.len() >= cap => {
+                    self.good_join_times_dropped += 1;
                 }
+                _ => self.good_join_times.push(now),
             }
-        } else {
-            self.admitted.set(i as u64, AdmissionState::Refused);
-            self.good_joins_refused += 1;
         }
         self.note_membership_change(now);
     }
 
     /// Semantic effect of an arrival session's departure: only admitted
-    /// sessions count (the admission verdict was decided at join time by
-    /// this same coordinator state).
+    /// sessions count, and the admission verdict lives on the session's
+    /// owning state shard.
     fn handle_good_depart(&mut self, now: Time, i: SessionIndex, joined_at: Time) {
-        if self.admitted.get(i as u64) == AdmissionState::Admitted {
+        if self.state.record_good_depart(i as u64) {
             self.defense.good_depart(now, joined_at);
-            self.good_departures += 1;
             self.note_membership_change(now);
         }
     }
 
-    /// Semantic effect of a t=0 resident's departure.
+    /// Semantic effect of a t=0 resident's departure (root-owned; initial
+    /// residents are not arrival sessions).
     fn handle_initial_depart(&mut self, now: Time) {
         self.defense.good_depart(now, Time::ZERO);
-        self.good_departures += 1;
+        self.state.record_initial_depart();
         self.note_membership_change(now);
     }
 
@@ -550,8 +542,8 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
                     at: now,
                     members: self.defense.n_members(),
                     bad: self.defense.n_bad(),
-                    good_spend: self.ledger.good_total().value(),
-                    adv_spend: self.ledger.adversary_total().value(),
+                    good_spend: self.state.good_total().value(),
+                    adv_spend: self.state.adversary_total().value(),
                 });
                 if let Some(cap) = self.cfg.max_timeline_points {
                     if self.timeline.len() >= cap {
@@ -598,7 +590,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             if action.max_joins > 0 && action.join_budget > Cost::ZERO {
                 let batch = self.defense.bad_join_batch(now, action.join_budget, action.max_joins);
                 self.budget -= batch.spent.value();
-                self.ledger.charge_adversary(Purpose::Entrance, batch.spent);
+                self.state.charge_root_adversary(Purpose::Entrance, batch.spent);
                 self.bad_joins_admitted += batch.admitted;
                 self.bad_join_attempts += batch.attempts;
                 progressed |= batch.attempts > 0;
@@ -659,8 +651,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             .min(cap)
             .min(view.n_bad);
         let report = self.defense.purge(now, retain);
-        self.ledger.charge_good(Purpose::Purge, report.good_cost);
-        self.ledger.charge_adversary(Purpose::Purge, report.adv_cost);
+        self.state.apply_purge(&report);
         self.budget -= report.adv_cost.value();
         if report.skipped {
             self.purges_skipped += 1;
@@ -678,9 +669,8 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             .periodic_retention(&view, cost_per, Cost(self.budget.max(0.0)))
             .min(view.n_bad);
         let report = self.defense.periodic_apply(now, retain);
-        self.ledger.charge_good(Purpose::Periodic, report.good_cost);
         let adv_cost = cost_per * retain as f64;
-        self.ledger.charge_adversary(Purpose::Periodic, adv_cost);
+        self.state.apply_periodic(&report, adv_cost);
         self.budget -= adv_cost.value();
         self.note_membership_change(now);
     }
@@ -691,14 +681,17 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         if dt > 0.0 {
             self.frac_integral += self.last_frac * dt;
         }
+        // The final epoch reduction: fold every shard's remaining delta
+        // and seal the fixed-point ledgers into the report's float form.
+        let sealed = self.state.finalize();
         let mut report = SimReport {
             defense: self.defense.name(),
             adversary: self.adversary.name(),
             horizon: self.cfg.horizon.as_secs(),
-            ledger: self.ledger,
-            good_joins_admitted: self.good_joins_admitted,
-            good_joins_refused: self.good_joins_refused,
-            good_departures: self.good_departures,
+            ledger: sealed.ledger,
+            good_joins_admitted: sealed.good_joins_admitted,
+            good_joins_refused: sealed.good_joins_refused,
+            good_departures: sealed.good_departures,
             bad_joins_admitted: self.bad_joins_admitted,
             bad_join_attempts: self.bad_join_attempts,
             purges: self.purges,
@@ -713,7 +706,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             purge_cascade_truncations: self.purge_cascade_truncations,
             timeline_decimations: self.timeline_decimations,
             good_join_times_dropped: self.good_join_times_dropped,
-            admission_bytes: self.admitted.allocated_bytes(),
+            admission_bytes: sealed.admission_bytes,
             workload_stream_bytes: self.stream.resident_bytes(),
             estimates: Vec::new(),
             purge_times: Vec::new(),

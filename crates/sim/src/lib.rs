@@ -52,6 +52,7 @@ pub mod id;
 pub mod queue;
 pub mod report;
 pub mod shard;
+pub mod shard_state;
 pub mod stats;
 pub mod testutil;
 pub mod time;
@@ -65,6 +66,7 @@ pub use engine::{SimBuildError, SimConfig, Simulation};
 pub use id::{Id, IdAllocator, Kind};
 pub use report::SimReport;
 pub use shard::ShardedWorkload;
+pub use shard_state::{EpochDelta, FixedCost, FixedLedger, ShardedDefenseState};
 pub use time::Time;
 pub use workload::{Session, SessionIndex, StreamEvent, Workload, WorkloadSource, WorkloadStream};
 pub use workload_io::{write_workload, write_workload_file, DiskWorkload};

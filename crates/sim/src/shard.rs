@@ -21,13 +21,17 @@
 //!
 //! # What lives where
 //!
-//! Shards own pure decode + ordering: every float the report accumulates
-//! (ledger sums, bad-fraction integrals, estimator state) is computed on
-//! the coordinator, in the global event order, so float non-associativity
-//! cannot leak shard structure into results. The admission map stays
-//! coordinator-side too: a departure's effect depends on the admission
-//! verdict the *defense* issued at join time, which only the coordinator
-//! knows.
+//! Shards own decode + ordering *and* — since the defense state was
+//! sharded (see [`shard_state`](crate::shard_state)) — the per-ID
+//! admission verdicts and spend ledgers of the identities congruent to
+//! their index: the engine routes each admission outcome to shard
+//! `id mod S` and folds the per-shard ledgers back in canonical `0..S`
+//! order at epoch boundaries. Every per-ID charge is rounded to the
+//! integer ledger grid *before* routing, so the fold is exact integer
+//! addition and float non-associativity cannot leak shard structure
+//! into results. The defense instance itself and the global aggregates
+//! it consumes stay coordinator-side, fed by the epoch reductions
+//! rather than coordinator-wide scans.
 //!
 //! # Failure semantics
 //!
@@ -150,6 +154,13 @@ impl WorkloadSource for ShardedWorkload {
             ShardInput::Memory(m) => m.sessions.len() as u64,
             ShardInput::Disk(d) => d.session_count(),
         }
+    }
+
+    /// Defense state shards alongside the workload: session `i`'s
+    /// admission slice and ledger delta live on shard `i mod S`, the same
+    /// congruence that owns its decode.
+    fn state_shards(&self) -> usize {
+        self.shards
     }
 
     fn into_stream(self, horizon: Time) -> ShardedStream {

@@ -78,6 +78,7 @@ impl Defense for UnitCostDefense {
             adv_cost: Cost(self.n_bad as f64),
             bad_removed: removed,
             skipped: false,
+            good_charged: self.n_good,
         }
     }
 
@@ -90,7 +91,7 @@ impl Defense for UnitCostDefense {
     }
 
     fn periodic_apply(&mut self, _now: Time, _bad_retained: u64) -> PeriodicReport {
-        PeriodicReport { good_cost: Cost::ZERO, bad_dropped: 0 }
+        PeriodicReport { good_cost: Cost::ZERO, bad_dropped: 0, good_charged: 0 }
     }
 
     fn n_members(&self) -> u64 {

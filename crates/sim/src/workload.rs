@@ -144,6 +144,15 @@ pub trait WorkloadSource {
     /// carrying the eager-equivalent sequence number described in
     /// [`WorkloadStream`].
     fn into_stream(self, horizon: Time) -> Self::Stream;
+
+    /// Number of shards the engine should partition its *defense state*
+    /// (admission slices, spend ledgers) into — see
+    /// [`crate::shard_state`]. Single-stream sources run unsharded;
+    /// sharded sources override this to match their ID-congruence layout
+    /// so session `i`'s state lives with the shard that decodes it.
+    fn state_shards(&self) -> usize {
+        1
+    }
 }
 
 /// One pre-ordered workload event, as yielded by a *merged* stream (see

@@ -30,8 +30,13 @@ use sybil_sim::workload::{Session, Workload};
 use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
 use sybil_sim::SimReport;
 
-/// The shard counts the acceptance criteria pin.
-const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 16];
+/// The shard counts the acceptance criteria pin. 5 and 32 cover the
+/// sharded *defense state* (admission slices + epoch-reduced ledgers)
+/// beyond the original decode-sharding set; the trial workloads draw
+/// 30–119 sessions, so most of these counts — 32 in particular, being
+/// close to (or larger than) some initial-departure populations — do not
+/// divide the ID count and leave ragged, partly empty slices.
+const SHARD_COUNTS: [usize; 7] = [1, 2, 3, 5, 7, 16, 32];
 
 /// SplitMix64: a tiny deterministic generator for the trial workloads.
 fn splitmix(state: &mut u64) -> u64 {
