@@ -79,6 +79,10 @@ struct Scenario {
     name: String,
     events_per_sec: f64,
     fingerprint: Fp,
+    /// Steady-state allocator calls per event, when the report was
+    /// produced by an `alloc-count` build (`None` for baselines that
+    /// predate the field — the alloc gates then skip that side).
+    allocs_per_event: Option<f64>,
 }
 
 /// Minimum `_s4`-over-`_s1` throughput ratio on machines wide enough to
@@ -88,6 +92,20 @@ const MIN_SHARD_SPEEDUP: f64 = 1.5;
 /// Cores below which the shard *speedup* gate is skipped (the fingerprint
 /// gate always applies).
 const MIN_SCALING_CORES: f64 = 4.0;
+
+/// Scenarios whose steady-state event loop must allocate **exactly
+/// nothing**: the hot path's zero-allocation contract, gated whenever the
+/// fresh report was measured (`alloc_counting: true`). Single-shard and
+/// fully resident, so the engine thread's counters see every allocation.
+const ZERO_ALLOC_SCENARIOS: &[&str] =
+    &["macro_sweep", "gnutella_ergo_t1024", "gnutella_sybilcontrol_t64"];
+
+/// Absolute per-event slack for the alloc *regression* gate (scenarios
+/// outside the zero list). Covers scheduling-dependent channel internals
+/// in the sharded scenarios (~hundreds of allocs per million events)
+/// while still catching a reintroduced per-event allocation, which costs
+/// 1.0 per event — three orders of magnitude above the slack.
+const ALLOC_ABS_SLACK: f64 = 0.001;
 
 /// Extracts the balanced `{...}` starting at `json[open..]` (which must
 /// point at a `{`).
@@ -166,6 +184,7 @@ fn parse_scenarios(json: &str) -> Result<Vec<Scenario>, String> {
                 good_spend: fp_field("good_spend")?,
                 adv_spend: fp_field("adv_spend")?,
             },
+            allocs_per_event: field_f64(body, "allocs_per_event"),
             name,
         });
     }
@@ -285,6 +304,20 @@ fn field_f64(body: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Reads a boolean field `"key": true|false` from an object body.
+fn field_bool(body: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let tail = body[at..].trim_start();
+    if tail.starts_with("true") {
+        Some(true)
+    } else if tail.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 /// Reads a string field `"key": "..."` from an object body.
 fn field_str(body: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":");
@@ -338,6 +371,65 @@ fn compare(
                 speed_ratio,
                 100.0 * tolerance,
             ));
+        }
+    }
+    failures
+}
+
+/// Gates steady-state allocation budgets within and across reports.
+///
+/// Two independent gates, both conditioned on the *fresh* report being a
+/// live measurement (`fresh_counting`; a non-counting build reports
+/// structural zeros, which must never pass as a budget):
+///
+/// * **Zero budget** — every [`ZERO_ALLOC_SCENARIOS`] member present in
+///   the fresh report must hold `allocs_per_event` at exactly zero. This
+///   gate needs no baseline: zero is the contract, not a relative floor.
+/// * **Regression** — when the baseline was *also* measured, a shared
+///   scenario's `allocs_per_event` may not exceed the baseline beyond
+///   [`ALLOC_ABS_SLACK`]. Allocation counts are event-order-determined,
+///   not machine-speed-dependent, so no speed ratio applies.
+fn alloc_failures(
+    baseline: &[Scenario],
+    fresh: &[Scenario],
+    base_counting: bool,
+    fresh_counting: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !fresh_counting {
+        return failures; // Announced by the caller; not silently dropped.
+    }
+    for name in ZERO_ALLOC_SCENARIOS {
+        let Some(now) = fresh.iter().find(|s| &s.name == name) else { continue };
+        match now.allocs_per_event {
+            Some(ape) if ape > 0.0 => failures.push(format!(
+                "scenario {name:?}: {ape} allocation(s) per event in the steady-state loop — \
+                 the zero-allocation hot-path contract is broken (something in the per-event \
+                 path allocates again; see crates/sim/README.md, \"Allocation budget\")",
+            )),
+            Some(_) => {}
+            None => failures.push(format!(
+                "scenario {name:?}: report says alloc_counting: true but carries no \
+                 allocs_per_event field",
+            )),
+        }
+    }
+    if base_counting {
+        for base in baseline {
+            let (Some(then), Some(now)) = (
+                base.allocs_per_event,
+                fresh.iter().find(|s| s.name == base.name).and_then(|s| s.allocs_per_event),
+            ) else {
+                continue;
+            };
+            if now > then + ALLOC_ABS_SLACK {
+                failures.push(format!(
+                    "scenario {:?}: allocs/event grew from {then} to {now} \
+                     (slack {ALLOC_ABS_SLACK}) — the steady-state loop allocates more than \
+                     the committed baseline",
+                    base.name,
+                ));
+            }
         }
     }
     failures
@@ -457,7 +549,7 @@ fn main() -> ExitCode {
     if paths.len() != 2 || !(0.0..1.0).contains(&tolerance) {
         usage();
     }
-    type Report = (Vec<Scenario>, Vec<GateScenario>, Vec<(String, f64)>, f64);
+    type Report = (Vec<Scenario>, Vec<GateScenario>, Vec<(String, f64)>, f64, bool);
     let read = |path: &str| -> Report {
         let json =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -467,10 +559,13 @@ fn main() -> ExitCode {
         // Reports predating the shard work lack the field; treat them as
         // 1-core so the speedup gate stays off.
         let parallelism = field_f64(&json, "available_parallelism").unwrap_or(1.0);
-        (scenarios, gate, parse_queue(&json), parallelism)
+        // Reports predating (or built without) the counting allocator
+        // carry structural zeros; the alloc gates treat them as unmeasured.
+        let counting = field_bool(&json, "alloc_counting").unwrap_or(false);
+        (scenarios, gate, parse_queue(&json), parallelism, counting)
     };
-    let (baseline, base_gate, base_queue, _) = read(&paths[0]);
-    let (fresh, fresh_gate, fresh_queue, fresh_cores) = read(&paths[1]);
+    let (baseline, base_gate, base_queue, _, base_counting) = read(&paths[0]);
+    let (fresh, fresh_gate, fresh_queue, fresh_cores, fresh_counting) = read(&paths[1]);
     let ratio = speed_ratio(&base_queue, &fresh_queue);
     println!(
         "comparing {} baseline scenario(s) against {} (machine speed ratio {ratio:.2})",
@@ -511,9 +606,32 @@ fn main() -> ExitCode {
             "shard speedup gate skipped: fresh report ran on {fresh_cores:.0} core(s), \
              need {MIN_SCALING_CORES:.0} (fingerprint gate still applies)"
         );
+    } else {
+        // Make the still-rarely-exercised multi-core path loud: a CI log
+        // from a wide runner states the ≥1.5× floors are being enforced,
+        // not silently skipped.
+        println!(
+            "shard speedup gate ACTIVE: fresh report ran on {fresh_cores:.0} cores — every \
+             _s4 scenario (engine and gate) must beat its _s1 sibling by \
+             {MIN_SHARD_SPEEDUP}×"
+        );
     }
     failures.extend(shard_scaling_failures(&fresh, fresh_cores));
     failures.extend(gate_shard_scaling_failures(&fresh_gate, fresh_cores));
+    if fresh_counting {
+        if !base_counting {
+            println!(
+                "alloc regression gate skipped: baseline has no measured allocation data \
+                 (zero-budget gate still applies)"
+            );
+        }
+    } else {
+        println!(
+            "alloc gates skipped: fresh report was not produced by a counting build \
+             (run bench_report with --features alloc-count to measure)"
+        );
+    }
+    failures.extend(alloc_failures(&baseline, &fresh, base_counting, fresh_counting));
     if failures.is_empty() {
         println!(
             "OK: no scenario regressed more than {:.0}% (machine-adjusted)",
@@ -591,6 +709,9 @@ mod tests {
                 peak_queue_len: 3,
                 resident_bytes: 64,
                 shards: 1,
+                loop_allocs: 7,
+                loop_alloc_bytes: 448,
+                allocs_per_event: 0.007,
                 fingerprint: Fingerprint {
                     good_joins_admitted: 1,
                     bad_joins_admitted: 2,
@@ -607,7 +728,11 @@ mod tests {
         assert_eq!(parsed[0].events_per_sec, 2000.0);
         assert_eq!(parsed[0].fingerprint.purges, 3.0);
         assert_eq!(parsed[0].fingerprint.good_spend, 4.5);
+        assert_eq!(parsed[0].allocs_per_event, Some(0.007));
         assert_eq!(parse_queue(&json), vec![("queue_heap".to_string(), 100.0)]);
+        // The self-describing counting flag round-trips too (this test
+        // binary has no registered counting allocator, so it is false).
+        assert_eq!(field_bool(&json, "alloc_counting"), Some(false));
     }
 
     #[test]
@@ -617,8 +742,14 @@ mod tests {
             name: "a".into(),
             events_per_sec: eps,
             fingerprint: fp(p),
+            allocs_per_event: None,
         };
-        let b = Scenario { name: "b".into(), events_per_sec: 50.0, fingerprint: fp(1.0) };
+        let b = Scenario {
+            name: "b".into(),
+            events_per_sec: 50.0,
+            fingerprint: fp(1.0),
+            allocs_per_event: None,
+        };
         // 10% slower: within a 25% tolerance.
         assert!(compare(&baseline, &[scenario(900.0, 7.0), b.clone()], 0.25, 1.0).is_empty());
         // 30% slower: flagged.
@@ -632,19 +763,36 @@ mod tests {
     #[test]
     fn speed_ratio_rescales_the_floor_for_slower_machines() {
         let baseline = parse_scenarios(&sample_json(1000.0, 7)).unwrap();
-        let b = Scenario { name: "b".into(), events_per_sec: 25.0, fingerprint: fp(1.0) };
+        let b = Scenario {
+            name: "b".into(),
+            events_per_sec: 25.0,
+            fingerprint: fp(1.0),
+            allocs_per_event: None,
+        };
         // Fresh machine runs the queue proxy at half speed: 500 ev/s on
         // scenario "a" (and 25 on "b") is expected, not a regression.
         let halved = vec![
-            Scenario { name: "a".into(), events_per_sec: 500.0, fingerprint: fp(7.0) },
+            Scenario {
+                name: "a".into(),
+                events_per_sec: 500.0,
+                fingerprint: fp(7.0),
+                allocs_per_event: None,
+            },
             b.clone(),
         ];
         assert!(compare(&baseline, &halved, 0.25, 0.5).is_empty());
         // But at ratio 1.0 the same numbers fail.
         assert!(!compare(&baseline, &halved, 0.25, 1.0).is_empty());
         // And a real engine regression still fails under the scaled floor.
-        let engine_only =
-            vec![Scenario { name: "a".into(), events_per_sec: 300.0, fingerprint: fp(7.0) }, b];
+        let engine_only = vec![
+            Scenario {
+                name: "a".into(),
+                events_per_sec: 300.0,
+                fingerprint: fp(7.0),
+                allocs_per_event: None,
+            },
+            b,
+        ];
         assert_eq!(compare(&baseline, &engine_only, 0.25, 0.5).len(), 1);
     }
 
@@ -662,8 +810,18 @@ mod tests {
     fn flags_fingerprint_drift_even_when_fast() {
         let baseline = parse_scenarios(&sample_json(1000.0, 7)).unwrap();
         let drifted = vec![
-            Scenario { name: "a".into(), events_per_sec: 5000.0, fingerprint: fp(8.0) },
-            Scenario { name: "b".into(), events_per_sec: 50.0, fingerprint: fp(1.0) },
+            Scenario {
+                name: "a".into(),
+                events_per_sec: 5000.0,
+                fingerprint: fp(8.0),
+                allocs_per_event: None,
+            },
+            Scenario {
+                name: "b".into(),
+                events_per_sec: 50.0,
+                fingerprint: fp(1.0),
+                allocs_per_event: None,
+            },
         ];
         let failures = compare(&baseline, &drifted, 0.25, 1.0);
         assert_eq!(failures.len(), 1);
@@ -671,7 +829,12 @@ mod tests {
     }
 
     fn scale_scenario(name: &str, eps: f64, purges: f64) -> Scenario {
-        Scenario { name: name.into(), events_per_sec: eps, fingerprint: fp(purges) }
+        Scenario {
+            name: name.into(),
+            events_per_sec: eps,
+            fingerprint: fp(purges),
+            allocs_per_event: None,
+        }
     }
 
     #[test]
@@ -850,6 +1013,60 @@ mod tests {
         assert_eq!(field_f64(json, "available_parallelism"), Some(64.0));
         // Pre-shard baselines lack the field entirely.
         assert_eq!(field_f64("{\"queue\": {}}", "available_parallelism"), None);
+    }
+
+    /// An alloc-measured scenario literal for the budget-gate tests.
+    fn alloc_scenario(name: &str, ape: Option<f64>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            events_per_sec: 1000.0,
+            fingerprint: fp(1.0),
+            allocs_per_event: ape,
+        }
+    }
+
+    #[test]
+    fn zero_alloc_budget_gates_the_core_scenarios() {
+        // A core scenario allocating in the steady-state loop fails…
+        let fresh = vec![
+            alloc_scenario("macro_sweep", Some(0.25)),
+            alloc_scenario("macro_millions", Some(0.01)),
+        ];
+        let failures = alloc_failures(&[], &fresh, false, true);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("macro_sweep"), "{}", failures[0]);
+        assert!(failures[0].contains("zero-allocation"), "{}", failures[0]);
+        // …at exactly zero it passes (macro_millions is not zero-gated).
+        let clean = vec![
+            alloc_scenario("macro_sweep", Some(0.0)),
+            alloc_scenario("gnutella_ergo_t1024", Some(0.0)),
+            alloc_scenario("gnutella_sybilcontrol_t64", Some(0.0)),
+            alloc_scenario("macro_millions", Some(0.01)),
+        ];
+        assert!(alloc_failures(&[], &clean, false, true).is_empty());
+        // A non-counting fresh report is never gated: its zeros are
+        // structural, not measurements.
+        assert!(alloc_failures(&[], &fresh, false, false).is_empty());
+        // Counting claimed but the field missing is itself a failure.
+        let broken = vec![alloc_scenario("macro_sweep", None)];
+        let failures = alloc_failures(&[], &broken, false, true);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("allocs_per_event"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn alloc_regression_gate_needs_both_sides_measured() {
+        let baseline = vec![alloc_scenario("macro_millions", Some(0.001))];
+        let grown = vec![alloc_scenario("macro_millions", Some(0.1))];
+        // Both measured: growth beyond the slack fails.
+        let failures = alloc_failures(&baseline, &grown, true, true);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("allocs/event grew"), "{}", failures[0]);
+        // Within the slack: scheduling jitter, not a regression.
+        let jitter = vec![alloc_scenario("macro_millions", Some(0.0015))];
+        assert!(alloc_failures(&baseline, &jitter, true, true).is_empty());
+        // Unmeasured baseline: only the zero-budget gate applies.
+        assert!(alloc_failures(&baseline, &grown, false, true).is_empty());
     }
 
     #[test]

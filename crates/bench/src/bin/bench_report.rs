@@ -10,10 +10,21 @@
 //!   OUTPUT_PATH   where to write the JSON (default: BENCH_engine.json;
 //!                 the SYBIL_BENCH_REPORT_PATH env var overrides both)
 //!   SYBIL_BENCH_FAST=1 shrinks the queue micro-benches for CI smoke runs
+//!   SYBIL_BENCH_ALLOC=1 requires the counting allocator (build with
+//!                 --features alloc-count); =0 forces the alloc columns
+//!                 to structural zeros; unset publishes what the build
+//!                 measures. Recorded in the JSON as alloc_mode.
 //! ```
 
 use std::io::Write;
 use sybil_bench::perf;
+
+// Under `alloc-count` every heap allocation in this process is counted on
+// thread-local counters; the perf scenarios read the deltas around the
+// engine's steady-state loop and publish allocs_per_event.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: sybil_exp::alloc::CountingAlloc = sybil_exp::alloc::CountingAlloc;
 
 fn main() {
     let path = std::env::var("SYBIL_BENCH_REPORT_PATH")

@@ -16,17 +16,16 @@
 //! run's counter fingerprint so regressions in *behavior* (not just speed)
 //! are visible in the artifact diff.
 
-use crate::sweep::{defense_seed, run_report, run_report_with, Algo, AlgoVisitor, RunParams};
+use crate::sweep::{
+    defense_seed, run_report_measured, run_report_with_measured, Algo, LoopAllocs, RunParams,
+};
 use std::time::Instant;
-use sybil_churn::model::ChurnModel;
 use sybil_churn::networks;
-use sybil_sim::adversary::BudgetJoiner;
-use sybil_sim::defense::Defense;
-use sybil_sim::engine::{SimConfig, Simulation};
+use sybil_sim::engine::SimConfig;
 use sybil_sim::queue::EventQueue;
 use sybil_sim::time::Time;
 use sybil_sim::workload_io::{write_workload_file, DiskWorkload};
-use sybil_sim::{ShardedWorkload, SimReport};
+use sybil_sim::ShardedWorkload;
 
 /// One measured macro scenario.
 #[derive(Clone, Debug)]
@@ -49,6 +48,16 @@ pub struct ScenarioResult {
     /// Workload shards the scenario replayed with (1 = the monolithic
     /// engine loop; the `macro_scale_s*` family varies this).
     pub shards: usize,
+    /// Allocator calls during the steady-state event loop (summed over the
+    /// scenario's cells, minimum across reps; engine thread only). Zero
+    /// when counting is off — the report's top-level `alloc_counting`
+    /// field says which.
+    pub loop_allocs: u64,
+    /// Bytes requested by those loop allocations.
+    pub loop_alloc_bytes: u64,
+    /// `loop_allocs / events` — the budget `bench_compare` gates on. The
+    /// core single-shard scenarios must hold this at exactly zero.
+    pub allocs_per_event: f64,
     /// Behavior fingerprint: counters that must not change for identical
     /// seeds when only performance work happens.
     pub fingerprint: Fingerprint,
@@ -126,6 +135,56 @@ fn reps() -> u32 {
         .unwrap_or(5)
 }
 
+/// Parses a `SYBIL_BENCH_ALLOC` setting: `1` forces allocation counting on
+/// (the run aborts unless the binary was built with `--features
+/// alloc-count`, so "measured" can never silently mean "all zeros"), `0`
+/// forces the allocation columns off even in a counting build, and unset
+/// publishes whatever the build provides. Strict like the other knobs:
+/// anything else is an error, not a silent default.
+fn parse_alloc_mode(raw: Result<String, std::env::VarError>) -> Result<Option<bool>, String> {
+    sybil_exp::env::parse("SYBIL_BENCH_ALLOC", raw, |v| match v {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        _ => Err("is not valid: use 1 (require the counting allocator; abort if the binary \
+                  was not built with --features alloc-count), 0 (report zeros even in a \
+                  counting build), or unset (publish whatever the build measures)"
+            .to_string()),
+    })
+}
+
+/// Whether this run publishes *measured* allocation numbers, resolving the
+/// `SYBIL_BENCH_ALLOC` override against the live-probe of the global
+/// allocator. Cached for the process lifetime.
+pub fn alloc_counting() -> bool {
+    static COUNTING: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *COUNTING.get_or_init(|| {
+        let forced = sybil_exp::env::or_abort(parse_alloc_mode(std::env::var("SYBIL_BENCH_ALLOC")));
+        let live = sybil_exp::alloc::counting_enabled();
+        match forced {
+            Some(true) if !live => {
+                eprintln!(
+                    "SYBIL_BENCH_ALLOC=1 but the counting allocator is not registered: \
+                     rebuild with `--features alloc-count` (sybil-bench forwards it to \
+                     sybil-exp)"
+                );
+                std::process::exit(2);
+            }
+            Some(on) => on,
+            None => live,
+        }
+    })
+}
+
+/// The `SYBIL_BENCH_ALLOC` setting this run resolved to, for the JSON
+/// (`"1"`, `"0"`, or `"auto"` when unset).
+fn alloc_mode_label() -> &'static str {
+    match sybil_exp::env::or_abort(parse_alloc_mode(std::env::var("SYBIL_BENCH_ALLOC"))) {
+        Some(true) => "1",
+        Some(false) => "0",
+        None => "auto",
+    }
+}
+
 /// Runs one named scenario (a list of `(algo, T, horizon, seed)` cells,
 /// executed sequentially on the calling thread) and measures aggregate
 /// engine throughput, best-of-[`reps`].
@@ -135,19 +194,23 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
     let mut events = 0u64;
     let mut peak = 0usize;
     let mut resident = 0usize;
+    let mut best_allocs = LoopAllocs { allocs: u64::MAX, bytes: u64::MAX };
     let mut fp = Fingerprint::default();
     for rep in 0..reps() {
         let started = Instant::now();
         let mut rep_events = 0u64;
         let mut rep_peak = 0usize;
         let mut rep_resident = 0usize;
+        let mut rep_allocs = LoopAllocs::default();
         let mut rep_fp = Fingerprint::default();
         for &(algo, t, horizon, seed) in cells {
             let params = RunParams { horizon, seed, ..RunParams::default() };
-            let report = run_report(&net, algo, t, params);
+            let (report, allocs) = run_report_measured(&net, algo, t, params);
             rep_events += report.events_processed;
             rep_peak = rep_peak.max(report.peak_queue_len);
             rep_resident = rep_resident.max(report.admission_bytes + report.workload_stream_bytes);
+            rep_allocs.allocs += allocs.allocs;
+            rep_allocs.bytes += allocs.bytes;
             rep_fp.good_joins_admitted += report.good_joins_admitted;
             rep_fp.bad_joins_admitted += report.bad_joins_admitted;
             rep_fp.purges += report.purges;
@@ -161,8 +224,14 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
             assert_eq!(rep_events, events, "{name}: nondeterministic event count");
             assert_eq!(rep_fp, fp, "{name}: nondeterministic fingerprint");
         }
+        // Min across reps, like the wall clock: a first rep can pay
+        // one-time warmup inside the loop (thread-local lazy init); the
+        // steady-state claim is the repeatable floor.
+        best_allocs.allocs = best_allocs.allocs.min(rep_allocs.allocs);
+        best_allocs.bytes = best_allocs.bytes.min(rep_allocs.bytes);
         best_wall = best_wall.min(wall);
     }
+    let measured = if alloc_counting() { best_allocs } else { LoopAllocs::default() };
     ScenarioResult {
         name: name.to_string(),
         events,
@@ -171,13 +240,16 @@ fn run_scenario(name: &str, cells: &[Cell]) -> ScenarioResult {
         peak_queue_len: peak,
         resident_bytes: resident,
         shards: 1,
+        loop_allocs: measured.allocs,
+        loop_alloc_bytes: measured.bytes,
+        allocs_per_event: measured.allocs as f64 / (events as f64).max(1.0),
         fingerprint: fp,
     }
 }
 
 /// The million-ID churn model behind `macro_millions` — now shared with
 /// the `exp_millions` grid driver via [`networks::millions`].
-fn millions_model() -> ChurnModel {
+fn millions_model() -> sybil_churn::model::ChurnModel {
     networks::millions(1_000_000)
 }
 
@@ -197,22 +269,11 @@ fn run_macro_millions() -> ScenarioResult {
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     } // The resident schedule is dropped here; replays stream from disk.
 
-    struct DiskRunner {
-        cfg: SimConfig,
-        t: f64,
-        disk: DiskWorkload,
-    }
-    impl AlgoVisitor for DiskRunner {
-        type Out = SimReport;
-        fn visit<D: Defense + 'static>(self, defense: D) -> SimReport {
-            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.disk).run()
-        }
-    }
-
     let mut best_wall = f64::INFINITY;
     let mut events = 0u64;
     let mut peak = 0usize;
     let mut resident = 0usize;
+    let mut best_allocs = LoopAllocs { allocs: u64::MAX, bytes: u64::MAX };
     let mut fp = Fingerprint::default();
     for rep in 0..reps() {
         let started = Instant::now();
@@ -221,7 +282,7 @@ fn run_macro_millions() -> ScenarioResult {
         let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
         // Same defense seeding as `run_report`, so the scenario is pinned
         // the same way the sweep cells are.
-        let report = algo.dispatch(crate::sweep::defense_seed(seed), DiskRunner { cfg, t, disk });
+        let (report, allocs) = run_report_with_measured(cfg, algo, t, defense_seed(seed), disk);
         let wall = started.elapsed().as_secs_f64();
         let rep_fp = Fingerprint {
             good_joins_admitted: report.good_joins_admitted,
@@ -239,9 +300,12 @@ fn run_macro_millions() -> ScenarioResult {
             assert_eq!(report.events_processed, events, "macro_millions: nondeterministic");
             assert_eq!(rep_fp, fp, "macro_millions: nondeterministic fingerprint");
         }
+        best_allocs.allocs = best_allocs.allocs.min(allocs.allocs);
+        best_allocs.bytes = best_allocs.bytes.min(allocs.bytes);
         best_wall = best_wall.min(wall);
     }
     std::fs::remove_file(&path).ok();
+    let measured = if alloc_counting() { best_allocs } else { LoopAllocs::default() };
     ScenarioResult {
         name: "macro_millions".to_string(),
         events,
@@ -250,6 +314,9 @@ fn run_macro_millions() -> ScenarioResult {
         peak_queue_len: peak,
         resident_bytes: resident,
         shards: 1,
+        loop_allocs: measured.allocs,
+        loop_alloc_bytes: measured.bytes,
+        allocs_per_event: measured.allocs as f64 / (events as f64).max(1.0),
         fingerprint: fp,
     }
 }
@@ -287,13 +354,17 @@ fn run_macro_scale_family() -> Vec<ScenarioResult> {
         let mut events = 0u64;
         let mut peak = 0usize;
         let mut resident = 0usize;
+        let mut best_allocs = LoopAllocs { allocs: u64::MAX, bytes: u64::MAX };
         let mut fp = Fingerprint::default();
         for rep in 0..reps() {
             let started = Instant::now();
             let disk = DiskWorkload::open(&path)
                 .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
             let cfg = SimConfig { horizon: Time(horizon), adv_rate: t, ..SimConfig::default() };
-            let report = run_report_with(
+            // The counters are thread-local: at S > 1 they cover the
+            // coordinator's merge loop, not the producer threads (whose
+            // batch buffers are pooled; see `sybil-sim::shard`).
+            let (report, allocs) = run_report_with_measured(
                 cfg,
                 algo,
                 t,
@@ -317,8 +388,11 @@ fn run_macro_scale_family() -> Vec<ScenarioResult> {
                 assert_eq!(report.events_processed, events, "{name}: nondeterministic");
                 assert_eq!(rep_fp, fp, "{name}: nondeterministic fingerprint");
             }
+            best_allocs.allocs = best_allocs.allocs.min(allocs.allocs);
+            best_allocs.bytes = best_allocs.bytes.min(allocs.bytes);
             best_wall = best_wall.min(wall);
         }
+        let measured = if alloc_counting() { best_allocs } else { LoopAllocs::default() };
         out.push(ScenarioResult {
             name,
             events,
@@ -327,6 +401,9 @@ fn run_macro_scale_family() -> Vec<ScenarioResult> {
             peak_queue_len: peak,
             resident_bytes: resident,
             shards,
+            loop_allocs: measured.allocs,
+            loop_alloc_bytes: measured.bytes,
+            allocs_per_event: measured.allocs as f64 / (events as f64).max(1.0),
             fingerprint: fp,
         });
     }
@@ -440,6 +517,12 @@ pub fn to_json(report: &PerfReport) -> String {
          \"outer_pool\": {}}},\n",
         sybil_exp::pool::shard_budget(workers, cell_shards)
     ));
+    // Whether the alloc_* scenario fields are live measurements (counting
+    // allocator registered and not forced off) or structural zeros, plus
+    // the SYBIL_BENCH_ALLOC setting that produced them — so a JSON is
+    // self-describing no matter how its run was built or invoked.
+    out.push_str(&format!("  \"alloc_counting\": {},\n", alloc_counting()));
+    out.push_str(&format!("  \"alloc_mode\": \"{}\",\n", alloc_mode_label()));
     out.push_str("  \"queue\": {\n");
     for (i, q) in report.queue.iter().enumerate() {
         out.push_str(&format!(
@@ -455,7 +538,7 @@ pub fn to_json(report: &PerfReport) -> String {
     out.push_str("  \"scenarios\": {\n");
     for (i, s) in report.scenarios.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"resident_bytes\": {},\n      \"shards\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
+            "    \"{}\": {{\n      \"events\": {},\n      \"wall_secs\": {},\n      \"events_per_sec\": {},\n      \"peak_queue_len\": {},\n      \"resident_bytes\": {},\n      \"shards\": {},\n      \"loop_allocs\": {},\n      \"loop_alloc_bytes\": {},\n      \"allocs_per_event\": {},\n      \"fingerprint\": {{\"good_joins_admitted\": {}, \"bad_joins_admitted\": {}, \"purges\": {}, \"good_spend\": {}, \"adv_spend\": {}}}\n    }}{}\n",
             s.name,
             s.events,
             json_f64(s.wall_secs),
@@ -463,6 +546,9 @@ pub fn to_json(report: &PerfReport) -> String {
             s.peak_queue_len,
             s.resident_bytes,
             s.shards,
+            s.loop_allocs,
+            s.loop_alloc_bytes,
+            json_f64(s.allocs_per_event),
             s.fingerprint.good_joins_admitted,
             s.fingerprint.bad_joins_admitted,
             s.fingerprint.purges,
@@ -479,24 +565,31 @@ pub fn to_json(report: &PerfReport) -> String {
 pub fn render(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<28} {:>14} {:>10} {:>16} {:>12} {:>14}\n",
-        "benchmark", "events/ops", "wall (s)", "throughput/s", "peak queue", "resident KiB"
+        "{:<28} {:>14} {:>10} {:>16} {:>12} {:>14} {:>12}\n",
+        "benchmark",
+        "events/ops",
+        "wall (s)",
+        "throughput/s",
+        "peak queue",
+        "resident KiB",
+        "loop allocs"
     ));
     for q in &report.queue {
         out.push_str(&format!(
-            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14}\n",
-            q.name, q.ops, q.wall_secs, q.ops_per_sec, "-", "-"
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14} {:>12}\n",
+            q.name, q.ops, q.wall_secs, q.ops_per_sec, "-", "-", "-"
         ));
     }
     for s in &report.scenarios {
         out.push_str(&format!(
-            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14}\n",
+            "{:<28} {:>14} {:>10.3} {:>16.0} {:>12} {:>14} {:>12}\n",
             s.name,
             s.events,
             s.wall_secs,
             s.events_per_sec,
             s.peak_queue_len,
-            s.resident_bytes.div_ceil(1024)
+            s.resident_bytes.div_ceil(1024),
+            s.loop_allocs
         ));
     }
     out
@@ -533,6 +626,9 @@ mod tests {
                 peak_queue_len: 3,
                 resident_bytes: 4096,
                 shards: 4,
+                loop_allocs: 7,
+                loop_alloc_bytes: 256,
+                allocs_per_event: 1.4,
                 fingerprint: Fingerprint::default(),
             }],
         };
@@ -540,6 +636,10 @@ mod tests {
         assert!(json.contains("\"queue_heap\""));
         assert!(json.contains("\"events_per_sec\": 10"));
         assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"loop_allocs\": 7"));
+        assert!(json.contains("\"allocs_per_event\": 1.4"));
+        assert!(json.contains("\"alloc_counting\":"));
+        assert!(json.contains("\"alloc_mode\":"));
         assert!(json.contains("\"available_parallelism\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -224,24 +224,90 @@ pub fn run_report_with<W: WorkloadSource>(
     defense_seed: u64,
     source: W,
 ) -> SimReport {
-    struct Runner<W> {
+    run_report_with_measured(cfg, algo, t, defense_seed, source).0
+}
+
+/// Heap-allocation counters measured over the engine's steady-state event
+/// loop (the span `Simulation::run_spanned` brackets: after scheduling and
+/// initialization, before report assembly). All zeros unless the binary
+/// registered [`sybil_exp::alloc::CountingAlloc`] as its global allocator
+/// (the `alloc-count` feature) — check
+/// [`sybil_exp::alloc::counting_enabled`] to tell a structural zero from a
+/// measured one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoopAllocs {
+    /// Allocator calls during the event loop, on the engine's thread.
+    pub allocs: u64,
+    /// Bytes requested by those calls.
+    pub bytes: u64,
+}
+
+/// [`run_report_with`], also returning the event loop's [`LoopAllocs`].
+pub fn run_report_with_measured<W: WorkloadSource>(
+    cfg: SimConfig,
+    algo: Algo,
+    t: f64,
+    defense_seed: u64,
+    source: W,
+) -> (SimReport, LoopAllocs) {
+    use std::cell::Cell;
+    use sybil_exp::alloc::AllocStats;
+
+    struct Runner<'a, W> {
         cfg: SimConfig,
         t: f64,
         source: W,
+        measured: &'a Cell<LoopAllocs>,
     }
-    impl<W: WorkloadSource> AlgoVisitor for Runner<W> {
+    impl<W: WorkloadSource> AlgoVisitor for Runner<'_, W> {
         type Out = SimReport;
         fn visit<D: Defense + 'static>(self, defense: D) -> SimReport {
-            Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.source).run()
+            let stats: Cell<Option<AllocStats>> = Cell::new(None);
+            let measured = self.measured;
+            let (report, _defense) =
+                Simulation::new(self.cfg, defense, BudgetJoiner::new(self.t), self.source)
+                    .run_spanned(
+                        || {
+                            stats.set(Some(AllocStats::begin()));
+                            // Attribution aid: SYBIL_BENCH_ALLOC_TRAP=N
+                            // aborts with a backtrace at the N-th in-span
+                            // allocation (see sybil_exp::alloc::trap_after).
+                            if let Ok(n) = std::env::var("SYBIL_BENCH_ALLOC_TRAP") {
+                                if let Ok(n) = n.parse::<u64>() {
+                                    sybil_exp::alloc::trap_after(n);
+                                }
+                            }
+                        },
+                        || {
+                            sybil_exp::alloc::disarm_trap();
+                            let s = stats.get().expect("enter hook ran before exit");
+                            measured.set(LoopAllocs { allocs: s.allocs(), bytes: s.bytes() });
+                        },
+                    );
+            report
         }
     }
-    algo.dispatch(defense_seed, Runner { cfg, t, source })
+    let measured = Cell::new(LoopAllocs::default());
+    let report = algo.dispatch(defense_seed, Runner { cfg, t, source, measured: &measured });
+    (report, measured.get())
 }
 
 /// Runs one cell and returns the full simulation report. Workloads come
 /// from [`cached_workload`]; see [`run_report_with`] for the
 /// source-generic form the disk-streamed grids use.
 pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -> SimReport {
+    run_report_measured(network, algo, t, params).0
+}
+
+/// [`run_report`], also returning the event loop's [`LoopAllocs`]. The
+/// workload-cache clone and simulation construction happen outside the
+/// measured span, so the counters cover exactly the steady-state loop.
+pub fn run_report_measured(
+    network: &ChurnModel,
+    algo: Algo,
+    t: f64,
+    params: RunParams,
+) -> (SimReport, LoopAllocs) {
     let workload = cached_workload(network, params.horizon, params.seed);
     let cfg = SimConfig {
         horizon: Time(params.horizon),
@@ -249,7 +315,7 @@ pub fn run_report(network: &ChurnModel, algo: Algo, t: f64, params: RunParams) -
         adv_rate: t,
         ..SimConfig::default()
     };
-    run_report_with(cfg, algo, t, defense_seed(params.seed), workload)
+    run_report_with_measured(cfg, algo, t, defense_seed(params.seed), workload)
 }
 
 /// Validates the DefID invariant over a report (bad fraction < 3κ for the

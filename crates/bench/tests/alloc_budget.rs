@@ -1,0 +1,153 @@
+//! Steady-state allocation-budget tests: the zero-allocation hot-path
+//! contract, pinned per defense × per adversary spend rate.
+//!
+//! Each case replays a gnutella-churn workload through one defense at one
+//! adversary rate `T` and measures allocator calls over exactly the
+//! engine's steady-state event loop (the span `Simulation::run_spanned`
+//! brackets — construction and `Defense::init`, where capacity reserves
+//! are free, fall outside it; see crates/sim/README.md, "Allocation
+//! budget"). The warm-up is structural: everything before the span is the
+//! warm-up, and the assertion covers every event after it.
+//!
+//! The measurements are only live when this binary is built with
+//! `--features alloc-count` (the CI `alloc` job does); without it the
+//! counters read zero structurally and the budget assertions are
+//! vacuous, so the cases still run as behavioral smoke but say so.
+
+use sybil_bench::sweep::{run_report_measured, Algo, RunParams};
+use sybil_churn::networks;
+
+// Under `alloc-count` every heap allocation in this process is counted on
+// thread-local counters; each test thread measures its own span.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: sybil_exp::alloc::CountingAlloc = sybil_exp::alloc::CountingAlloc;
+
+/// Asserts the steady-state loop of one (defense, T) cell allocates
+/// nothing — when the counting allocator is registered.
+fn assert_zero_budget(algo: Algo, t: f64) {
+    let net = networks::gnutella();
+    let params = RunParams { horizon: 1000.0, seed: 1, ..RunParams::default() };
+    let (report, allocs) = run_report_measured(&net, algo, t, params);
+    // The run must have actually exercised the hot path.
+    assert!(
+        report.good_joins_admitted + report.bad_joins_admitted > 0,
+        "{algo:?} T={t}: cell admitted nothing; the budget span covered no work"
+    );
+    if sybil_exp::counting_enabled() {
+        assert_eq!(
+            allocs.allocs, 0,
+            "{algo:?} T={t}: {} allocation(s) ({} bytes) in the steady-state event loop — \
+             the zero-allocation contract is broken",
+            allocs.allocs, allocs.bytes
+        );
+    } else {
+        eprintln!("note: {algo:?} T={t} ran without --features alloc-count; budget not measured");
+    }
+}
+
+#[test]
+fn ergo_family_steady_state_allocates_nothing() {
+    for t in [0.0, 1024.0, 65_536.0] {
+        assert_zero_budget(Algo::Ergo, t);
+        assert_zero_budget(Algo::ErgoCh1, t);
+        assert_zero_budget(Algo::ErgoCh2, t);
+    }
+}
+
+#[test]
+fn ccom_steady_state_allocates_nothing() {
+    for t in [0.0, 1024.0, 65_536.0] {
+        assert_zero_budget(Algo::CCom, t);
+    }
+}
+
+#[test]
+fn sybilcontrol_steady_state_allocates_nothing() {
+    for t in [0.0, 64.0, 4096.0] {
+        assert_zero_budget(Algo::SybilControl, t);
+    }
+}
+
+#[test]
+fn remp_steady_state_allocates_nothing() {
+    for t in [0.0, 1024.0] {
+        assert_zero_budget(Algo::Remp(1e7), t);
+    }
+}
+
+#[test]
+fn ergo_sf_steady_state_allocates_nothing() {
+    for t in [0.0, 1024.0] {
+        assert_zero_budget(Algo::ErgoSf(0.9), t);
+    }
+}
+
+/// Regression pin for the buffer-reuse refactor: `drain_events_into`
+/// must yield exactly what the allocating `drain_events` wrapper yields —
+/// same events, same order, at every drain point — and must *append* to
+/// a non-empty buffer rather than clobber it.
+#[test]
+fn drain_events_into_matches_the_allocating_api() {
+    use sybil_sim::defense::{Defense, DefenseEvent};
+    use sybil_sim::time::Time;
+
+    // Two identical defenses driven through the identical call sequence;
+    // only the drain API differs.
+    let mut a = sybil_defenses::ergo();
+    let mut b = sybil_defenses::ergo();
+    let drive = |d: &mut dyn Defense, drains: &mut Vec<Vec<DefenseEvent>>, into: bool| {
+        let mut buf = Vec::new();
+        d.init(Time(0.0), 50, 10);
+        let mut now = 0.0;
+        for step in 0..200u64 {
+            now += 7.0;
+            d.good_join(Time(now));
+            if step % 5 == 0 {
+                d.bad_join_batch(Time(now), sybil_sim::cost::Cost(100.0), 4);
+            }
+            if step % 3 == 0 {
+                d.good_depart(Time(now), Time(now - 20.0));
+            }
+            if d.purge_due(Time(now)) {
+                d.purge(Time(now), 2);
+                if into {
+                    buf.clear();
+                    d.drain_events_into(&mut buf);
+                    drains.push(buf.clone());
+                } else {
+                    drains.push(d.drain_events());
+                }
+            }
+        }
+        if into {
+            buf.clear();
+            d.drain_events_into(&mut buf);
+            drains.push(buf);
+        } else {
+            drains.push(d.drain_events());
+        }
+    };
+    let mut via_vec = Vec::new();
+    let mut via_into = Vec::new();
+    drive(&mut a, &mut via_vec, false);
+    drive(&mut b, &mut via_into, true);
+    assert!(via_vec.iter().map(Vec::len).sum::<usize>() > 0, "the drive produced no events");
+    assert_eq!(via_vec, via_into, "drain_events and drain_events_into diverged");
+
+    // Append semantics: draining into a non-empty buffer keeps what was
+    // already there and appends after it.
+    let mut c = sybil_defenses::ergo();
+    c.init(Time(0.0), 50, 10);
+    for step in 1..=100u64 {
+        c.good_join(Time(step as f64 * 7.0));
+    }
+    let now = Time(700.0);
+    if c.purge_due(now) {
+        c.purge(now, 0);
+    }
+    let sentinel = DefenseEvent::PurgeCompleted { at: Time(-1.0), members_after: 999 };
+    let mut seeded = vec![sentinel];
+    c.drain_events_into(&mut seeded);
+    assert_eq!(seeded[0], sentinel, "drain_events_into must append, not clobber");
+}

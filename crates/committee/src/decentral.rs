@@ -203,8 +203,8 @@ impl Defense for DecentralizedErgo {
         self.inner.n_bad()
     }
 
-    fn drain_events(&mut self) -> Vec<DefenseEvent> {
-        self.inner.drain_events()
+    fn drain_events_into(&mut self, out: &mut Vec<DefenseEvent>) {
+        self.inner.drain_events_into(out)
     }
 }
 

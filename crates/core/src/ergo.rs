@@ -348,6 +348,19 @@ impl Defense for Ergo {
             self.bad_runs.push_back(BadRun { stamp, n: n_bad });
         }
         self.est = GoodJEst::new(self.cfg.estimator, now, n_good + n_bad);
+        // Steady-state allocation budget: every growable Ergo structure
+        // reserves its expected high-water here, outside the engine's
+        // measured event loop, so processing events allocates nothing.
+        // Clears during the run (purges, drains) all keep capacity.
+        let n = (n_good + n_bad).min(1 << 16) as usize;
+        self.window.reserve(n);
+        self.est.reserve_log(4096);
+        self.bad_runs.reserve(1024);
+        // The engine drains the event log at every purge boundary (see
+        // `Simulation::absorb_defense_events`), so the log holds at most
+        // one iteration's worth of records between drains; a small reserve
+        // covers the records logged before the first drain.
+        self.events.reserve(64);
         self.est_start = (now, self.seq);
         self.reset_iteration(now);
         Cost::ONE
@@ -487,7 +500,12 @@ impl Defense for Ergo {
 
     fn purge(&mut self, now: Time, retain_bad: u64) -> PurgeReport {
         if self.heuristic3_skips(now) {
-            self.events.push(DefenseEvent::PurgeSkipped { at: now });
+            // Not logged as a DefenseEvent: no consumer reads PurgeSkipped
+            // (the report drops it on absorb, and the engine counts skips
+            // from the PurgeReport), while under heavy attack skips can
+            // end iterations every few admissions — logging them made the
+            // event buffer the one allocation no init-time reserve could
+            // bound.
             // A skipped purge still ends the iteration, so Heuristic 1's
             // deferred estimator update is released here too.
             self.est.on_purge_complete(now);
@@ -542,16 +560,24 @@ impl Defense for Ergo {
         self.n_bad
     }
 
-    fn drain_events(&mut self) -> Vec<DefenseEvent> {
-        let mut out = std::mem::take(&mut self.events);
-        for rec in self.est.drain_intervals() {
-            out.push(DefenseEvent::EstimateUpdated {
+    fn drain_events_into(&mut self, out: &mut Vec<DefenseEvent>) {
+        if out.is_empty() {
+            // Hand the filled buffer to the caller and keep theirs: the two
+            // buffers ping-pong between engine and defense, so once both
+            // have grown to the high-water mark nothing allocates again.
+            std::mem::swap(out, &mut self.events);
+        } else {
+            out.extend_from_slice(&self.events);
+            self.events.clear();
+        }
+        let events = &mut *out;
+        self.est.drain_intervals_with(|rec| {
+            events.push(DefenseEvent::EstimateUpdated {
                 start: rec.start,
                 end: rec.end,
                 estimate: rec.estimate,
             });
-        }
-        out
+        });
     }
 }
 

@@ -106,6 +106,14 @@ impl GoodJEst {
         }
     }
 
+    /// Pre-reserves room for `n` interval records in the log. Called from
+    /// `Defense::init` (outside the engine's measured steady-state span) so
+    /// interval rolls never grow the log mid-loop; the drain-by-visit path
+    /// keeps the capacity afterwards.
+    pub fn reserve_log(&mut self, n: usize) {
+        self.log.reserve(n);
+    }
+
     /// Number of completed intervals (estimate updates) so far. Zero means
     /// the current estimate is still the initialization guess.
     pub fn update_count(&self) -> u64 {
@@ -226,6 +234,14 @@ impl GoodJEst {
     /// Drains the completed-interval log.
     pub fn drain_intervals(&mut self) -> Vec<IntervalRecord> {
         std::mem::take(&mut self.log)
+    }
+
+    /// Visits and clears the completed-interval log without allocating —
+    /// the log's capacity is retained for the next intervals.
+    pub fn drain_intervals_with(&mut self, mut f: impl FnMut(IntervalRecord)) {
+        for rec in self.log.drain(..) {
+            f(rec);
+        }
     }
 }
 

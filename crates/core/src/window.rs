@@ -25,8 +25,15 @@ use sybil_sim::time::Time;
 /// O(log n) binary-search fallback when the window edge jumps.
 #[derive(Clone, Debug, Default)]
 pub struct JoinWindow {
-    /// `(time, cumulative joins up to and including time)`, time-sorted.
-    entries: Vec<(f64, u64)>,
+    /// Join timestamps, time-sorted. Structure-of-arrays with `counts`:
+    /// the window-boundary walks and searches in [`count_within`] read
+    /// only timestamps, so splitting the former `(f64, u64)` pairs halves
+    /// the bytes those scans pull through cache.
+    ///
+    /// [`count_within`]: JoinWindow::count_within
+    times: Vec<f64>,
+    /// Cumulative joins up to and including the same-index timestamp.
+    counts: Vec<u64>,
     /// Memoized window boundary from the previous [`count_within`]
     /// query: the index of the first entry strictly inside that window.
     /// Simulation time is monotone and the window width (`1/J̃`) only
@@ -56,19 +63,31 @@ impl JoinWindow {
         }
         let t = now.as_secs();
         let total = self.total() + n;
-        if let Some(last) = self.entries.last_mut() {
-            debug_assert!(t >= last.0, "joins must be recorded in time order");
-            if last.0 == t {
-                last.1 = total;
+        if let Some(&last_t) = self.times.last() {
+            debug_assert!(t >= last_t, "joins must be recorded in time order");
+            if last_t == t {
+                *self.counts.last_mut().expect("times and counts stay in lockstep") = total;
                 return;
             }
         }
-        self.entries.push((t, total));
+        self.times.push(t);
+        self.counts.push(total);
+    }
+
+    /// Pre-reserves room for `n` distinct join timestamps. Called from
+    /// `Defense::init` (outside the engine's measured steady-state span)
+    /// so iteration-long histories never grow the arrays mid-loop;
+    /// [`clear`] keeps capacity, so one reservation covers the whole run.
+    ///
+    /// [`clear`]: JoinWindow::clear
+    pub fn reserve(&mut self, n: usize) {
+        self.times.reserve(n);
+        self.counts.reserve(n);
     }
 
     /// Total joins recorded this iteration.
     pub fn total(&self) -> u64 {
-        self.entries.last().map_or(0, |&(_, c)| c)
+        self.counts.last().copied().unwrap_or(0)
     }
 
     /// Number of joins in the half-open window `(now − width, now]`.
@@ -78,7 +97,7 @@ impl JoinWindow {
     /// 0) counts the whole iteration; `width = 0` counts only joins at
     /// exactly `now`.
     pub fn count_within(&self, now: Time, width: f64) -> u64 {
-        let n = self.entries.len();
+        let n = self.times.len();
         if n == 0 {
             return 0;
         }
@@ -103,45 +122,46 @@ impl JoinWindow {
         const MAX_WALK: usize = 8;
         let mut idx = self.cursor.get().min(n);
         let mut walked = 0usize;
-        while walked < MAX_WALK && idx < n && self.entries[idx].0 <= cutoff {
+        while walked < MAX_WALK && idx < n && self.times[idx] <= cutoff {
             idx += 1;
             walked += 1;
         }
-        while walked < MAX_WALK && idx > 0 && self.entries[idx - 1].0 > cutoff {
+        while walked < MAX_WALK && idx > 0 && self.times[idx - 1] > cutoff {
             idx -= 1;
             walked += 1;
         }
-        if idx < n && self.entries[idx].0 <= cutoff {
+        if idx < n && self.times[idx] <= cutoff {
             // Boundary is further right: bracket it in (lo, hi].
             let mut step = 1usize;
             let mut lo = idx;
-            while idx + step < n && self.entries[idx + step].0 <= cutoff {
+            while idx + step < n && self.times[idx + step] <= cutoff {
                 lo = idx + step;
                 step *= 2;
             }
             let hi = (idx + step).min(n);
-            idx = lo + 1 + self.entries[lo + 1..hi].partition_point(|&(t, _)| t <= cutoff);
-        } else if idx > 0 && self.entries[idx - 1].0 > cutoff {
+            idx = lo + 1 + self.times[lo + 1..hi].partition_point(|&t| t <= cutoff);
+        } else if idx > 0 && self.times[idx - 1] > cutoff {
             // Boundary is further left: gallop down, bracket in
             // [lo, lo + step/2] (clamped — we know it is below idx).
             let mut step = 1usize;
             let mut lo = idx;
-            while lo > 0 && self.entries[lo - 1].0 > cutoff {
+            while lo > 0 && self.times[lo - 1] > cutoff {
                 lo = lo.saturating_sub(step);
                 step *= 2;
             }
             let hi = (lo + step / 2).min(idx);
-            idx = lo + self.entries[lo..hi].partition_point(|&(t, _)| t <= cutoff);
+            idx = lo + self.times[lo..hi].partition_point(|&t| t <= cutoff);
         }
         self.cursor.set(idx);
-        let before = if idx == 0 { 0 } else { self.entries[idx - 1].1 };
+        let before = if idx == 0 { 0 } else { self.counts[idx - 1] };
         self.total() - before
     }
 
     /// Clears the history (called at each purge: the entrance rule reads
     /// "of the current iteration").
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.times.clear();
+        self.counts.clear();
         self.cursor.set(0);
     }
 }

@@ -167,8 +167,8 @@ impl Defense for Remp {
         self.n_bad
     }
 
-    fn drain_events(&mut self) -> Vec<DefenseEvent> {
-        Vec::new()
+    fn drain_events_into(&mut self, _out: &mut Vec<DefenseEvent>) {
+        // REMP logs no events; nothing to drain, nothing to allocate.
     }
 }
 

@@ -162,8 +162,8 @@ impl Defense for SybilControl {
         self.n_bad
     }
 
-    fn drain_events(&mut self) -> Vec<DefenseEvent> {
-        Vec::new()
+    fn drain_events_into(&mut self, _out: &mut Vec<DefenseEvent>) {
+        // SybilControl logs no events; nothing to drain, nothing to allocate.
     }
 }
 

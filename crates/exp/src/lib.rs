@@ -49,9 +49,12 @@
 //! this machinery. See `crates/exp/README.md` for the file formats,
 //! resume semantics, and failure semantics.
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the one sanctioned exception is the
+// `GlobalAlloc` impl in [`alloc`], which carries a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod cache;
 pub mod env;
 pub mod fault;
@@ -61,11 +64,12 @@ pub mod spec;
 pub mod stats;
 pub mod store;
 
+pub use alloc::{counting_enabled, disarm_trap, trap_after, AllocStats, CountingAlloc};
 pub use cache::{CacheStats, WorkloadCache};
 pub use fault::FaultPlan;
 pub use pool::{
-    default_shards, run_parallel, run_parallel_catch, run_parallel_stats, shard_budget, JobOutcome,
-    PoolStats,
+    default_shards, run_parallel, run_parallel_catch, run_parallel_scratch, run_parallel_stats,
+    shard_budget, JobOutcome, PoolStats, Scratch,
 };
 pub use runner::{
     run_cell_grid, run_cell_grid_opts, run_grid, run_grid_opts, run_spec_grid, run_spec_grid_opts,

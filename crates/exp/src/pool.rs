@@ -1,4 +1,6 @@
-//! The chunked work-stealing job pool, with per-worker instrumentation.
+//! The chunked work-stealing job pool, with per-worker instrumentation
+//! and a per-worker [`Scratch`] arena reset between jobs (so a grid's
+//! trials reuse staging capacity instead of allocating per trial).
 //!
 //! Moved here from the bench crate's `sweep` module so the experiment
 //! runner and the figure drivers share one scheduler; `sweep` re-exports
@@ -213,6 +215,51 @@ impl<T> JobOutcome<T> {
     }
 }
 
+/// Per-worker scratch arena, reset (capacity-preserving) between jobs.
+///
+/// Every worker thread owns exactly one `Scratch` for the lifetime of a
+/// pool run and hands it to each job it executes via
+/// [`run_parallel_scratch`]. Before a job runs, the arena is cleared but
+/// its backing capacity is kept, so a grid of ten thousand trials that
+/// each need a staging buffer performs the allocation once per worker —
+/// on the first trial — and zero times after warmup, instead of once per
+/// trial. A panicking job leaves its arena in an arbitrary state; the
+/// pre-job reset restores the clean-arena invariant before the next trial.
+///
+/// The buffers are deliberately plain so any trial shape can stage into
+/// them; a job must not assume anything about contents on entry beyond
+/// "empty with whatever capacity earlier trials grew".
+#[derive(Debug, Default)]
+pub struct Scratch {
+    bytes: Vec<u8>,
+    ids: Vec<u64>,
+    text: String,
+}
+
+impl Scratch {
+    /// Byte staging buffer (serialization, record assembly).
+    pub fn bytes(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Index/ID staging buffer (candidate lists, sort keys).
+    pub fn ids(&mut self) -> &mut Vec<u64> {
+        &mut self.ids
+    }
+
+    /// Text staging buffer (cell ids, rendered records).
+    pub fn text(&mut self) -> &mut String {
+        &mut self.text
+    }
+
+    /// Clears every buffer, keeping capacity (the arena reset).
+    fn reset(&mut self) {
+        self.bytes.clear();
+        self.ids.clear();
+        self.text.clear();
+    }
+}
+
 /// Renders a caught panic payload (the `&str` / `String` forms `panic!`
 /// produces; anything else is labelled opaquely).
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -299,6 +346,24 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    let jobs: Vec<_> = jobs.into_iter().map(|f| move |_: &mut Scratch| f()).collect();
+    run_parallel_scratch(jobs, workers)
+}
+
+/// Runs scratch-aware `jobs` on `workers` threads, catching per-job
+/// panics — the core loop every `run_parallel*` variant rides.
+///
+/// Same scheduling and panic contract as [`run_parallel_catch`], but each
+/// closure receives its worker's [`Scratch`] arena, reset
+/// (capacity-preserving) before the job runs. Determinism is unchanged:
+/// the arena is always empty on entry, so a job observing only contents
+/// (never capacity) behaves identically regardless of which worker runs
+/// it or what ran before.
+pub fn run_parallel_scratch<T, F>(jobs: Vec<F>, workers: usize) -> (Vec<JobOutcome<T>>, PoolStats)
+where
+    T: Send,
+    F: FnOnce(&mut Scratch) -> T + Send,
+{
     assert!(workers > 0, "need at least one worker");
     let n = jobs.len();
     if n == 0 {
@@ -321,6 +386,7 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, JobOutcome<T>)> = Vec::new();
                     let mut stats = WorkerStats::default();
+                    let mut scratch = Scratch::default();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
@@ -335,7 +401,8 @@ where
                                 .take()
                                 .expect("job claimed twice");
                             let job_started = Instant::now();
-                            let outcome = match catch_unwind(AssertUnwindSafe(f)) {
+                            scratch.reset();
+                            let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut scratch))) {
                                 Ok(value) => JobOutcome::Done(value),
                                 Err(payload) => {
                                     stats.panics += 1;
@@ -474,6 +541,64 @@ mod tests {
         let msg = panic_message(caught.unwrap_err());
         assert!(msg.contains("1 pool job(s) panicked") && msg.contains("boom"), "{msg}");
         assert_eq!(ran.load(Ordering::Relaxed), 8, "siblings must drain before the panic");
+    }
+
+    /// A boxed scratch-aware job, as the arena tests build them.
+    type ScratchJob<T> = Box<dyn FnOnce(&mut Scratch) -> T + Send>;
+
+    /// The arena contract: one worker runs every job in sequence, job 0
+    /// grows the scratch, and every later job must see it *empty* (reset)
+    /// but still *capacious* (no per-trial reallocation).
+    #[test]
+    fn scratch_is_reset_but_keeps_capacity_across_jobs() {
+        const GROW: usize = 1 << 16;
+        let jobs: Vec<ScratchJob<(usize, usize)>> = (0..10usize)
+            .map(|i| {
+                Box::new(move |s: &mut Scratch| {
+                    let observed = (s.bytes().len(), s.bytes().capacity());
+                    if i == 0 {
+                        s.bytes().resize(GROW, 0);
+                        s.ids().extend(0..128);
+                        s.text().push_str("warmup");
+                    } else {
+                        assert!(s.ids().is_empty() && s.text().is_empty(), "arena not reset");
+                    }
+                    observed
+                }) as _
+            })
+            .collect();
+        let (outcomes, _) = run_parallel_scratch(jobs, 1);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (len, cap) = match outcome {
+                JobOutcome::Done(v) => v,
+                JobOutcome::Panicked(msg) => panic!("job {i} panicked: {msg}"),
+            };
+            assert_eq!(len, 0, "job {i} saw a dirty arena");
+            if i > 0 {
+                assert!(cap >= GROW, "job {i} saw capacity {cap}: warmup allocation was lost");
+            }
+        }
+    }
+
+    /// A panicking job must not poison the arena for its successors: the
+    /// pre-job reset restores the clean state.
+    #[test]
+    fn scratch_survives_a_panicking_job() {
+        let jobs: Vec<ScratchJob<usize>> = (0..4usize)
+            .map(|i| {
+                Box::new(move |s: &mut Scratch| {
+                    assert!(s.bytes().is_empty(), "job {i} saw a dirty arena");
+                    s.bytes().push(i as u8);
+                    if i == 1 {
+                        panic!("mid-write panic");
+                    }
+                    s.bytes().len()
+                }) as _
+            })
+            .collect();
+        let (outcomes, stats) = run_parallel_scratch(jobs, 1);
+        assert_eq!(stats.total_panics(), 1);
+        assert_eq!(outcomes.iter().filter(|o| matches!(o, JobOutcome::Done(1))).count(), 3);
     }
 
     #[test]

@@ -151,6 +151,23 @@ impl AdmissionMap {
         *word = (*word & !(0b11 << shift)) | (state.to_bits() << shift);
     }
 
+    /// Allocates every segment up front.
+    ///
+    /// Used by the engine for workload sources that are fully resident
+    /// anyway (the session universe already occupies memory, so lazy
+    /// segment allocation buys no residency story — it only costs
+    /// mid-loop allocations); disk-streamed sources stay lazy. The
+    /// canonical report gauge counts *touched* segments, not allocated
+    /// ones, so reports are identical either way.
+    pub fn preallocate(&mut self) {
+        for segment in &mut self.segments {
+            if segment.is_none() {
+                *segment = Some(Box::new([0u64; SEGMENT_WORDS]));
+            }
+        }
+        self.allocated = self.segments.len();
+    }
+
     /// Extends the map to address `len` sessions (no-op if it already
     /// does). New sessions read as [`AdmissionState::Pending`] and cost
     /// only directory slots until written — this is how a long-running

@@ -35,9 +35,9 @@
 
 use crate::adversary::{Adversary, DefenseView};
 use crate::cost::{Cost, Purpose};
-use crate::defense::{BatchStop, Defense};
+use crate::defense::{BatchStop, Defense, DefenseEvent};
 use crate::queue::EventQueue;
-use crate::report::{SimReport, TimelinePoint};
+use crate::report::{EstimateRecord, SimReport, TimelinePoint};
 use crate::shard_state::ShardedDefenseState;
 use crate::time::Time;
 use crate::workload::{SessionIndex, StreamEvent, Workload, WorkloadSource, WorkloadStream};
@@ -212,7 +212,32 @@ pub struct Simulation<D, A, W: WorkloadSource = Workload> {
     good_join_times_dropped: u64,
     good_join_times: Vec<Time>,
     timeline: Vec<TimelinePoint>,
+    /// The engine's recycled defense-event buffer: handed to
+    /// [`Defense::drain_events_into`] so draining never allocates per call
+    /// (defenses swap their filled log for this one and keep it).
+    events_scratch: Vec<DefenseEvent>,
+    /// Completed-interval estimates, accumulated from per-purge drains of
+    /// the defense event log (see [`absorb_defense_events`]).
+    ///
+    /// [`absorb_defense_events`]: Simulation::absorb_defense_events
+    estimates: Vec<EstimateRecord>,
+    /// Completed-purge times, accumulated the same way. Draining at every
+    /// purge boundary keeps the *defense-side* log at one iteration's
+    /// worth of records, so no init-time reserve has to guess the total
+    /// purge count — under heavy attack small memberships complete a
+    /// purge every few events, making the full-run log Ω(events).
+    purge_times: Vec<Time>,
 }
+
+/// Preallocated capacity of the engine's purge-time log: above the purge
+/// count of any benchmark scenario (the heaviest sweep cell completes
+/// ~73k), so steady-state replay never grows it. Runs that exceed it
+/// still record every purge — they just pay a (counted) reallocation.
+const PURGE_LOG_PREALLOC: usize = 1 << 17;
+
+/// Preallocated capacity of the engine's estimate log; estimator
+/// intervals are far sparser than purges.
+const ESTIMATE_LOG_PREALLOC: usize = 4096;
 
 impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     /// Creates a simulation; call [`run`](Self::run) to execute it.
@@ -248,6 +273,30 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         }
         let initial_size = workload.initial_size();
         let state_shards = workload.state_shards();
+        let preallocate_admission = workload.preallocate_admission();
+        let mut state = ShardedDefenseState::new(n_sessions, state_shards);
+        if preallocate_admission {
+            // Resident sources opt in: first-touch segment boxes would be
+            // the last allocations left inside the steady-state loop. The
+            // report's admission gauge counts touched segments only, so
+            // this is invisible to fingerprints and memory numbers.
+            state.preallocate_admission();
+        }
+        // Preallocate the recorded series to their caps so the steady-state
+        // event loop never grows them. Capacity is invisible to the report,
+        // so this cannot perturb fingerprints.
+        let good_join_cap = if cfg.record_good_joins {
+            cfg.max_good_join_times.map_or(n_sessions as usize, |c| c.min(n_sessions as usize))
+        } else {
+            0
+        };
+        let timeline_cap = match cfg.timeline_resolution {
+            Some(dt) if dt > 0.0 => {
+                let expected = (cfg.horizon.as_secs() / dt) as usize + 2;
+                cfg.max_timeline_points.map_or(expected, |c| c.min(expected))
+            }
+            _ => 0,
+        };
         Ok(Simulation {
             cfg,
             defense,
@@ -260,7 +309,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             pending_depart: None,
             budget: 0.0,
             last_budget_time: Time::ZERO,
-            state: ShardedDefenseState::new(n_sessions, state_shards),
+            state,
             purge_pending: false,
             timeline_dt: 0.0,
             frac_integral: 0.0,
@@ -277,8 +326,11 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             purge_cascade_truncations: 0,
             timeline_decimations: 0,
             good_join_times_dropped: 0,
-            good_join_times: Vec::new(),
-            timeline: Vec::new(),
+            good_join_times: Vec::with_capacity(good_join_cap),
+            timeline: Vec::with_capacity(timeline_cap),
+            events_scratch: Vec::with_capacity(256),
+            estimates: Vec::with_capacity(ESTIMATE_LOG_PREALLOC),
+            purge_times: Vec::with_capacity(PURGE_LOG_PREALLOC),
         })
     }
 
@@ -290,12 +342,24 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     /// Runs the simulation, returning both the report and the final defense
     /// state (for inspecting defense-internal history such as committee
     /// evolution).
-    pub fn run_with_defense(mut self) -> (SimReport, D) {
+    pub fn run_with_defense(self) -> (SimReport, D) {
+        self.run_spanned(|| {}, || {})
+    }
+
+    /// Runs the simulation with instrumentation hooks bracketing the
+    /// steady-state event loop: `enter` fires after scheduling and
+    /// initialization (immediately before the first event pops), `exit`
+    /// fires after the last event (before report assembly). The span is
+    /// exactly the region the allocation budget covers — setup and
+    /// teardown allocations are excluded by construction. Behavior is
+    /// identical to [`run_with_defense`](Self::run_with_defense).
+    pub fn run_spanned(mut self, enter: impl FnOnce(), exit: impl FnOnce()) -> (SimReport, D) {
         if self.stream.merged() {
-            return self.run_merged();
+            return self.run_merged(enter, exit);
         }
         self.schedule_workload();
         self.initialize();
+        enter();
         // Loop-local counters: `dispatch(&mut self)` would otherwise force
         // these through memory on every event.
         let mut events_processed = 0u64;
@@ -311,6 +375,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             self.check_purge(t);
             peak_queue_len = peak_queue_len.max(self.queue.len());
         }
+        exit();
         self.events_processed = events_processed;
         self.peak_queue_len = peak_queue_len;
         self.finish()
@@ -326,10 +391,11 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     /// reserved floor in the same order as the monolithic scheduler
     /// (workload pushes never bump the counter there), so every key — and
     /// with it every `SimReport` bit — matches the 1-shard run.
-    fn run_merged(mut self) -> (SimReport, D) {
+    fn run_merged(mut self, enter: impl FnOnce(), exit: impl FnOnce()) -> (SimReport, D) {
         self.queue.advance_seq_to(self.stream.seq_floor());
         self.schedule_internal();
         self.initialize();
+        enter();
         let mut events_processed = 0u64;
         let mut peak_queue_len = self.queue.len();
         let mut next_workload = self.stream.next_event();
@@ -369,6 +435,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             self.check_purge(t);
             peak_queue_len = peak_queue_len.max(self.queue.len());
         }
+        exit();
         self.events_processed = events_processed;
         self.peak_queue_len = peak_queue_len;
         self.finish()
@@ -658,7 +725,30 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         } else {
             self.purges += 1;
         }
+        self.absorb_defense_events();
         self.note_membership_change(now);
+    }
+
+    /// Drains the defense's event log into the engine's accumulators.
+    ///
+    /// Called after every purge resolution and once more at finish. The
+    /// drain ping-pongs the recycled `events_scratch` buffer with the
+    /// defense's log, and the accumulators are preallocated, so in steady
+    /// state this whole path allocates nothing. Event order within each
+    /// category is chronological at every drain, so the resulting vectors
+    /// are byte-identical to a single drain at finish.
+    fn absorb_defense_events(&mut self) {
+        self.events_scratch.clear();
+        self.defense.drain_events_into(&mut self.events_scratch);
+        for &ev in &self.events_scratch {
+            match ev {
+                DefenseEvent::EstimateUpdated { start, end, estimate } => {
+                    self.estimates.push(EstimateRecord { start, end, estimate });
+                }
+                DefenseEvent::PurgeCompleted { at, .. } => self.purge_times.push(at),
+                DefenseEvent::PurgeSkipped { .. } => {}
+            }
+        }
     }
 
     fn periodic_charge(&mut self, now: Time) {
@@ -676,6 +766,8 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
     }
 
     fn finish(mut self) -> (SimReport, D) {
+        // Collect any defense events logged since the last purge.
+        self.absorb_defense_events();
         // Close the bad-fraction integral at the horizon.
         let dt = self.cfg.horizon - self.last_frac_time;
         if dt > 0.0 {
@@ -684,7 +776,7 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
         // The final epoch reduction: fold every shard's remaining delta
         // and seal the fixed-point ledgers into the report's float form.
         let sealed = self.state.finalize();
-        let mut report = SimReport {
+        let report = SimReport {
             defense: self.defense.name(),
             adversary: self.adversary.name(),
             horizon: self.cfg.horizon.as_secs(),
@@ -708,12 +800,11 @@ impl<D: Defense, A: Adversary, W: WorkloadSource> Simulation<D, A, W> {
             good_join_times_dropped: self.good_join_times_dropped,
             admission_bytes: sealed.admission_bytes,
             workload_stream_bytes: self.stream.resident_bytes(),
-            estimates: Vec::new(),
-            purge_times: Vec::new(),
+            estimates: self.estimates,
+            purge_times: self.purge_times,
             good_join_times: self.good_join_times,
             timeline: self.timeline,
         };
-        report.absorb_events(self.defense.drain_events());
         (report, self.defense)
     }
 }

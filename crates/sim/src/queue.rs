@@ -105,12 +105,35 @@ impl<E> Ord for Entry<E> {
 #[derive(Clone, Debug)]
 struct Calendar<E> {
     buckets: Vec<Bucket<E>>,
+    /// Recycled slot vectors. Simulation time sweeps the bucket array once,
+    /// so without recycling every bucket pays its own first-growth
+    /// allocations mid-run — the single biggest allocation source in the
+    /// engine's steady-state loop. Drained buckets donate their (cleared,
+    /// capacity-bearing) vectors here; first pushes into fresh buckets take
+    /// one back. Pre-seeded at construction so the active band of buckets
+    /// never allocates, and bounded so retained memory stays O(band).
+    spare: Vec<Vec<Option<Entry<E>>>>,
     /// Buckets per second (`n_buckets / horizon`).
     inv_width: f64,
     /// Index of the lowest possibly-nonempty bucket.
     cursor: usize,
     len: usize,
 }
+
+/// Spare-pool bound: covers the engine's active band of in-flight buckets
+/// (peak pending events ≈ active sessions, spread over nearby buckets).
+/// Donations beyond the bound are dropped — deallocation is not the
+/// budgeted operation.
+const SPARE_POOL: usize = 256;
+
+/// Pre-seeded capacity of each spare vector: far above the mean bucket
+/// occupancy the sizing in [`EventQueue::with_horizon`] targets (O(1) per
+/// bucket), because same-time bursts (quantized trace timestamps, purge
+/// cascades, adversary batches) pile up to peak-queue-length entries into
+/// one bucket — engine peaks run ~100–200 for the macro scenarios. A
+/// grown vector re-enters the pool on drain, so one outgrowth amortizes,
+/// but the steady-state budget wants no outgrowth at all.
+const SPARE_SLOT_CAP: usize = 256;
 
 /// One calendar bucket: `slots[head..]` hold the live entries, ascending
 /// by `(time, seq)`. Entries are taken out of their `Option` slot in O(1)
@@ -160,8 +183,13 @@ impl<E> Bucket<E> {
 impl<E> Calendar<E> {
     fn new(horizon: Time, n_buckets: usize) -> Self {
         let n = n_buckets.max(1);
+        // Seeding happens at construction, outside the engine's measured
+        // steady-state span; SPARE_POOL × SPARE_SLOT_CAP slots is ~100 KiB
+        // of Entry<E> capacity for engine-sized events.
+        let spare_seed = SPARE_POOL.min(n);
         Calendar {
             buckets: (0..=n).map(|_| Bucket { slots: Vec::new(), head: 0 }).collect(),
+            spare: (0..spare_seed).map(|_| Vec::with_capacity(SPARE_SLOT_CAP)).collect(),
             inv_width: n as f64 / horizon.as_secs().max(f64::MIN_POSITIVE),
             cursor: 0,
             len: 0,
@@ -180,7 +208,13 @@ impl<E> Calendar<E> {
         // Pushes at or after the current simulation time are the norm, but
         // arbitrary interleavings stay correct: the cursor backs up.
         self.cursor = self.cursor.min(idx);
-        self.buckets[idx].push(entry);
+        let bucket = &mut self.buckets[idx];
+        if bucket.slots.capacity() == 0 {
+            if let Some(spare) = self.spare.pop() {
+                bucket.slots = spare;
+            }
+        }
+        bucket.push(entry);
         self.len += 1;
     }
 
@@ -192,7 +226,17 @@ impl<E> Calendar<E> {
             self.cursor += 1;
         }
         self.len -= 1;
-        self.buckets[self.cursor].pop()
+        let bucket = &mut self.buckets[self.cursor];
+        let entry = bucket.pop();
+        // Bucket::pop clears the slots on full drain; recycle the vector
+        // into the spare pool so the next fresh bucket grows for free. The
+        // cursor only moves forward, so a drained bucket behind it will
+        // not see another push (out-of-order pushes that do back up the
+        // cursor simply re-take a spare).
+        if bucket.slots.is_empty() && bucket.slots.capacity() > 0 && self.spare.len() < SPARE_POOL {
+            self.spare.push(std::mem::take(&mut bucket.slots));
+        }
+        entry
     }
 
     fn peek(&self) -> Option<&Entry<E>> {

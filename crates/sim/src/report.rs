@@ -1,7 +1,6 @@
 //! Simulation outputs.
 
 use crate::cost::Ledger;
-use crate::defense::DefenseEvent;
 use crate::time::Time;
 
 /// A point-in-time sample of system state, for timeline plots.
@@ -126,18 +125,5 @@ impl SimReport {
     /// True if the `< bound` bad-fraction invariant held throughout.
     pub fn invariant_held(&self, bound: f64) -> bool {
         self.max_bad_fraction < bound
-    }
-
-    /// Folds a batch of defense events into the report.
-    pub(crate) fn absorb_events(&mut self, events: Vec<DefenseEvent>) {
-        for ev in events {
-            match ev {
-                DefenseEvent::EstimateUpdated { start, end, estimate } => {
-                    self.estimates.push(EstimateRecord { start, end, estimate });
-                }
-                DefenseEvent::PurgeCompleted { at, .. } => self.purge_times.push(at),
-                DefenseEvent::PurgeSkipped { .. } => {}
-            }
-        }
     }
 }

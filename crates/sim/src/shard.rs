@@ -435,7 +435,20 @@ impl<C: ShardRecords> ShardProducer<C> {
 /// Worker loop: batches the producer's events into [`ShardMsg`]s. A failed
 /// `send` means the coordinator dropped the stream — that is a clean stop,
 /// not an error.
-fn produce_batches<C: ShardRecords>(mut producer: ShardProducer<C>, tx: SyncSender<ShardMsg>) {
+///
+/// Batch buffers are pooled: the coordinator sends each spent (cleared)
+/// `Vec` back over `recycle`, and the worker prefers a recycled buffer
+/// over a fresh allocation. In steady state the pool converges to the
+/// channel depth plus the two in-flight buffers, so a shard's entire feed
+/// reuses a handful of `Vec`s instead of allocating one per 4096 events.
+/// Both ends use the non-blocking `try_*` calls, so the recycle path can
+/// never deadlock or stall either side — a miss just falls back to
+/// allocation (worker) or dropping the buffer (coordinator).
+fn produce_batches<C: ShardRecords>(
+    mut producer: ShardProducer<C>,
+    tx: SyncSender<ShardMsg>,
+    recycle: Receiver<Vec<FeedItem>>,
+) {
     let mut batch = Vec::with_capacity(BATCH_EVENTS);
     while let Some(item) = producer.next() {
         batch.push(item);
@@ -443,7 +456,7 @@ fn produce_batches<C: ShardRecords>(mut producer: ShardProducer<C>, tx: SyncSend
             if tx.send(ShardMsg::Batch(std::mem::take(&mut batch))).is_err() {
                 return;
             }
-            batch.reserve(BATCH_EVENTS);
+            batch = recycle.try_recv().unwrap_or_else(|_| Vec::with_capacity(BATCH_EVENTS));
         }
     }
     if !batch.is_empty() && tx.send(ShardMsg::Batch(batch)).is_err() {
@@ -470,12 +483,17 @@ fn spawn_shard<C: ShardRecords + Send + 'static>(
     shard: usize,
 ) -> ChannelFeed {
     let (tx, rx) = std::sync::mpsc::sync_channel::<ShardMsg>(CHANNEL_BATCHES);
+    // Spent batch buffers flow back to the worker here. Depth matches the
+    // data channel: the coordinator can never hold more spent buffers than
+    // batches it has received, so `try_send` only misses if the worker has
+    // already exited (then the buffer is simply dropped).
+    let (recycle_tx, recycle_rx) = std::sync::mpsc::sync_channel::<Vec<FeedItem>>(CHANNEL_BATCHES);
     let panic_tx = tx.clone();
     let handle = std::thread::Builder::new()
         .name(format!("sybil-shard-{shard}"))
         .spawn(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                produce_batches(producer, tx)
+                produce_batches(producer, tx, recycle_rx)
             }));
             if let Err(payload) = result {
                 // The quarantine path: surface the panic as a message so
@@ -487,7 +505,9 @@ fn spawn_shard<C: ShardRecords + Send + 'static>(
         .expect("spawn shard worker thread");
     ChannelFeed {
         rx: Some(rx),
-        batch: Vec::new().into_iter(),
+        recycle_tx,
+        batch: Vec::new(),
+        head: 0,
         done: false,
         shard,
         handle: Some(handle),
@@ -504,7 +524,13 @@ enum Feed {
 
 struct ChannelFeed {
     rx: Option<Receiver<ShardMsg>>,
-    batch: std::vec::IntoIter<FeedItem>,
+    /// Returns spent batch buffers to the worker (see [`produce_batches`]).
+    recycle_tx: SyncSender<Vec<FeedItem>>,
+    /// The in-flight batch, read through `head`. An owned `Vec` rather
+    /// than an `IntoIter` so the buffer survives being drained and can be
+    /// recycled ([`FeedItem`] is `Copy`, so indexed reads are free).
+    batch: Vec<FeedItem>,
+    head: usize,
     done: bool,
     shard: usize,
     handle: Option<JoinHandle<()>>,
@@ -524,12 +550,20 @@ impl ChannelFeed {
             if self.done {
                 return None;
             }
-            if let Some(item) = self.batch.next() {
+            if let Some(item) = self.batch.get(self.head).copied() {
+                self.head += 1;
                 return Some(item);
             }
             let rx = self.rx.as_ref().expect("receiver live until done");
             match rx.recv() {
-                Ok(ShardMsg::Batch(items)) => self.batch = items.into_iter(),
+                Ok(ShardMsg::Batch(items)) => {
+                    let mut spent = std::mem::replace(&mut self.batch, items);
+                    self.head = 0;
+                    if spent.capacity() > 0 {
+                        spent.clear();
+                        let _ = self.recycle_tx.try_send(spent);
+                    }
+                }
                 Ok(ShardMsg::Done) => {
                     self.done = true;
                     self.rx = None;

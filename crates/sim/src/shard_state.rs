@@ -278,6 +278,21 @@ impl ShardedDefenseState {
         self.shards.len()
     }
 
+    /// Eagerly allocates every admission segment on every shard slice.
+    ///
+    /// Called by the engine before the event loop when the workload
+    /// source opts in (see `WorkloadSource::preallocate_admission`), so
+    /// first-touch segment boxes never allocate mid-loop. The canonical
+    /// [`admission_bytes`] gauge is a pure function of the *touched*
+    /// bitset and does not move.
+    ///
+    /// [`admission_bytes`]: ShardedDefenseState::admission_bytes
+    pub fn preallocate_admission(&mut self) {
+        for shard in &mut self.shards {
+            shard.admission.preallocate();
+        }
+    }
+
     /// Epoch reductions performed so far.
     pub fn epochs(&self) -> u64 {
         self.epochs
@@ -398,6 +413,10 @@ impl ShardedDefenseState {
         self.events_since_flush = 0;
         self.epochs += 1;
         for shard in &mut self.shards {
+            // `EpochDelta` is `Copy` and fixed-size: taking it resets the
+            // shard's accumulator in place and moves the counters by
+            // value, so the epoch reduction is allocation-free by
+            // construction — no message buffers exist to pool.
             let delta = std::mem::take(&mut shard.delta);
             self.totals.merge(&delta);
         }

@@ -102,9 +102,7 @@ impl Defense for UnitCostDefense {
         self.n_bad
     }
 
-    fn drain_events(&mut self) -> Vec<DefenseEvent> {
-        Vec::new()
-    }
+    fn drain_events_into(&mut self, _out: &mut Vec<DefenseEvent>) {}
 }
 
 #[cfg(test)]

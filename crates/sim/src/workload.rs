@@ -153,6 +153,18 @@ pub trait WorkloadSource {
     fn state_shards(&self) -> usize {
         1
     }
+
+    /// Whether the engine should eagerly allocate the full admission map
+    /// before the event loop starts. Fully resident sources opt in: their
+    /// session universe already occupies memory, so lazy segments buy no
+    /// residency story and only cost first-touch allocations inside the
+    /// measured steady-state loop. Streamed sources keep the lazy default
+    /// so admission residency stays proportional to the touched ID space.
+    /// The canonical `admission_bytes` gauge counts *touched* segments
+    /// either way, so reports are identical under both policies.
+    fn preallocate_admission(&self) -> bool {
+        false
+    }
 }
 
 /// One pre-ordered workload event, as yielded by a *merged* stream (see
@@ -265,6 +277,12 @@ impl WorkloadSource for Workload {
 
     fn session_count(&self) -> u64 {
         self.sessions.len() as u64
+    }
+
+    /// In-memory workloads are fully resident; eager admission segments
+    /// keep the engine's steady-state loop allocation-free.
+    fn preallocate_admission(&self) -> bool {
+        true
     }
 
     /// One O(n) pass assigns every in-horizon workload event the sequence
